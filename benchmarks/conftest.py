@@ -1,0 +1,39 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's figures (scenarios — the
+paper has no measured tables) and prints the rows/series via the
+``report`` fixture, so `pytest benchmarks/ --benchmark-only -s` shows the
+reproduced shape next to the timing numbers.  EXPERIMENTS.md records the
+outcome of each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+class Reporter:
+    """Collects experiment rows and prints them at teardown."""
+
+    def __init__(self, title: str):
+        self.title = title
+        self.rows: list = []
+
+    def row(self, label: str, **values) -> None:
+        self.rows.append((label, values))
+
+    def render(self) -> str:
+        lines = [f"\n=== {self.title} ==="]
+        for label, values in self.rows:
+            rendered = "  ".join(f"{k}={v}" for k, v in values.items())
+            lines.append(f"  {label:<40} {rendered}")
+        return "\n".join(lines)
+
+
+@pytest.fixture
+def report(request, capsys):
+    reporter = Reporter(request.node.name)
+    yield reporter
+    if reporter.rows:
+        with capsys.disabled():
+            print(reporter.render())

@@ -1,0 +1,59 @@
+"""A4 — ablation: attestation caching on the substrate path (Challenge 5).
+
+Hardware-rooted trust "show[s] promise by improving the level of trust"
+— at a cost per exchange.  The substrate caches per-host attestation;
+this bench quantifies what the cache buys on a chatty workload and what
+a fresh attestation costs.
+"""
+
+import pytest
+
+from repro.cloud import Machine, trusted_verifier
+from repro.ifc import SecurityContext
+from repro.middleware import Message, MessageType, MessagingSubstrate
+from repro.net import Network
+from repro.sim import Simulator
+
+READING = MessageType.simple("reading", value=float)
+N_MESSAGES = 200
+
+
+def build(verify: bool, cache: bool):
+    sim = Simulator(seed=4)
+    net = Network(sim, default_latency=0.0001)
+    m1 = Machine("h1", clock=sim.now)
+    m2 = Machine("h2", clock=sim.now)
+    verifier = trusted_verifier([m1, m2]) if verify else None
+    s1 = MessagingSubstrate(m1, net, verifier=verifier)
+    s2 = MessagingSubstrate(m2, net)
+    ctx = SecurityContext.of(["s"], [])
+    p1 = m1.launch("a", ctx)
+    p2 = m2.launch("b", ctx)
+    s1.register(p1, lambda a, m: None)
+    s2.register(p2, lambda a, m: None)
+    return sim, s1, s2, p1, ctx, cache
+
+
+@pytest.mark.parametrize(
+    "verify,cache",
+    [(False, True), (True, True), (True, False)],
+    ids=["no-attestation", "attest-cached", "attest-every-message"],
+)
+def test_a4_attestation_cost(report, benchmark, verify, cache):
+    sim, s1, s2, p1, ctx, cache = build(verify, cache)
+
+    def send_burst():
+        for i in range(N_MESSAGES):
+            if verify and not cache:
+                s1.invalidate_attestation("h2")
+            s1.send(p1, s2, "b",
+                    Message(READING, {"value": float(i)}, context=ctx))
+        sim.drain()
+
+    benchmark.pedantic(send_burst, rounds=3, iterations=1)
+    label = ("no attestation" if not verify
+             else "cached attestation" if cache
+             else "per-message attestation")
+    report.row(label, messages=N_MESSAGES,
+               attestation_failures=s1.stats.attestation_failures)
+    assert s1.stats.attestation_failures == 0

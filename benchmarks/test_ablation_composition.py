@@ -1,0 +1,87 @@
+"""A5 — ablation: automatic chain composition cost (§8.1).
+
+"Transparent and dynamic system chain management" must plan over the
+available relay population at orchestration time.  This bench measures
+plan cost as the relay pool grows and as the required chain lengthens —
+the scaling consideration for Challenge 1's "interactions may occur with
+entities never before encountered".
+"""
+
+import pytest
+
+from repro.audit import AuditLog
+from repro.ifc import PrivilegeSet, SecurityContext
+from repro.middleware import (
+    ChainComposer,
+    Component,
+    EndpointKind,
+    MessageBus,
+    MessageType,
+    Reconfigurator,
+    RelaySpec,
+)
+
+READING = MessageType.simple("reading", value=float)
+
+
+def stage_context(i: int) -> SecurityContext:
+    return SecurityContext.of([f"stage{i}"], [])
+
+
+def build(chain_length: int, decoys: int):
+    """A relay ladder stage0 -> stage1 -> ... plus decoy relays."""
+    bus = MessageBus(audit=AuditLog())
+    composer = ChainComposer(bus, Reconfigurator(bus))
+
+    def relay(name, in_ctx, out_ctx):
+        tags_s = {t.qualified for t in in_ctx.secrecy | out_ctx.secrecy}
+        component = Component(
+            name, in_ctx,
+            PrivilegeSet.of(add_secrecy=tags_s, remove_secrecy=tags_s),
+            owner="op",
+        )
+        component.add_endpoint("in", EndpointKind.SINK, READING)
+        component.add_endpoint("out", EndpointKind.SOURCE, READING)
+        bus.register(component)
+        composer.register_relay(RelaySpec(component, "in", "out", in_ctx, out_ctx))
+
+    for i in range(chain_length):
+        relay(f"ladder{i}", stage_context(i), stage_context(i + 1))
+    for d in range(decoys):
+        relay(f"decoy{d}",
+              SecurityContext.of([f"dead-end-{d}"], []),
+              SecurityContext.of([f"nowhere-{d}"], []))
+
+    source = Component("src", stage_context(0), owner="op")
+    source.add_endpoint("out", EndpointKind.SOURCE, READING)
+    sink = Component("dst", stage_context(chain_length), owner="op")
+    sink.add_endpoint("in", EndpointKind.SINK, READING)
+    bus.register(source)
+    bus.register(sink)
+    return composer, source, sink
+
+
+@pytest.mark.parametrize("chain_length,decoys", [(1, 0), (3, 20), (5, 100)])
+def test_a5_plan_scaling(report, benchmark, chain_length, decoys):
+    composer, source, sink = build(chain_length, decoys)
+    plan = benchmark(
+        lambda: composer.plan(source.context, sink.context,
+                              max_hops=chain_length + 1)
+    )
+    assert plan is not None and len(plan) == chain_length
+    report.row(f"chain {chain_length}, {decoys} decoy relays",
+               planned_hops=len(plan))
+
+
+def test_a5_compose_and_dissolve(report, benchmark):
+    def round():
+        composer, source, sink = build(3, 10)
+        composition = composer.compose("op", source, "out", sink, "in",
+                                       max_hops=4)
+        composition.teardown()
+        return composition
+
+    composition = benchmark(round)
+    assert composition.hop_count == 4
+    report.row("compose+dissolve 4 hops",
+               channels_wired=len(composition.channels))

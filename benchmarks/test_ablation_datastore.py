@@ -1,0 +1,68 @@
+"""A6 — ablation: the shared labelled datastore (§4's DB problem).
+
+"Database tables may be shared between several applications ... they may
+not have the same AC policies when operating on common data."  The
+row-labelled store fixes the inconsistency at the data; this bench
+measures the cost: query latency vs table size for filtered views, and
+the amalgamation check on aggregates (Concern 5).
+"""
+
+import pytest
+
+from repro.cloud import LabelledStore
+from repro.errors import FlowError
+from repro.ifc import SecurityContext
+
+PATIENTS = 20
+
+
+def filled_store(rows: int) -> LabelledStore:
+    store = LabelledStore("vitals")
+    for i in range(rows):
+        patient = f"p{i % PATIENTS}"
+        store.insert(
+            f"{patient}-app",
+            {"patient": patient, "hr": 60.0 + (i % 40)},
+            SecurityContext.of(["medical", patient], []),
+        )
+    return store
+
+
+@pytest.mark.parametrize("rows", [100, 1000, 5000])
+def test_a6_filtered_query_scaling(report, benchmark, rows):
+    store = filled_store(rows)
+    reader = SecurityContext.of(["medical", "p0"], [])
+
+    visible = benchmark(lambda: store.query("p0-analyser", reader))
+    assert len(visible) == rows // PATIENTS
+    report.row(f"{rows} rows, 1-patient clearance",
+               visible=len(visible), hidden=rows - len(visible))
+
+
+def test_a6_aggregate_amalgamation(report, benchmark):
+    store = filled_store(1000)
+    all_tags = ["medical"] + [f"p{i}" for i in range(PATIENTS)]
+    ward = SecurityContext.of(all_tags, [])
+
+    mean = benchmark(
+        lambda: store.aggregate("ward", ward, "hr", lambda v: sum(v) / len(v))
+    )
+    assert mean is not None
+    report.row("ward aggregate over 1000 rows", mean=f"{mean:.1f}")
+
+
+def test_a6_underclear_aggregate_refused(report, benchmark):
+    store = filled_store(1000)
+    narrow = SecurityContext.of(["medical", "p0"], [])
+
+    def attempt():
+        try:
+            store.aggregate("p0-analyser", narrow, "hr", sum)
+            return False
+        except FlowError:
+            return True
+
+    refused = benchmark(attempt)
+    assert refused
+    report.row("single-patient clearance aggregate",
+               outcome="REFUSED (Concern 5 amalgamation)")

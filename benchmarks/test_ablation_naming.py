@@ -1,0 +1,68 @@
+"""A3 — ablation: tag-name resolution caching (Challenge 1).
+
+"With tags, one way forward may be approaches akin to DNS and/or based
+on PKI, though overheads will be a consideration."  This bench measures
+the consideration: resolution cost through a three-level authority
+hierarchy with and without a warm cache, plus signature verification's
+share of the cost.
+"""
+
+import pytest
+
+from repro.ifc import CachingResolver, TagAuthority
+from repro.sim import Simulator
+
+
+def hierarchy(n_tags: int = 50):
+    root = TagAuthority("org")
+    hospital = TagAuthority("org.hospital")
+    ward = TagAuthority("org.hospital.ward")
+    root.delegate(hospital)
+    hospital.delegate(ward)
+    tags = []
+    for i in range(n_tags):
+        ward.register(f"org.hospital.ward:tag{i}", owner="ward")
+        tags.append(f"org.hospital.ward:tag{i}")
+    return root, tags
+
+
+@pytest.mark.parametrize("warm", [False, True], ids=["cold-cache", "warm-cache"])
+def test_a3_resolution_cost(report, benchmark, warm):
+    root, tags = hierarchy()
+    sim = Simulator()
+    warm_resolver = CachingResolver(root, ttl=10_000.0, clock=sim.now)
+    for tag in tags:
+        warm_resolver.resolve(tag)
+    last = {"resolver": warm_resolver}
+
+    def resolve_all():
+        if warm:
+            resolver = warm_resolver
+        else:
+            # A fresh resolver every round: every lookup walks the
+            # hierarchy and verifies signatures.
+            resolver = CachingResolver(root, ttl=10_000.0, clock=sim.now)
+        for tag in tags:
+            resolver.resolve(tag)
+        last["resolver"] = resolver
+
+    benchmark(resolve_all)
+    report.row("warm cache" if warm else "cold cache",
+               hit_rate=f"{last['resolver'].hit_rate:.0%}")
+
+
+def test_a3_ttl_expiry_forces_refetch(report, benchmark):
+    def run():
+        root, tags = hierarchy(10)
+        sim = Simulator()
+        resolver = CachingResolver(root, ttl=100.0, clock=sim.now)
+        for tag in tags:
+            resolver.resolve(tag)
+        sim.clock.advance(1_000.0)
+        for tag in tags:
+            resolver.resolve(tag)
+        return resolver
+
+    resolver = benchmark(run)
+    assert resolver.misses == 20  # both rounds missed
+    report.row("after TTL expiry", misses=resolver.misses, hits=resolver.hits)

@@ -1,0 +1,75 @@
+"""A2 — ablation: local vs gateway-offloaded enforcement (Challenge 5).
+
+"Some devices may have a limited ability to store and enforce policy.
+Of course, gateway components could be used to mediate data flows ...
+what aspects of policy management and enforcement can be delegated,
+offloaded, distributed and federated, to meet resource constraints?"
+
+We run a battery-powered sensor fleet for a simulated day with (a) every
+device enforcing locally and (b) the :func:`enforcement_plan` heuristic
+offloading constrained devices to their gateway, and report surviving
+battery and checks performed — the trade-off curve the challenge asks
+about.
+"""
+
+import pytest
+
+from repro.iot import (
+    CHECK_COST,
+    DeviceClass,
+    DeviceProfile,
+    EnforcementPlacement,
+    enforcement_plan,
+)
+
+FLEET = 50
+CHECKS_PER_DEVICE = 300  # one flow check per sample, a day of samples
+
+
+def run_fleet(offload: bool):
+    gateway = DeviceProfile(DeviceClass.GATEWAY, memory_capacity=10_000.0)
+    exhausted = 0
+    performed = 0
+    placements = {"local": 0, "gateway": 0}
+    for i in range(FLEET):
+        device = DeviceProfile(
+            DeviceClass.CONSTRAINED,
+            memory_capacity=8.0,
+            battery=1000.0 + (i % 5) * 100.0,
+        )
+        if offload:
+            placement = enforcement_plan(
+                device, tag_count=4,
+                expected_checks_per_hour=CHECKS_PER_DEVICE / 24.0,
+            )
+        else:
+            placement = EnforcementPlacement.LOCAL
+        placements[placement.value] += 1
+        enforcer = gateway if placement == EnforcementPlacement.GATEWAY else device
+        for __ in range(CHECKS_PER_DEVICE):
+            if enforcer.perform_check():
+                performed += 1
+        if device.exhausted:
+            exhausted += 1
+    return exhausted, performed, placements
+
+
+@pytest.mark.parametrize("offload", [False, True],
+                         ids=["all-local", "plan-offload"])
+def test_a2_enforcement_placement(report, benchmark, offload):
+    exhausted, performed, placements = benchmark(lambda: run_fleet(offload))
+    total = FLEET * CHECKS_PER_DEVICE
+    if offload:
+        # The planner keeps constrained devices alive by offloading.
+        assert exhausted == 0
+        assert performed == total
+    else:
+        # Local-only: batteries die and enforcement silently stops.
+        assert exhausted == FLEET
+        assert performed < total
+    report.row(
+        "offload heuristic" if offload else "all-local baseline",
+        devices_exhausted=exhausted,
+        checks_completed=f"{performed}/{total}",
+        placements=placements,
+    )

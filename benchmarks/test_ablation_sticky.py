@@ -1,0 +1,68 @@
+"""A1 — ablation: sticky policies vs IFC (§10.2 comparator).
+
+The paper dismisses sticky policies because "the approach is trust-based
+with no audit of compliance; there are no means to ensure the proper
+usage of data once decrypted."  This bench runs the identical sharing
+scenario under both regimes and reports (a) whether the post-decryption
+leak happens, (b) what evidence each regime leaves behind, and (c) the
+per-share mechanism cost.
+"""
+
+import pytest
+
+from repro.audit import AuditLog
+from repro.crypto import StickyParty, StickyPolicy, TrustedAuthority
+from repro.ifc import SecurityContext, flow_decision
+
+N_ITEMS = 50
+
+
+def sticky_scenario():
+    authority = TrustedAuthority()
+    policy = StickyPolicy(allowed_purposes=("research",),
+                          allowed_parties=("university",))
+    university = StickyParty("university")
+    advertiser = StickyParty("advertiser")
+    for i in range(N_ITEMS):
+        bundle = authority.seal({"reading": float(i)}, policy, owner="ann")
+        university.obtain(authority, bundle, "research")
+    university.reshare(advertiser)          # the invisible leak
+    return authority, advertiser
+
+
+def ifc_scenario():
+    log = AuditLog()
+    ann = SecurityContext.of(["medical", "ann"], [])
+    university = SecurityContext.of(["medical", "ann"], [])
+    advertiser = SecurityContext.public()
+    leaked = 0
+    for i in range(N_ITEMS):
+        if flow_decision(ann, university).allowed:
+            log.flow_allowed("ann", "university", ann, university)
+        decision = flow_decision(university, advertiser)
+        if decision.allowed:
+            leaked += 1
+        else:
+            log.flow_denied("university", "advertiser", decision.reason,
+                            university, advertiser)
+    return log, leaked
+
+
+def test_a1_sticky_policy_leak(report, benchmark):
+    authority, advertiser = benchmark(sticky_scenario)
+    assert len(advertiser.plaintexts) >= N_ITEMS          # leak happened
+    assert all(r.party == "university" for r in authority.releases)
+    report.row("sticky policies",
+               leaked_items=len(advertiser.plaintexts),
+               authority_visible_releases=len(authority.releases),
+               leak_visible_to_owner="NO")
+
+
+def test_a1_ifc_same_scenario(report, benchmark):
+    log, leaked = benchmark(ifc_scenario)
+    assert leaked == 0                                    # leak blocked
+    assert len(log.denials()) == N_ITEMS                  # and evidenced
+    report.row("IFC",
+               leaked_items=leaked,
+               denial_evidence_records=len(log.denials()),
+               leak_visible_to_owner="YES (audited denials)")

@@ -1,0 +1,84 @@
+"""F10 — Fig. 10: message-level tags and attribute quenching.
+
+Claim: tags "that only exist at the messaging level" (tag C) augment the
+OS-level context; "enforcement may entail source quenching" of attribute
+values.  Measured: quenching cost as a function of attribute count, and
+the delivered/quenched split for mixed-clearance receivers.
+"""
+
+import pytest
+
+from repro.cloud import Machine
+from repro.ifc import SecurityContext, as_tags
+from repro.middleware import (
+    AttributeSpec,
+    Message,
+    MessageType,
+    MessagingSubstrate,
+)
+from repro.net import Network
+from repro.sim import Simulator
+
+
+def typed_schema(n_attributes: int, tagged_fraction: float) -> MessageType:
+    specs = []
+    tagged = int(n_attributes * tagged_fraction)
+    for i in range(n_attributes):
+        extra = as_tags([f"C{i}"]) if i < tagged else frozenset()
+        specs.append(AttributeSpec(f"attr{i}", int, extra_secrecy=extra))
+    return MessageType("wide", specs)
+
+
+@pytest.mark.parametrize("n_attributes", [4, 16, 64])
+def test_fig10_quenching_cost(report, benchmark, n_attributes):
+    schema = typed_schema(n_attributes, tagged_fraction=0.5)
+    base = SecurityContext.of(["A"], [])
+    receiver = SecurityContext.of(["A"], [])  # no Ci clearances
+    message = Message(schema, {f"attr{i}": i for i in range(n_attributes)}, base)
+
+    quenched = benchmark(lambda: message.quenched_for(receiver))
+    dropped = n_attributes - len(quenched.values)
+    assert dropped == n_attributes // 2
+    report.row(f"{n_attributes} attributes",
+               quenched=dropped, kept=len(quenched.values))
+
+
+def test_fig10_cross_machine_quenching(report, benchmark):
+    """The Fig. 10 scenario: App on VM1 sends S={A,B}; attribute with
+    message-level tag C is quenched for the analyser lacking C."""
+
+    def round():
+        sim = Simulator(seed=2)
+        net = Network(sim, default_latency=0.001)
+        m1 = Machine("vm1", clock=sim.now)
+        m2 = Machine("vm2", clock=sim.now)
+        s1 = MessagingSubstrate(m1, net)
+        s2 = MessagingSubstrate(m2, net)
+        schema = MessageType("person", [
+            AttributeSpec("name", str, extra_secrecy=as_tags(["C"])),
+            AttributeSpec("country", str),
+        ])
+        base = SecurityContext.of(["A", "B"], [])
+        app = m1.launch("app", base)
+        analyser = m2.launch("analyser", SecurityContext.of(["A", "B"], []))
+        cleared = m2.launch("cleared", SecurityContext.of(["A", "B", "C"], []))
+        s1.register(app, lambda a, m: None)
+        plain, full = [], []
+        s2.register(analyser, lambda a, m: plain.append(m))
+        s2.register(cleared, lambda a, m: full.append(m))
+        for i in range(50):
+            msg = Message(schema, {"name": f"n{i}", "country": "UK"}, context=base)
+            s1.send(app, s2, "analyser", msg)
+            msg2 = Message(schema, {"name": f"n{i}", "country": "UK"}, context=base)
+            s1.send(app, s2, "cleared", msg2)
+        sim.drain()
+        return s2, plain, full
+
+    substrate, plain, full = benchmark(round)
+    assert all("name" not in m.values for m in plain)      # tag C quenched
+    assert all("name" in m.values for m in full)           # cleared receiver
+    assert substrate.stats.quenched_attributes == 50
+    report.row("analyser S={A,B}", received=len(plain),
+               name_attribute="QUENCHED (tag C)")
+    report.row("cleared S={A,B,C}", received=len(full),
+               name_attribute="delivered")

@@ -1,0 +1,79 @@
+"""F11 — Fig. 11: provenance graph construction and forensic queries.
+
+Claim: "the logs generated during IFC enforcement are a natural source
+of provenance information" usable for forensic analysis.  Measured:
+graph construction cost vs log size, and taint/ancestry query cost —
+the series a Fig.-11-style evaluation would report.
+"""
+
+import pytest
+
+from repro.audit import AuditLog, graph_from_log
+from repro.ifc import SecurityContext
+from repro.sim import Simulator
+
+
+def synth_log(n_chains: int, chain_length: int) -> AuditLog:
+    """n_chains processing chains of the Fig. 2 shape, interleaved."""
+    sim = Simulator(seed=0)
+    log = AuditLog(clock=sim.now)
+    ctx = SecurityContext.of(["s"], [])
+    for c in range(n_chains):
+        stages = [f"chain{c}-stage{s}" for s in range(chain_length)]
+        for a, b in zip(stages, stages[1:]):
+            log.flow_allowed(a, b, ctx, ctx)
+            sim.clock.advance(1.0)
+        # occasional cross-links between chains (shared services): a late
+        # stage of chain c feeds an early stage of chain c-1, so taint
+        # entering chain c percolates through every earlier chain.
+        if c > 0:
+            late = chain_length - 2
+            log.flow_allowed(f"chain{c}-stage{late}", f"chain{c-1}-stage2",
+                             ctx, ctx)
+    return log
+
+
+@pytest.mark.parametrize("n_chains,chain_length", [(10, 5), (50, 8), (200, 8)])
+def test_fig11_graph_construction(report, benchmark, n_chains, chain_length):
+    log = synth_log(n_chains, chain_length)
+    graph = benchmark(lambda: graph_from_log(log))
+    stats = graph.stats()
+    report.row(f"{len(log)} log records",
+               nodes=stats["nodes"], edges=stats["edges"])
+    assert stats["nodes"] == n_chains * chain_length
+
+
+@pytest.mark.parametrize("n_chains", [50, 200])
+def test_fig11_taint_query(report, benchmark, n_chains):
+    log = synth_log(n_chains, 8)
+    graph = graph_from_log(log)
+
+    taint = benchmark(lambda: graph.descendants("chain0-stage0"))
+    report.row(f"taint from chain0-stage0 ({n_chains} chains)",
+               reachable=len(taint))
+    assert "chain0-stage7" in taint
+
+
+def test_fig11_leak_investigation(report, benchmark):
+    # Cross-links point chain c -> chain c-1, so data entering the last
+    # chain can percolate all the way down to chain0 — the deep-path
+    # investigation case.
+    log = synth_log(100, 8)
+    graph = graph_from_log(log)
+    unauthorised = {"chain0-stage7"}
+
+    result = benchmark(
+        lambda: graph.investigate_leak("chain99-stage0", unauthorised)
+    )
+    assert result.nodes == unauthorised
+    assert result.paths
+    report.row("leak investigation over 100 chains",
+               suspects_reached=len(result.nodes),
+               evidence_paths=len(result.paths),
+               longest_path=max(len(p) for p in result.paths))
+
+
+def test_fig11_log_verification_cost(report, benchmark):
+    log = synth_log(200, 8)
+    assert benchmark(log.verify)
+    report.row("hash-chain verification", records=len(log))

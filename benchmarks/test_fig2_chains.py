@@ -1,0 +1,110 @@
+"""F1/F2 — Figs. 1-2: end-to-end policy through IoT component chains.
+
+The paper's central qualitative claim (§4): access control protects the
+point of enforcement, but "there is generally no subsequent control over
+data flows beyond the point of enforcement" — so as processing chains
+lengthen, AC-only systems leak while IFC confines.  We wire Fig. 2
+chains (sensor → gateway → VM app → DB → analyser → ...) of increasing
+length, append an unauthorised sink at the end, and count leaks under
+each enforcement mode.  Also the smart-city federation (F2 application).
+"""
+
+import pytest
+
+from repro.accesscontrol import EnforcementMode
+from repro.apps import SmartCitySystem
+from repro.audit import AuditLog
+from repro.ifc import SecurityContext
+from repro.iot import IoTWorld
+from repro.middleware import (
+    Component,
+    EndpointKind,
+    MessageBus,
+    MessageType,
+)
+
+READING = MessageType.simple("reading", value=float)
+
+
+def build_chain(mode: EnforcementMode, length: int):
+    """A Fig. 2 chain with an attacker-controlled sink appended."""
+    audit = AuditLog()
+    bus = MessageBus(audit=audit, mode=mode)
+    ctx = SecurityContext.of(["home", "ann"], [])
+    stages = []
+    for i in range(length):
+        stage = Component(f"stage{i}", ctx, owner="op")
+        stage.add_endpoint("out", EndpointKind.SOURCE, READING)
+        received = []
+        stage.add_endpoint(
+            "in", EndpointKind.SINK, READING,
+            handler=(lambda s: lambda c, e, m: s.append(m))(received),
+        )
+        stage.inbox_values = received
+        bus.register(stage)
+        stages.append(stage)
+    for a, b in zip(stages, stages[1:]):
+        bus.connect("op", a, "out", b, "in")
+
+    # The unauthorised analytics sink: AC grants it a connection (it is
+    # a nominally legitimate partner service), but it holds none of the
+    # data's tags.
+    leak_sink = Component("analytics-corp", SecurityContext.public(), owner="op")
+    leaked = []
+    leak_sink.add_endpoint("in", EndpointKind.SINK, READING,
+                           handler=lambda c, e, m: leaked.append(m))
+    bus.register(leak_sink)
+    try:
+        bus.connect("op", stages[-1], "out", leak_sink, "in")
+    except Exception:
+        pass  # IFC refuses at establishment
+    return bus, stages, leaked
+
+
+def drive_chain(bus, stages, n_messages=20):
+    for i in range(n_messages):
+        message = bus.publish(stages[0], "out", value=float(i))
+        # relay along the chain (each stage re-emits what it received)
+        for stage in stages[1:]:
+            for m in list(stage.inbox_values):
+                bus.route(stage, "out", m)
+            stage.inbox_values.clear()
+
+
+@pytest.mark.parametrize("length", [3, 6, 10])
+@pytest.mark.parametrize("mode", [EnforcementMode.AC_ONLY,
+                                  EnforcementMode.AC_AND_IFC],
+                         ids=["ac-only", "ac+ifc"])
+def test_fig2_chain_leakage(report, benchmark, mode, length):
+    def run():
+        bus, stages, leaked = build_chain(mode, length)
+        drive_chain(bus, stages)
+        return leaked
+
+    leaked = benchmark.pedantic(run, rounds=3, iterations=1)
+    if mode == EnforcementMode.AC_ONLY:
+        assert len(leaked) > 0      # the paper's §4 criticism
+    else:
+        assert len(leaked) == 0     # the paper's proposal
+    report.row(f"chain length {length} [{mode.value}]",
+               leaked_messages=len(leaked))
+
+
+def test_fig2_smart_city_federation(report, benchmark):
+    """The federation-scale version: households → city → analytics."""
+
+    def run(mode):
+        world = IoTWorld(seed=7, mode=mode)
+        city = SmartCitySystem(world, household_count=4, sample_interval=900.0)
+        city.run(hours=2)
+        return city.attempt_raw_leak()
+
+    ifc_leak = benchmark.pedantic(
+        lambda: run(EnforcementMode.AC_AND_IFC), rounds=1, iterations=1
+    )
+    ac_leak = run(EnforcementMode.AC_ONLY)
+    assert ifc_leak["delivered"] == 0
+    assert ac_leak["delivered"] > 0
+    report.row("AC-only", household_readings_leaked=ac_leak["delivered"])
+    report.row("AC+IFC", household_readings_leaked=ifc_leak["delivered"],
+               denials=ifc_leak["denied"])

@@ -1,0 +1,84 @@
+"""F3 — Fig. 3: declassification and endorsement across context domains.
+
+The figure's claim: data tagged s1 may flow into {s1,s2} but is then
+confined; only privileged declassifier/endorser entities move data
+across domain boundaries.  We regenerate the allowed/prevented flow
+matrix of the figure and measure the flow-check and gateway-transit
+costs.
+"""
+
+import pytest
+
+from repro.ifc import (
+    Declassifier,
+    Endorser,
+    PassiveEntity,
+    PrivilegeSet,
+    SecurityContext,
+    can_flow,
+)
+
+S1 = SecurityContext.of(["s1"], [])
+S12 = SecurityContext.of(["s1", "s2"], [])
+S3 = SecurityContext.of(["s3"], [])
+I1 = SecurityContext.of([], ["i1"])
+
+
+def fig3_matrix():
+    """The allowed/prevented flows drawn in Fig. 3."""
+    return {
+        ("s1", "s1s2"): can_flow(S1, S12),       # allowed (into more constrained)
+        ("s1s2", "s1"): can_flow(S12, S1),       # prevented (label creep)
+        ("s1", "s3"): can_flow(S1, S3),          # prevented (incomparable)
+        ("s1", "i1"): can_flow(S1, I1),          # prevented (no endorsement)
+        ("i1", "s1"): can_flow(I1, S1),          # allowed (integrity may drop)
+    }
+
+
+def test_fig3_flow_matrix(report, benchmark):
+    matrix = benchmark(fig3_matrix)
+    expected = {
+        ("s1", "s1s2"): True,
+        ("s1s2", "s1"): False,
+        ("s1", "s3"): False,
+        ("s1", "i1"): False,
+        ("i1", "s1"): True,
+    }
+    assert matrix == expected
+    for (src, dst), allowed in matrix.items():
+        report.row(f"{src} -> {dst}",
+                   outcome="ALLOWED" if allowed else "PREVENTED")
+
+
+def test_fig3_declassifier_crossing(report, benchmark):
+    # Round-trip privileges (add + remove s2): the gateway returns to its
+    # input context between items, as Fig. 5's sanitiser does.
+    declassifier = Declassifier(
+        "declassifier",
+        input_context=S12,
+        output_context=S1,
+        privileges=PrivilegeSet.of(add_secrecy=["s2"], remove_secrecy=["s2"]),
+    )
+    item = PassiveEntity("d", S12, payload=1)
+
+    def cross():
+        return declassifier.process(item)
+
+    result = benchmark(cross)
+    assert can_flow(result.output.context, S1)
+    report.row("declassifier s1s2 -> s1", outcome="ALLOWED (privileged)")
+
+
+def test_fig3_endorser_crossing(report, benchmark):
+    endorser = Endorser(
+        "endorser",
+        input_context=SecurityContext.public(),
+        output_context=I1,
+        privileges=PrivilegeSet.of(
+            add_integrity=["i1"], remove_integrity=["i1"]
+        ),
+    )
+    item = PassiveEntity("d", SecurityContext.public(), payload=1)
+    result = benchmark(lambda: endorser.process(item))
+    assert can_flow(result.output.context, I1)
+    report.row("endorser {} -> i1", outcome="ALLOWED (privileged)")

@@ -1,0 +1,102 @@
+"""F8 — Fig. 8: third-party reconfiguration via control messages.
+
+Claims: control messages from authorised third parties are executed "as
+though the application had initiated them", and "are subject to the same
+general AC regime".  Measured: per-command application cost for each
+command kind, and the authorisation-refusal path.
+"""
+
+import pytest
+
+from repro.audit import AuditLog
+from repro.ifc import PrivilegeSet, SecurityContext
+from repro.middleware import (
+    CommandKind,
+    Component,
+    ControlMessage,
+    EndpointKind,
+    MessageBus,
+    MessageType,
+    Reconfigurator,
+)
+
+READING = MessageType.simple("reading", value=float)
+
+
+def build_bus(n_components=10):
+    audit = AuditLog()
+    bus = MessageBus(audit=audit)
+    ctx = SecurityContext.of(["s"], [])
+    components = []
+    for i in range(n_components):
+        component = Component(f"c{i}", ctx, owner="op")
+        component.add_endpoint("out", EndpointKind.SOURCE, READING)
+        component.add_endpoint("in", EndpointKind.SINK, READING)
+        component.allow_controller("policy-engine")
+        bus.register(component)
+        components.append(component)
+    return bus, Reconfigurator(bus), components
+
+
+def test_fig8_map_unmap_cycle(report, benchmark):
+    bus, rc, components = build_bus()
+
+    def cycle():
+        rc.apply(Reconfigurator.map_command(
+            "policy-engine", "c0", "out", "c1", "in"))
+        rc.apply(ControlMessage("policy-engine", "c0", CommandKind.UNMAP))
+
+    benchmark(cycle)
+    applied = [o for o in rc.outcomes if o.applied]
+    assert applied
+    report.row("map+unmap cycle", outcomes=len(rc.outcomes))
+
+
+def test_fig8_set_context_third_party(report, benchmark):
+    bus, rc, components = build_bus(2)
+    target = components[0]
+    target.privileges = PrivilegeSet.of(
+        add_secrecy=["extra"], remove_secrecy=["extra"]
+    )
+    raised = target.context.add_secrecy("extra")
+    lowered = target.context
+
+    def toggle():
+        rc.apply(Reconfigurator.set_context_command("policy-engine", "c0", raised))
+        rc.apply(Reconfigurator.set_context_command("policy-engine", "c0", lowered))
+
+    benchmark(toggle)
+    assert all(o.applied for o in rc.outcomes[-2:])
+    report.row("third-party SET_CONTEXT",
+               note="executed with target's own privileges")
+
+
+def test_fig8_unauthorised_refusal_path(report, benchmark):
+    bus, rc, components = build_bus(2)
+    command = Reconfigurator.map_command("mallory", "c0", "out", "c1", "in")
+
+    def refuse():
+        return rc.apply(command)
+
+    outcome = benchmark(refuse)
+    assert not outcome.applied
+    report.row("unauthorised MAP", outcome="REFUSED + audited",
+               detail=outcome.detail[:40])
+
+
+def test_fig8_isolation_scales_with_fanout(report, benchmark):
+    """ISOLATE (rogue-thing response, §5.2) across a 50-channel fan-out."""
+    bus, rc, components = build_bus(51)
+
+    def wire_and_isolate():
+        for i in range(1, 51):
+            rc.apply(Reconfigurator.map_command(
+                "policy-engine", "c0", "out", f"c{i}", "in"))
+        outcome = rc.apply(
+            ControlMessage("policy-engine", "c0", CommandKind.ISOLATE))
+        return outcome
+
+    outcome = benchmark.pedantic(wire_and_isolate, rounds=3, iterations=1)
+    assert outcome.applied
+    assert "50 channel" in outcome.detail
+    report.row("isolate rogue thing", severed_channels=50)

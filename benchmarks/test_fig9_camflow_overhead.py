@@ -1,0 +1,82 @@
+"""F9 — Fig. 9: CamFlow architecture enforcement overhead.
+
+The paper: "We have shown the LSM performance overhead to be minimal
+[68]."  We reproduce the *shape*: the same syscall workload through the
+IFC LSM vs the null module, and the same cross-machine transfer through
+an enforcing vs non-enforcing substrate.  Expect same order of
+magnitude, IFC slightly slower (it also writes the audit trail).
+"""
+
+import pytest
+
+from repro.cloud import Machine, MachineConfig, ObjectKind
+from repro.ifc import SecurityContext
+from repro.middleware import Message, MessageType, MessagingSubstrate
+from repro.net import Network
+from repro.sim import Simulator
+
+READING = MessageType.simple("reading", value=float)
+
+SYSCALLS_PER_ROUND = 200
+
+
+def kernel_workload(machine: Machine):
+    """A pipeline: producer writes files, consumer reads them."""
+    ctx = SecurityContext.of(["app"], [])
+    producer = machine.launch("producer", ctx)
+    consumer = machine.launch("consumer", ctx)
+    obj = machine.kernel.create_object(producer.pid, ObjectKind.FILE, "log")
+    for __ in range(SYSCALLS_PER_ROUND // 2):
+        machine.kernel.write(producer.pid, obj.oid, "entry")
+        machine.kernel.read(consumer.pid, obj.oid)
+
+
+@pytest.mark.parametrize("enforce", [False, True],
+                         ids=["baseline-null-lsm", "camflow-ifc-lsm"])
+def test_fig9_kernel_syscall_overhead(report, benchmark, enforce):
+    def round():
+        machine = Machine("host", MachineConfig(enforce_ifc=enforce))
+        kernel_workload(machine)
+        return machine
+
+    machine = benchmark(round)
+    report.row(
+        "IFC LSM" if enforce else "null LSM",
+        syscalls=machine.kernel.syscall_count,
+        audit_records=len(machine.audit),
+    )
+    if enforce:
+        assert len(machine.audit) > 0
+        assert machine.audit.verify()
+    else:
+        assert len(machine.audit) == 0
+
+
+@pytest.mark.parametrize("enforce", [False, True],
+                         ids=["substrate-off", "substrate-ifc"])
+def test_fig9_cross_machine_overhead(report, benchmark, enforce):
+    def round():
+        sim = Simulator(seed=1)
+        net = Network(sim, default_latency=0.001)
+        m1 = Machine("h1", clock=sim.now)
+        m2 = Machine("h2", clock=sim.now)
+        s1 = MessagingSubstrate(m1, net, enforce=enforce)
+        s2 = MessagingSubstrate(m2, net, enforce=enforce)
+        ctx = SecurityContext.of(["s"], [])
+        p1 = m1.launch("a", ctx)
+        p2 = m2.launch("b", ctx)
+        s1.register(p1, lambda addr, msg: None)
+        delivered = []
+        s2.register(p2, lambda addr, msg: delivered.append(msg))
+        for i in range(100):
+            s1.send(p1, s2, "b", Message(READING, {"value": float(i)}, context=ctx))
+        sim.drain()
+        return s2
+
+    substrate = benchmark(round)
+    assert substrate.stats.delivered == 100
+    report.row(
+        "enforcing substrate" if enforce else "baseline substrate",
+        delivered=substrate.stats.delivered,
+        audited=len(substrate.audit) if enforce else 0,
+    )

@@ -1,0 +1,84 @@
+"""S3 — Challenge 6: audit-log throughput, pruning, federated offload.
+
+"What should be recorded, and when? ... When can logs safely be pruned?
+Can logs be offloaded to others for distributed audit?"  Measured:
+append throughput (hash chaining per record), verification, prune, and
+multi-domain offload/merge cost.
+"""
+
+import pytest
+
+from repro.audit import AuditCollector, AuditLog
+from repro.ifc import SecurityContext
+from repro.sim import Simulator
+
+CTX = SecurityContext.of(["medical", "ann"], ["hosp-dev"])
+
+
+def filled_log(n: int) -> AuditLog:
+    sim = Simulator()
+    log = AuditLog(clock=sim.now)
+    for i in range(n):
+        log.flow_allowed(f"src{i % 20}", f"dst{i % 10}", CTX, CTX)
+        sim.clock.advance(1.0)
+    return log
+
+
+@pytest.mark.parametrize("n", [100, 1000, 5000])
+def test_s3_append_throughput(report, benchmark, n):
+    def fill():
+        return filled_log(n)
+
+    log = benchmark.pedantic(fill, rounds=3, iterations=1)
+    assert len(log) == n
+    report.row(f"append {n} records", head=log.head_digest[:12])
+
+
+@pytest.mark.parametrize("n", [1000, 5000])
+def test_s3_verification(report, benchmark, n):
+    log = filled_log(n)
+    assert benchmark(log.verify)
+    report.row(f"verify {n} records", ok=True)
+
+
+def test_s3_prune_preserves_verifiability(report, benchmark):
+    def prune_round():
+        log = filled_log(2000)
+        pruned = log.prune_before(1000.0)
+        return log, pruned
+
+    log, pruned = benchmark.pedantic(prune_round, rounds=3, iterations=1)
+    assert pruned == 1000
+    assert log.verify()
+    report.row("prune 1000 of 2000", retained=len(log),
+               still_verifies=log.verify())
+
+
+@pytest.mark.parametrize("domains", [5, 20])
+def test_s3_federated_offload(report, benchmark, domains):
+    logs = {f"domain-{i}": filled_log(200) for i in range(domains)}
+
+    def offload():
+        collector = AuditCollector(key="regulator")
+        for name, log in logs.items():
+            collector.submit(name, log)
+        return collector.merged()
+
+    merged = benchmark(offload)
+    assert len(merged) == domains * 200
+    report.row(f"{domains} domains x 200 records", merged=len(merged))
+
+
+def test_s3_gap_detection_cost(report, benchmark):
+    collector = AuditCollector()
+    for i in range(10):
+        log = filled_log(200)
+        # silent components appear as subjects only
+        log.flow_allowed("sensor", f"mobile-{i}")
+        collector.submit(f"domain-{i}", log)
+
+    gaps = benchmark(collector.detect_gaps)
+    mobile_gaps = [g for g in gaps if g.component.startswith("mobile-")]
+    assert len(mobile_gaps) == 10
+    report.row("gap scan over 10 domains", gaps=len(gaps),
+               mobile_things=len(mobile_gaps))

@@ -1,0 +1,61 @@
+"""S2 — Challenge 4: conflict detection/resolution cost vs rule count.
+
+Federated policy conflicts must be resolved at event-handling time; this
+bench measures detection (pairwise) and resolution cost as the number of
+simultaneously fired proposals grows, for each strategy.
+"""
+
+import pytest
+
+from repro.middleware import CommandKind, ControlMessage, Reconfigurator
+from repro.policy import (
+    NotifyAction,
+    Proposal,
+    ResolutionStrategy,
+    Rule,
+    resolve,
+)
+
+
+def proposals(n: int):
+    """n proposals over n/2 targets — every target pair conflicts."""
+    result = []
+    for i in range(n):
+        target = f"thing{i // 2}"
+        rule = Rule.build(f"r{i}", "*", actions=[NotifyAction("x")],
+                          priority=i % 7)
+        if i % 2 == 0:
+            command = Reconfigurator.map_command("pe", target, "out", "sink", "in")
+        else:
+            command = ControlMessage("pe", target, CommandKind.UNMAP,
+                                     {"sink": "sink"})
+        result.append(Proposal(rule, command))
+    return result
+
+
+@pytest.mark.parametrize("n", [4, 16, 64, 256])
+@pytest.mark.parametrize("strategy", [ResolutionStrategy.PRIORITY,
+                                      ResolutionStrategy.DENY_OVERRIDES])
+def test_s2_resolution_scaling(report, benchmark, n, strategy):
+    batch = proposals(n)
+    result = benchmark(lambda: resolve(batch, strategy))
+    assert len(result.conflicts) == n // 2
+    assert len(result.accepted) == n // 2
+    report.row(f"{n} proposals [{strategy.value}]",
+               conflicts=len(result.conflicts),
+               accepted=len(result.accepted))
+
+
+def test_s2_conflict_free_fast_path(report, benchmark):
+    """Non-conflicting batches (distinct targets) resolve cheaply."""
+    batch = [
+        Proposal(
+            Rule.build(f"r{i}", "*", actions=[NotifyAction("x")]),
+            Reconfigurator.map_command("pe", f"thing{i}", "out", "sink", "in"),
+        )
+        for i in range(128)
+    ]
+    result = benchmark(lambda: resolve(batch))
+    assert result.conflicts == []
+    assert len(result.accepted) == 128
+    report.row("128 non-conflicting proposals", accepted=128)

@@ -1,0 +1,66 @@
+"""S1 — §6/§9 scale: flow-check throughput vs label size.
+
+Challenge: "the fundamental challenge in realising the big idea is
+making IFC apply at scale."  The primitive everything rests on is the
+flow check; this bench characterises its cost as tag counts grow (the
+paper's tag-per-concern model means labels stay small — the series
+shows the headroom).
+"""
+
+import pytest
+
+from repro.ifc import Label, SecurityContext, can_flow, flow_decision
+
+
+def contexts_with(n_tags: int):
+    tags = [f"t{i}" for i in range(n_tags)]
+    a = SecurityContext.of(tags, tags[: n_tags // 2])
+    b = SecurityContext.of(tags + ["extra"], tags[: n_tags // 4])
+    return a, b
+
+
+@pytest.mark.parametrize("n_tags", [2, 8, 32, 128])
+def test_s1_flowcheck_throughput(report, benchmark, n_tags):
+    a, b = contexts_with(n_tags)
+
+    def batch():
+        allowed = 0
+        for __ in range(1000):
+            if can_flow(a, b):
+                allowed += 1
+        return allowed
+
+    allowed = benchmark(batch)
+    assert allowed == 1000
+    report.row(f"{n_tags} tags/label", checks_per_round=1000)
+
+
+@pytest.mark.parametrize("n_tags", [2, 32])
+def test_s1_denial_with_explanation(report, benchmark, n_tags):
+    """The explaining form (used on the audit path) vs the boolean."""
+    a, b = contexts_with(n_tags)
+
+    def batch():
+        denied = 0
+        for __ in range(1000):
+            if not flow_decision(b, a).allowed:  # reverse: denied
+                denied += 1
+        return denied
+
+    denied = benchmark(batch)
+    assert denied == 1000
+    report.row(f"{n_tags} tags/label (denial+reason)", checks_per_round=1000)
+
+
+def test_s1_label_operations(report, benchmark):
+    big = Label.of(*[f"t{i}" for i in range(256)])
+    small = Label.of(*[f"t{i}" for i in range(16)])
+
+    def ops():
+        __ = small <= big
+        __ = big | small
+        __ = big - small
+        __ = big & small
+
+    benchmark(ops)
+    report.row("label algebra 256/16 tags", ops_per_round=4)

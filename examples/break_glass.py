@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Break-glass emergency override in assisted living (Concern 6).
+
+Normal operation keeps Ada's data inside her home.  A detected fall
+fires break-glass policy: the sensor stream is replugged to the
+emergency team, family is notified — and every override is audited, so
+the stand-down provably restores the normal regime.  Also demonstrates
+ad hoc, location-conditional authority (Challenge 4): the visiting nurse
+holds authority over the wearable only while physically in the home.
+
+Run:  python examples/break_glass.py
+"""
+
+from repro.apps import AssistedLivingSystem
+from repro.audit import RecordKind
+from repro.iot import IoTWorld
+
+
+def main() -> None:
+    world = IoTWorld(seed=11)
+    system = AssistedLivingSystem(world)
+
+    print("normal operation: emergency-team channels =",
+          system.emergency_channels())
+
+    print("\n-- visiting nurse (ad hoc authority) --")
+    print("  nurse at agency, authority over wearable:",
+          system.nurse_may_reconfigure())
+    system.nurse_arrives()
+    print("  nurse inside the home, authority:", system.nurse_may_reconfigure())
+    system.nurse_leaves()
+    print("  nurse left, authority:", system.nurse_may_reconfigure())
+
+    print("\n-- fall detected: break-glass fires --")
+    world.run(seconds=600)
+    system.trigger_emergency(reading=31.0)
+    print("  emergency-team channels:", system.emergency_channels())
+    print("  notifications:", system.alerts)
+    print("  emergency.active =", system.home.context.get("emergency.active"))
+
+    print("\n-- emergency resolved: stand-down --")
+    system.resolve_emergency()
+    print("  emergency-team channels:", system.emergency_channels())
+    print("  emergency.active =", system.home.context.get("emergency.active"))
+
+    reconfigs = system.home.audit.records(kind=RecordKind.RECONFIGURATION)
+    print(f"\naudit trail holds {len(reconfigs)} reconfiguration records; "
+          f"chain verified: {system.home.audit.verify()}")
+    for record in reconfigs:
+        print(f"  t={record.timestamp:>6.0f}  {record.actor} -> "
+              f"{record.subject}: {record.detail.get('command')}")
+
+
+if __name__ == "__main__":
+    main()

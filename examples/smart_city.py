@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Federated smart city: IFC vs AC-only on long processing chains.
+
+The paper's §4 critique of conventional access control: "there is
+generally no subsequent control over data flows beyond the point of
+enforcement".  Here an analytics company is *authorised* (AC says yes)
+to connect to the city aggregator — under AC-only, raw household data
+leaks straight through the chain; under IFC the same wiring attempt
+yields zero delivered messages, and the geo-fence compliance check
+documents it.
+
+Run:  python examples/smart_city.py
+"""
+
+from repro.accesscontrol import EnforcementMode
+from repro.apps import SmartCitySystem
+from repro.iot import IoTWorld
+
+
+def run_city(mode: EnforcementMode) -> None:
+    world = IoTWorld(seed=7, mode=mode)
+    city = SmartCitySystem(world, household_count=4, sample_interval=600.0)
+    city.run(hours=2)
+    leak = city.attempt_raw_leak()
+
+    print(f"\n=== enforcement mode: {mode.value} ===")
+    print(f"  aggregator received {len(city.aggregator.received)} readings "
+          f"from {len(city.households)} households")
+    print(f"  leak attempt to analytics-corp: "
+          f"{leak['delivered']} delivered, {leak['denied']} denied")
+
+    auditor = city.geo_fence_auditor()
+    report = auditor.run(city.city.audit)
+    print("  geo-fence audit:", report.summary().splitlines()[0])
+
+
+def main() -> None:
+    print("An analytics company is AC-authorised to connect to the city\n"
+          "aggregator.  What stops household data leaking down the chain?")
+    run_city(EnforcementMode.AC_ONLY)      # the paper's baseline: leaks
+    run_city(EnforcementMode.AC_AND_IFC)   # the paper's proposal: blocked
+
+
+if __name__ == "__main__":
+    main()

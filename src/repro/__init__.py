@@ -1,0 +1,25 @@
+"""repro — policy-driven middleware for a legally-compliant IoT.
+
+A full reproduction of Singh et al., "Big ideas paper: Policy-driven
+middleware for a legally-compliant Internet of Things" (Middleware 2016).
+
+Subpackages:
+
+* :mod:`repro.ifc` — decentralised Information Flow Control (§6);
+* :mod:`repro.accesscontrol` — parametrised RBAC and PEPs (§4);
+* :mod:`repro.crypto` — simulated PKI/TLS/TPM/DP substrate (§4);
+* :mod:`repro.sim` / :mod:`repro.net` — discrete-event simulation;
+* :mod:`repro.cloud` — CamFlow-style kernel/LSM and PaaS cloud (§8.2);
+* :mod:`repro.middleware` — SBUS-style reconfigurable messaging (§8.1);
+* :mod:`repro.policy` — ECA engines, conflicts, authority, legal packs;
+* :mod:`repro.audit` — hash-chained logs, provenance, compliance (§8.3);
+* :mod:`repro.iot` — things, domains, gateways, workloads (§2);
+* :mod:`repro.apps` — the paper's scenarios (home monitoring, smart
+  city, assisted living).
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

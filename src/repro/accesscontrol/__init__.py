@@ -1,0 +1,27 @@
+"""Conventional access control: parametrised RBAC and PEPs (§4)."""
+
+from repro.accesscontrol.rbac import (
+    ActivationCondition,
+    Permission,
+    RBACPolicy,
+    Role,
+    RoleActivationRule,
+    Session,
+)
+from repro.accesscontrol.pep import (
+    CheckResult,
+    EnforcementMode,
+    EnforcementPoint,
+)
+
+__all__ = [
+    "ActivationCondition",
+    "Permission",
+    "RBACPolicy",
+    "Role",
+    "RoleActivationRule",
+    "Session",
+    "CheckResult",
+    "EnforcementMode",
+    "EnforcementPoint",
+]

@@ -1,0 +1,243 @@
+"""Parametrised role-based access control (OASIS-style).
+
+§4: "Authorisation policy might target a particular entity, a role,
+and/or some aspect of context, e.g. parametrised roles can capture
+details of an entity, its functionality and context [10]" — [10] being
+the OASIS RBAC model.  Roles carry parameters (``doctor(ward=W7)``),
+activation can be conditioned on credentials and context, and
+permissions match on role name plus parameter constraints.
+
+This is the *conventional* AC layer the paper says is necessary but not
+sufficient (§4's two limitations); the IFC layer rides on top of it at
+every PEP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import AccessDenied
+
+
+@dataclass(frozen=True)
+class Role:
+    """A parametrised role instance, e.g. ``Role("nurse", {"ward": "w7"})``.
+
+    Parameters are frozen key/value pairs so roles are hashable and can
+    live in activation sets.
+    """
+
+    name: str
+    parameters: Tuple[Tuple[str, str], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, **parameters: str) -> "Role":
+        return cls(name, tuple(sorted(parameters.items())))
+
+    def parameter(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        for k, v in self.parameters:
+            if k == key:
+                return v
+        return default
+
+    def __str__(self) -> str:
+        if not self.parameters:
+            return self.name
+        params = ", ".join(f"{k}={v}" for k, v in self.parameters)
+        return f"{self.name}({params})"
+
+
+#: Context predicate guarding role activation: maps context dict -> bool.
+ActivationCondition = Callable[[Mapping[str, object]], bool]
+
+
+@dataclass
+class RoleActivationRule:
+    """Rule controlling who may activate a role, under what conditions.
+
+    OASIS activates roles against *credentials* (here: already-active
+    prerequisite roles and/or named certificates) plus environmental
+    conditions — e.g. "nurse may activate `on-duty-nurse` only while the
+    rota says so".
+    """
+
+    role_name: str
+    prerequisite_roles: FrozenSet[str] = frozenset()
+    required_credentials: FrozenSet[str] = frozenset()
+    condition: Optional[ActivationCondition] = None
+
+    def permits(
+        self,
+        active_roles: Set[Role],
+        credentials: Set[str],
+        context: Mapping[str, object],
+    ) -> bool:
+        active_names = {r.name for r in active_roles}
+        if not self.prerequisite_roles <= active_names:
+            return False
+        if not self.required_credentials <= credentials:
+            return False
+        if self.condition is not None and not self.condition(context):
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class Permission:
+    """The right to perform ``action`` on resources matching ``resource``.
+
+    ``resource`` supports a trailing ``*`` wildcard (``"patient/ann/*"``).
+    ``parameter_match`` constrains which role parameterisations grant the
+    permission — e.g. only ``nurse(ward=w7)`` may read ``ward/w7/*``.
+    A parameter value of ``"$resource"`` must equal the resource segment
+    in that position, supporting per-instance grants.
+    """
+
+    action: str
+    resource: str
+    parameter_match: Tuple[Tuple[str, str], ...] = ()
+
+    def matches_resource(self, resource: str) -> bool:
+        if self.resource.endswith("*"):
+            return resource.startswith(self.resource[:-1])
+        return resource == self.resource
+
+    def role_qualifies(self, role: Role) -> bool:
+        for key, required in self.parameter_match:
+            if role.parameter(key) != required:
+                return False
+        return True
+
+
+class RBACPolicy:
+    """The authorisation database: role→permissions, activation rules.
+
+    Example::
+
+        policy = RBACPolicy()
+        policy.grant("nurse", Permission("read", "ward/w7/*",
+                                         (("ward", "w7"),)))
+        policy.add_activation_rule(RoleActivationRule(
+            "nurse", required_credentials=frozenset({"nursing-cert"})))
+    """
+
+    def __init__(self) -> None:
+        self._grants: Dict[str, List[Permission]] = {}
+        self._activation_rules: Dict[str, List[RoleActivationRule]] = {}
+
+    def grant(self, role_name: str, permission: Permission) -> None:
+        """Attach a permission to a role name."""
+        self._grants.setdefault(role_name, []).append(permission)
+
+    def revoke_all(self, role_name: str) -> None:
+        """Remove every grant from a role."""
+        self._grants.pop(role_name, None)
+
+    def add_activation_rule(self, rule: RoleActivationRule) -> None:
+        """Register an activation rule for a role."""
+        self._activation_rules.setdefault(rule.role_name, []).append(rule)
+
+    def may_activate(
+        self,
+        role: Role,
+        active_roles: Set[Role],
+        credentials: Set[str],
+        context: Mapping[str, object],
+    ) -> bool:
+        """Whether a principal in the given state may activate ``role``.
+
+        Roles without rules are freely activatable (open enrolment);
+        roles with rules need at least one rule to pass.
+        """
+        rules = self._activation_rules.get(role.name)
+        if not rules:
+            return True
+        return any(r.permits(active_roles, credentials, context) for r in rules)
+
+    def permissions_of(self, role: Role) -> List[Permission]:
+        """Permissions a specific role instance qualifies for."""
+        return [
+            p
+            for p in self._grants.get(role.name, ())
+            if p.role_qualifies(role)
+        ]
+
+    def authorised(self, roles: Set[Role], action: str, resource: str) -> bool:
+        """Whether any active role grants ``action`` on ``resource``."""
+        for role in roles:
+            for permission in self.permissions_of(role):
+                if permission.action == action and permission.matches_resource(
+                    resource
+                ):
+                    return True
+        return False
+
+
+class Session:
+    """A principal's live RBAC session: activated roles + credentials.
+
+    Mirrors OASIS's session-based activation: roles are activated into a
+    session (checked against activation rules and context) and can be
+    deactivated when context changes — e.g. "disconnecting an employee
+    after their shift" (§5.2) deactivates the role, and PEPs re-check.
+    """
+
+    def __init__(self, principal: str, policy: RBACPolicy):
+        self.principal = principal
+        self.policy = policy
+        self.active_roles: Set[Role] = set()
+        self.credentials: Set[str] = set()
+
+    def present_credential(self, credential: str) -> None:
+        """Add a credential (e.g. a validated certificate name)."""
+        self.credentials.add(credential)
+
+    def activate(self, role: Role, context: Optional[Mapping[str, object]] = None) -> None:
+        """Activate a role into the session.
+
+        Raises:
+            AccessDenied: when no activation rule permits it.
+        """
+        if not self.policy.may_activate(
+            role, self.active_roles, self.credentials, context or {}
+        ):
+            raise AccessDenied(
+                f"{self.principal} may not activate role {role}"
+            )
+        self.active_roles.add(role)
+
+    def deactivate(self, role: Role) -> None:
+        """Drop a role (and any roles that depended on it)."""
+        self.active_roles.discard(role)
+        # Cascade: deactivate roles whose every activation rule needed
+        # the dropped role as a prerequisite.
+        dropped = True
+        while dropped:
+            dropped = False
+            names = {r.name for r in self.active_roles}
+            for active in list(self.active_roles):
+                rules = self.policy._activation_rules.get(active.name, [])
+                if rules and not any(
+                    rule.prerequisite_roles <= (names - {active.name})
+                    or not rule.prerequisite_roles
+                    for rule in rules
+                ):
+                    self.active_roles.discard(active)
+                    dropped = True
+
+    def check(self, action: str, resource: str) -> None:
+        """Authorise an action.
+
+        Raises:
+            AccessDenied: when no active role grants it.
+        """
+        if not self.policy.authorised(self.active_roles, action, resource):
+            raise AccessDenied(
+                f"{self.principal} may not {action} {resource} "
+                f"(roles: {', '.join(str(r) for r in sorted(self.active_roles, key=str)) or 'none'})"
+            )
+
+    def is_authorised(self, action: str, resource: str) -> bool:
+        """Boolean form of :meth:`check`."""
+        return self.policy.authorised(self.active_roles, action, resource)

@@ -1,0 +1,29 @@
+"""Domain applications built on the public API (the paper's scenarios)."""
+
+from repro.apps.home_monitoring import (
+    EMERGENCY_INTERVAL,
+    EMERGENCY_THRESHOLD,
+    NORMAL_INTERVAL,
+    HomeMonitoringSystem,
+    InputSanitiser,
+    StatisticsGenerator,
+    analyser_context,
+    patient_context,
+)
+from repro.apps.smart_city import Household, SmartCitySystem
+from repro.apps.assisted_living import RESIDENT, AssistedLivingSystem
+
+__all__ = [
+    "EMERGENCY_INTERVAL",
+    "EMERGENCY_THRESHOLD",
+    "NORMAL_INTERVAL",
+    "HomeMonitoringSystem",
+    "InputSanitiser",
+    "StatisticsGenerator",
+    "analyser_context",
+    "patient_context",
+    "Household",
+    "SmartCitySystem",
+    "RESIDENT",
+    "AssistedLivingSystem",
+]

@@ -1,0 +1,238 @@
+"""Assisted-living with break-glass emergency response (Concern 6, [81]).
+
+"In an emergency, 'break-glass' policy overrides normal security
+constraints, alerting emergency services and (say) a family member, and
+replugging the sensor-data streams to make them available to the
+emergency response team."  Also: "perhaps a nurse should be able to
+access patients' data only when detected in the context of their homes"
+— the ad hoc, location-conditional authority of Challenge 4.
+
+This app builds a single resident's home with a fall sensor, a family
+member, a visiting nurse with location-gated access, and an emergency
+response team whose access exists only while ``emergency.active`` —
+granted by break-glass reconfiguration and revoked on stand-down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.ifc.labels import SecurityContext
+from repro.ifc.privileges import PrivilegeSet
+from repro.iot.device import DeviceClass, DeviceProfile
+from repro.iot.domain import AdministrativeDomain
+from repro.iot.things import ALERT, READING, App, Sensor, Thing
+from repro.iot.workloads import vital_signs
+from repro.iot.world import IoTWorld
+from repro.middleware.component import EndpointKind
+from repro.middleware.reconfig import CommandKind, ControlMessage, Reconfigurator
+from repro.policy.rules import (
+    CommandAction,
+    ContextAction,
+    Event,
+    NotifyAction,
+    Rule,
+)
+
+RESIDENT = "ada"
+
+
+class AssistedLivingSystem:
+    """One resident, one home domain, break-glass policy installed."""
+
+    def __init__(self, world: IoTWorld, seed: int = 0):
+        self.world = world
+        self.home = world.create_domain("ada-home")
+        domain = self.home
+
+        self.resident_ctx = SecurityContext.of(
+            ["personal", RESIDENT], ["home-dev", "consent"]
+        )
+
+        self.motion_sensor = Sensor(
+            "ada-wearable",
+            source=vital_signs(seed=seed, baseline=68.0),
+            interval=120.0,
+            unit="bpm",
+            context=self.resident_ctx,
+            owner=RESIDENT,
+            profile=DeviceProfile(DeviceClass.CONSTRAINED, battery=10_000.0),
+        )
+        domain.adopt(self.motion_sensor, owner=RESIDENT)
+
+        # The home hub analyses locally — data stays home by default.
+        self.home_hub = App(
+            "ada-hub",
+            context=self.resident_ctx,
+            owner=RESIDENT,
+            process=self._detect_fall,
+        )
+        domain.adopt(self.home_hub, owner=RESIDENT)
+        self.home_hub.add_endpoint("alert", EndpointKind.SOURCE, ALERT)
+        domain.bus.connect(RESIDENT, self.motion_sensor, "out", self.home_hub, "in")
+
+        # Family member: may receive alerts (not raw data).
+        self.family = App(
+            "family-member",
+            message_type=ALERT,
+            context=SecurityContext.of(["personal", RESIDENT],
+                                       ["home-dev", "consent"]),
+            owner="family",
+        )
+        domain.adopt(self.family, owner="family")
+        self.family.allow_controller(domain.engine.name)
+
+        # Emergency team: normally has NO access (public context would
+        # fail IFC for Ada's data; no channels exist).
+        self.emergency_team = App(
+            "emergency-team",
+            message_type=READING,
+            context=SecurityContext.of(["personal", RESIDENT],
+                                       ["home-dev", "consent"]),
+            owner="ambulance-service",
+        )
+        domain.adopt(self.emergency_team, owner="ambulance-service")
+        self.emergency_team.allow_controller(domain.engine.name)
+
+        # Visiting nurse: ad hoc authority only while located in the home.
+        self.nurse = App(
+            "visiting-nurse",
+            context=SecurityContext.of(["personal", RESIDENT],
+                                       ["home-dev", "consent"]),
+            owner="care-agency",
+        )
+        domain.adopt(self.nurse, owner="care-agency")
+        domain.authority.grant_adhoc(
+            "ada-wearable",
+            "visiting-nurse",
+            condition=lambda ctx: ctx.get("nurse.location") == "ada-home",
+        )
+
+        self.alerts: List[tuple] = []
+        domain.engine.add_notifier(lambda ch, msg: self.alerts.append((ch, msg)))
+        self._install_breakglass_policy()
+        self.motion_sensor.start(world.sim, domain.bus)
+        self.falls_detected = 0
+
+    # -- detection --------------------------------------------------------------
+
+    def _detect_fall(self, app: App, message) -> None:
+        value = message.values.get("value")
+        # A crude fall/collapse proxy: bradycardia in this synthetic feed.
+        if isinstance(value, float) and value < 45.0:
+            self.falls_detected += 1
+            self.home.engine.handle_event(
+                Event(
+                    "fall-detected",
+                    {"resident": RESIDENT, "reading": value},
+                    source=app.name,
+                    timestamp=self.world.sim.now(),
+                )
+            )
+
+    def trigger_emergency(self, reading: float = 30.0) -> None:
+        """Force an emergency event (tests and examples)."""
+        self.home.engine.handle_event(
+            Event(
+                "fall-detected",
+                {"resident": RESIDENT, "reading": reading},
+                source="ada-hub",
+                timestamp=self.world.sim.now(),
+            )
+        )
+
+    # -- policy -----------------------------------------------------------------
+
+    def _install_breakglass_policy(self) -> None:
+        engine = self.home.engine
+        engine_name = engine.name
+
+        # The `not emergency.active` guard makes break-glass idempotent:
+        # repeated fall detections during one emergency do not stack
+        # duplicate reconfigurations.
+        breakglass = Rule.build(
+            name="break-glass",
+            event_type="fall-detected",
+            condition="reading < 45 and not emergency.active",
+            priority=100,
+            author=RESIDENT,
+            actions=[
+                NotifyAction("emergency-services",
+                             "Fall detected for {resident}: {reading}"),
+                NotifyAction("family", "Check on {resident}"),
+                ContextAction("emergency.active", True),
+                # Replug the sensor stream to the emergency team (the
+                # break-glass override).
+                CommandAction(
+                    command=Reconfigurator.map_command(
+                        engine_name,
+                        "ada-wearable", "out",
+                        "emergency-team", "in",
+                    )
+                ),
+                # Wire alerts to the family member.
+                CommandAction(
+                    command=Reconfigurator.map_command(
+                        engine_name,
+                        "ada-hub", "alert",
+                        "family-member", "in",
+                    )
+                ),
+            ],
+        )
+        engine.add_rule(breakglass)
+
+        stand_down = Rule.build(
+            name="stand-down",
+            event_type="emergency-resolved",
+            priority=90,
+            author=RESIDENT,
+            actions=[
+                ContextAction("emergency.active", False),
+                CommandAction(
+                    command=ControlMessage(
+                        engine_name,
+                        "ada-wearable",
+                        CommandKind.UNMAP,
+                        {"sink": "emergency-team"},
+                    )
+                ),
+            ],
+        )
+        engine.add_rule(stand_down)
+
+    def resolve_emergency(self) -> None:
+        """Stand the emergency down, revoking the replugged streams."""
+        self.home.engine.handle_event(
+            Event("emergency-resolved", {"resident": RESIDENT},
+                  source="ada-hub", timestamp=self.world.sim.now())
+        )
+
+    # -- nurse access (Challenge 4 ad hoc authority) --------------------------------
+
+    def nurse_arrives(self) -> None:
+        """Nurse enters the home; location context grants authority."""
+        self.home.context.set("nurse.location", "ada-home", by="presence-sensor")
+
+    def nurse_leaves(self) -> None:
+        """Nurse departs; authority evaporates with the context."""
+        self.home.context.set("nurse.location", "away", by="presence-sensor")
+
+    def nurse_may_reconfigure(self) -> bool:
+        """Whether the nurse currently holds authority over the wearable."""
+        return self.home.authority.may_author_policy(
+            "visiting-nurse", "ada-wearable", self.home.context.view()
+        )
+
+    # -- state inspection --------------------------------------------------------------
+
+    def emergency_channels(self) -> int:
+        """Active channels feeding the emergency team."""
+        return len(
+            [
+                c
+                for c in self.home.bus.channels_of(self.emergency_team)
+                if c.active
+            ]
+        )

@@ -1,0 +1,169 @@
+"""A federated smart-city deployment (§1's motivating domain).
+
+Demonstrates the cross-domain concerns the home-monitoring example does
+not: multiple administrative domains (households, a transport authority,
+a commercial analytics company), domain gateways mediating what leaves a
+household (§2.1), EU-style geo-fencing (Challenge 1), and the
+IFC-vs-AC-only contrast on long processing chains (Fig. 2): the
+analytics company is *authorised* to receive aggregate data, yet IFC
+blocks re-sharing of raw household data downstream while AC-only happily
+leaks it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.accesscontrol.pep import EnforcementMode
+from repro.audit.compliance import ComplianceAuditor
+from repro.ifc.labels import SecurityContext
+from repro.ifc.privileges import PrivilegeSet
+from repro.iot.device import DeviceClass, DeviceProfile
+from repro.iot.domain import AdministrativeDomain, DomainGateway
+from repro.iot.things import READING, App, Sensor, Thing
+from repro.iot.workloads import energy_usage, traffic_flow
+from repro.iot.world import IoTWorld
+from repro.middleware.message import Message
+from repro.policy.legal import geo_fence_obligation
+
+
+@dataclass
+class Household:
+    """One home: energy sensor + gateway into the city domain."""
+
+    name: str
+    domain: AdministrativeDomain
+    sensor: Sensor
+    gateway: DomainGateway
+
+
+class SmartCitySystem:
+    """Households feed a city authority; an analytics firm sits outside.
+
+    Data layout:
+      * household readings: ``S={home, <name>} I={metered}``;
+      * household gateways *aggregate* (strip the per-home tag is NOT
+        possible without privilege — the gateway only forwards, so raw
+        household data stays tagged);
+      * the city aggregator holds all home tags and may compute city
+        statistics; the analytics firm's context has no home tags, so
+        raw data can never reach it — only the aggregator's declassified
+        output could (and only via a privileged declassifier).
+    """
+
+    def __init__(
+        self,
+        world: IoTWorld,
+        household_count: int = 5,
+        sample_interval: float = 900.0,
+        seed: int = 0,
+    ):
+        self.world = world
+        self.city = world.create_domain("city")
+        self.analytics = world.create_domain("analytics-corp")
+        self.households: Dict[str, Household] = {}
+
+        home_tags = [f"home-{i}" for i in range(household_count)]
+
+        # City aggregator: labelled to read every household's data.
+        self.aggregator = App(
+            "city-aggregator",
+            context=SecurityContext.of(["home", *home_tags], []),
+            owner="city",
+        )
+        self.city.adopt(self.aggregator)
+
+        # Analytics ingest: authorised (AC) but unlabelled (IFC).
+        self.analytics_ingest = App(
+            "analytics-ingest",
+            context=SecurityContext.public(),
+            owner="analytics-corp",
+        )
+        self.analytics.adopt(self.analytics_ingest)
+        # The city grants the analytics firm connection rights (AC layer
+        # says yes — the point of the F2 experiment).
+        self.analytics_ingest.allow_controller("city")
+
+        for i in range(household_count):
+            self._build_household(i, sample_interval, seed)
+
+    def _build_household(self, index: int, interval: float, seed: int) -> None:
+        name = f"home-{index}"
+        domain = self.world.create_domain(name)
+        ctx = SecurityContext.of(["home", name], ["metered"])
+        sensor = Sensor(
+            f"{name}-meter",
+            source=energy_usage(seed=seed + index),
+            interval=interval,
+            unit="kW",
+            context=ctx,
+            owner=name,
+            profile=DeviceProfile(DeviceClass.CONSTRAINED),
+        )
+        domain.adopt(sensor)
+
+        gateway = DomainGateway(
+            f"{name}-gateway",
+            inner=domain,
+            outer=self.city,
+            message_type=READING,
+            context=ctx,
+            owner=name,
+        )
+        domain.bus.connect(name, sensor, "out", gateway, "ingress")
+        self.city.bus.connect("city", gateway, "egress", self.aggregator, "in")
+        sensor.start(self.world.sim, domain.bus)
+        self.households[name] = Household(name, domain, sensor, gateway)
+
+    # -- the F2 experiment: leak attempt down the chain -------------------------
+
+    def attempt_raw_leak(self) -> Dict[str, int]:
+        """Try to wire the aggregator's raw feed to the analytics firm.
+
+        Under AC_AND_IFC the channel either refuses establishment or
+        every message is denied (aggregator carries home tags; ingest has
+        none).  Under AC_ONLY the connection succeeds and data leaks —
+        the paper's §4 criticism reproduced.  Returns delivery counts.
+        """
+        bus = self.city.bus
+        # The analytics ingest must be visible on the city bus to wire it.
+        if "analytics-ingest" not in bus.components:
+            bus.register(self.analytics_ingest)
+        before = len(self.analytics_ingest.received)
+        try:
+            bus.connect(
+                "city", self.aggregator, "out", self.analytics_ingest, "in"
+            )
+        except Exception:
+            return {"delivered": 0, "denied": 1}
+        # Relay everything the aggregator has seen down the new channel.
+        denied = 0
+        for message in list(self.aggregator.received):
+            relay = Message(
+                type=message.type,
+                values=dict(message.values),
+                context=self.aggregator.context.creation_context(),
+            )
+            report = bus.route(self.aggregator, "out", relay)
+            denied += report.denied
+        return {
+            "delivered": len(self.analytics_ingest.received) - before,
+            "denied": denied,
+        }
+
+    def geo_fence_auditor(self) -> ComplianceAuditor:
+        """Auditor asserting no household data reached the analytics firm."""
+        auditor = ComplianceAuditor()
+        obligation = geo_fence_obligation(
+            data_sources={f"{name}-gateway" for name in self.households},
+            forbidden_sinks={"analytics-ingest"},
+            region="city",
+        )
+        for checker in obligation.checkers:
+            auditor.register(checker)
+        return auditor
+
+    def run(self, hours: float) -> None:
+        """Advance the simulated city."""
+        self.world.run(hours=hours)

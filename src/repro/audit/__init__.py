@@ -1,0 +1,53 @@
+"""Audit, provenance and compliance (§8.3, Challenge 6, Fig. 11)."""
+
+from repro.audit.records import AuditRecord, RecordKind
+from repro.audit.log import GENESIS_DIGEST, AuditLog
+from repro.audit.provenance import (
+    EdgeKind,
+    NodeKind,
+    ProvenanceGraph,
+    ProvenanceQueryResult,
+    graph_from_log,
+)
+from repro.audit.compliance import (
+    ComplianceAuditor,
+    ComplianceReport,
+    Finding,
+    all_accesses_consented,
+    declassification_precedes_flows,
+    denial_rate_below,
+    no_flows_to,
+)
+from repro.audit.visualise import (
+    to_dot,
+    to_text_tree,
+)
+from repro.audit.distributed import (
+    AuditCollector,
+    AuditGap,
+    OffloadReceipt,
+)
+
+__all__ = [
+    "AuditRecord",
+    "RecordKind",
+    "GENESIS_DIGEST",
+    "AuditLog",
+    "EdgeKind",
+    "NodeKind",
+    "ProvenanceGraph",
+    "ProvenanceQueryResult",
+    "graph_from_log",
+    "ComplianceAuditor",
+    "ComplianceReport",
+    "Finding",
+    "all_accesses_consented",
+    "declassification_precedes_flows",
+    "denial_rate_below",
+    "no_flows_to",
+    "AuditCollector",
+    "AuditGap",
+    "OffloadReceipt",
+    "to_dot",
+    "to_text_tree",
+]

@@ -1,0 +1,231 @@
+"""Tamper-evident, append-only audit log.
+
+The paper requires audit to "demonstrate compliance and aid
+accountability" (§5.2) and notes logs "can be made more trustworthy by,
+for example, using hardware cryptographic support" (§8.3, citing BBox).
+We implement the standard hash-chain construction: each record's digest
+covers its canonical serialisation plus the previous digest, so
+truncation or in-place modification is detectable by
+:meth:`AuditLog.verify`.  Challenge 6 asks "when can logs safely be
+pruned?" — :meth:`AuditLog.prune_before` retains a verifiable checkpoint
+digest so the remaining suffix still authenticates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.audit.records import AuditRecord, RecordKind
+from repro.errors import IntegrityViolation
+from repro.ifc.labels import SecurityContext
+
+GENESIS_DIGEST = hashlib.sha256(b"repro-audit-genesis").hexdigest()
+
+
+def _chain_digest(previous: str, record: AuditRecord) -> str:
+    h = hashlib.sha256()
+    h.update(previous.encode())
+    h.update(record.canonical().encode())
+    return h.hexdigest()
+
+
+class AuditLog:
+    """Append-only log of :class:`AuditRecord` with a SHA-256 hash chain.
+
+    The log is the universal observer: kernels, substrates, channels,
+    policy engines and gateways all append here.  A ``clock`` callable
+    supplies timestamps (wire it to the simulator for deterministic
+    runs).
+
+    Example::
+
+        log = AuditLog(clock=sim.now)
+        log.flow_allowed("sensor", "analyser", src_ctx, dst_ctx)
+        assert log.verify()
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None, name: str = "audit"):
+        self.name = name
+        self._clock = clock or (lambda: 0.0)
+        self._records: List[AuditRecord] = []
+        self._digests: List[str] = []
+        self._base_digest = GENESIS_DIGEST
+        self._base_seq = 0
+
+    # -- core append/verify ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self._records)
+
+    @property
+    def head_digest(self) -> str:
+        """Digest of the most recent record (genesis digest when empty)."""
+        return self._digests[-1] if self._digests else self._base_digest
+
+    def append(
+        self,
+        kind: RecordKind,
+        actor: str,
+        subject: str = "",
+        detail: Optional[Dict] = None,
+        source_context: Optional[SecurityContext] = None,
+        target_context: Optional[SecurityContext] = None,
+    ) -> AuditRecord:
+        """Append one record, extending the hash chain."""
+        record = AuditRecord(
+            seq=self._base_seq + len(self._records),
+            timestamp=self._clock(),
+            kind=kind,
+            actor=actor,
+            subject=subject,
+            detail=dict(detail or {}),
+            source_context=source_context,
+            target_context=target_context,
+        )
+        self._digests.append(_chain_digest(self.head_digest, record))
+        self._records.append(record)
+        return record
+
+    def verify(self) -> bool:
+        """Recompute the whole chain; True iff untampered.
+
+        Raises nothing — audit tooling wants a boolean; use
+        :meth:`verify_strict` to get the failing position.
+        """
+        try:
+            self.verify_strict()
+            return True
+        except IntegrityViolation:
+            return False
+
+    def verify_strict(self) -> None:
+        """Recompute the chain, raising on the first mismatch."""
+        digest = self._base_digest
+        for i, record in enumerate(self._records):
+            digest = _chain_digest(digest, record)
+            if digest != self._digests[i]:
+                raise IntegrityViolation(
+                    f"audit chain broken at seq {record.seq}"
+                )
+
+    # -- convenience appenders ----------------------------------------------
+
+    def flow_allowed(
+        self,
+        actor: str,
+        subject: str,
+        source_context: Optional[SecurityContext] = None,
+        target_context: Optional[SecurityContext] = None,
+        detail: Optional[Dict] = None,
+    ) -> AuditRecord:
+        """Record a permitted data flow actor → subject."""
+        return self.append(
+            RecordKind.FLOW_ALLOWED, actor, subject, detail,
+            source_context, target_context,
+        )
+
+    def flow_denied(
+        self,
+        actor: str,
+        subject: str,
+        reason: str,
+        source_context: Optional[SecurityContext] = None,
+        target_context: Optional[SecurityContext] = None,
+    ) -> AuditRecord:
+        """Record a denied data flow with the denial reason."""
+        return self.append(
+            RecordKind.FLOW_DENIED, actor, subject, {"reason": reason},
+            source_context, target_context,
+        )
+
+    def context_change(
+        self,
+        actor: str,
+        old: SecurityContext,
+        new: SecurityContext,
+        detail: Optional[Dict] = None,
+    ) -> AuditRecord:
+        """Record a context change, classified as declassification (secrecy
+        dropped), endorsement (integrity gained), or a plain change."""
+        if old.secrecy.tags - new.secrecy.tags:
+            kind = RecordKind.DECLASSIFICATION
+        elif new.integrity.tags - old.integrity.tags:
+            kind = RecordKind.ENDORSEMENT
+        else:
+            kind = RecordKind.CONTEXT_CHANGE
+        return self.append(
+            kind, actor, "", detail, source_context=old, target_context=new
+        )
+
+    def reconfiguration(
+        self, actor: str, target: str, command: str, detail: Optional[Dict] = None
+    ) -> AuditRecord:
+        """Record a third-party reconfiguration (Fig. 8)."""
+        merged = {"command": command}
+        merged.update(detail or {})
+        return self.append(RecordKind.RECONFIGURATION, actor, target, merged)
+
+    # -- query & maintenance -------------------------------------------------
+
+    def records(
+        self,
+        kind: Optional[RecordKind] = None,
+        actor: Optional[str] = None,
+        subject: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> List[AuditRecord]:
+        """Filter records by kind / actor / subject / time window."""
+        result = []
+        for r in self._records:
+            if kind is not None and r.kind != kind:
+                continue
+            if actor is not None and r.actor != actor:
+                continue
+            if subject is not None and r.subject != subject:
+                continue
+            if since is not None and r.timestamp < since:
+                continue
+            if until is not None and r.timestamp > until:
+                continue
+            result.append(r)
+        return result
+
+    def denials(self) -> List[AuditRecord]:
+        """All denied flows/accesses — the compliance hot list."""
+        return [r for r in self._records if r.is_denial]
+
+    def prune_before(self, timestamp: float) -> int:
+        """Discard records older than ``timestamp`` (Challenge 6).
+
+        The digest of the last pruned record becomes the new chain base,
+        so the retained suffix still verifies; auditors holding the old
+        head digest can still authenticate continuity.  Returns the
+        number of records pruned.
+        """
+        keep_from = 0
+        while (
+            keep_from < len(self._records)
+            and self._records[keep_from].timestamp < timestamp
+        ):
+            keep_from += 1
+        if keep_from == 0:
+            return 0
+        self._base_digest = self._digests[keep_from - 1]
+        self._base_seq = self._records[keep_from - 1].seq + 1
+        self._records = self._records[keep_from:]
+        self._digests = self._digests[keep_from:]
+        return keep_from
+
+    def export(self) -> List[Dict]:
+        """Serialise records (with digests) for offload to another party
+        (Challenge 6: "can logs be offloaded to others for distributed
+        audit?")."""
+        return [
+            {"record": r.canonical(), "digest": d}
+            for r, d in zip(self._records, self._digests)
+        ]

@@ -1,0 +1,95 @@
+"""Audit record types.
+
+§1.2: "Once IFC is deployed, audit can easily be supported since a record
+can potentially be made of every attempted data transfer or access."
+Records capture flows (allowed *and* denied), context changes
+(declassification/endorsement), privilege delegations, reconfigurations
+(Fig. 8) and policy firings — everything Fig. 1's feedback loop needs to
+"verify & influence" policy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from repro.ifc.labels import SecurityContext
+
+
+class RecordKind(str, Enum):
+    """Categories of auditable events."""
+
+    FLOW_ALLOWED = "flow-allowed"
+    FLOW_DENIED = "flow-denied"
+    CONTEXT_CHANGE = "context-change"
+    DECLASSIFICATION = "declassification"
+    ENDORSEMENT = "endorsement"
+    PRIVILEGE_DELEGATION = "privilege-delegation"
+    PRIVILEGE_REVOCATION = "privilege-revocation"
+    RECONFIGURATION = "reconfiguration"
+    POLICY_FIRED = "policy-fired"
+    POLICY_CONFLICT = "policy-conflict"
+    ACCESS_ALLOWED = "access-allowed"
+    ACCESS_DENIED = "access-denied"
+    CHANNEL_ESTABLISHED = "channel-established"
+    CHANNEL_TORN_DOWN = "channel-torn-down"
+    ENTITY_CREATED = "entity-created"
+    ATTESTATION = "attestation"
+    CUSTOM = "custom"
+
+
+def _context_dict(ctx: Optional[SecurityContext]) -> Optional[Dict[str, list]]:
+    if ctx is None:
+        return None
+    return {
+        "secrecy": sorted(t.qualified for t in ctx.secrecy),
+        "integrity": sorted(t.qualified for t in ctx.integrity),
+    }
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One immutable audit event.
+
+    Attributes:
+        seq: position in the log (assigned by the log on append).
+        timestamp: simulated time of the event.
+        kind: record category.
+        actor: entity id/name that performed or attempted the action.
+        subject: the data item or target entity involved, if any.
+        detail: free-form structured detail (flow decision reason, policy
+            name, ...), must be JSON-serialisable for canonical hashing.
+        source_context / target_context: security contexts at event time,
+            recorded so audits can later reconstruct *why* the decision
+            was what it was even after labels change.
+    """
+
+    seq: int
+    timestamp: float
+    kind: RecordKind
+    actor: str
+    subject: str = ""
+    detail: Dict[str, Any] = field(default_factory=dict)
+    source_context: Optional[SecurityContext] = None
+    target_context: Optional[SecurityContext] = None
+
+    def canonical(self) -> str:
+        """Deterministic JSON serialisation used for hash chaining."""
+        body = {
+            "seq": self.seq,
+            "timestamp": self.timestamp,
+            "kind": self.kind.value,
+            "actor": self.actor,
+            "subject": self.subject,
+            "detail": self.detail,
+            "source_context": _context_dict(self.source_context),
+            "target_context": _context_dict(self.target_context),
+        }
+        return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+    @property
+    def is_denial(self) -> bool:
+        """Whether this record denotes a denied action."""
+        return self.kind in (RecordKind.FLOW_DENIED, RecordKind.ACCESS_DENIED)

@@ -1,0 +1,101 @@
+"""Provenance graph rendering (the paper's Neo4J/Cytoscape substitute).
+
+§8.3: "we showed how a popular graph database (Neo4J) and visualisation
+tool (Cytoscape) can be used to analyse IFC audit data."  Offline, we
+render to Graphviz DOT (viewable anywhere) and to a compact text tree
+for terminal inspection.  Node shapes follow Fig. 11's legend: data
+items as boxes, processes as ellipses, agents as diamonds; denied
+attempts are annotated in red.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.audit.provenance import EdgeKind, NodeKind, ProvenanceGraph
+
+_SHAPES = {
+    NodeKind.DATA: "box",
+    NodeKind.PROCESS: "ellipse",
+    NodeKind.AGENT: "diamond",
+}
+
+_EDGE_STYLES = {
+    EdgeKind.FLOW: 'color="black"',
+    EdgeKind.CONTROL: 'style="dashed", color="gray"',
+    EdgeKind.DERIVED: 'color="blue"',
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def to_dot(
+    graph: ProvenanceGraph,
+    title: str = "provenance",
+    highlight: Optional[Set[str]] = None,
+) -> str:
+    """Render a provenance graph as Graphviz DOT.
+
+    ``highlight`` nodes (e.g. a leak investigation's taint set) are
+    filled; nodes with recorded denied attempts get a red border.
+    """
+    highlight = highlight or set()
+    lines: List[str] = [f"digraph {_quote(title)} {{", "  rankdir=LR;"]
+    for node_id, data in graph.graph.nodes(data=True):
+        kind = data.get("kind", NodeKind.PROCESS)
+        attrs = [f"shape={_SHAPES.get(kind, 'ellipse')}"]
+        if node_id in highlight:
+            attrs.append('style="filled"')
+            attrs.append('fillcolor="khaki"')
+        if data.get("denied_attempts"):
+            attrs.append('color="red"')
+            attrs.append('penwidth=2')
+        changes = data.get("context_changes")
+        label = node_id
+        if changes:
+            label += f"\\n({len(changes)} ctx changes)"
+        attrs.append(f"label={_quote(label)}")
+        lines.append(f"  {_quote(node_id)} [{', '.join(attrs)}];")
+    for u, v, data in graph.graph.edges(data=True):
+        kind = data.get("kind", EdgeKind.FLOW)
+        style = _EDGE_STYLES.get(kind, "")
+        timestamp = data.get("timestamp")
+        label = f', label="t={timestamp:g}"' if timestamp else ""
+        lines.append(f"  {_quote(u)} -> {_quote(v)} [{style}{label}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_text_tree(
+    graph: ProvenanceGraph, root: str, max_depth: int = 5
+) -> str:
+    """Render the downstream spread of one node as an indented tree.
+
+    The terminal-friendly answer to "where did this data go?" — each
+    line one hop further from the root; repeated nodes are marked and
+    not expanded again (the graph may be a DAG).
+    """
+    lines: List[str] = [root]
+    seen: Set[str] = {root}
+
+    def walk(node: str, depth: int) -> None:
+        if depth > max_depth:
+            return
+        targets = sorted(
+            {
+                v
+                for __, v, d in graph.graph.out_edges(node, data=True)
+                if d.get("kind") in (EdgeKind.FLOW, EdgeKind.DERIVED)
+            }
+        )
+        for target in targets:
+            marker = " (seen)" if target in seen else ""
+            lines.append("  " * depth + f"-> {target}{marker}")
+            if target not in seen:
+                seen.add(target)
+                walk(target, depth + 1)
+
+    walk(root, 1)
+    return "\n".join(lines)

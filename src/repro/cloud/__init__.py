@@ -1,0 +1,47 @@
+"""Simulated CamFlow cloud substrate: kernels, machines, PaaS (§8.2)."""
+
+from repro.cloud.kernel import (
+    IFCSecurityModule,
+    Kernel,
+    KernelObject,
+    NullSecurityModule,
+    ObjectKind,
+    Process,
+    SecurityModule,
+)
+from repro.cloud.machine import (
+    APPROVED_BOOT_CHAIN,
+    BOOT_PCR,
+    Machine,
+    MachineConfig,
+    trusted_verifier,
+)
+from repro.cloud.datastore import (
+    LabelledStore,
+    Row,
+)
+from repro.cloud.paas import (
+    ApplicationManager,
+    PaaSCloud,
+    Tenant,
+)
+
+__all__ = [
+    "IFCSecurityModule",
+    "Kernel",
+    "KernelObject",
+    "NullSecurityModule",
+    "ObjectKind",
+    "Process",
+    "SecurityModule",
+    "APPROVED_BOOT_CHAIN",
+    "BOOT_PCR",
+    "Machine",
+    "MachineConfig",
+    "trusted_verifier",
+    "ApplicationManager",
+    "PaaSCloud",
+    "Tenant",
+    "LabelledStore",
+    "Row",
+]

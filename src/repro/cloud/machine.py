@@ -1,0 +1,104 @@
+"""Machines: kernel + TPM + network identity (Fig. 9).
+
+Fig. 9 shows the CamFlow stack on one machine: application processes
+above a CamFlow-LSM kernel, a CamFlow-Messaging substrate process for
+external transfers, and a TPM rooting trust in the platform.  A
+:class:`Machine` assembles those pieces; the messaging substrate itself
+lives in :mod:`repro.middleware.substrate` and binds to a machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.audit.log import AuditLog
+from repro.cloud.kernel import (
+    IFCSecurityModule,
+    Kernel,
+    NullSecurityModule,
+    Process,
+    SecurityModule,
+)
+from repro.crypto.attestation import TPM, AttestationVerifier
+from repro.errors import AttestationError
+from repro.ifc.labels import SecurityContext
+from repro.ifc.privileges import PrivilegeSet
+
+#: Measurement digests of the approved CamFlow boot chain; the verifier
+#: registers the golden PCR these produce.
+APPROVED_BOOT_CHAIN = ["bootloader-v2", "kernel-5.4-camflow", "lsm-ifc-1.0"]
+
+#: PCR index used for the boot-chain measurements.
+BOOT_PCR = 0
+
+
+@dataclass
+class MachineConfig:
+    """Configuration for building a machine.
+
+    Attributes:
+        enforce_ifc: install the IFC LSM (True) or the null module
+            (False, the F9 baseline).
+        boot_chain: measurement digests extended into the boot PCR;
+            defaults to the approved chain — pass something else to model
+            a tampered platform that attestation must reject.
+    """
+
+    enforce_ifc: bool = True
+    boot_chain: Optional[List[str]] = None
+
+
+class Machine:
+    """One platform: hostname, kernel with LSM, TPM, audit log.
+
+    The audit log is per-machine, as in CamFlow — cross-domain audit is
+    assembled by :class:`repro.audit.distributed.AuditCollector`.
+    """
+
+    def __init__(
+        self,
+        hostname: str,
+        config: Optional[MachineConfig] = None,
+        clock=None,
+    ):
+        self.hostname = hostname
+        self.config = config or MachineConfig()
+        self.audit = AuditLog(clock=clock, name=f"audit@{hostname}")
+        if self.config.enforce_ifc:
+            module: SecurityModule = IFCSecurityModule(self.audit)
+        else:
+            module = NullSecurityModule()
+        self.kernel = Kernel(hostname, module)
+        self.tpm = TPM(hostname)
+        for measurement in self.config.boot_chain or APPROVED_BOOT_CHAIN:
+            self.tpm.extend(BOOT_PCR, measurement)
+
+    def launch(
+        self,
+        name: str,
+        security: Optional[SecurityContext] = None,
+        privileges: Optional[PrivilegeSet] = None,
+    ) -> Process:
+        """Launch an application process in a given security context.
+
+        In CamFlow terms this is what the privileged *application
+        manager* does: "an application instance must be set up in an
+        appropriate security context" (§8.2.1).
+        """
+        return self.kernel.spawn(name, security, privileges)
+
+    def attest_to(self, verifier: AttestationVerifier) -> bool:
+        """Run remote attestation of this platform against a verifier."""
+        return verifier.attest(self.tpm, [BOOT_PCR])
+
+
+def trusted_verifier(machines: List[Machine]) -> AttestationVerifier:
+    """Build a verifier that trusts the approved boot chain for each
+    machine — the 'golden values' a cloud operator would publish."""
+    verifier = AttestationVerifier()
+    for machine in machines:
+        verifier.golden_for_measurements(
+            machine.hostname, BOOT_PCR, APPROVED_BOOT_CHAIN
+        )
+    return verifier

@@ -1,0 +1,81 @@
+"""Simulated cryptographic substrate (§4's building blocks).
+
+Everything here substitutes for real hardware/crypto per DESIGN.md: the
+structural properties enforcement depends on are preserved (signatures
+bind, certificates chain and revoke, TPM PCRs extend-only, re-encryption
+needs tokens, DP spends budget) without real cipher math.
+"""
+
+from repro.crypto.keys import (
+    KeyPair,
+    PublicKey,
+    generate_keypair,
+    register_for_verification,
+    verify,
+)
+from repro.crypto.certs import (
+    Certificate,
+    CertificateAuthority,
+    TrustStore,
+)
+from repro.crypto.channels import (
+    EncryptedBlob,
+    SecureChannel,
+    SymmetricKey,
+    TLSContext,
+    decrypt_item,
+    encrypt_item,
+)
+from repro.crypto.reencryption import (
+    ReEncryptionProxy,
+    ReEncryptionToken,
+    share_via_proxy,
+)
+from repro.crypto.privacy import (
+    PrivacyBudget,
+    PrivateAggregator,
+    laplace_noise,
+)
+from repro.crypto.sticky import (
+    KeyRelease,
+    StickyBundle,
+    StickyParty,
+    StickyPolicy,
+    TrustedAuthority,
+)
+from repro.crypto.attestation import (
+    TPM,
+    AttestationVerifier,
+    Quote,
+)
+
+__all__ = [
+    "KeyPair",
+    "PublicKey",
+    "generate_keypair",
+    "register_for_verification",
+    "verify",
+    "Certificate",
+    "CertificateAuthority",
+    "TrustStore",
+    "EncryptedBlob",
+    "SecureChannel",
+    "SymmetricKey",
+    "TLSContext",
+    "decrypt_item",
+    "encrypt_item",
+    "ReEncryptionProxy",
+    "ReEncryptionToken",
+    "share_via_proxy",
+    "PrivacyBudget",
+    "PrivateAggregator",
+    "laplace_noise",
+    "TPM",
+    "AttestationVerifier",
+    "Quote",
+    "KeyRelease",
+    "StickyBundle",
+    "StickyParty",
+    "StickyPolicy",
+    "TrustedAuthority",
+]

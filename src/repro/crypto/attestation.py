@@ -1,0 +1,153 @@
+"""Hardware-rooted trust: simulated TPM and remote attestation (§4).
+
+"Relevant here is how TPM can guarantee the integrity of a platform and
+its configuration, and also certify identity ... Also relevant is remote
+attestation, which provides the means to verify the integrity of a
+remote machine before interacting."
+
+The simulated TPM holds platform configuration register (PCR) state
+extended with measurement digests; a *quote* signs the PCR state plus a
+verifier nonce.  The :class:`AttestationVerifier` holds golden values
+and accepts or rejects quotes — giving the middleware the "can I trust
+this remote host to handle my data?" primitive, used when establishing
+channels into unfamiliar domains (Challenge 5).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.keys import KeyPair, generate_keypair, verify
+from repro.errors import AttestationError
+
+
+def _extend(current: str, measurement: str) -> str:
+    return hashlib.sha256((current + measurement).encode()).hexdigest()
+
+
+class TPM:
+    """A simulated Trusted Platform Module bound to one platform.
+
+    PCRs start at a known zero value and can only be *extended* (hashed
+    forward), never set — so a platform cannot hide a measurement once
+    taken, which is the property attestation relies on.
+    """
+
+    ZERO = hashlib.sha256(b"pcr-zero").hexdigest()
+
+    def __init__(self, platform: str, num_pcrs: int = 8):
+        self.platform = platform
+        self.keys: KeyPair = generate_keypair(seed=f"tpm-{platform}")
+        self._pcrs: List[str] = [self.ZERO] * num_pcrs
+
+    def extend(self, index: int, measurement: str) -> str:
+        """Extend a PCR with a measurement digest (e.g. of loaded code)."""
+        if not 0 <= index < len(self._pcrs):
+            raise AttestationError(f"no PCR {index}")
+        self._pcrs[index] = _extend(self._pcrs[index], measurement)
+        return self._pcrs[index]
+
+    def pcr(self, index: int) -> str:
+        """Read a PCR value."""
+        return self._pcrs[index]
+
+    def quote(self, nonce: str, indices: Optional[List[int]] = None) -> "Quote":
+        """Sign selected PCRs plus the verifier's nonce."""
+        idx = indices if indices is not None else list(range(len(self._pcrs)))
+        values = tuple(self._pcrs[i] for i in idx)
+        body = f"{self.platform}|{nonce}|" + "|".join(values)
+        return Quote(
+            platform=self.platform,
+            nonce=nonce,
+            pcr_indices=tuple(idx),
+            pcr_values=values,
+            signature=self.keys.sign(body.encode()),
+            signer=self.keys.public,
+        )
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed attestation statement from a TPM."""
+
+    platform: str
+    nonce: str
+    pcr_indices: Tuple[int, ...]
+    pcr_values: Tuple[str, ...]
+    signature: str
+    signer: object  # PublicKey
+
+    def body(self) -> bytes:
+        return (
+            f"{self.platform}|{self.nonce}|" + "|".join(self.pcr_values)
+        ).encode()
+
+
+class AttestationVerifier:
+    """Holds golden PCR values and verifies quotes against them.
+
+    Used before channel establishment into unknown domains: a gateway
+    asks a device for a quote over a fresh nonce; stale nonces, bad
+    signatures, or non-golden PCRs are all rejected.
+    """
+
+    def __init__(self) -> None:
+        self._golden: Dict[str, Dict[int, str]] = {}
+        self._used_nonces: set = set()
+        self._nonce_counter = 0
+
+    def expect(self, platform: str, pcr_index: int, value: str) -> None:
+        """Record the golden value of one PCR for a platform."""
+        self._golden.setdefault(platform, {})[pcr_index] = value
+
+    def golden_for_measurements(
+        self, platform: str, pcr_index: int, measurements: List[str]
+    ) -> str:
+        """Compute and register the golden value resulting from extending
+        a zero PCR with ``measurements`` in order (the verifier knows the
+        approved boot chain)."""
+        value = TPM.ZERO
+        for m in measurements:
+            value = _extend(value, m)
+        self.expect(platform, pcr_index, value)
+        return value
+
+    def fresh_nonce(self) -> str:
+        """Issue a nonce for a new attestation exchange."""
+        self._nonce_counter += 1
+        return hashlib.sha256(f"nonce-{self._nonce_counter}".encode()).hexdigest()
+
+    def verify_quote(self, quote: Quote) -> None:
+        """Verify a quote end to end.
+
+        Raises:
+            AttestationError: replayed nonce, bad signature, or PCR
+                mismatch against golden values.
+        """
+        if quote.nonce in self._used_nonces:
+            raise AttestationError("replayed attestation nonce")
+        if not verify(quote.signer, quote.body(), quote.signature):
+            raise AttestationError(f"bad quote signature from {quote.platform}")
+        golden = self._golden.get(quote.platform)
+        if golden is None:
+            raise AttestationError(f"no golden values for {quote.platform}")
+        for idx, value in zip(quote.pcr_indices, quote.pcr_values):
+            expected = golden.get(idx)
+            if expected is not None and expected != value:
+                raise AttestationError(
+                    f"{quote.platform}: PCR {idx} mismatch (platform "
+                    "compromised or unapproved configuration)"
+                )
+        self._used_nonces.add(quote.nonce)
+
+    def attest(self, tpm: TPM, indices: Optional[List[int]] = None) -> bool:
+        """Convenience: run a full nonce/quote/verify exchange."""
+        nonce = self.fresh_nonce()
+        quote = tpm.quote(nonce, indices)
+        try:
+            self.verify_quote(quote)
+            return True
+        except AttestationError:
+            return False

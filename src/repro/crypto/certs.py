@@ -1,0 +1,201 @@
+"""Simulated X.509-style certificates, CAs, and webs of trust.
+
+§4 "PKI": "One can envisage a PKI where 'things' have private keys and
+public key certificates, signed by a certificate authority linking them
+to their owners ... Decentralised trust models (a web-of-trust) are also
+possible."  SBUS represents "privileges, credentials and context ... as
+X.509 certificates" (§8.1 fn. 2), so the middleware's access-control
+layer consumes these certificate objects directly.
+
+Certificates carry arbitrary attributes (role, owner, location) used by
+parametrised RBAC, a validity window against the simulated clock, and a
+revocation check against the issuing authority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.crypto.keys import KeyPair, PublicKey, generate_keypair, verify
+from repro.errors import CertificateError
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of a subject's public key to attributes.
+
+    Attributes:
+        subject: name of the certified principal (a 'thing', person, or
+            service).
+        subject_key: the subject's public key.
+        issuer: name of the signing authority (or peer, in web-of-trust).
+        attributes: certified attributes (role, owner, domain, ...).
+        not_before / not_after: validity window in simulated time.
+        signature: issuer signature over the canonical body.
+    """
+
+    subject: str
+    subject_key: PublicKey
+    issuer: str
+    attributes: Tuple[Tuple[str, str], ...]
+    not_before: float
+    not_after: float
+    signature: str
+
+    def canonical_body(self) -> bytes:
+        attrs = ",".join(f"{k}={v}" for k, v in sorted(self.attributes))
+        return (
+            f"{self.subject}|{self.subject_key.key_id}|{self.issuer}|"
+            f"{attrs}|{self.not_before}|{self.not_after}"
+        ).encode()
+
+    def attribute(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Look up a certified attribute."""
+        for k, v in self.attributes:
+            if k == key:
+                return v
+        return default
+
+    def valid_at(self, timestamp: float) -> bool:
+        """Whether the validity window covers ``timestamp``."""
+        return self.not_before <= timestamp <= self.not_after
+
+
+class CertificateAuthority:
+    """A simulated CA: issues, verifies, and revokes certificates.
+
+    CAs can cross-sign other CAs to form chains; :meth:`verify_chain`
+    walks issuer links back to a trusted root.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.keys: KeyPair = generate_keypair(seed=f"ca-{name}")
+        self._revoked: Set[str] = set()
+        self._issued: Dict[str, Certificate] = {}
+
+    def issue(
+        self,
+        subject: str,
+        subject_key: PublicKey,
+        attributes: Optional[Dict[str, str]] = None,
+        not_before: float = 0.0,
+        not_after: float = float("inf"),
+    ) -> Certificate:
+        """Issue a certificate binding ``subject`` to its key and attrs."""
+        attrs = tuple(sorted((attributes or {}).items()))
+        body = (
+            f"{subject}|{subject_key.key_id}|{self.name}|"
+            + ",".join(f"{k}={v}" for k, v in attrs)
+            + f"|{not_before}|{not_after}"
+        ).encode()
+        cert = Certificate(
+            subject=subject,
+            subject_key=subject_key,
+            issuer=self.name,
+            attributes=attrs,
+            not_before=not_before,
+            not_after=not_after,
+            signature=self.keys.sign(body),
+        )
+        self._issued[subject] = cert
+        return cert
+
+    def revoke(self, subject: str) -> None:
+        """Add a subject's certificate to the revocation list."""
+        self._revoked.add(subject)
+
+    def is_revoked(self, cert: Certificate) -> bool:
+        """CRL check."""
+        return cert.subject in self._revoked
+
+    def check(self, cert: Certificate, at_time: float = 0.0) -> None:
+        """Full validation: signature, window, revocation.
+
+        Raises:
+            CertificateError: on any failure, with the cause named.
+        """
+        if cert.issuer != self.name:
+            raise CertificateError(
+                f"certificate for {cert.subject} issued by {cert.issuer}, "
+                f"not {self.name}"
+            )
+        if not verify(self.keys.public, cert.canonical_body(), cert.signature):
+            raise CertificateError(f"bad signature on {cert.subject}")
+        if not cert.valid_at(at_time):
+            raise CertificateError(
+                f"certificate for {cert.subject} outside validity window"
+            )
+        if self.is_revoked(cert):
+            raise CertificateError(f"certificate for {cert.subject} revoked")
+
+
+class TrustStore:
+    """A verifier's view of the PKI: trusted roots plus web-of-trust edges.
+
+    ``trust(ca)`` anchors a root.  ``add_endorsement(a, b)`` records that
+    principal *a* vouches for *b* (web-of-trust); :meth:`web_trusts`
+    accepts principals reachable from an anchor within ``max_depth``
+    endorsement hops.
+    """
+
+    def __init__(self) -> None:
+        self._roots: Dict[str, CertificateAuthority] = {}
+        self._endorsements: Dict[str, Set[str]] = {}
+        self._anchors: Set[str] = set()
+
+    def trust(self, ca: CertificateAuthority) -> None:
+        """Anchor a CA as a trusted root."""
+        self._roots[ca.name] = ca
+
+    def validate(self, cert: Certificate, at_time: float = 0.0) -> None:
+        """Validate a certificate against the trusted roots.
+
+        Raises:
+            CertificateError: unknown issuer or failed CA checks.
+        """
+        ca = self._roots.get(cert.issuer)
+        if ca is None:
+            raise CertificateError(f"issuer {cert.issuer} is not trusted")
+        ca.check(cert, at_time)
+
+    def is_valid(self, cert: Certificate, at_time: float = 0.0) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(cert, at_time)
+            return True
+        except CertificateError:
+            return False
+
+    # -- web of trust ---------------------------------------------------------
+
+    def anchor_principal(self, principal: str) -> None:
+        """Directly trust a principal (web-of-trust starting point)."""
+        self._anchors.add(principal)
+
+    def add_endorsement(self, endorser: str, endorsed: str) -> None:
+        """Record that ``endorser`` vouches for ``endorsed``."""
+        self._endorsements.setdefault(endorser, set()).add(endorsed)
+
+    def web_trusts(self, principal: str, max_depth: int = 3) -> bool:
+        """Whether the web of trust reaches ``principal`` from an anchor
+        within ``max_depth`` hops (ad hoc trust for never-before-seen
+        parties, §9.3 Challenge 5)."""
+        if principal in self._anchors:
+            return True
+        frontier = set(self._anchors)
+        seen = set(frontier)
+        for __ in range(max_depth):
+            next_frontier: Set[str] = set()
+            for p in frontier:
+                for endorsed in self._endorsements.get(p, ()):
+                    if endorsed == principal:
+                        return True
+                    if endorsed not in seen:
+                        seen.add(endorsed)
+                        next_frontier.add(endorsed)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return False

@@ -1,0 +1,135 @@
+"""Simulated secure channels (TLS-like) and data-item encryption.
+
+§4 "Encryption": channel security (TLS over PKI) and application-level
+(data-item) encryption, with the paper's observation that item-level
+encryption "precludes certain processing services ... unless keys are
+distributed" and gives "no logging/feedback on when data is decrypted".
+We model both so benchmarks can demonstrate exactly that contrast
+against IFC (EXPERIMENTS.md, F2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.certs import Certificate, TrustStore
+from repro.crypto.keys import KeyPair, generate_keypair
+from repro.errors import CertificateError
+
+
+@dataclass
+class EncryptedBlob:
+    """A data item encrypted under a named symmetric key.
+
+    The payload is kept (privately) so decryption can return it, but any
+    access must go through :func:`decrypt_item` with the right key —
+    modelling ciphertext opacity without real ciphers.
+    """
+
+    key_id: str
+    digest: str
+    _payload: object = field(repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        # The digest commits to the payload for tamper evidence.
+        if not self.digest:
+            self.digest = hashlib.sha256(repr(self._payload).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """A named symmetric key for item-level encryption."""
+
+    key_id: str
+
+    @classmethod
+    def generate(cls, label: str = "k") -> "SymmetricKey":
+        return cls(hashlib.sha256(f"sym|{label}|{id(object())}".encode()).hexdigest())
+
+
+def encrypt_item(payload: object, key: SymmetricKey) -> EncryptedBlob:
+    """Encrypt a data item under ``key``."""
+    digest = hashlib.sha256(repr(payload).encode()).hexdigest()
+    return EncryptedBlob(key_id=key.key_id, digest=digest, _payload=payload)
+
+
+def decrypt_item(blob: EncryptedBlob, key: SymmetricKey) -> object:
+    """Decrypt a blob; raises on wrong key (no partial leakage).
+
+    Note there is *no audit hook here by design* — this models the
+    paper's criticism that item encryption yields "no logging/feedback on
+    when data is decrypted"; the F2 benchmark exploits this asymmetry.
+    """
+    if blob.key_id != key.key_id:
+        raise CertificateError("wrong decryption key")
+    return blob._payload
+
+
+@dataclass
+class SecureChannel:
+    """An established, mutually authenticated channel between two parties.
+
+    Created by :class:`TLSContext.handshake`; carries the negotiated
+    'session key' id and the peer certificates so higher layers can make
+    attribute-based decisions.
+    """
+
+    local: str
+    peer: str
+    session_key: SymmetricKey
+    local_cert: Certificate
+    peer_cert: Certificate
+    established_at: float
+    messages_sent: int = 0
+
+    def send(self, payload: object) -> EncryptedBlob:
+        """Encrypt a payload for the peer."""
+        self.messages_sent += 1
+        return encrypt_item(payload, self.session_key)
+
+    def receive(self, blob: EncryptedBlob) -> object:
+        """Decrypt a payload from the peer."""
+        return decrypt_item(blob, self.session_key)
+
+
+class TLSContext:
+    """Per-party TLS-like state: key pair, certificate, trust store.
+
+    :meth:`handshake` performs simulated mutual authentication: each side
+    validates the other's certificate against its trust store, then both
+    derive the same session key.
+    """
+
+    def __init__(self, name: str, certificate: Certificate, keys: KeyPair, trust: TrustStore):
+        self.name = name
+        self.certificate = certificate
+        self.keys = keys
+        self.trust = trust
+
+    def handshake(
+        self, peer: "TLSContext", at_time: float = 0.0
+    ) -> Tuple[SecureChannel, SecureChannel]:
+        """Mutually authenticate and derive a shared session.
+
+        Returns (our_channel, peer_channel).
+
+        Raises:
+            CertificateError: when either side distrusts the other.
+        """
+        self.trust.validate(peer.certificate, at_time)
+        peer.trust.validate(self.certificate, at_time)
+        shared = hashlib.sha256(
+            "|".join(
+                sorted([self.keys.public.key_id, peer.keys.public.key_id])
+            ).encode()
+        ).hexdigest()
+        key = SymmetricKey(shared)
+        ours = SecureChannel(
+            self.name, peer.name, key, self.certificate, peer.certificate, at_time
+        )
+        theirs = SecureChannel(
+            peer.name, self.name, key, peer.certificate, self.certificate, at_time
+        )
+        return ours, theirs

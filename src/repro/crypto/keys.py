@@ -1,0 +1,98 @@
+"""Simulated asymmetric keys and signatures.
+
+The paper's trust building blocks (§4) — PKI, TLS, TPM — need key pairs
+and signatures.  Real cryptography is out of scope (and unnecessary for
+reproducing the paper's *system behaviour*), so we simulate: a key pair
+is a random identifier; "signing" binds message digest to the private
+key via SHA-256; verification recomputes with the public half.  The
+simulation preserves the properties enforcement depends on: signatures
+verify only with the matching key, and tampering is detected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional
+
+_KEY_COUNTER = [0]
+
+
+def _fresh_secret(seed: Optional[str] = None) -> str:
+    _KEY_COUNTER[0] += 1
+    material = f"{seed or 'key'}|{_KEY_COUNTER[0]}"
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """The shareable half of a key pair: a stable identifier derived from
+    the private secret, so possession of the secret proves ownership."""
+
+    key_id: str
+
+    def __str__(self) -> str:
+        return f"pub:{self.key_id[:12]}"
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A simulated asymmetric key pair.
+
+    The ``secret`` never appears in signatures directly; signatures are
+    HMACs keyed by it, and verification uses the deterministic relation
+    between ``secret`` and ``public.key_id``.
+    """
+
+    secret: str
+    public: PublicKey
+
+    @classmethod
+    def generate(cls, seed: Optional[str] = None) -> "KeyPair":
+        """Create a fresh key pair (deterministic when seeded)."""
+        secret = _fresh_secret(seed)
+        return cls(secret, PublicKey(_public_of(secret)))
+
+    def sign(self, message: bytes) -> str:
+        """Produce a signature over ``message``."""
+        return hmac.new(self.secret.encode(), message, hashlib.sha256).hexdigest()
+
+
+def _public_of(secret: str) -> str:
+    return hashlib.sha256(f"public|{secret}".encode()).hexdigest()
+
+
+# A registry linking public ids to secrets exists only inside this module,
+# mirroring how real asymmetric verification needs no secret: verify() looks
+# up the secret by its derived public id — the lookup models the
+# mathematical relation, not a shared secret on the wire.
+_VERIFY_ORACLE: dict = {}
+
+
+def register_for_verification(pair: KeyPair) -> None:
+    """Make a key pair's signatures verifiable by public key.
+
+    Called automatically by :func:`generate_keypair`; exposed for tests
+    that construct pairs manually.
+    """
+    _VERIFY_ORACLE[pair.public.key_id] = pair.secret
+
+
+def generate_keypair(seed: Optional[str] = None) -> KeyPair:
+    """Generate and register a key pair ready for use."""
+    pair = KeyPair.generate(seed)
+    register_for_verification(pair)
+    return pair
+
+
+def verify(public: PublicKey, message: bytes, signature: str) -> bool:
+    """Verify a signature against a public key.
+
+    Unknown keys verify nothing (as with a missing certificate).
+    """
+    secret = _VERIFY_ORACLE.get(public.key_id)
+    if secret is None:
+        return False
+    expected = hmac.new(secret.encode(), message, hashlib.sha256).hexdigest()
+    return hmac.compare_digest(expected, signature)

@@ -1,0 +1,104 @@
+"""Simulated proxy re-encryption (§4).
+
+"Proxy re-encryption involves a semi-trusted proxy that transforms
+encrypted data produced by one party into a form decryptable by another,
+where the proxy cannot access the plaintext.  This allows third parties
+to manage the data of others, without having access to the content."
+
+We model the *capability structure*: a data owner issues a re-encryption
+token from their key to a recipient's key; a proxy holding only the
+token can transform blobs between those keys but cannot decrypt.  The
+enforcement-relevant properties hold: no token, no transformation;
+wrong-key decryption fails; the proxy never sees payloads (the API gives
+it no decryption path).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.channels import EncryptedBlob, SymmetricKey, decrypt_item, encrypt_item
+from repro.errors import CertificateError
+
+
+@dataclass(frozen=True)
+class ReEncryptionToken:
+    """Authority to transform ciphertexts from one key to another.
+
+    Attributes:
+        from_key_id: key the blob is currently encrypted under.
+        to_key_id: key the blob will be re-encrypted to.
+        token_id: binding digest; proxies validate it before transforming.
+    """
+
+    from_key_id: str
+    to_key_id: str
+    token_id: str
+
+    @staticmethod
+    def issue(owner_key: SymmetricKey, recipient_key: SymmetricKey) -> "ReEncryptionToken":
+        """Issued by the data owner, who knows their own key."""
+        token_id = hashlib.sha256(
+            f"rekey|{owner_key.key_id}|{recipient_key.key_id}".encode()
+        ).hexdigest()
+        return ReEncryptionToken(owner_key.key_id, recipient_key.key_id, token_id)
+
+    def valid_for(self, blob: EncryptedBlob) -> bool:
+        """Whether this token applies to the blob's current key."""
+        return blob.key_id == self.from_key_id
+
+
+class ReEncryptionProxy:
+    """The semi-trusted proxy: holds tokens, never keys.
+
+    The proxy's entire interface is :meth:`transform`; it has no method
+    that could return a payload, modelling 'cannot access the plaintext'.
+    Transformations are counted for audit.
+    """
+
+    def __init__(self, name: str = "proxy"):
+        self.name = name
+        self._tokens: Dict[Tuple[str, str], ReEncryptionToken] = {}
+        self.transform_count = 0
+
+    def install_token(self, token: ReEncryptionToken) -> None:
+        """Store a re-encryption token from a data owner."""
+        self._tokens[(token.from_key_id, token.to_key_id)] = token
+
+    def revoke_token(self, from_key_id: str, to_key_id: str) -> bool:
+        """Remove a token; future transforms for that pair fail."""
+        return self._tokens.pop((from_key_id, to_key_id), None) is not None
+
+    def transform(self, blob: EncryptedBlob, to_key_id: str) -> EncryptedBlob:
+        """Re-encrypt ``blob`` to ``to_key_id`` using an installed token.
+
+        Raises:
+            CertificateError: when no valid token is installed.
+        """
+        token = self._tokens.get((blob.key_id, to_key_id))
+        if token is None or not token.valid_for(blob):
+            raise CertificateError(
+                f"{self.name}: no re-encryption token "
+                f"{blob.key_id[:8]}->{to_key_id[:8]}"
+            )
+        self.transform_count += 1
+        return EncryptedBlob(
+            key_id=to_key_id, digest=blob.digest, _payload=blob._payload
+        )
+
+
+def share_via_proxy(
+    payload: object,
+    owner_key: SymmetricKey,
+    recipient_key: SymmetricKey,
+    proxy: ReEncryptionProxy,
+) -> object:
+    """End-to-end helper: owner encrypts, proxy transforms, recipient
+    decrypts — the orchestration §4 says 'potentially enables more secure
+    orchestrations' for lightweight things."""
+    blob = encrypt_item(payload, owner_key)
+    proxy.install_token(ReEncryptionToken.issue(owner_key, recipient_key))
+    transformed = proxy.transform(blob, recipient_key.key_id)
+    return decrypt_item(transformed, recipient_key)

@@ -1,0 +1,143 @@
+"""Sticky policies: the §10.2 comparator, faithfully limited.
+
+"Sticky policies have been proposed to achieve end-to-end control over
+data, where data is encrypted along with the policy to be applied to
+that data.  To obtain the decryption key from a Trusted Authority, a
+party must agree to enforce the policy ... the approach is trust-based
+with no audit of compliance; there are no means to ensure the proper
+usage of data once decrypted."
+
+We implement the mechanism exactly as described — including its
+weaknesses, because the F2-family benchmarks compare it with IFC:
+
+* the data travels as a :class:`StickyBundle` (ciphertext + policy);
+* a party requests the key from the :class:`TrustedAuthority`,
+  *promising* to enforce the policy (the authority records the promise);
+* after decryption, nothing constrains or records what the party does —
+  :meth:`StickyParty.reshare` leaks plaintext onwards with no trace at
+  the authority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.crypto.channels import (
+    EncryptedBlob,
+    SymmetricKey,
+    decrypt_item,
+    encrypt_item,
+)
+from repro.errors import CertificateError
+
+
+@dataclass(frozen=True)
+class StickyPolicy:
+    """The policy stuck to a data item.
+
+    Attributes:
+        allowed_purposes: purposes the data may be used for.
+        allowed_parties: parties who may be granted the key (empty =
+            anyone who promises).
+        notify_owner: whether the authority records key releases for the
+            owner (the only visibility the scheme offers).
+    """
+
+    allowed_purposes: Tuple[str, ...]
+    allowed_parties: Tuple[str, ...] = ()
+    notify_owner: bool = True
+
+
+@dataclass
+class StickyBundle:
+    """Ciphertext travelling with its policy."""
+
+    blob: EncryptedBlob
+    policy: StickyPolicy
+    owner: str
+
+
+@dataclass
+class KeyRelease:
+    """The authority's record of one key hand-over."""
+
+    party: str
+    purpose: str
+    owner: str
+    promised_policy: StickyPolicy
+
+
+class TrustedAuthority:
+    """Holds decryption keys; releases them against promises.
+
+    The authority is the scheme's *only* control point — exactly the
+    paper's criticism: control ends at key release.
+    """
+
+    def __init__(self, name: str = "trusted-authority"):
+        self.name = name
+        self._keys: Dict[str, SymmetricKey] = {}
+        self.releases: List[KeyRelease] = []
+
+    def seal(self, payload: object, policy: StickyPolicy, owner: str) -> StickyBundle:
+        """Encrypt a payload under a fresh key the authority retains."""
+        key = SymmetricKey.generate(f"sticky-{owner}-{len(self._keys)}")
+        self._keys[key.key_id] = key
+        return StickyBundle(encrypt_item(payload, key), policy, owner)
+
+    def request_key(
+        self, bundle: StickyBundle, party: str, purpose: str
+    ) -> SymmetricKey:
+        """Release the key to a party that promises policy compliance.
+
+        Raises:
+            CertificateError: party not in the policy's allow-list, or
+                purpose not permitted.
+        """
+        policy = bundle.policy
+        if policy.allowed_parties and party not in policy.allowed_parties:
+            raise CertificateError(
+                f"{party} is not an allowed party for this data"
+            )
+        if purpose not in policy.allowed_purposes:
+            raise CertificateError(
+                f"purpose {purpose!r} not permitted by the sticky policy"
+            )
+        key = self._keys.get(bundle.blob.key_id)
+        if key is None:
+            raise CertificateError("authority holds no key for this bundle")
+        if policy.notify_owner:
+            self.releases.append(KeyRelease(party, purpose, bundle.owner, policy))
+        return key
+
+
+class StickyParty:
+    """A data consumer under the sticky-policy regime.
+
+    The class exists to make the scheme's gap concrete: once
+    :meth:`obtain` has run, :meth:`reshare` forwards plaintext to anyone
+    — nothing in the mechanism prevents or records it ("there are no
+    means to ensure the proper usage of data once decrypted").
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.plaintexts: List[object] = []
+        self.reshared_to: List[str] = []
+
+    def obtain(
+        self, authority: TrustedAuthority, bundle: StickyBundle, purpose: str
+    ) -> object:
+        """Request the key and decrypt (promising compliance)."""
+        key = authority.request_key(bundle, self.name, purpose)
+        payload = decrypt_item(bundle.blob, key)
+        self.plaintexts.append(payload)
+        return payload
+
+    def reshare(self, recipient: "StickyParty") -> int:
+        """Leak everything onward — invisible to the authority."""
+        for payload in self.plaintexts:
+            recipient.plaintexts.append(payload)
+            self.reshared_to.append(recipient.name)
+        return len(self.plaintexts)

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the ``repro`` middleware library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Enforcement failures (flows, access control,
+reconfiguration) derive from :class:`EnforcementError` and carry enough
+structured detail to be logged for audit and later forensic analysis.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class EnforcementError(ReproError):
+    """Base class for policy-enforcement failures."""
+
+
+class FlowError(EnforcementError):
+    """An information flow was denied by the IFC constraint.
+
+    Attributes:
+        source: description of the flow source entity.
+        target: description of the flow target entity.
+        reason: human-readable explanation of which check failed.
+    """
+
+    def __init__(self, source: str, target: str, reason: str):
+        super().__init__(f"flow denied {source} -> {target}: {reason}")
+        self.source = source
+        self.target = target
+        self.reason = reason
+
+
+class PrivilegeError(EnforcementError):
+    """An entity attempted a label change it holds no privilege for."""
+
+
+class AccessDenied(EnforcementError):
+    """Conventional access control (authentication/authorisation) failed."""
+
+
+class ReconfigurationError(EnforcementError):
+    """A reconfiguration command was rejected or could not be applied."""
+
+
+class PolicyError(ReproError):
+    """A policy could not be parsed, validated, or evaluated."""
+
+
+class PolicyConflictError(PolicyError):
+    """Conflicting policy actions could not be resolved."""
+
+
+class AuthorityError(EnforcementError):
+    """A principal lacks authority over the targeted thing or policy."""
+
+
+class TagError(ReproError):
+    """Problems with tag creation, lookup, or namespace management."""
+
+
+class AuditError(ReproError):
+    """Audit log integrity or query errors."""
+
+
+class IntegrityViolation(AuditError):
+    """A tamper-evident structure failed verification."""
+
+
+class CertificateError(ReproError):
+    """Certificate validation failed (signature, expiry, chain, revocation)."""
+
+
+class AttestationError(ReproError):
+    """Remote attestation of a platform failed."""
+
+
+class NetworkError(ReproError):
+    """Simulated network failures (unreachable host, partition, timeout)."""
+
+
+class KernelError(ReproError):
+    """Simulated OS kernel errors (bad descriptor, dead process, ...)."""
+
+
+class SchemaError(ReproError):
+    """A message did not match its declared message-type schema."""
+
+
+class DiscoveryError(ReproError):
+    """Resource discovery failed (unknown component, no match)."""

@@ -1,0 +1,192 @@
+"""Labelled entities: the subjects and objects of IFC enforcement.
+
+§6: "active (e.g. processes) and passive (e.g. data) entities are
+labelled".  This module provides the base :class:`Entity`, the
+:class:`PassiveEntity` (data items, files) and :class:`ActiveEntity`
+(processes, components) classes, creation-flow semantics (created
+entities inherit labels but *not* privileges), and observable context
+changes so enforcement points can re-evaluate standing channels when a
+party's security context changes (§8.2.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional
+
+from repro.errors import PrivilegeError
+from repro.ifc.flow import FlowDecision, flow_decision
+from repro.ifc.labels import SecurityContext
+from repro.ifc.privileges import PrivilegeSet
+
+_entity_counter = itertools.count(1)
+
+#: Signature of observers notified on a security-context change:
+#: ``(entity, old_context, new_context)``.
+ContextObserver = Callable[["Entity", SecurityContext, SecurityContext], None]
+
+
+def _next_entity_id(prefix: str) -> str:
+    return f"{prefix}-{next(_entity_counter)}"
+
+
+class Entity:
+    """Anything that carries a security context.
+
+    Entities are identified by a unique id and a human-readable name
+    (used in audit records).  Context changes go through
+    :meth:`_set_context` so subclasses and enforcement points can observe
+    them; *passive* entities never change context after creation except
+    through trusted amalgamation (see :meth:`PassiveEntity.merged_with`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        context: Optional[SecurityContext] = None,
+        entity_id: Optional[str] = None,
+    ):
+        self.name = name
+        self.entity_id = entity_id or _next_entity_id("ent")
+        self._context = context or SecurityContext.public()
+        self._observers: List[ContextObserver] = []
+
+    @property
+    def context(self) -> SecurityContext:
+        """The entity's current security context (S, I)."""
+        return self._context
+
+    def observe_context(self, observer: ContextObserver) -> None:
+        """Register a callback for context changes (used by channels)."""
+        self._observers.append(observer)
+
+    def unobserve_context(self, observer: ContextObserver) -> None:
+        """Remove a previously registered observer (ignored if absent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _set_context(self, new_context: SecurityContext) -> None:
+        old = self._context
+        self._context = new_context
+        for observer in list(self._observers):
+            observer(self, old, new_context)
+
+    def flow_to(self, target: "Entity") -> FlowDecision:
+        """Evaluate (without enforcing) whether data may flow self→target."""
+        return flow_decision(self._context, target._context)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} {self._context}>"
+
+
+class PassiveEntity(Entity):
+    """A passive, labelled data container (file, message payload, record).
+
+    Passive entities cannot change their own labels — only active
+    entities hold privileges.  Their context is fixed at creation
+    (inherited from the creator, §6 "Creation flows") or derived by
+    amalgamation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        context: Optional[SecurityContext] = None,
+        payload: object = None,
+        entity_id: Optional[str] = None,
+    ):
+        super().__init__(name, context, entity_id)
+        self.payload = payload
+
+    def merged_with(self, other: "PassiveEntity", name: str) -> "PassiveEntity":
+        """Amalgamate two data items (Concern 5: aggregation).
+
+        The result's secrecy is the union of both inputs' secrecy
+        (combined data is at least as sensitive as each part) and its
+        integrity the intersection (only endorsements shared by both
+        survive).  This is the conservative join the paper relies on when
+        it notes IFC "helps with the amalgamation of data with different
+        policies" (Concern 3).
+        """
+        ctx = SecurityContext(
+            self.context.secrecy | other.context.secrecy,
+            self.context.integrity & other.context.integrity,
+        )
+        return PassiveEntity(name, ctx, payload=(self.payload, other.payload))
+
+
+class ActiveEntity(Entity):
+    """An entity that can act: processes, components, services.
+
+    Active entities hold a :class:`PrivilegeSet` and may change their own
+    security context within its bounds.  The class records every context
+    transition so substrates can audit declassification/endorsement.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        context: Optional[SecurityContext] = None,
+        privileges: Optional[PrivilegeSet] = None,
+        entity_id: Optional[str] = None,
+    ):
+        super().__init__(name, context, entity_id)
+        self.privileges = privileges or PrivilegeSet.none()
+        self.transitions: List[tuple] = []
+
+    def change_context(self, proposed: SecurityContext) -> SecurityContext:
+        """Attempt a self-initiated context change.
+
+        Raises:
+            PrivilegeError: when the held privileges do not authorise the
+                transition (§6 "Privileges for label change").
+        """
+        if not self.privileges.permits_transition(self._context, proposed):
+            raise PrivilegeError(
+                f"{self.name}: "
+                + self.privileges.explain_denial(self._context, proposed)
+            )
+        old = self._context
+        self.transitions.append((old, proposed))
+        self._set_context(proposed)
+        return proposed
+
+    def add_secrecy(self, *tags) -> SecurityContext:
+        """Raise own secrecy (always needs the add privilege)."""
+        return self.change_context(self._context.add_secrecy(*tags))
+
+    def remove_secrecy(self, *tags) -> SecurityContext:
+        """Declassify: drop secrecy tags (privileged)."""
+        return self.change_context(self._context.remove_secrecy(*tags))
+
+    def add_integrity(self, *tags) -> SecurityContext:
+        """Endorse: add integrity tags (privileged)."""
+        return self.change_context(self._context.add_integrity(*tags))
+
+    def remove_integrity(self, *tags) -> SecurityContext:
+        """Drop integrity tags (privileged)."""
+        return self.change_context(self._context.remove_integrity(*tags))
+
+    def create_passive(self, name: str, payload: object = None) -> PassiveEntity:
+        """Create a data item; it inherits this entity's labels (§6)."""
+        return PassiveEntity(name, self._context.creation_context(), payload)
+
+    def create_active(
+        self, name: str, privileges: Optional[PrivilegeSet] = None
+    ) -> "ActiveEntity":
+        """Fork a child active entity.
+
+        The child inherits the parent's labels but *not* its privileges:
+        "though a created entity inherits the labels (security context) of
+        its creator, privileges are not inherited and have to be passed
+        explicitly" (§6).  ``privileges`` models that explicit passing and
+        must be covered by the parent's own set.
+        """
+        granted = privileges or PrivilegeSet.none()
+        if not self.privileges.covers(granted):
+            raise PrivilegeError(
+                f"{self.name} cannot pass privileges it does not hold"
+            )
+        return ActiveEntity(
+            name, self._context.creation_context(), granted
+        )

@@ -1,0 +1,124 @@
+"""The IFC flow rule — the single decision procedure behind every PEP.
+
+The paper states the constraint applied on every data flow from entity A
+to entity B (§6)::
+
+    A -> B  iff  S(A) ⊆ S(B)  ∧  I(B) ⊆ I(A)
+
+Secrecy may only accumulate along a flow (Bell-LaPadula "no read up /
+no write down" in its decentralised form) and integrity may only erode
+(Biba).  A design decision recorded in DESIGN.md: this module is *pure* —
+no entity objects, no I/O — so the identical logic backs the simulated
+kernel's LSM hooks, middleware channel establishment, and message-level
+attribute quenching.  Enforcement sites call :func:`check_flow` /
+:func:`flow_decision` and record the returned decision in their audit log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import FlowError
+from repro.ifc.labels import Label, SecurityContext
+
+
+@dataclass(frozen=True)
+class FlowDecision:
+    """The outcome of evaluating the flow rule for one attempted flow.
+
+    Carries enough detail for audit (Concern 3: "to demonstrate that
+    policies have been respected it is necessary to record and audit the
+    flow of data") and for diagnostics: which half of the conjunction
+    failed and which tags were missing.
+
+    Attributes:
+        allowed: whether the flow may proceed.
+        secrecy_ok: whether ``S(A) ⊆ S(B)`` held.
+        integrity_ok: whether ``I(B) ⊆ I(A)`` held.
+        missing_secrecy: tags in S(A) that the target lacks.
+        missing_integrity: tags in I(B) that the source lacks.
+    """
+
+    allowed: bool
+    secrecy_ok: bool
+    integrity_ok: bool
+    missing_secrecy: Label = field(default_factory=Label.empty)
+    missing_integrity: Label = field(default_factory=Label.empty)
+
+    @property
+    def reason(self) -> str:
+        """Human-readable explanation, suitable for logs and errors."""
+        if self.allowed:
+            return "allowed"
+        parts: List[str] = []
+        if not self.secrecy_ok:
+            parts.append(f"target secrecy label missing {self.missing_secrecy}")
+        if not self.integrity_ok:
+            parts.append(f"source integrity label missing {self.missing_integrity}")
+        return "; ".join(parts)
+
+
+def can_flow(source: SecurityContext, target: SecurityContext) -> bool:
+    """Fast boolean form of the flow rule: ``S(A) ⊆ S(B) ∧ I(B) ⊆ I(A)``.
+
+    This is the hot path used by benchmarks; :func:`flow_decision` is the
+    explanatory form used where the outcome must be audited.
+    """
+    return (
+        source.secrecy.tags <= target.secrecy.tags
+        and target.integrity.tags <= source.integrity.tags
+    )
+
+
+def flow_decision(source: SecurityContext, target: SecurityContext) -> FlowDecision:
+    """Evaluate the flow rule and explain the outcome.
+
+    Both halves of the conjunction are always evaluated — the paper's
+    Fig. 4 caption notes Zeb's flow to Ann's analyser fails *both* the
+    secrecy and the integrity check, and audit logs should say so.
+    """
+    secrecy_ok = source.secrecy.tags <= target.secrecy.tags
+    integrity_ok = target.integrity.tags <= source.integrity.tags
+    if secrecy_ok and integrity_ok:
+        return FlowDecision(True, True, True)
+    missing_s = (
+        Label.empty() if secrecy_ok else source.secrecy - target.secrecy
+    )
+    missing_i = (
+        Label.empty() if integrity_ok else target.integrity - source.integrity
+    )
+    return FlowDecision(False, secrecy_ok, integrity_ok, missing_s, missing_i)
+
+
+def check_flow(
+    source: SecurityContext,
+    target: SecurityContext,
+    source_name: str = "source",
+    target_name: str = "target",
+) -> FlowDecision:
+    """Evaluate the flow rule and raise :class:`FlowError` on denial.
+
+    Returns the (allowed) decision on success so callers can audit it.
+    """
+    decision = flow_decision(source, target)
+    if not decision.allowed:
+        raise FlowError(source_name, target_name, decision.reason)
+    return decision
+
+
+def flow_path_allowed(
+    contexts: List[SecurityContext],
+) -> Tuple[bool, Optional[int]]:
+    """Check an entire processing chain (Fig. 2) hop by hop.
+
+    Returns ``(True, None)`` when data may traverse the whole chain, or
+    ``(False, i)`` where ``i`` is the index of the first hop
+    ``contexts[i] -> contexts[i+1]`` that the flow rule denies.  Useful
+    for chain planning: the middleware can determine, before wiring a
+    composition, whether declassifiers/endorsers must be interposed (§8.1).
+    """
+    for i in range(len(contexts) - 1):
+        if not can_flow(contexts[i], contexts[i + 1]):
+            return False, i
+    return True, None

@@ -1,0 +1,239 @@
+"""Declassifiers and endorsers: trusted gateways between context domains.
+
+§6: "Endorsers/declassifiers can be seen as trusted gateways between
+security context domains, where IFC constraints would otherwise prohibit
+a direct flow ... such gateways can help ensure that regulation is
+enforced, e.g., medical data might only flow to a research domain if it
+has gone through a declassifier that applies a specified anonymisation
+algorithm."
+
+A gateway wraps (1) an input security context it reads in, (2) a
+*transformation* applied to the data (anonymisation, format sanitising,
+…), (3) guard checks (e.g. embargo time), and (4) an output context it
+switches to before emitting the result — exercising its privileges for
+the context change so that unprivileged components cannot replicate it.
+The input sanitiser of Fig. 5 and the statistics generator of Fig. 6 are
+both instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import FlowError, PrivilegeError
+from repro.ifc.entities import ActiveEntity, PassiveEntity
+from repro.ifc.flow import check_flow
+from repro.ifc.labels import SecurityContext
+from repro.ifc.privileges import PrivilegeSet
+
+#: Transformation applied to the payload while crossing the gateway.
+Transform = Callable[[object], object]
+
+#: Guard predicate evaluated before release (e.g. "embargo has elapsed").
+Guard = Callable[[PassiveEntity], bool]
+
+
+@dataclass
+class GatewayResult:
+    """Outcome of pushing one data item through a gateway.
+
+    Attributes:
+        output: the transformed, relabelled data item.
+        input_context: gateway context while ingesting.
+        output_context: gateway context while emitting.
+    """
+
+    output: PassiveEntity
+    input_context: SecurityContext
+    output_context: SecurityContext
+
+
+class Gateway(ActiveEntity):
+    """A privileged component that moves data across context domains.
+
+    Subclasses/uses:
+      * an **endorser** raises integrity (Fig. 5's input sanitiser adds
+        ``hosp-dev`` after converting to hospital-standard format);
+      * a **declassifier** lowers secrecy (Fig. 6's statistics generator
+        drops per-patient tags after anonymisation).
+
+    The gateway's life-cycle for each item mirrors the paper's narrative:
+    it *sets up its security context to read* the input, applies the
+    transformation, *changes its security context* (a privileged action),
+    and emits the output, which inherits the output context.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_context: SecurityContext,
+        output_context: SecurityContext,
+        privileges: PrivilegeSet,
+        transform: Optional[Transform] = None,
+        guards: Optional[List[Guard]] = None,
+    ):
+        super().__init__(name, input_context, privileges)
+        self.input_context = input_context
+        self.output_context = output_context
+        self.transform = transform or (lambda payload: payload)
+        self.guards = list(guards or ())
+        self._validate_transition()
+
+    def _validate_transition(self) -> None:
+        """Fail fast at construction if the gateway could never make its
+        declared context switch — a misconfigured gateway should not wait
+        until runtime to discover it lacks privileges."""
+        if not self.privileges.permits_transition(
+            self.input_context, self.output_context
+        ):
+            raise PrivilegeError(
+                f"gateway {self.name} lacks privileges for its declared "
+                "transition: "
+                + self.privileges.explain_denial(
+                    self.input_context, self.output_context
+                )
+            )
+
+    def process(self, item: PassiveEntity) -> GatewayResult:
+        """Push one data item through the gateway.
+
+        Raises:
+            FlowError: if the item may not flow into the gateway's input
+                context, or a guard refuses release.
+        """
+        # Ensure we are in the ingest context (we may have switched to the
+        # output context on a previous item).
+        if self._context != self.input_context:
+            self.change_context(self.input_context)
+        check_flow(item.context, self._context, item.name, self.name)
+        for guard in self.guards:
+            if not guard(item):
+                raise FlowError(
+                    item.name, self.name, f"gateway guard refused release"
+                )
+        transformed = self.transform(item.payload)
+        # The privileged context change — visible in self.transitions and
+        # hence in any audit trail built over this gateway.
+        self.change_context(self.output_context)
+        output = PassiveEntity(
+            f"{item.name}@{self.name}",
+            self.output_context.creation_context(),
+            payload=transformed,
+        )
+        return GatewayResult(output, self.input_context, self.output_context)
+
+
+class Endorser(Gateway):
+    """Gateway whose context switch raises integrity (Biba upgrade).
+
+    Construction is validated so that secrecy is untouched or raised —
+    an "endorser" that silently declassified would be mislabelled.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_context: SecurityContext,
+        output_context: SecurityContext,
+        privileges: PrivilegeSet,
+        transform: Optional[Transform] = None,
+        guards: Optional[List[Guard]] = None,
+    ):
+        if not input_context.secrecy <= output_context.secrecy:
+            raise PrivilegeError(
+                f"endorser {name} may not lower secrecy "
+                f"({input_context.secrecy} -> {output_context.secrecy})"
+            )
+        super().__init__(
+            name, input_context, output_context, privileges, transform, guards
+        )
+
+
+class Declassifier(Gateway):
+    """Gateway whose context switch lowers secrecy.
+
+    Construction is validated so integrity is untouched or lowered only
+    explicitly; the canonical use is Fig. 6's anonymising statistics
+    generator.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_context: SecurityContext,
+        output_context: SecurityContext,
+        privileges: PrivilegeSet,
+        transform: Optional[Transform] = None,
+        guards: Optional[List[Guard]] = None,
+    ):
+        if input_context.secrecy <= output_context.secrecy:
+            raise PrivilegeError(
+                f"declassifier {name} does not lower secrecy "
+                f"({input_context.secrecy} -> {output_context.secrecy})"
+            )
+        super().__init__(
+            name, input_context, output_context, privileges, transform, guards
+        )
+
+
+def embargo_guard(release_at: float, clock: Callable[[], float]) -> Guard:
+    """A gateway guard releasing data only after a point in time.
+
+    §6: "perhaps after a certain time has elapsed, secret data may need
+    to be made publicly available ... checks such as the time the data
+    is authorised to be released might also be needed."  Attach to a
+    :class:`Declassifier` so the privileged crossing is refused until
+    the embargo lapses::
+
+        Declassifier(..., guards=[embargo_guard(t_release, sim.now)])
+    """
+
+    def guard(item: PassiveEntity) -> bool:
+        return clock() >= release_at
+
+    return guard
+
+
+def plan_gateway_chain(
+    source: SecurityContext,
+    target: SecurityContext,
+    gateways: List[Gateway],
+    max_hops: int = 4,
+) -> Optional[List[Gateway]]:
+    """Find a sequence of gateways letting data flow source → target.
+
+    §8.1 anticipates middleware "automatically includ[ing] various
+    declassifiers/endorsers and associated transformation operations to
+    allow data to flow across IFC security context domains".  This
+    planner does a bounded breadth-first search over available gateways.
+
+    Returns the gateway list (possibly empty when a direct flow is
+    already legal), or ``None`` when no chain of at most ``max_hops``
+    gateways suffices.
+    """
+    from collections import deque
+
+    from repro.ifc.flow import can_flow
+
+    if can_flow(source, target):
+        return []
+    seen = {source}
+    queue = deque([(source, [])])
+    while queue:
+        ctx, path = queue.popleft()
+        if len(path) >= max_hops:
+            continue
+        for gw in gateways:
+            if gw in path:
+                continue
+            if not can_flow(ctx, gw.input_context):
+                continue
+            out = gw.output_context
+            new_path = path + [gw]
+            if can_flow(out, target):
+                return new_path
+            if out not in seen:
+                seen.add(out)
+                queue.append((out, new_path))
+    return None

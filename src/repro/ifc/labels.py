@@ -1,0 +1,200 @@
+"""Labels and security contexts.
+
+The paper associates with each entity ``A`` two labels: ``S(A)`` for
+secrecy (where data may flow *to*, per Bell-LaPadula) and ``I(A)`` for
+integrity (where data may flow *from*, per Biba).  A label is a set of
+tags; the *security context* of an entity is the pair ``(S, I)`` (§6).
+
+``Label`` wraps a frozenset of :class:`~repro.ifc.tags.Tag` with the
+subset/superset operations the flow rule needs, and ``SecurityContext``
+is an immutable value object so that context changes are explicit,
+auditable events (an entity *replaces* its context, it never mutates it
+in place — this is what makes declassification visible to the audit log).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator
+
+from repro.ifc.tags import Tag, as_tag, as_tags
+
+
+@dataclass(frozen=True)
+class Label:
+    """An immutable set of tags forming one half of a security context.
+
+    >>> Label.of("medical", "ann") <= Label.of("medical", "ann", "zeb")
+    True
+    """
+
+    tags: FrozenSet[Tag] = frozenset()
+
+    @classmethod
+    def of(cls, *tags: "Tag | str") -> "Label":
+        """Build a label from tag values or ``"ns:name"`` strings."""
+        return cls(as_tags(tags))
+
+    @classmethod
+    def empty(cls) -> "Label":
+        """The empty label (no constraints for S; no endorsements for I)."""
+        return _EMPTY_LABEL
+
+    def __iter__(self) -> Iterator[Tag]:
+        return iter(sorted(self.tags))
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+    def __contains__(self, tag: "Tag | str") -> bool:
+        return as_tag(tag) in self.tags
+
+    def __le__(self, other: "Label") -> bool:
+        """Subset: every tag of self is in other."""
+        return self.tags <= other.tags
+
+    def __lt__(self, other: "Label") -> bool:
+        return self.tags < other.tags
+
+    def __ge__(self, other: "Label") -> bool:
+        return self.tags >= other.tags
+
+    def __gt__(self, other: "Label") -> bool:
+        return self.tags > other.tags
+
+    def is_empty(self) -> bool:
+        return not self.tags
+
+    def add(self, *tags: "Tag | str") -> "Label":
+        """Return a new label with ``tags`` added."""
+        return Label(self.tags | as_tags(tags))
+
+    def remove(self, *tags: "Tag | str") -> "Label":
+        """Return a new label with ``tags`` removed (missing tags ignored)."""
+        return Label(self.tags - as_tags(tags))
+
+    def union(self, other: "Label") -> "Label":
+        """Least upper bound of two labels (tag-set union)."""
+        return Label(self.tags | other.tags)
+
+    def intersection(self, other: "Label") -> "Label":
+        """Greatest lower bound of two labels (tag-set intersection)."""
+        return Label(self.tags & other.tags)
+
+    def difference(self, other: "Label") -> "Label":
+        """Tags in self but not in other."""
+        return Label(self.tags - other.tags)
+
+    def __or__(self, other: "Label") -> "Label":
+        return self.union(other)
+
+    def __and__(self, other: "Label") -> "Label":
+        return self.intersection(other)
+
+    def __sub__(self, other: "Label") -> "Label":
+        return self.difference(other)
+
+    def __str__(self) -> str:
+        if not self.tags:
+            return "{}"
+        return "{" + ", ".join(t.qualified for t in sorted(self.tags)) + "}"
+
+    def __repr__(self) -> str:
+        return f"Label({str(self)})"
+
+
+_EMPTY_LABEL = Label(frozenset())
+
+
+def as_label(value: "Label | Iterable[Tag | str] | None") -> Label:
+    """Coerce None / iterable of tags / Label into a Label."""
+    if value is None:
+        return Label.empty()
+    if isinstance(value, Label):
+        return value
+    return Label(as_tags(value))
+
+
+@dataclass(frozen=True)
+class SecurityContext:
+    """The pair of labels ``(S, I)`` defining an entity's security state.
+
+    "The security context of an entity is defined as the state of its two
+    labels, S and I" (§6).  Contexts are immutable; label changes produce
+    a *new* context, which enforcement points observe and re-evaluate
+    (§8.2.2: "an entity changing its security context triggers
+    re-evaluation").
+
+    >>> ctx = SecurityContext.of(secrecy=["medical", "ann"],
+    ...                          integrity=["hosp-dev", "consent"])
+    >>> "local:medical" in str(ctx.secrecy)
+    True
+    """
+
+    secrecy: Label = Label(frozenset())
+    integrity: Label = Label(frozenset())
+
+    @classmethod
+    def of(
+        cls,
+        secrecy: "Label | Iterable[Tag | str] | None" = None,
+        integrity: "Label | Iterable[Tag | str] | None" = None,
+    ) -> "SecurityContext":
+        """Build a context from tag iterables or labels."""
+        return cls(as_label(secrecy), as_label(integrity))
+
+    @classmethod
+    def public(cls) -> "SecurityContext":
+        """The unconstrained context: empty S (public) and empty I."""
+        return cls()
+
+    def with_secrecy(self, secrecy: "Label | Iterable[Tag | str]") -> "SecurityContext":
+        """New context with a replaced secrecy label."""
+        return SecurityContext(as_label(secrecy), self.integrity)
+
+    def with_integrity(
+        self, integrity: "Label | Iterable[Tag | str]"
+    ) -> "SecurityContext":
+        """New context with a replaced integrity label."""
+        return SecurityContext(self.secrecy, as_label(integrity))
+
+    def add_secrecy(self, *tags: "Tag | str") -> "SecurityContext":
+        """New context with extra secrecy tags."""
+        return SecurityContext(self.secrecy.add(*tags), self.integrity)
+
+    def remove_secrecy(self, *tags: "Tag | str") -> "SecurityContext":
+        """New context with secrecy tags removed."""
+        return SecurityContext(self.secrecy.remove(*tags), self.integrity)
+
+    def add_integrity(self, *tags: "Tag | str") -> "SecurityContext":
+        """New context with extra integrity tags."""
+        return SecurityContext(self.secrecy, self.integrity.add(*tags))
+
+    def remove_integrity(self, *tags: "Tag | str") -> "SecurityContext":
+        """New context with integrity tags removed."""
+        return SecurityContext(self.secrecy, self.integrity.remove(*tags))
+
+    def is_public(self) -> bool:
+        """True when both labels are empty (no IFC constraints)."""
+        return self.secrecy.is_empty() and self.integrity.is_empty()
+
+    def creation_context(self) -> "SecurityContext":
+        """Context a created entity inherits: identical labels (§6,
+        "Creation flows": created entities inherit the labels of their
+        parents; privileges are *not* inherited)."""
+        return SecurityContext(self.secrecy, self.integrity)
+
+    def merge_for_read(self, other: "SecurityContext") -> "SecurityContext":
+        """Context after reading data from ``other``: a conservative
+        combination used by floating-label substrates — secrecy accrues
+        (union), integrity erodes (intersection)."""
+        return SecurityContext(
+            self.secrecy | other.secrecy,
+            self.integrity & other.integrity,
+        )
+
+    def __str__(self) -> str:
+        return f"S={self.secrecy} I={self.integrity}"
+
+    def __repr__(self) -> str:
+        return f"SecurityContext({str(self)})"

@@ -1,0 +1,187 @@
+"""Federated, DNS-like tag naming (Challenge 1).
+
+"For security policy to apply at scale, throughout the IoT, there is a
+need for a global policy representation, including tag and privilege
+descriptions ... With tags, one way forward may be approaches akin to
+DNS and/or based on PKI, though overheads will be a consideration."
+
+This module implements that sketch: a tree of :class:`TagAuthority`
+servers, each authoritative for a namespace zone and able to *delegate*
+sub-zones to other authorities; authority responses are signed with the
+authority's key pair (the PKI half); and a :class:`CachingResolver`
+walks delegations from the root with a TTL cache (whose hit rate is the
+"overheads" consideration — measured in the S1 bench family).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.crypto.keys import KeyPair, generate_keypair, verify
+from repro.errors import TagError
+from repro.ifc.tags import Tag, TagRecord, as_tag
+
+
+@dataclass
+class SignedRecord:
+    """A tag record plus the signature of the issuing authority."""
+
+    record: TagRecord
+    authority: str
+    signature: str
+
+    def body(self) -> bytes:
+        record = self.record
+        return (
+            f"{record.tag.qualified}|{record.owner}|{record.description}|"
+            f"{record.sensitive}|{self.authority}"
+        ).encode()
+
+
+class TagAuthority:
+    """An authoritative name server for one namespace zone.
+
+    Zones are dot-separated namespace prefixes: the authority for
+    ``"org"`` may delegate ``"org.hospital"`` to the hospital's own
+    authority.  Lookups either answer from local records, return a
+    referral to a delegated child, or fail.
+    """
+
+    def __init__(self, zone: str):
+        self.zone = zone
+        self.keys: KeyPair = generate_keypair(seed=f"authority-{zone}")
+        self._records: Dict[str, SignedRecord] = {}
+        self._delegations: Dict[str, "TagAuthority"] = {}
+        self.queries_served = 0
+
+    def _in_zone(self, namespace: str) -> bool:
+        return namespace == self.zone or namespace.startswith(self.zone + ".")
+
+    def register(
+        self,
+        tag: "Tag | str",
+        owner: str,
+        description: str = "",
+        sensitive: bool = False,
+    ) -> SignedRecord:
+        """Register a tag in this zone (authoritative write)."""
+        t = as_tag(tag)
+        if not self._in_zone(t.namespace):
+            raise TagError(
+                f"authority for {self.zone!r} cannot register {t.qualified}"
+            )
+        for delegated_zone in self._delegations:
+            if t.namespace == delegated_zone or t.namespace.startswith(
+                delegated_zone + "."
+            ):
+                raise TagError(
+                    f"{t.namespace} is delegated to another authority"
+                )
+        if t.qualified in self._records:
+            raise TagError(f"tag already registered: {t.qualified}")
+        record = TagRecord(t, owner, description, sensitive)
+        signed = SignedRecord(record, self.zone, "")
+        signed.signature = self.keys.sign(signed.body())
+        self._records[t.qualified] = signed
+        return signed
+
+    def delegate(self, child: "TagAuthority") -> None:
+        """Hand a sub-zone to another authority (the DNS delegation)."""
+        if not self._in_zone(child.zone) or child.zone == self.zone:
+            raise TagError(
+                f"{child.zone!r} is not a sub-zone of {self.zone!r}"
+            )
+        self._delegations[child.zone] = child
+
+    def lookup(self, tag: "Tag | str") -> "SignedRecord | TagAuthority":
+        """Answer authoritatively, refer to a delegate, or raise.
+
+        Returns either the :class:`SignedRecord` or the
+        :class:`TagAuthority` to ask next (a referral).
+        """
+        self.queries_served += 1
+        t = as_tag(tag)
+        if not self._in_zone(t.namespace):
+            raise TagError(
+                f"authority for {self.zone!r} is not authoritative for "
+                f"{t.namespace!r}"
+            )
+        # Longest-match delegation first.
+        best: Optional[TagAuthority] = None
+        for zone, child in self._delegations.items():
+            if t.namespace == zone or t.namespace.startswith(zone + "."):
+                if best is None or len(zone) > len(best.zone):
+                    best = child
+        if best is not None:
+            return best
+        signed = self._records.get(t.qualified)
+        if signed is None:
+            raise TagError(f"unknown tag: {t.qualified}")
+        return signed
+
+
+@dataclass
+class _CacheEntry:
+    signed: SignedRecord
+    expires_at: float
+
+
+class CachingResolver:
+    """A recursive resolver with TTL caching and signature verification.
+
+    The client side of Challenge 1's naming system: resolve a tag by
+    walking referrals from the root authority, verify the answering
+    authority's signature, and cache.
+    """
+
+    def __init__(
+        self,
+        root: TagAuthority,
+        ttl: float = 300.0,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.root = root
+        self.ttl = ttl
+        self._clock = clock or (lambda: 0.0)
+        self._cache: Dict[str, _CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def resolve(self, tag: "Tag | str", max_referrals: int = 8) -> TagRecord:
+        """Resolve a tag to its verified record.
+
+        Raises:
+            TagError: unknown tag, referral loop, or bad signature.
+        """
+        t = as_tag(tag)
+        now = self._clock()
+        cached = self._cache.get(t.qualified)
+        if cached is not None and cached.expires_at > now:
+            self.hits += 1
+            return cached.signed.record
+        self.misses += 1
+
+        authority = self.root
+        for __ in range(max_referrals):
+            answer = authority.lookup(t)
+            if isinstance(answer, TagAuthority):
+                authority = answer
+                continue
+            if not verify(authority.keys.public, answer.body(), answer.signature):
+                raise TagError(
+                    f"bad signature on {t.qualified} from zone "
+                    f"{authority.zone!r}"
+                )
+            self._cache[t.qualified] = _CacheEntry(answer, now + self.ttl)
+            return answer.record
+        raise TagError(f"referral limit exceeded resolving {t.qualified}")
+
+    def invalidate(self, tag: "Tag | str") -> None:
+        """Drop a cache entry (e.g. after an ownership transfer)."""
+        self._cache.pop(as_tag(tag).qualified, None)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

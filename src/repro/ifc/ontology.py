@@ -1,0 +1,141 @@
+"""Tag ontologies: semantic structure over flat tags (§10.2, Challenge 2).
+
+"Ontological approaches show particular promise, by allowing context,
+tags, privileges, etc. to be defined, based on semantics."  The flat tag
+model of §6 is deliberately simple; deployments, however, want to say
+*cardiology data is medical data* and have a flow into a ``medical``-
+cleared sink accept ``cardiology``-tagged data without enumerating every
+specialty.
+
+:class:`TagOntology` holds is-a (subsumption) edges between tags and
+provides *label normalisation*: expanding a label with every ancestor of
+its tags.  Expanding both sides preserves the §6 flow rule's soundness
+(it is a monotone closure) while granting the semantic flexibility —
+see ``tests/ifc/test_ontology.py::test_semantic_flow`` for the
+cardiology example, and :func:`semantic_can_flow` for the check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import TagError
+from repro.ifc.flow import can_flow
+from repro.ifc.labels import Label, SecurityContext
+from repro.ifc.tags import Tag, as_tag
+
+
+class TagOntology:
+    """A DAG of is-a relations between tags.
+
+    ``declare_subtype(child, parent)`` records *child is-a parent* —
+    e.g. ``declare_subtype("cardiology", "medical")``.  Cycles are
+    rejected (a tag implying itself through others collapses semantics).
+    """
+
+    def __init__(self) -> None:
+        self._parents: Dict[Tag, Set[Tag]] = {}
+
+    def declare_subtype(self, child: "Tag | str", parent: "Tag | str") -> None:
+        """Record that ``child`` is a specialisation of ``parent``.
+
+        Raises:
+            TagError: when the edge would create a cycle.
+        """
+        c = as_tag(child)
+        p = as_tag(parent)
+        if c == p:
+            raise TagError(f"{c.qualified} cannot subtype itself")
+        if c in self.ancestors(p) or c == p:
+            raise TagError(
+                f"edge {c.qualified} -> {p.qualified} creates a cycle"
+            )
+        self._parents.setdefault(c, set()).add(p)
+
+    def parents(self, tag: "Tag | str") -> Set[Tag]:
+        """Direct supertypes of a tag."""
+        return set(self._parents.get(as_tag(tag), set()))
+
+    def ancestors(self, tag: "Tag | str") -> Set[Tag]:
+        """All transitive supertypes of a tag (not including itself)."""
+        t = as_tag(tag)
+        seen: Set[Tag] = set()
+        frontier = [t]
+        while frontier:
+            current = frontier.pop()
+            for parent in self._parents.get(current, ()):
+                if parent not in seen:
+                    seen.add(parent)
+                    frontier.append(parent)
+        return seen
+
+    def is_subtype(self, child: "Tag | str", parent: "Tag | str") -> bool:
+        """Whether child is-a parent (reflexive)."""
+        c = as_tag(child)
+        p = as_tag(parent)
+        return c == p or p in self.ancestors(c)
+
+    def descendants(self, tag: "Tag | str") -> Set[Tag]:
+        """All tags that specialise ``tag`` (transitively)."""
+        t = as_tag(tag)
+        return {
+            child
+            for child in self._parents
+            if t in self.ancestors(child)
+        }
+
+    # -- label/context closure ---------------------------------------------------
+
+    def expand_label(self, label: Label) -> Label:
+        """Close a label under ancestors: cardiology ⇒ + medical."""
+        tags: Set[Tag] = set(label.tags)
+        for tag in label.tags:
+            tags |= self.ancestors(tag)
+        return Label(frozenset(tags))
+
+    def expand_context(self, context: SecurityContext) -> SecurityContext:
+        """Expand both labels of a context.
+
+        Secrecy expansion is the conservative direction (data marked
+        ``cardiology`` is also ``medical``, so it demands the superset).
+        Integrity expansion says an endorsement implies its generalisations
+        (``hosp-dev`` implies ``certified-dev``), which is how a sink
+        demanding only the general endorsement accepts the specific one.
+        """
+        return SecurityContext(
+            self.expand_label(context.secrecy),
+            self.expand_label(context.integrity),
+        )
+
+
+def semantic_can_flow(
+    ontology: TagOntology, source: SecurityContext, target: SecurityContext
+) -> bool:
+    """The §6 flow rule modulo subsumption.
+
+    A source secrecy tag is satisfied if the target holds it *or any of
+    its ancestors is held specifically enough* — concretely: expand the
+    **target's** secrecy with descendants?  No: the correct, sound rule
+    is containment after expanding both sides with ancestors.  A target
+    cleared for ``medical`` then accepts ``cardiology`` data only if the
+    target is cleared for cardiology-or-above... which would *deny*.
+
+    The deployment-friendly semantics the ontology literature uses (and
+    we implement) is: a target clearance ``medical`` means "cleared for
+    medical and everything below it".  So the check is: every source
+    secrecy tag must be subsumed by (be a subtype of) some target
+    secrecy tag, and every target integrity demand must be subsumed by
+    some source integrity endorsement.
+    """
+    for s_tag in source.secrecy.tags:
+        if not any(
+            ontology.is_subtype(s_tag, t_tag) for t_tag in target.secrecy.tags
+        ):
+            return False
+    for i_tag in target.integrity.tags:
+        if not any(
+            ontology.is_subtype(s_i, i_tag) for s_i in source.integrity.tags
+        ):
+            return False
+    return True

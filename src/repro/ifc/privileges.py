@@ -1,0 +1,273 @@
+"""Privileges for label change, and their delegation.
+
+§6 ("Privileges for label change"): an active entity may hold four
+privilege tag sets in addition to its security context — the privileges
+to *add* and/or *remove* tags to/from its S and I labels.  Declassifiers
+remove secrecy tags; endorsers add integrity tags.  Privileges are not
+inherited on creation and "must be passed on with care, especially a
+privilege to remove a tag from a label".
+
+This module provides the :class:`PrivilegeSet` value object, the
+delegation machinery (with ownership checks against a
+:class:`~repro.ifc.tags.TagRegistry`), and validation of proposed context
+transitions against held privileges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.errors import PrivilegeError, TagError
+from repro.ifc.labels import Label, SecurityContext, as_label
+from repro.ifc.tags import Tag, TagRegistry, as_tag, as_tags
+
+
+@dataclass(frozen=True)
+class PrivilegeSet:
+    """The four privilege tag-sets of an active entity.
+
+    Attributes:
+        add_secrecy: tags the holder may add to its S label.
+        remove_secrecy: tags the holder may remove from its S label
+            (declassification capability — the dangerous one).
+        add_integrity: tags the holder may add to its I label
+            (endorsement capability).
+        remove_integrity: tags the holder may remove from its I label.
+    """
+
+    add_secrecy: frozenset = frozenset()
+    remove_secrecy: frozenset = frozenset()
+    add_integrity: frozenset = frozenset()
+    remove_integrity: frozenset = frozenset()
+
+    @classmethod
+    def of(
+        cls,
+        add_secrecy: Iterable = (),
+        remove_secrecy: Iterable = (),
+        add_integrity: Iterable = (),
+        remove_integrity: Iterable = (),
+    ) -> "PrivilegeSet":
+        """Build a privilege set from iterables of tags/strings."""
+        return cls(
+            as_tags(add_secrecy),
+            as_tags(remove_secrecy),
+            as_tags(add_integrity),
+            as_tags(remove_integrity),
+        )
+
+    @classmethod
+    def none(cls) -> "PrivilegeSet":
+        """The empty privilege set — what created entities start with."""
+        return _NO_PRIVILEGES
+
+    @classmethod
+    def owner_of(cls, *tags: "Tag | str") -> "PrivilegeSet":
+        """Full add+remove privileges over the given tags, as a tag
+        creator would hold in ownership-based models (§6)."""
+        ts = as_tags(tags)
+        return cls(ts, ts, ts, ts)
+
+    def is_empty(self) -> bool:
+        return not (
+            self.add_secrecy
+            or self.remove_secrecy
+            or self.add_integrity
+            or self.remove_integrity
+        )
+
+    def merged(self, other: "PrivilegeSet") -> "PrivilegeSet":
+        """Union of two privilege sets (e.g. after a delegation)."""
+        return PrivilegeSet(
+            self.add_secrecy | other.add_secrecy,
+            self.remove_secrecy | other.remove_secrecy,
+            self.add_integrity | other.add_integrity,
+            self.remove_integrity | other.remove_integrity,
+        )
+
+    def without(self, other: "PrivilegeSet") -> "PrivilegeSet":
+        """Privileges in self minus those in other (revocation)."""
+        return PrivilegeSet(
+            self.add_secrecy - other.add_secrecy,
+            self.remove_secrecy - other.remove_secrecy,
+            self.add_integrity - other.add_integrity,
+            self.remove_integrity - other.remove_integrity,
+        )
+
+    def covers(self, other: "PrivilegeSet") -> bool:
+        """Whether self includes every privilege in other — a delegator
+        may only pass on privileges it holds."""
+        return (
+            other.add_secrecy <= self.add_secrecy
+            and other.remove_secrecy <= self.remove_secrecy
+            and other.add_integrity <= self.add_integrity
+            and other.remove_integrity <= self.remove_integrity
+        )
+
+    def permits_transition(
+        self, current: SecurityContext, proposed: SecurityContext
+    ) -> bool:
+        """Whether this privilege set authorises ``current -> proposed``.
+
+        Every added tag must be in the corresponding ``add_*`` set and
+        every removed tag in the corresponding ``remove_*`` set.
+        """
+        added_s = proposed.secrecy.tags - current.secrecy.tags
+        removed_s = current.secrecy.tags - proposed.secrecy.tags
+        added_i = proposed.integrity.tags - current.integrity.tags
+        removed_i = current.integrity.tags - proposed.integrity.tags
+        return (
+            added_s <= self.add_secrecy
+            and removed_s <= self.remove_secrecy
+            and added_i <= self.add_integrity
+            and removed_i <= self.remove_integrity
+        )
+
+    def explain_denial(
+        self, current: SecurityContext, proposed: SecurityContext
+    ) -> str:
+        """Human-readable account of why a transition is not permitted."""
+        problems: List[str] = []
+        added_s = proposed.secrecy.tags - current.secrecy.tags - self.add_secrecy
+        if added_s:
+            problems.append(f"may not add secrecy tags {Label(frozenset(added_s))}")
+        removed_s = (
+            current.secrecy.tags - proposed.secrecy.tags - self.remove_secrecy
+        )
+        if removed_s:
+            problems.append(
+                f"may not remove secrecy tags {Label(frozenset(removed_s))}"
+            )
+        added_i = (
+            proposed.integrity.tags - current.integrity.tags - self.add_integrity
+        )
+        if added_i:
+            problems.append(f"may not add integrity tags {Label(frozenset(added_i))}")
+        removed_i = (
+            current.integrity.tags - proposed.integrity.tags - self.remove_integrity
+        )
+        if removed_i:
+            problems.append(
+                f"may not remove integrity tags {Label(frozenset(removed_i))}"
+            )
+        return "; ".join(problems) if problems else "permitted"
+
+    def __str__(self) -> str:
+        def fmt(s: frozenset) -> str:
+            return "{" + ", ".join(t.qualified for t in sorted(s)) + "}"
+
+        return (
+            f"P[S+{fmt(self.add_secrecy)} S-{fmt(self.remove_secrecy)} "
+            f"I+{fmt(self.add_integrity)} I-{fmt(self.remove_integrity)}]"
+        )
+
+
+_NO_PRIVILEGES = PrivilegeSet()
+
+
+@dataclass(frozen=True)
+class Delegation:
+    """A record of one privilege delegation, kept for audit.
+
+    Attributes:
+        grantor: principal handing over privileges.
+        grantee: principal receiving them.
+        privileges: what was delegated.
+        revocable: whether the grantor may later revoke.
+    """
+
+    grantor: str
+    grantee: str
+    privileges: PrivilegeSet
+    revocable: bool = True
+
+
+class PrivilegeAuthority:
+    """Manages privilege grants, delegation chains, and revocation.
+
+    The authority anchors privileges in *tag ownership* (§6): a tag's
+    owner implicitly holds full privileges over it and is the root of any
+    delegation chain.  Delegations are checked so that nobody can pass on
+    privileges they do not hold, and revocations cascade to re-delegations
+    made by the revoked grantee.
+    """
+
+    def __init__(self, registry: TagRegistry):
+        self._registry = registry
+        self._grants: dict[str, PrivilegeSet] = {}
+        self._delegations: List[Delegation] = []
+
+    def privileges_of(self, principal: str) -> PrivilegeSet:
+        """Current effective privileges of a principal: explicit grants
+        plus implicit owner privileges over owned tags."""
+        explicit = self._grants.get(principal, PrivilegeSet.none())
+        owned = self._registry.owned_by(principal)
+        if owned:
+            explicit = explicit.merged(PrivilegeSet.owner_of(*owned))
+        return explicit
+
+    def delegate(
+        self,
+        grantor: str,
+        grantee: str,
+        privileges: PrivilegeSet,
+        revocable: bool = True,
+    ) -> Delegation:
+        """Pass privileges from ``grantor`` to ``grantee``.
+
+        Raises:
+            PrivilegeError: if the grantor lacks any delegated privilege.
+        """
+        if not self.privileges_of(grantor).covers(privileges):
+            raise PrivilegeError(
+                f"{grantor} cannot delegate privileges it does not hold: "
+                f"{privileges}"
+            )
+        current = self._grants.get(grantee, PrivilegeSet.none())
+        self._grants[grantee] = current.merged(privileges)
+        record = Delegation(grantor, grantee, privileges, revocable)
+        self._delegations.append(record)
+        return record
+
+    def revoke(self, grantor: str, grantee: str) -> PrivilegeSet:
+        """Revoke every revocable delegation from grantor to grantee.
+
+        Returns the privileges removed.  Re-delegations the grantee made
+        of those privileges are revoked transitively — the cautious
+        semantics §6 calls for ("privileges must be passed on with care").
+        """
+        revoked = PrivilegeSet.none()
+        for d in self._delegations:
+            if d.grantor == grantor and d.grantee == grantee and d.revocable:
+                revoked = revoked.merged(d.privileges)
+        if revoked.is_empty():
+            return revoked
+        self._delegations = [
+            d
+            for d in self._delegations
+            if not (d.grantor == grantor and d.grantee == grantee and d.revocable)
+        ]
+        held = self._grants.get(grantee, PrivilegeSet.none())
+        self._grants[grantee] = held.without(revoked)
+        # Cascade: anything the grantee re-delegated out of the revoked
+        # set must also be withdrawn from downstream principals.
+        downstream = [
+            d
+            for d in self._delegations
+            if d.grantor == grantee and not revoked.merged(d.privileges).is_empty()
+        ]
+        for d in downstream:
+            overlap = PrivilegeSet(
+                d.privileges.add_secrecy & revoked.add_secrecy,
+                d.privileges.remove_secrecy & revoked.remove_secrecy,
+                d.privileges.add_integrity & revoked.add_integrity,
+                d.privileges.remove_integrity & revoked.remove_integrity,
+            )
+            if not overlap.is_empty():
+                self.revoke(grantee, d.grantee)
+        return revoked
+
+    def delegations(self) -> List[Delegation]:
+        """The delegation audit trail."""
+        return list(self._delegations)

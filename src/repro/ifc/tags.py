@@ -1,0 +1,232 @@
+"""Tags: the atomic unit of IFC policy.
+
+The paper's IFC model (§6) builds secrecy and integrity labels from *tags*,
+"each tag representing a particular security concern (e.g. S = {medical},
+I = {sanitised})".  Challenge 1 (§9.3) calls for a *global* tag
+representation — "approaches akin to DNS and/or based on PKI" — so tags here
+are namespaced (``namespace:name``) and managed by a :class:`TagRegistry`
+that models the global naming authority, tracks tag ownership, and can
+mark tags themselves as sensitive (Challenge 2 notes "tags may themselves
+be sensitive e.g. where a tag implies a particular medical condition").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.errors import TagError
+
+#: The namespace used when a bare tag name is given.
+DEFAULT_NAMESPACE = "local"
+
+_NAME_RE = re.compile(r"^[a-zA-Z0-9_.\-]+$")
+
+
+@dataclass(frozen=True, order=True)
+class Tag:
+    """A single, immutable security concern.
+
+    Tags compare and hash by value so they can live in frozensets (labels).
+    The ``namespace`` models the DNS-like global naming scheme of
+    Challenge 1; two deployments can both define a ``medical`` tag without
+    collision (``hospital-a:medical`` vs ``hospital-b:medical``).
+
+    Attributes:
+        namespace: naming authority, e.g. ``"hospital"`` or ``"local"``.
+        name: the concern itself, e.g. ``"medical"`` or ``"ann"``.
+    """
+
+    namespace: str
+    name: str
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.namespace):
+            raise TagError(f"invalid tag namespace: {self.namespace!r}")
+        if not _NAME_RE.match(self.name):
+            raise TagError(f"invalid tag name: {self.name!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Tag":
+        """Parse ``"namespace:name"`` or bare ``"name"`` into a Tag.
+
+        >>> Tag.parse("hospital:medical")
+        Tag(namespace='hospital', name='medical')
+        >>> Tag.parse("medical").namespace
+        'local'
+        """
+        if ":" in text:
+            namespace, _, name = text.partition(":")
+            return cls(namespace, name)
+        return cls(DEFAULT_NAMESPACE, text)
+
+    @property
+    def qualified(self) -> str:
+        """The fully qualified ``namespace:name`` form."""
+        return f"{self.namespace}:{self.name}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.qualified
+
+    def __repr__(self) -> str:
+        return f"Tag(namespace={self.namespace!r}, name={self.name!r})"
+
+
+def as_tag(value: "Tag | str") -> Tag:
+    """Coerce a string (``"ns:name"`` or bare name) or Tag to a Tag."""
+    if isinstance(value, Tag):
+        return value
+    if isinstance(value, str):
+        return Tag.parse(value)
+    raise TagError(f"cannot interpret {value!r} as a tag")
+
+
+def as_tags(values: Iterable["Tag | str"]) -> frozenset:
+    """Coerce an iterable of tags/strings to a frozenset of Tags."""
+    return frozenset(as_tag(v) for v in values)
+
+
+@dataclass
+class TagRecord:
+    """Registry metadata for a single tag.
+
+    Attributes:
+        tag: the tag itself.
+        owner: principal identifier of the tag's creator/owner.  The
+            paper (§6, "Tag Ownership") ties privilege delegation to
+            ownership.
+        description: human-readable meaning, used by policy authoring
+            tooling (Challenge 2).
+        sensitive: whether knowledge of the tag itself reveals something
+            (visibility of policy specifications "may also need to be
+            controlled", Challenge 2).
+        readers: principals allowed to see a sensitive tag's metadata.
+    """
+
+    tag: Tag
+    owner: str
+    description: str = ""
+    sensitive: bool = False
+    readers: Set[str] = field(default_factory=set)
+
+    def visible_to(self, principal: str) -> bool:
+        """Whether ``principal`` may learn this tag's meaning."""
+        if not self.sensitive:
+            return True
+        return principal == self.owner or principal in self.readers
+
+
+class TagRegistry:
+    """A global tag-naming authority (Challenge 1).
+
+    The registry maps qualified tag names to :class:`TagRecord` metadata.
+    It is deliberately simple — a dictionary with ownership checks — but
+    it occupies the architectural position the paper assigns to a
+    DNS/PKI-like service: the single point where tags are *defined* so that
+    "interactions may occur with entities never before encountered" yet
+    both sides agree on what a tag means.
+
+    The registry is not on the enforcement fast path: flow checks use tag
+    values only.  It is consulted when policy is authored, when privileges
+    are delegated, and when audit reports need human-readable descriptions.
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[str, TagRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, tag: "Tag | str") -> bool:
+        return as_tag(tag).qualified in self._records
+
+    def __iter__(self) -> Iterator[TagRecord]:
+        return iter(self._records.values())
+
+    def register(
+        self,
+        tag: "Tag | str",
+        owner: str,
+        description: str = "",
+        sensitive: bool = False,
+        readers: Optional[Iterable[str]] = None,
+    ) -> Tag:
+        """Define a new tag owned by ``owner``.
+
+        Raises:
+            TagError: if the tag is already registered (names are global
+                and first-come-first-served within a namespace).
+        """
+        t = as_tag(tag)
+        if t.qualified in self._records:
+            raise TagError(f"tag already registered: {t.qualified}")
+        self._records[t.qualified] = TagRecord(
+            tag=t,
+            owner=owner,
+            description=description,
+            sensitive=sensitive,
+            readers=set(readers or ()),
+        )
+        return t
+
+    def lookup(self, tag: "Tag | str") -> TagRecord:
+        """Return the record for a tag.
+
+        Raises:
+            TagError: if the tag is unknown.
+        """
+        t = as_tag(tag)
+        try:
+            return self._records[t.qualified]
+        except KeyError:
+            raise TagError(f"unknown tag: {t.qualified}") from None
+
+    def owner_of(self, tag: "Tag | str") -> str:
+        """Return the owning principal of a tag."""
+        return self.lookup(tag).owner
+
+    def is_owner(self, tag: "Tag | str", principal: str) -> bool:
+        """Whether ``principal`` owns ``tag``."""
+        return self.owner_of(tag) == principal
+
+    def transfer_ownership(
+        self, tag: "Tag | str", current_owner: str, new_owner: str
+    ) -> None:
+        """Transfer a tag to a new owner; only the current owner may."""
+        record = self.lookup(tag)
+        if record.owner != current_owner:
+            raise TagError(
+                f"{current_owner} does not own {record.tag.qualified}; "
+                f"owner is {record.owner}"
+            )
+        record.owner = new_owner
+
+    def grant_visibility(self, tag: "Tag | str", owner: str, reader: str) -> None:
+        """Allow ``reader`` to see a sensitive tag's metadata."""
+        record = self.lookup(tag)
+        if record.owner != owner:
+            raise TagError(f"{owner} does not own {record.tag.qualified}")
+        record.readers.add(reader)
+
+    def describe(self, tag: "Tag | str", principal: str) -> str:
+        """Return the tag description as visible to ``principal``.
+
+        Sensitive tags are redacted for principals without visibility,
+        implementing the Challenge 2 requirement that "the visibility of
+        policy specifications may also need to be controlled".
+        """
+        record = self.lookup(tag)
+        if record.visible_to(principal):
+            return record.description or record.tag.qualified
+        return "<redacted>"
+
+    def tags_in_namespace(self, namespace: str) -> List[Tag]:
+        """All registered tags under one naming authority."""
+        return sorted(
+            r.tag for r in self._records.values() if r.tag.namespace == namespace
+        )
+
+    def owned_by(self, principal: str) -> List[Tag]:
+        """All tags owned by a principal."""
+        return sorted(r.tag for r in self._records.values() if r.owner == principal)

@@ -1,0 +1,145 @@
+"""Tag translation between enforcement levels (§8.2.2, Challenge 1).
+
+"Policy can apply at different levels of abstraction; e.g. in our own
+work, translation is necessary between the kernel's tag representation
+and that of the messaging substrate that deals with other machines.
+This requires consideration as more technologies are involved."
+
+A :class:`TagMapper` is a bijective mapping between two levels' tag
+vocabularies (e.g. compact kernel identifiers ↔ qualified middleware
+tags).  Translating a context maps every tag it can and — the safety-
+critical design point — treats *unmapped* tags according to an explicit
+:class:`UnmappedPolicy`: secrecy tags must never be silently dropped
+(that would declassify by mistranslation), so the default is to fail
+closed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import TagError
+from repro.ifc.labels import Label, SecurityContext
+from repro.ifc.tags import Tag, as_tag
+
+
+class UnmappedPolicy(str, Enum):
+    """What to do with a tag the mapping does not cover."""
+
+    FAIL = "fail"          # raise — the safe default for secrecy
+    KEEP = "keep"          # carry the tag through untranslated
+    DROP = "drop"          # discard (acceptable for integrity only)
+
+
+class TagMapper:
+    """A bijective tag vocabulary mapping between two levels.
+
+    Example — kernel-level compact tags to middleware qualified tags::
+
+        mapper = TagMapper("kernel", "middleware")
+        mapper.map("k:t1", "hospital:medical")
+        mw_ctx = mapper.translate(kernel_ctx)
+    """
+
+    def __init__(self, lower_name: str, upper_name: str):
+        self.lower_name = lower_name
+        self.upper_name = upper_name
+        self._up: Dict[Tag, Tag] = {}
+        self._down: Dict[Tag, Tag] = {}
+
+    def map(self, lower: "Tag | str", upper: "Tag | str") -> None:
+        """Add one correspondence; both directions must stay injective."""
+        lo = as_tag(lower)
+        up = as_tag(upper)
+        if lo in self._up and self._up[lo] != up:
+            raise TagError(
+                f"{lo.qualified} already maps to {self._up[lo].qualified}"
+            )
+        if up in self._down and self._down[up] != lo:
+            raise TagError(
+                f"{up.qualified} already maps from {self._down[up].qualified}"
+            )
+        self._up[lo] = up
+        self._down[up] = lo
+
+    def _translate_label(
+        self,
+        label: Label,
+        table: Dict[Tag, Tag],
+        unmapped: UnmappedPolicy,
+        direction: str,
+    ) -> Label:
+        result = set()
+        for tag in label.tags:
+            mapped = table.get(tag)
+            if mapped is not None:
+                result.add(mapped)
+            elif unmapped == UnmappedPolicy.KEEP:
+                result.add(tag)
+            elif unmapped == UnmappedPolicy.DROP:
+                continue
+            else:
+                raise TagError(
+                    f"no {direction} mapping for {tag.qualified} "
+                    f"({self.lower_name} <-> {self.upper_name})"
+                )
+        return Label(frozenset(result))
+
+    def translate(
+        self,
+        context: SecurityContext,
+        unmapped_secrecy: UnmappedPolicy = UnmappedPolicy.FAIL,
+        unmapped_integrity: UnmappedPolicy = UnmappedPolicy.DROP,
+    ) -> SecurityContext:
+        """Translate a lower-level context up.
+
+        Defaults fail closed for secrecy (an untranslatable secrecy tag
+        aborts the transfer rather than weakening it) and drop unmapped
+        integrity (losing an endorsement only makes the data *less*
+        trusted — conservative in the Biba direction).
+        """
+        return SecurityContext(
+            self._translate_label(
+                context.secrecy, self._up, unmapped_secrecy, "upward"
+            ),
+            self._translate_label(
+                context.integrity, self._up, unmapped_integrity, "upward"
+            ),
+        )
+
+    def translate_down(
+        self,
+        context: SecurityContext,
+        unmapped_secrecy: UnmappedPolicy = UnmappedPolicy.FAIL,
+        unmapped_integrity: UnmappedPolicy = UnmappedPolicy.DROP,
+    ) -> SecurityContext:
+        """Translate an upper-level context down (same safety defaults)."""
+        return SecurityContext(
+            self._translate_label(
+                context.secrecy, self._down, unmapped_secrecy, "downward"
+            ),
+            self._translate_label(
+                context.integrity, self._down, unmapped_integrity, "downward"
+            ),
+        )
+
+    def roundtrip_consistent(self, context: SecurityContext) -> bool:
+        """Whether up-then-down returns the original context — holds
+        whenever every tag is mapped (bijectivity), and is the property
+        test for deployment mapping tables."""
+        try:
+            up = self.translate(
+                context,
+                unmapped_secrecy=UnmappedPolicy.FAIL,
+                unmapped_integrity=UnmappedPolicy.FAIL,
+            )
+            down = self.translate_down(
+                up,
+                unmapped_secrecy=UnmappedPolicy.FAIL,
+                unmapped_integrity=UnmappedPolicy.FAIL,
+            )
+        except TagError:
+            return False
+        return down == context

@@ -1,0 +1,55 @@
+"""The IoT world: things, domains, gateways, workloads (§2)."""
+
+from repro.iot.device import (
+    CHECK_COST,
+    DeviceClass,
+    DeviceProfile,
+    EnforcementPlacement,
+    enforcement_plan,
+)
+from repro.iot.things import (
+    ACTUATION,
+    ALERT,
+    READING,
+    Actuator,
+    App,
+    Sensor,
+    Thing,
+)
+from repro.iot.domain import (
+    AdministrativeDomain,
+    DomainGateway,
+)
+from repro.iot.world import IoTWorld
+from repro.iot.workloads import (
+    PatientProfile,
+    energy_usage,
+    patient_cohort,
+    traffic_flow,
+    vital_signs,
+    with_emergency,
+)
+
+__all__ = [
+    "CHECK_COST",
+    "DeviceClass",
+    "DeviceProfile",
+    "EnforcementPlacement",
+    "enforcement_plan",
+    "ACTUATION",
+    "ALERT",
+    "READING",
+    "Actuator",
+    "App",
+    "Sensor",
+    "Thing",
+    "AdministrativeDomain",
+    "DomainGateway",
+    "IoTWorld",
+    "PatientProfile",
+    "energy_usage",
+    "patient_cohort",
+    "traffic_flow",
+    "vital_signs",
+    "with_emergency",
+]

@@ -1,0 +1,112 @@
+"""Resource-constrained device profiles (Challenge 5).
+
+"Resource constraints are another consideration: some devices may have a
+limited ability to store and enforce policy.  Of course, gateway
+components could be used to mediate data flows.  However, substantial
+work is required on what aspects of policy management and enforcement
+can be delegated, offloaded, distributed and federated, to meet resource
+constraints."
+
+A :class:`DeviceProfile` gives each thing a CPU/memory/energy budget and
+a simple cost model for enforcement operations, so deployments can
+decide per device between local enforcement and gateway offload
+(:func:`enforcement_plan`), and benchmarks can show the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class DeviceClass(str, Enum):
+    """Rough IETF-style constrained-device classes."""
+
+    CONSTRAINED = "constrained"   # class 0/1: 8-bit MCU, battery
+    GATEWAY = "gateway"           # hubs, phones
+    SERVER = "server"             # cloud/edge machines
+
+
+#: Cost (abstract energy units) of one IFC flow check, per device class.
+CHECK_COST = {
+    DeviceClass.CONSTRAINED: 5.0,
+    DeviceClass.GATEWAY: 0.5,
+    DeviceClass.SERVER: 0.05,
+}
+
+#: Memory (abstract units) needed to store one tag's policy state.
+TAG_MEMORY = 1.0
+
+
+@dataclass
+class DeviceProfile:
+    """Resource state of a physical thing.
+
+    Attributes:
+        device_class: constrained / gateway / server.
+        memory_capacity: abstract units available for policy state.
+        battery: remaining energy (None = mains powered).
+        enforcement_ops: counter of locally performed checks.
+    """
+
+    device_class: DeviceClass = DeviceClass.GATEWAY
+    memory_capacity: float = 64.0
+    battery: Optional[float] = None
+    enforcement_ops: int = 0
+
+    def can_hold_tags(self, tag_count: int) -> bool:
+        """Whether local policy state for ``tag_count`` tags fits."""
+        return tag_count * TAG_MEMORY <= self.memory_capacity
+
+    def check_cost(self) -> float:
+        """Energy cost of one local flow check."""
+        return CHECK_COST[self.device_class]
+
+    def perform_check(self) -> bool:
+        """Account for one local enforcement op.
+
+        Returns False when the battery is exhausted — the device can no
+        longer enforce locally and must offload.
+        """
+        cost = self.check_cost()
+        if self.battery is not None:
+            if self.battery < cost:
+                return False
+            self.battery -= cost
+        self.enforcement_ops += 1
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        return self.battery is not None and self.battery < self.check_cost()
+
+
+class EnforcementPlacement(str, Enum):
+    """Where a thing's IFC enforcement runs."""
+
+    LOCAL = "local"          # on the device itself
+    GATEWAY = "gateway"      # offloaded to the fronting gateway
+
+
+def enforcement_plan(
+    profile: DeviceProfile,
+    tag_count: int,
+    expected_checks_per_hour: float,
+    horizon_hours: float = 24.0,
+) -> EnforcementPlacement:
+    """Decide local-vs-gateway enforcement for a device.
+
+    Offload when the policy state does not fit in device memory, or when
+    the projected energy spend over the horizon would drain the battery.
+    This is deliberately a simple, auditable heuristic — the open
+    research question (Challenge 5) is *what* to delegate; the mechanism
+    here makes the decision explicit and testable.
+    """
+    if not profile.can_hold_tags(tag_count):
+        return EnforcementPlacement.GATEWAY
+    if profile.battery is not None:
+        projected = expected_checks_per_hour * horizon_hours * profile.check_cost()
+        if projected > profile.battery * 0.5:
+            return EnforcementPlacement.GATEWAY
+    return EnforcementPlacement.LOCAL

@@ -1,0 +1,211 @@
+"""Things: sensors, actuators, apps — the paper's §2 entities.
+
+"We use thing to refer to an entity, physical or virtual, capable of
+interaction in its own right; thereby encompassing sensors, devices,
+applications/services (standalone or cloud-hosted), gateways, etc."
+
+A :class:`Thing` is a middleware :class:`~repro.middleware.component.
+Component` (so all communication is policy-mediated) plus a device
+profile and an administrative-domain affiliation.  Sensors emit readings
+on a simulator schedule; actuators accept commands and record their
+physical effects (Concern 2: actuation has real-world impact, so the
+actuation log is first-class evidence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SchemaError
+from repro.ifc.labels import SecurityContext
+from repro.ifc.privileges import PrivilegeSet
+from repro.iot.device import DeviceClass, DeviceProfile
+from repro.middleware.component import Component, EndpointKind
+from repro.middleware.message import AttributeSpec, Message, MessageType
+from repro.sim.events import Simulator
+
+#: Message type for sensor readings used across the library's examples.
+READING = MessageType(
+    "reading",
+    [
+        AttributeSpec("value", float),
+        AttributeSpec("unit", str, required=False),
+        AttributeSpec("sampled_at", float, required=False),
+    ],
+)
+
+#: Message type for actuation commands (Concern 2).
+ACTUATION = MessageType(
+    "actuation",
+    [
+        AttributeSpec("command", str),
+        AttributeSpec("argument", object, required=False),
+    ],
+)
+
+#: Message type for alerts/notifications.
+ALERT = MessageType(
+    "alert",
+    [
+        AttributeSpec("severity", str),
+        AttributeSpec("text", str),
+    ],
+)
+
+
+class Thing(Component):
+    """A first-class IoT entity: component + device profile + domain."""
+
+    def __init__(
+        self,
+        name: str,
+        context: Optional[SecurityContext] = None,
+        privileges: Optional[PrivilegeSet] = None,
+        profile: Optional[DeviceProfile] = None,
+        domain: str = "",
+        owner: str = "",
+        host: Optional[str] = None,
+    ):
+        super().__init__(name, context, privileges, host=host, owner=owner)
+        self.profile = profile or DeviceProfile()
+        self.domain = domain
+        self.metadata["domain"] = domain
+
+
+#: Produces the next reading value (seeded upstream for determinism).
+ReadingSource = Callable[[float], float]
+
+
+class Sensor(Thing):
+    """A sensing thing that emits ``reading`` messages on a schedule.
+
+    The sampling interval is runtime-adjustable — Fig. 7's emergency
+    response actuates sensors "to sample more frequently".  Wire
+    :meth:`start` to a simulator and a bus; :meth:`set_interval` is the
+    actuation target.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        source: ReadingSource,
+        interval: float = 60.0,
+        unit: str = "",
+        **kwargs,
+    ):
+        super().__init__(name, **kwargs)
+        if interval <= 0:
+            raise SchemaError("sensor interval must be positive")
+        self.source = source
+        self.interval = interval
+        self.unit = unit
+        self.samples_taken = 0
+        self.add_endpoint("out", EndpointKind.SOURCE, READING)
+        self.add_endpoint("control", EndpointKind.SINK, ACTUATION,
+                          handler=self._on_control)
+        self._sim: Optional[Simulator] = None
+        self._bus = None
+        self._stop: Optional[Callable[[], None]] = None
+
+    def start(self, sim: Simulator, bus) -> None:
+        """Begin sampling on the simulator, publishing via the bus."""
+        self._sim = sim
+        self._bus = bus
+        self._schedule()
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        if self._stop is not None:
+            self._stop()
+            self._stop = None
+
+    def set_interval(self, interval: float) -> None:
+        """Change the sampling rate (an actuation; Fig. 7)."""
+        if interval <= 0:
+            raise SchemaError("sensor interval must be positive")
+        self.interval = interval
+        if self._sim is not None:
+            self._schedule()
+
+    def _schedule(self) -> None:
+        self.stop()
+        assert self._sim is not None
+
+        def sample() -> None:
+            if not self.running:
+                return
+            self.sample_once()
+
+        self._stop = self._sim.schedule_every(
+            self.interval, sample, label=f"sensor:{self.name}"
+        )
+
+    def sample_once(self) -> None:
+        """Take one sample and publish it."""
+        now = self._sim.now() if self._sim is not None else 0.0
+        value = float(self.source(now))
+        self.samples_taken += 1
+        if self._bus is not None:
+            self._bus.publish(
+                self, "out", value=value, unit=self.unit, sampled_at=now
+            )
+
+    def _on_control(self, component, endpoint, message: Message) -> None:
+        command = message.values.get("command")
+        if command == "set-interval":
+            self.set_interval(float(message.values.get("argument", self.interval)))
+        elif command == "stop":
+            self.stop()
+
+
+class Actuator(Thing):
+    """An actuating thing: consumes ``actuation`` messages.
+
+    Every accepted command is recorded in ``effects`` — "error, malice or
+    mismanagement of actuation data flows (commands) can be catastrophic,
+    and naturally entail legal consequences" (Concern 2), so the record
+    of what was physically done is part of the evidence base.
+    """
+
+    def __init__(self, name: str, apply_effect: Optional[Callable[[str, object], None]] = None, **kwargs):
+        super().__init__(name, **kwargs)
+        self.apply_effect = apply_effect
+        self.effects: List[Dict] = []
+        self.add_endpoint("in", EndpointKind.SINK, ACTUATION, handler=self._on_command)
+
+    def _on_command(self, component, endpoint, message: Message) -> None:
+        command = str(message.values.get("command"))
+        argument = message.values.get("argument")
+        self.effects.append({"command": command, "argument": argument,
+                             "msg_id": message.msg_id})
+        if self.apply_effect is not None:
+            self.apply_effect(command, argument)
+
+
+class App(Thing):
+    """A software thing (analyser, storage service, dashboard).
+
+    Inbound messages go to ``process``; subclasses or constructor
+    callbacks implement behaviour.  Received messages accumulate in
+    ``received`` for inspection by tests and compliance tooling.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        message_type: MessageType = READING,
+        process: Optional[Callable[["App", Message], None]] = None,
+        **kwargs,
+    ):
+        kwargs.setdefault("profile", DeviceProfile(DeviceClass.SERVER))
+        super().__init__(name, **kwargs)
+        self.process = process
+        self.received: List[Message] = []
+        self.add_endpoint("in", EndpointKind.SINK, message_type, handler=self._on_message)
+        self.add_endpoint("out", EndpointKind.SOURCE, message_type)
+
+    def _on_message(self, component, endpoint, message: Message) -> None:
+        self.received.append(message)
+        if self.process is not None:
+            self.process(self, message)

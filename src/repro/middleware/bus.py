@@ -1,0 +1,268 @@
+"""The message bus: component registry, channel management, delivery.
+
+The bus is the middleware core: it registers components, establishes
+channels (running the §8.2.2 two-stage AC + IFC check), routes messages
+along channels with per-message IFC re-evaluation and message-level
+quenching (Fig. 10), and audits everything.  An
+:class:`~repro.accesscontrol.pep.EnforcementMode` switch provides the
+AC-only baseline used throughout EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.accesscontrol.pep import EnforcementMode
+from repro.audit.log import AuditLog
+from repro.audit.records import RecordKind
+from repro.errors import AccessDenied, DiscoveryError, FlowError, SchemaError
+from repro.ifc.flow import flow_decision
+from repro.ifc.labels import SecurityContext
+from repro.middleware.channel import Channel
+from repro.middleware.component import Component, Endpoint, EndpointKind
+from repro.middleware.message import Message
+
+#: AC hook: decides whether ``initiator`` may connect source→sink.
+#: Default policy is owner-or-controller based; richer deployments plug
+#: in certificate/RBAC checks here.
+ConnectAuthoriser = Callable[[str, Component, Component], bool]
+
+
+def default_authoriser(initiator: str, source: Component, sink: Component) -> bool:
+    """Allow a connection when the initiator controls either end, or owns
+    both.  This is the SBUS-style peer AC regime in miniature."""
+    return source.is_controller(initiator) or sink.is_controller(initiator)
+
+
+@dataclass
+class DeliveryReport:
+    """What happened when a message was pushed through a channel fan-out."""
+
+    sent: int = 0
+    delivered: int = 0
+    denied: int = 0
+    quenched_attributes: int = 0
+
+
+class MessageBus:
+    """The middleware bus for co-located (intra-domain) components.
+
+    Cross-machine transfer composes this with
+    :class:`repro.middleware.substrate.MessagingSubstrate`; the bus alone
+    models one administrative domain's middleware instance.
+
+    Example::
+
+        bus = MessageBus(audit=log)
+        bus.register(sensor)
+        bus.register(analyser)
+        bus.connect("hospital", sensor, "out", analyser, "in")
+        bus.publish(sensor, "out", reading=38.2)
+    """
+
+    def __init__(
+        self,
+        audit: Optional[AuditLog] = None,
+        mode: EnforcementMode = EnforcementMode.AC_AND_IFC,
+        authoriser: ConnectAuthoriser = default_authoriser,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.audit = audit
+        self.mode = mode
+        self.authoriser = authoriser
+        self._clock = clock or (lambda: 0.0)
+        self.components: Dict[str, Component] = {}
+        self.channels: List[Channel] = []
+        self.stats = DeliveryReport()
+
+    # -- registry -----------------------------------------------------------------
+
+    def register(self, component: Component) -> Component:
+        """Add a component to the bus."""
+        if component.name in self.components:
+            raise DiscoveryError(f"component already registered: {component.name}")
+        self.components[component.name] = component
+        return component
+
+    def deregister(self, component: Component) -> None:
+        """Remove a component, tearing down its channels."""
+        self.components.pop(component.name, None)
+        for channel in self.channels_of(component):
+            channel.teardown(f"{component.name} deregistered")
+
+    def component(self, name: str) -> Component:
+        """Look up a registered component."""
+        try:
+            return self.components[name]
+        except KeyError:
+            raise DiscoveryError(f"unknown component: {name}") from None
+
+    def channels_of(self, component: Component) -> List[Channel]:
+        """All live (active or suspended) channels touching a component."""
+        return [
+            c
+            for c in self.channels
+            if c.alive and (c.source is component or c.sink is component)
+        ]
+
+    # -- channel establishment -------------------------------------------------------
+
+    def connect(
+        self,
+        initiator: str,
+        source: Component,
+        source_endpoint: str,
+        sink: Component,
+        sink_endpoint: str,
+    ) -> Channel:
+        """Establish a channel source:endpoint → sink:endpoint.
+
+        Runs, in order (§8.2.2): endpoint type compatibility, the AC
+        regime (via the pluggable authoriser), then the IFC flow rule
+        over the two components' security contexts.  All outcomes are
+        audited.
+
+        Raises:
+            SchemaError: incompatible endpoints.
+            AccessDenied: the AC regime refused the initiator.
+            FlowError: the components' tags do not accord.
+        """
+        src_ep = source.endpoint(source_endpoint)
+        dst_ep = sink.endpoint(sink_endpoint)
+        if not dst_ep.accepts(src_ep):
+            raise SchemaError(
+                f"endpoint mismatch: {source.name}:{source_endpoint} "
+                f"({src_ep.kind.value}/{src_ep.message_type.name}) cannot feed "
+                f"{sink.name}:{sink_endpoint} "
+                f"({dst_ep.kind.value}/{dst_ep.message_type.name})"
+            )
+
+        if self.mode in (EnforcementMode.AC_ONLY, EnforcementMode.AC_AND_IFC):
+            if not self.authoriser(initiator, source, sink):
+                if self.audit is not None:
+                    self.audit.append(
+                        RecordKind.ACCESS_DENIED,
+                        initiator,
+                        f"{source.name}->{sink.name}",
+                        {"reason": "connect not authorised"},
+                    )
+                raise AccessDenied(
+                    f"{initiator} may not connect {source.name} to {sink.name}"
+                )
+
+        if self.mode in (EnforcementMode.IFC_ONLY, EnforcementMode.AC_AND_IFC):
+            decision = flow_decision(source.context, sink.context)
+            if not decision.allowed:
+                if self.audit is not None:
+                    self.audit.flow_denied(
+                        source.name, sink.name, decision.reason,
+                        source.context, sink.context,
+                    )
+                raise FlowError(source.name, sink.name, decision.reason)
+
+        channel = Channel(source, src_ep, sink, dst_ep, audit=self.audit)
+        self.channels.append(channel)
+        if self.audit is not None:
+            self.audit.append(
+                RecordKind.CHANNEL_ESTABLISHED,
+                initiator,
+                f"{source.name}->{sink.name}",
+                {
+                    "channel": channel.channel_id,
+                    "type": src_ep.message_type.name,
+                },
+                source_context=source.context,
+                target_context=sink.context,
+            )
+        return channel
+
+    def disconnect(self, channel: Channel, reason: str = "requested") -> None:
+        """Tear down a channel."""
+        channel.teardown(reason)
+
+    # -- delivery ---------------------------------------------------------------------
+
+    def publish(self, source: Component, endpoint_name: str, **values) -> DeliveryReport:
+        """Emit a message from a source endpoint along all its channels.
+
+        Per-message enforcement (the channel-establishment check is
+        necessary but not sufficient — contexts and message-level tags
+        vary per message): the message's *effective* context must flow to
+        each receiver; otherwise attribute quenching is attempted, and if
+        the base context itself cannot flow, delivery is denied and
+        audited.
+        """
+        message = source.make_message(endpoint_name, **values)
+        message.sent_at = self._clock()
+        return self.route(source, endpoint_name, message)
+
+    def route(
+        self, source: Component, endpoint_name: str, message: Message
+    ) -> DeliveryReport:
+        """Route a pre-built message (used by gateways re-emitting)."""
+        report = DeliveryReport()
+        src_ep = source.endpoint(endpoint_name)
+        for channel in self.channels:
+            if not channel.active:
+                continue
+            if channel.source is not source or channel.source_endpoint is not src_ep:
+                continue
+            report.sent += 1
+            self._deliver_on(channel, message, report)
+        self.stats.sent += report.sent
+        self.stats.delivered += report.delivered
+        self.stats.denied += report.denied
+        self.stats.quenched_attributes += report.quenched_attributes
+        return report
+
+    def _deliver_on(
+        self, channel: Channel, message: Message, report: DeliveryReport
+    ) -> None:
+        sink = channel.sink
+        if self.mode == EnforcementMode.AC_ONLY:
+            # The paper's baseline: nothing re-checked after the PEP.
+            # Deliveries are still logged (message-level audit needs no
+            # IFC) so compliance tooling can expose what leaked.
+            channel.messages_carried += 1
+            if self.audit is not None:
+                self.audit.flow_allowed(
+                    channel.source.name, sink.name,
+                    message.context, sink.context,
+                    {"msg_id": message.msg_id, "mode": "ac-only"},
+                )
+            sink.deliver(channel.sink_endpoint.name, message)
+            report.delivered += 1
+            return
+
+        base = flow_decision(message.context, sink.context)
+        if not base.allowed:
+            report.denied += 1
+            if self.audit is not None:
+                self.audit.flow_denied(
+                    channel.source.name,
+                    sink.name,
+                    base.reason,
+                    message.context,
+                    sink.context,
+                )
+            return
+
+        effective = message.effective_context()
+        outgoing = message
+        dropped = message.dropped_attributes(sink.context)
+        if dropped:
+            outgoing = message.quenched_for(sink.context)
+            report.quenched_attributes += len(dropped)
+        if self.audit is not None:
+            detail = {"msg_id": message.msg_id, "type": message.type.name}
+            if dropped:
+                detail["quenched"] = dropped
+            self.audit.flow_allowed(
+                channel.source.name, sink.name,
+                effective if not dropped else message.context,
+                sink.context, detail,
+            )
+        channel.messages_carried += 1
+        sink.deliver(channel.sink_endpoint.name, outgoing)
+        report.delivered += 1

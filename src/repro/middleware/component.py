@@ -1,0 +1,157 @@
+"""Middleware components and endpoints (SBUS model, §8.1).
+
+A component is an application process participating in the middleware:
+it exposes typed *endpoints* through which all communication happens,
+carries an IFC security context (it is an :class:`ActiveEntity`), holds
+credentials (certificates) for the AC regime, and accepts third-party
+reconfiguration commands from authorised principals — "certain
+components can instruct others to undertake reconfigurations and
+actions" (§8.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.errors import DiscoveryError, SchemaError
+from repro.ifc.entities import ActiveEntity
+from repro.ifc.labels import SecurityContext
+from repro.ifc.privileges import PrivilegeSet
+from repro.middleware.message import Message, MessageType
+
+
+class EndpointKind(str, Enum):
+    """Endpoint roles, following SBUS's typed-endpoint model."""
+
+    SOURCE = "source"   # emits messages (sensor streams, replies)
+    SINK = "sink"       # consumes messages
+    DUPLEX = "duplex"   # request/response style
+
+
+#: Application handler invoked when a message arrives at a sink.
+MessageHandler = Callable[["Component", "Endpoint", Message], None]
+
+
+@dataclass
+class Endpoint:
+    """A typed communication port on a component.
+
+    Attributes:
+        name: endpoint name, unique within the component.
+        kind: source/sink/duplex.
+        message_type: schema of messages crossing this endpoint.
+        handler: sink-side application callback.
+    """
+
+    name: str
+    kind: EndpointKind
+    message_type: MessageType
+    handler: Optional[MessageHandler] = None
+
+    def accepts(self, other: "Endpoint") -> bool:
+        """Whether a channel other(source) → self(sink) is type-correct."""
+        if self.message_type.name != other.message_type.name:
+            return False
+        if self.kind == EndpointKind.DUPLEX and other.kind == EndpointKind.DUPLEX:
+            return True
+        return self.kind == EndpointKind.SINK and other.kind in (
+            EndpointKind.SOURCE,
+            EndpointKind.DUPLEX,
+        )
+
+
+class Component(ActiveEntity):
+    """An SBUS-style component: endpoints + context + credentials + ACL.
+
+    The ``controllers`` set holds principals whose reconfiguration
+    commands this component obeys — "reconfiguration commands are subject
+    to the same general AC regime, to ensure that reconfigurations are
+    only actioned when received from trusted third parties" (§8.1).  The
+    richer certificate-based check lives in
+    :class:`repro.middleware.reconfig.ReconfigurationGuard`; the ACL is
+    the component-local fast path.
+
+    Attributes:
+        host: the network host this component lives on (for the
+            cross-machine substrate); None for co-located use.
+        metadata: free-form attributes published to resource discovery.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        context: Optional[SecurityContext] = None,
+        privileges: Optional[PrivilegeSet] = None,
+        host: Optional[str] = None,
+        owner: str = "",
+    ):
+        super().__init__(name, context, privileges)
+        self.host = host
+        self.owner = owner or name
+        self.endpoints: Dict[str, Endpoint] = {}
+        self.controllers: Set[str] = {self.owner}
+        self.metadata: Dict[str, str] = {}
+        self.inbox: List[Message] = []
+        self.running = True
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def add_endpoint(
+        self,
+        name: str,
+        kind: EndpointKind,
+        message_type: MessageType,
+        handler: Optional[MessageHandler] = None,
+    ) -> Endpoint:
+        """Declare an endpoint; names are unique per component."""
+        if name in self.endpoints:
+            raise SchemaError(f"{self.name}: endpoint {name!r} already exists")
+        endpoint = Endpoint(name, kind, message_type, handler)
+        self.endpoints[name] = endpoint
+        return endpoint
+
+    def endpoint(self, name: str) -> Endpoint:
+        """Look up an endpoint by name."""
+        try:
+            return self.endpoints[name]
+        except KeyError:
+            raise DiscoveryError(
+                f"{self.name}: no endpoint named {name!r}"
+            ) from None
+
+    # -- control -------------------------------------------------------------------
+
+    def allow_controller(self, principal: str) -> None:
+        """Authorise a third party to reconfigure this component."""
+        self.controllers.add(principal)
+
+    def disallow_controller(self, principal: str) -> None:
+        """Withdraw a third party's control rights (owner always kept)."""
+        if principal != self.owner:
+            self.controllers.discard(principal)
+
+    def is_controller(self, principal: str) -> bool:
+        """Whether ``principal`` may issue control messages to us."""
+        return principal in self.controllers
+
+    # -- delivery --------------------------------------------------------------------
+
+    def deliver(self, endpoint_name: str, message: Message) -> None:
+        """Deliver a message to one of our sinks (called by the bus
+        after all enforcement passed)."""
+        endpoint = self.endpoint(endpoint_name)
+        self.inbox.append(message)
+        if endpoint.handler is not None:
+            endpoint.handler(self, endpoint, message)
+
+    def make_message(self, endpoint_name: str, **values) -> Message:
+        """Build a message for one of our endpoints, carrying our
+        current security context (data inherits creator labels, §6)."""
+        endpoint = self.endpoint(endpoint_name)
+        return Message(
+            type=endpoint.message_type,
+            values=values,
+            context=self.context.creation_context(),
+        )

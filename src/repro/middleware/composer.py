@@ -1,0 +1,231 @@
+"""Automatic chain composition with gateway interposition (§8.1, §10.2).
+
+"We anticipate reconfigurations will be the means ... to enable
+transparent and dynamic system chain management, for instance, to
+automatically include various declassifiers/endorsers and associated
+transformation operations to allow data to flow across IFC security
+context domains."
+
+:class:`ChainComposer` realises that: given a source and a sink whose
+contexts the flow rule separates, it searches the registered *relays*
+(sanitisers, anonymisers — components that ingest in one context and
+emit in another) for a path, then issues the MAP reconfigurations to
+wire the whole chain.  Composition is a first-class object
+(:class:`Composition`) that can be torn down as a unit, and every
+composition decision is auditable through the reconfigurator it uses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DiscoveryError, FlowError
+from repro.ifc.flow import can_flow
+from repro.ifc.labels import SecurityContext
+from repro.middleware.bus import MessageBus
+from repro.middleware.channel import Channel
+from repro.middleware.component import Component
+from repro.middleware.reconfig import Reconfigurator
+
+
+@dataclass(frozen=True)
+class RelaySpec:
+    """A relay component's composition contract.
+
+    Attributes:
+        component: the relay (e.g. an InputSanitiser-style thing).
+        in_endpoint / out_endpoint: its sink and source endpoints.
+        input_context: context in which it ingests.
+        output_context: context in which it emits.
+    """
+
+    component: Component
+    in_endpoint: str
+    out_endpoint: str
+    input_context: SecurityContext
+    output_context: SecurityContext
+
+
+@dataclass
+class Composition:
+    """One realised chain: the hops and the channels wiring them."""
+
+    source: Component
+    sink: Component
+    relays: List[RelaySpec]
+    channels: List[Channel] = field(default_factory=list)
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.relays) + 1
+
+    @property
+    def active(self) -> bool:
+        return all(channel.alive for channel in self.channels)
+
+    def teardown(self, reason: str = "composition dissolved") -> None:
+        """Tear the whole chain down as a unit."""
+        for channel in self.channels:
+            channel.teardown(reason)
+
+
+class ChainComposer:
+    """Plans and wires legal chains through registered relays.
+
+    Example::
+
+        composer = ChainComposer(bus, reconfigurator)
+        composer.register_relay(RelaySpec(sanitiser, "in", "out",
+                                          zeb_ctx, hospital_ctx))
+        composition = composer.compose("hospital", zeb_sensor, "out",
+                                       analyser, "in")
+    """
+
+    def __init__(self, bus: MessageBus, reconfigurator: Reconfigurator):
+        self.bus = bus
+        self.reconfigurator = reconfigurator
+        self._relays: List[RelaySpec] = []
+        self.compositions: List[Composition] = []
+
+    def register_relay(self, relay: RelaySpec) -> RelaySpec:
+        """Advertise a relay for use in compositions."""
+        if relay.component.name not in self.bus.components:
+            raise DiscoveryError(
+                f"relay {relay.component.name} is not registered on the bus"
+            )
+        self._relays.append(relay)
+        return relay
+
+    # -- planning -----------------------------------------------------------------
+
+    def plan(
+        self,
+        source_context: SecurityContext,
+        sink_context: SecurityContext,
+        max_hops: int = 4,
+    ) -> Optional[List[RelaySpec]]:
+        """Find a relay sequence making source → sink legal.
+
+        Returns ``[]`` when the direct flow is already legal, a relay
+        list otherwise, or ``None`` when no chain of at most ``max_hops``
+        relays exists.  Breadth-first, so the returned chain is minimal
+        in hop count — fewer enforcement points means fewer places to
+        get policy wrong (§5.1).
+        """
+        if can_flow(source_context, sink_context):
+            return []
+        seen = {source_context}
+        queue: deque = deque([(source_context, [])])
+        while queue:
+            context, path = queue.popleft()
+            if len(path) >= max_hops:
+                continue
+            for relay in self._relays:
+                if relay in path:
+                    continue
+                if not can_flow(context, relay.input_context):
+                    continue
+                out = relay.output_context
+                new_path = path + [relay]
+                if can_flow(out, sink_context):
+                    return new_path
+                if out not in seen:
+                    seen.add(out)
+                    queue.append((out, new_path))
+        return None
+
+    # -- realisation ----------------------------------------------------------------
+
+    def compose(
+        self,
+        initiator: str,
+        source: Component,
+        source_endpoint: str,
+        sink: Component,
+        sink_endpoint: str,
+        max_hops: int = 4,
+    ) -> Composition:
+        """Plan and wire a chain from source to sink.
+
+        Raises:
+            FlowError: when no legal chain exists — the composer never
+                weakens enforcement to make a composition work.
+        """
+        relays = self.plan(source.context, sink.context, max_hops)
+        if relays is None:
+            raise FlowError(
+                source.name,
+                sink.name,
+                "no gateway chain can make this flow legal",
+            )
+        composition = Composition(source, sink, relays)
+        hops: List[Tuple[Component, str, Component, str]] = []
+        previous: Tuple[Component, str] = (source, source_endpoint)
+        for relay in relays:
+            hops.append(
+                (previous[0], previous[1], relay.component, relay.in_endpoint)
+            )
+            previous = (relay.component, relay.out_endpoint)
+        hops.append((previous[0], previous[1], sink, sink_endpoint))
+
+        wired: List[Channel] = []
+        try:
+            for src, src_ep, dst, dst_ep in hops:
+                # Relays may need to present their per-hop context for
+                # establishment (ingest for the inbound hop, emit for the
+                # outbound); components that flip contexts per message
+                # (sanitisers) expose input/output contexts in the spec.
+                channel = self._connect_hop(
+                    initiator, src, src_ep, dst, dst_ep, relays
+                )
+                wired.append(channel)
+        except Exception:
+            for channel in wired:
+                channel.teardown("composition failed")
+            raise
+        composition.channels = wired
+        self.compositions.append(composition)
+        return composition
+
+    def _relay_for(self, component: Component, relays: Sequence[RelaySpec]) -> Optional[RelaySpec]:
+        for relay in relays:
+            if relay.component is component:
+                return relay
+        return None
+
+    def _connect_hop(
+        self,
+        initiator: str,
+        src: Component,
+        src_ep: str,
+        dst: Component,
+        dst_ep: str,
+        relays: Sequence[RelaySpec],
+    ) -> Channel:
+        src_relay = self._relay_for(src, relays)
+        dst_relay = self._relay_for(dst, relays)
+        # Temporarily align relay contexts with the hop being wired, via
+        # each relay's own privileges (never bypassing enforcement).
+        restore: List[Tuple[Component, SecurityContext]] = []
+        try:
+            if src_relay is not None and src.context != src_relay.output_context:
+                restore.append((src, src.context))
+                src.change_context(src_relay.output_context)
+            if dst_relay is not None and dst.context != dst_relay.input_context:
+                restore.append((dst, dst.context))
+                dst.change_context(dst_relay.input_context)
+            return self.bus.connect(initiator, src, src_ep, dst, dst_ep)
+        finally:
+            for component, context in reversed(restore):
+                component.change_context(context)
+
+    def dissolve_all(self, reason: str = "composer shutdown") -> int:
+        """Tear down every composition this composer created."""
+        count = 0
+        for composition in self.compositions:
+            if composition.active:
+                composition.teardown(reason)
+                count += 1
+        return count

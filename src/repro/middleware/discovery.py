@@ -1,0 +1,121 @@
+"""Resource discovery: finding components to compose (§10.2).
+
+SBUS deployments use a Resource Discovery Component (RDC) with which
+components register their metadata; orchestrators query it to find
+endpoints to wire together.  In the IoT setting discovery must respect
+policy visibility: components can be registered with a *visibility
+context*, and queries are answered relative to the querier's security
+context so that the existence of sensitive components is not itself
+leaked (Challenge 2: "the tags may themselves be sensitive").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import DiscoveryError
+from repro.ifc.flow import can_flow
+from repro.ifc.labels import SecurityContext
+from repro.middleware.component import Component, EndpointKind
+
+
+@dataclass
+class Registration:
+    """One component's discovery entry.
+
+    Attributes:
+        component: the registered component.
+        metadata: searchable attributes (location, type, owner, ...).
+        visibility: a querier must satisfy this context (flow rule:
+            visibility → querier) for the entry to appear in results.
+    """
+
+    component: Component
+    metadata: Dict[str, str] = field(default_factory=dict)
+    visibility: SecurityContext = field(default_factory=SecurityContext.public)
+
+
+class ResourceDiscovery:
+    """The RDC: register, deregister, query.
+
+    Example::
+
+        rdc = ResourceDiscovery()
+        rdc.register(sensor, {"kind": "thermometer", "room": "kitchen"})
+        found = rdc.find(kind="thermometer")
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Registration] = {}
+
+    def register(
+        self,
+        component: Component,
+        metadata: Optional[Mapping[str, str]] = None,
+        visibility: Optional[SecurityContext] = None,
+    ) -> Registration:
+        """Register a component with searchable metadata."""
+        merged = dict(component.metadata)
+        merged.update(metadata or {})
+        entry = Registration(
+            component,
+            merged,
+            visibility or SecurityContext.public(),
+        )
+        self._entries[component.name] = entry
+        return entry
+
+    def deregister(self, component: Component) -> None:
+        """Remove a component from discovery."""
+        self._entries.pop(component.name, None)
+
+    def find(
+        self,
+        querier_context: Optional[SecurityContext] = None,
+        message_type: Optional[str] = None,
+        endpoint_kind: Optional[EndpointKind] = None,
+        **metadata: str,
+    ) -> List[Component]:
+        """Find components matching metadata / endpoint criteria.
+
+        Only entries whose visibility context flows to the querier's are
+        returned; anonymous queries see only public entries.
+        """
+        querier = querier_context or SecurityContext.public()
+        results = []
+        for entry in self._entries.values():
+            if not can_flow(entry.visibility, querier):
+                continue
+            if any(entry.metadata.get(k) != v for k, v in metadata.items()):
+                continue
+            if message_type is not None or endpoint_kind is not None:
+                if not self._has_endpoint(entry.component, message_type, endpoint_kind):
+                    continue
+            results.append(entry.component)
+        return sorted(results, key=lambda c: c.name)
+
+    @staticmethod
+    def _has_endpoint(
+        component: Component,
+        message_type: Optional[str],
+        endpoint_kind: Optional[EndpointKind],
+    ) -> bool:
+        for endpoint in component.endpoints.values():
+            if message_type is not None and endpoint.message_type.name != message_type:
+                continue
+            if endpoint_kind is not None and endpoint.kind != endpoint_kind:
+                continue
+            return True
+        return False
+
+    def lookup(self, name: str) -> Component:
+        """Exact-name lookup.
+
+        Raises:
+            DiscoveryError: when not registered.
+        """
+        entry = self._entries.get(name)
+        if entry is None:
+            raise DiscoveryError(f"no registration for {name!r}")
+        return entry.component

@@ -1,0 +1,223 @@
+"""The cross-machine messaging substrate (Fig. 9, §8.2.2).
+
+"Transfers across machines are therefore managed by a trusted substrate
+... each communicating entity (application process) is associated with a
+messaging substrate process for external transfers.  A substrate process
+is aware of the security context of the application process it serves,
+and enforces IFC in its dealings with the substrate processes of other
+applications."
+
+A :class:`MessagingSubstrate` binds to one machine; applications
+register their kernel processes with it and obtain *remote bindings* to
+(host, process) pairs elsewhere.  Sending runs: (1) kernel-side check
+that the application may hand data to its substrate, (2) optional remote
+attestation of the peer platform (Challenge 5), (3) the IFC flow rule
+between application contexts — including message-level tags with
+quenching (Fig. 10), (4) network transfer, (5) receiver-side re-check
+on delivery (the receiving substrate trusts no one blindly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.audit.log import AuditLog
+from repro.audit.records import RecordKind
+from repro.cloud.kernel import Process
+from repro.cloud.machine import Machine
+from repro.crypto.attestation import AttestationVerifier
+from repro.errors import AttestationError, FlowError, NetworkError
+from repro.ifc.flow import flow_decision
+from repro.ifc.labels import SecurityContext
+from repro.middleware.message import Message
+from repro.net.network import Datagram, Network
+
+#: Application-level delivery callback: (sender_addr, message).
+SubstrateHandler = Callable[[str, Message], None]
+
+
+@dataclass
+class SubstrateEnvelope:
+    """What actually crosses the network between substrate processes."""
+
+    source_host: str
+    source_process: str
+    dest_host: str
+    dest_process: str
+    message: Message
+    source_context: SecurityContext
+
+
+@dataclass
+class SubstrateStats:
+    """Counters for the cross-machine benchmarks (F9/F10)."""
+
+    sent: int = 0
+    delivered: int = 0
+    denied_local: int = 0
+    denied_remote: int = 0
+    quenched_attributes: int = 0
+    attestation_failures: int = 0
+
+
+class MessagingSubstrate:
+    """The per-machine CamFlow-Messaging process.
+
+    One substrate per :class:`Machine`; it registers as the machine's
+    network receiver.  ``enforce=False`` builds the baseline substrate
+    for overhead comparisons (same transfer path, no IFC evaluation).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        network: Network,
+        enforce: bool = True,
+        verifier: Optional[AttestationVerifier] = None,
+    ):
+        self.machine = machine
+        self.network = network
+        self.enforce = enforce
+        self.verifier = verifier
+        self.audit: AuditLog = machine.audit
+        self.stats = SubstrateStats()
+        self._local: Dict[str, Tuple[Process, SubstrateHandler]] = {}
+        self._attested_hosts: Dict[str, bool] = {}
+        network.add_host(machine.hostname, self._receive)
+        # Fig. 9: the substrate is itself a process on the machine.
+        self.process = machine.kernel.spawn(f"substrate@{machine.hostname}")
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, process: Process, handler: SubstrateHandler) -> str:
+        """Associate an application process with this substrate.
+
+        Returns the address ``host/process-name`` peers use to reach it.
+        """
+        address = f"{self.machine.hostname}/{process.name}"
+        self._local[process.name] = (process, handler)
+        return address
+
+    def deregister(self, process: Process) -> None:
+        """Detach an application process."""
+        self._local.pop(process.name, None)
+
+    # -- attestation ----------------------------------------------------------------
+
+    def _peer_trusted(self, peer: "MessagingSubstrate") -> bool:
+        """Attest the peer platform once per host (cached)."""
+        if self.verifier is None:
+            return True
+        host = peer.machine.hostname
+        cached = self._attested_hosts.get(host)
+        if cached is not None:
+            return cached
+        ok = peer.machine.attest_to(self.verifier)
+        self._attested_hosts[host] = ok
+        if self.audit is not None:
+            self.audit.append(
+                RecordKind.ATTESTATION,
+                self.machine.hostname,
+                host,
+                {"result": "trusted" if ok else "REJECTED"},
+            )
+        return ok
+
+    def invalidate_attestation(self, host: str) -> None:
+        """Drop the cached attestation of a host (e.g. after an alert)."""
+        self._attested_hosts.pop(host, None)
+
+    # -- sending ---------------------------------------------------------------------
+
+    def send(
+        self,
+        process: Process,
+        peer: "MessagingSubstrate",
+        peer_process_name: str,
+        message: Message,
+    ) -> bool:
+        """Send a message from a local process to a remote one.
+
+        Returns True when the message was handed to the network.  Denials
+        (IFC, attestation) return False and are audited — the substrate
+        never raises for policy denials on the send path, mirroring how a
+        messaging layer reports rather than crashes.
+        """
+        self.stats.sent += 1
+        if process.name not in self._local:
+            raise NetworkError(
+                f"{process.name} is not registered with this substrate"
+            )
+
+        if self.enforce:
+            if not self._peer_trusted(peer):
+                self.stats.attestation_failures += 1
+                return False
+            # The substrate knows its application's kernel-level context;
+            # the message carries that context across the wire.
+            decision = flow_decision(process.security, message.context)
+            # Message context must at least cover the process's own; the
+            # common case is equality (message created by the process).
+            if not decision.allowed:
+                self.stats.denied_local += 1
+                self.audit.flow_denied(
+                    process.name,
+                    f"{peer.machine.hostname}/{peer_process_name}",
+                    f"message labelled below its producer: {decision.reason}",
+                    process.security,
+                    message.context,
+                )
+                return False
+
+        envelope = SubstrateEnvelope(
+            source_host=self.machine.hostname,
+            source_process=process.name,
+            dest_host=peer.machine.hostname,
+            dest_process=peer_process_name,
+            message=message,
+            source_context=process.security,
+        )
+        self.network.send(self.machine.hostname, peer.machine.hostname, envelope)
+        return True
+
+    # -- receiving --------------------------------------------------------------------
+
+    def _receive(self, datagram: Datagram) -> None:
+        envelope = datagram.payload
+        if not isinstance(envelope, SubstrateEnvelope):
+            return
+        entry = self._local.get(envelope.dest_process)
+        if entry is None:
+            return
+        process, handler = entry
+        message = envelope.message
+        source_addr = f"{envelope.source_host}/{envelope.source_process}"
+
+        if self.enforce:
+            decision = flow_decision(message.context, process.security)
+            if not decision.allowed:
+                self.stats.denied_remote += 1
+                self.audit.flow_denied(
+                    source_addr, process.name, decision.reason,
+                    message.context, process.security,
+                )
+                return
+            dropped = message.dropped_attributes(process.security)
+            if dropped:
+                # Fig. 10: message-level tags quench attribute values the
+                # receiver's context does not satisfy.
+                self.stats.quenched_attributes += len(dropped)
+                message = message.quenched_for(process.security)
+            self.audit.flow_allowed(
+                source_addr,
+                process.name,
+                envelope.message.context,
+                process.security,
+                {"msg_id": message.msg_id, "quenched": dropped}
+                if dropped
+                else {"msg_id": message.msg_id},
+            )
+
+        self.stats.delivered += 1
+        handler(source_addr, message)

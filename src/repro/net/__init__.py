@@ -1,0 +1,11 @@
+"""Simulated network substrate."""
+
+from repro.net.network import (
+    Datagram,
+    Host,
+    Link,
+    Network,
+    NetworkStats,
+)
+
+__all__ = ["Datagram", "Host", "Link", "Network", "NetworkStats"]

@@ -1,0 +1,176 @@
+"""A simulated network: hosts, links, latency, loss, partitions.
+
+The middleware's cross-machine substrate (§8.2.2) needs a transport.
+This network is deliberately simple — named hosts, point-to-point links
+with latency and loss probability, administrative partitions — but it is
+the layer where "intermittently connected or mobile" behaviour
+(Challenge 6) is injected for the distributed-audit experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import NetworkError
+from repro.sim.events import Simulator
+
+#: Handler invoked on datagram delivery at a host.
+Receiver = Callable[["Datagram"], None]
+
+
+@dataclass
+class Datagram:
+    """One unit of transfer between hosts.
+
+    Attributes:
+        source / destination: host names.
+        payload: opaque application payload (typically a middleware
+            message or control message).
+        sent_at / delivered_at: simulated timestamps.
+    """
+
+    source: str
+    destination: str
+    payload: object
+    sent_at: float = 0.0
+    delivered_at: Optional[float] = None
+
+
+@dataclass
+class Link:
+    """A directed link with latency and loss characteristics."""
+
+    latency: float = 0.01
+    loss_probability: float = 0.0
+    up: bool = True
+
+
+@dataclass
+class Host:
+    """A network endpoint that can receive datagrams."""
+
+    name: str
+    receiver: Optional[Receiver] = None
+    online: bool = True
+
+
+@dataclass
+class NetworkStats:
+    """Counters for observing network behaviour in benchmarks."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    blocked_partition: int = 0
+
+
+class Network:
+    """The simulated network fabric.
+
+    Hosts register receivers; :meth:`send` schedules delivery on the
+    simulator according to the (source → destination) link.  Unlinked
+    host pairs use a default link.  Partitions model federated domains
+    losing connectivity.
+    """
+
+    def __init__(self, sim: Simulator, default_latency: float = 0.01):
+        self.sim = sim
+        self.default_latency = default_latency
+        self._hosts: Dict[str, Host] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._partitions: List[Tuple[Set[str], Set[str]]] = []
+        self.stats = NetworkStats()
+
+    # -- topology -------------------------------------------------------------
+
+    def add_host(self, name: str, receiver: Optional[Receiver] = None) -> Host:
+        """Register a host; name must be unique."""
+        if name in self._hosts:
+            raise NetworkError(f"host already exists: {name}")
+        host = Host(name, receiver)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        """Look up a host."""
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise NetworkError(f"unknown host: {name}") from None
+
+    def set_receiver(self, name: str, receiver: Receiver) -> None:
+        """Attach/replace the delivery callback of a host."""
+        self.host(name).receiver = receiver
+
+    def link(
+        self,
+        source: str,
+        destination: str,
+        latency: Optional[float] = None,
+        loss_probability: float = 0.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Configure the link between two hosts."""
+        lat = self.default_latency if latency is None else latency
+        self._links[(source, destination)] = Link(lat, loss_probability)
+        if symmetric:
+            self._links[(destination, source)] = Link(lat, loss_probability)
+
+    def _link_for(self, source: str, destination: str) -> Link:
+        return self._links.get((source, destination), Link(self.default_latency))
+
+    # -- partitions ------------------------------------------------------------
+
+    def partition(self, group_a: Set[str], group_b: Set[str]) -> None:
+        """Sever connectivity between two host groups."""
+        self._partitions.append((set(group_a), set(group_b)))
+
+    def heal_partitions(self) -> None:
+        """Restore full connectivity."""
+        self._partitions.clear()
+
+    def _partitioned(self, source: str, destination: str) -> bool:
+        for a, b in self._partitions:
+            if (source in a and destination in b) or (
+                source in b and destination in a
+            ):
+                return True
+        return False
+
+    # -- transfer ----------------------------------------------------------------
+
+    def send(self, source: str, destination: str, payload: object) -> Datagram:
+        """Send a datagram; delivery is scheduled on the simulator.
+
+        Sending never raises for delivery-time conditions (loss, offline
+        destination) — those surface as non-delivery, as in real networks.
+        Unknown hosts raise immediately.
+        """
+        self.host(source)
+        dest = self.host(destination)
+        datagram = Datagram(source, destination, payload, sent_at=self.sim.now())
+        self.stats.sent += 1
+
+        if self._partitioned(source, destination):
+            self.stats.blocked_partition += 1
+            return datagram
+
+        link = self._link_for(source, destination)
+        if not link.up:
+            self.stats.dropped += 1
+            return datagram
+        if link.loss_probability > 0 and self.sim.rng.random() < link.loss_probability:
+            self.stats.dropped += 1
+            return datagram
+
+        def deliver() -> None:
+            if not dest.online or dest.receiver is None:
+                self.stats.dropped += 1
+                return
+            datagram.delivered_at = self.sim.now()
+            self.stats.delivered += 1
+            dest.receiver(datagram)
+
+        self.sim.schedule_in(link.latency, deliver, label=f"net:{source}->{destination}")
+        return datagram

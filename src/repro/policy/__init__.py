@@ -1,0 +1,115 @@
+"""Policy: expressions, context, ECA rules, engines, conflicts, legal packs."""
+
+from repro.policy.expr import (
+    Expression,
+    SAFE_FUNCTIONS,
+    evaluate,
+    parse,
+    tokenize,
+)
+from repro.policy.context import (
+    ContextEntry,
+    ContextStore,
+)
+from repro.policy.rules import (
+    Action,
+    CommandAction,
+    ContextAction,
+    Event,
+    NotifyAction,
+    Rule,
+    evaluation_scope,
+)
+from repro.policy.conflict import (
+    Conflict,
+    Proposal,
+    ResolutionResult,
+    ResolutionStrategy,
+    commands_conflict,
+    detect_conflicts,
+    resolve,
+)
+from repro.policy.authority import (
+    AdHocGrant,
+    AuthorityModel,
+    Loan,
+)
+from repro.policy.engine import (
+    FiringReport,
+    PolicyEngine,
+)
+from repro.policy.legal import (
+    LegalObligation,
+    ObligationRegister,
+    anonymisation_obligation,
+    break_glass_obligation,
+    consent_obligation,
+    geo_fence_obligation,
+    retention_obligation,
+)
+from repro.policy.dsl import parse_rules
+from repro.policy.cep import (
+    AbsenceDetector,
+    Detector,
+    EventProcessor,
+    SequenceDetector,
+    SlidingWindowDetector,
+)
+from repro.policy.anomaly import (
+    AnomalyDetector,
+    StreamStats,
+)
+from repro.policy.templates import (
+    PolicyTemplate,
+    TemplateLibrary,
+    TemplateParameter,
+    standard_library,
+)
+
+__all__ = [
+    "Expression",
+    "SAFE_FUNCTIONS",
+    "evaluate",
+    "parse",
+    "tokenize",
+    "ContextEntry",
+    "ContextStore",
+    "Action",
+    "CommandAction",
+    "ContextAction",
+    "Event",
+    "NotifyAction",
+    "Rule",
+    "evaluation_scope",
+    "Conflict",
+    "Proposal",
+    "ResolutionResult",
+    "ResolutionStrategy",
+    "commands_conflict",
+    "detect_conflicts",
+    "resolve",
+    "AdHocGrant",
+    "AuthorityModel",
+    "Loan",
+    "FiringReport",
+    "PolicyEngine",
+    "LegalObligation",
+    "ObligationRegister",
+    "anonymisation_obligation",
+    "break_glass_obligation",
+    "consent_obligation",
+    "geo_fence_obligation",
+    "retention_obligation",
+    "parse_rules",
+    "AbsenceDetector",
+    "Detector",
+    "EventProcessor",
+    "SequenceDetector",
+    "SlidingWindowDetector",
+    "PolicyTemplate",
+    "TemplateLibrary",
+    "TemplateParameter",
+    "standard_library",
+    "AnomalyDetector",
+    "StreamStats",
+]

@@ -1,0 +1,118 @@
+"""Online anomaly detection driving policy (§5).
+
+"Machine learning is gaining prominence, and can be used for learning
+and recognising significant patterns of events that can drive actions."
+
+A deliberately simple, fully deterministic online learner — Welford's
+streaming mean/variance with a z-score trigger — packaged as a CEP
+:class:`~repro.policy.cep.Detector` so recognised anomalies feed ECA
+rules exactly like the hand-written detectors.  The point reproduced is
+architectural (learned recognisers slot into the same policy loop), not
+the learning itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PolicyError
+from repro.policy.cep import Detector, EventSink
+from repro.policy.rules import Event
+
+
+@dataclass
+class StreamStats:
+    """Welford's algorithm: numerically stable streaming mean/variance."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self.m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def zscore(self, value: float) -> Optional[float]:
+        """Standard score of a value, or None before the model warms up."""
+        if self.count < 2 or self.stddev == 0.0:
+            return None
+        return (value - self.mean) / self.stddev
+
+
+class AnomalyDetector(Detector):
+    """Z-score anomaly detector over one event attribute.
+
+    Learns the attribute's distribution online; values beyond
+    ``threshold`` standard deviations (after ``warmup`` samples) emit a
+    derived anomaly event carrying the evidence a rule condition — or a
+    human auditor — needs.  Anomalous values are *not* folded into the
+    model (they would drag the baseline toward the attack).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sink: EventSink,
+        event_type: str,
+        attribute: str,
+        derived_type: str = "anomaly-detected",
+        threshold: float = 4.0,
+        warmup: int = 20,
+        source_filter: Optional[str] = None,
+    ):
+        super().__init__(name, sink)
+        if threshold <= 0:
+            raise PolicyError("threshold must be positive")
+        if warmup < 2:
+            raise PolicyError("warmup must be at least 2 samples")
+        self.event_type = event_type
+        self.attribute = attribute
+        self.derived_type = derived_type
+        self.threshold = threshold
+        self.warmup = warmup
+        self.source_filter = source_filter
+        self.stats = StreamStats()
+
+    def process(self, event: Event) -> None:
+        if event.type != self.event_type:
+            return
+        if self.source_filter is not None and event.source != self.source_filter:
+            return
+        value = event.attributes.get(self.attribute)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        value = float(value)
+        score = self.stats.zscore(value)
+        if (
+            self.stats.count >= self.warmup
+            and score is not None
+            and abs(score) > self.threshold
+        ):
+            self._emit(
+                self.derived_type,
+                {
+                    "suspect": event.source,
+                    "value": value,
+                    "zscore": round(score, 3),
+                    "baseline_mean": round(self.stats.mean, 3),
+                    "baseline_stddev": round(self.stats.stddev, 3),
+                    "samples_learned": self.stats.count,
+                },
+                event.timestamp,
+            )
+            return  # do not learn from the anomaly
+        self.stats.update(value)

@@ -1,0 +1,194 @@
+"""Authority over things and policy (Challenge 4).
+
+"Given the IoT is federated by nature, one issue concerns managing who
+is able to define and maintain (reconfigure) policy.  Some 'things' are
+owned by individuals, e.g. wearables; some are shared, e.g. the
+occupants of a home ...; and some devices have delegated ownership,
+e.g., a health service may loan devices to patients ...  There may also
+be ad hoc situations, in which some authority is given temporarily, e.g.
+only while physically in a particular location."
+
+:class:`AuthorityModel` captures all four shapes: individual ownership,
+shared ownership, delegated (loan) authority with expiry, and ad hoc
+contextual authority conditioned on the context store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Set
+
+from repro.errors import AuthorityError
+
+#: Contextual condition for ad hoc authority: context view -> bool.
+AdHocCondition = Callable[[Mapping[str, object]], bool]
+
+
+@dataclass
+class Loan:
+    """Delegated authority over a thing, with optional expiry.
+
+    A health service loaning a monitor to a patient grants the patient
+    day-to-day authority while the service retains ultimate ownership.
+    """
+
+    thing: str
+    lender: str
+    borrower: str
+    expires_at: Optional[float] = None
+
+    def active(self, now: float) -> bool:
+        return self.expires_at is None or now <= self.expires_at
+
+
+@dataclass
+class AdHocGrant:
+    """Temporary, context-conditional authority.
+
+    Example: a visiting nurse has authority over the home hub "only
+    while physically in the home"::
+
+        AdHocGrant("home-hub", "nurse-1",
+                   condition=lambda ctx: ctx.get("nurse-1.location") == "ann-home")
+    """
+
+    thing: str
+    principal: str
+    condition: AdHocCondition
+
+
+class AuthorityModel:
+    """Who may define/maintain policy over which things.
+
+    The resolution order of :meth:`may_author_policy`: owner (individual
+    or shared) → active loan borrower → satisfied ad hoc grant.  Lenders
+    always retain authority over loaned things.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or (lambda: 0.0)
+        self._owners: Dict[str, Set[str]] = {}
+        self._loans: List[Loan] = []
+        self._adhoc: List[AdHocGrant] = []
+
+    # -- ownership -------------------------------------------------------------
+
+    def set_owner(self, thing: str, *owners: str) -> None:
+        """Declare the owner(s) of a thing (shared when several)."""
+        if not owners:
+            raise AuthorityError(f"{thing} needs at least one owner")
+        self._owners[thing] = set(owners)
+
+    def add_owner(self, thing: str, owner: str) -> None:
+        """Add a co-owner (e.g. a new home occupant)."""
+        self._owners.setdefault(thing, set()).add(owner)
+
+    def remove_owner(self, thing: str, owner: str) -> None:
+        """Remove a co-owner; the last owner cannot be removed."""
+        owners = self._owners.get(thing, set())
+        if owner in owners and len(owners) == 1:
+            raise AuthorityError(
+                f"cannot remove last owner {owner} of {thing}"
+            )
+        owners.discard(owner)
+
+    def owners_of(self, thing: str) -> Set[str]:
+        """Current owners (empty set when unregistered)."""
+        return set(self._owners.get(thing, set()))
+
+    # -- loans ------------------------------------------------------------------
+
+    def loan(
+        self,
+        thing: str,
+        lender: str,
+        borrower: str,
+        expires_at: Optional[float] = None,
+    ) -> Loan:
+        """Delegate authority over a thing.
+
+        Raises:
+            AuthorityError: when the lender has no authority itself.
+        """
+        if not self.may_author_policy(lender, thing):
+            raise AuthorityError(f"{lender} cannot loan {thing}: no authority")
+        record = Loan(thing, lender, borrower, expires_at)
+        self._loans.append(record)
+        return record
+
+    def end_loan(self, thing: str, borrower: str) -> bool:
+        """Terminate any active loans of a thing to a borrower."""
+        before = len(self._loans)
+        self._loans = [
+            l
+            for l in self._loans
+            if not (l.thing == thing and l.borrower == borrower)
+        ]
+        return len(self._loans) != before
+
+    # -- ad hoc -------------------------------------------------------------------
+
+    def grant_adhoc(
+        self, thing: str, principal: str, condition: AdHocCondition
+    ) -> AdHocGrant:
+        """Grant context-conditional authority."""
+        grant = AdHocGrant(thing, principal, condition)
+        self._adhoc.append(grant)
+        return grant
+
+    def revoke_adhoc(self, thing: str, principal: str) -> int:
+        """Remove ad hoc grants; returns how many were removed."""
+        before = len(self._adhoc)
+        self._adhoc = [
+            g
+            for g in self._adhoc
+            if not (g.thing == thing and g.principal == principal)
+        ]
+        return before - len(self._adhoc)
+
+    # -- the decision ----------------------------------------------------------------
+
+    def may_author_policy(
+        self,
+        principal: str,
+        thing: str,
+        context: Optional[Mapping[str, object]] = None,
+    ) -> bool:
+        """Whether ``principal`` may define/maintain policy over ``thing``."""
+        if principal in self._owners.get(thing, set()):
+            return True
+        now = self._clock()
+        for loan_record in self._loans:
+            if loan_record.thing != thing or not loan_record.active(now):
+                continue
+            if principal in (loan_record.borrower, loan_record.lender):
+                return True
+        ctx = context or {}
+        for grant in self._adhoc:
+            if grant.thing == thing and grant.principal == principal:
+                try:
+                    if grant.condition(ctx):
+                        return True
+                except Exception:
+                    continue
+        return False
+
+    def authorities_over(
+        self, thing: str, context: Optional[Mapping[str, object]] = None
+    ) -> Set[str]:
+        """Everyone currently holding authority over a thing."""
+        result = set(self._owners.get(thing, set()))
+        now = self._clock()
+        for loan_record in self._loans:
+            if loan_record.thing == thing and loan_record.active(now):
+                result.add(loan_record.borrower)
+                result.add(loan_record.lender)
+        ctx = context or {}
+        for grant in self._adhoc:
+            if grant.thing == thing:
+                try:
+                    if grant.condition(ctx):
+                        result.add(grant.principal)
+                except Exception:
+                    continue
+        return result

@@ -1,0 +1,287 @@
+"""Complex Event Processing feeding the policy layer (§5).
+
+"Complex Event Processing (CEP) engines have been developed for specific
+application areas ... Regardless of how policy is described and actions
+decided, our concern is the underlying mechanisms enabling policy to
+maintain appropriate system behaviour" — and Challenge 3 notes "actions
+are taken on patterns of events, e.g. detected by complex-event methods
+or machine learning".
+
+This module provides the pattern detectors a policy engine subscribes
+to: sliding-window aggregates with threshold triggers, event sequences
+within a time window, and absence detection (a heartbeat going silent —
+the liveness signal audit gap detection also cares about).  Detectors
+consume primitive :class:`~repro.policy.rules.Event` streams and emit
+*derived* events, so ECA rules match on recognised situations rather
+than raw readings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PolicyError
+from repro.policy.rules import Event
+
+#: Receives derived events (usually ``PolicyEngine.handle_event``).
+EventSink = Callable[[Event], None]
+
+
+class Detector:
+    """Base class: push primitive events in, derived events come out."""
+
+    def __init__(self, name: str, sink: EventSink):
+        self.name = name
+        self.sink = sink
+        self.emitted = 0
+
+    def process(self, event: Event) -> None:
+        """Consume one primitive event."""
+        raise NotImplementedError
+
+    def _emit(self, event_type: str, attributes: Dict, timestamp: float) -> None:
+        self.emitted += 1
+        self.sink(
+            Event(event_type, attributes, source=self.name, timestamp=timestamp)
+        )
+
+
+@dataclass
+class _WindowEntry:
+    timestamp: float
+    value: float
+
+
+class SlidingWindowDetector(Detector):
+    """Threshold over a time-windowed aggregate.
+
+    Example — "average heart rate above 120 over five minutes"::
+
+        SlidingWindowDetector(
+            "tachycardia", sink,
+            event_type="reading", attribute="value",
+            window=300.0, aggregate="mean",
+            predicate=lambda v: v > 120.0,
+            derived_type="tachycardia-detected",
+        )
+
+    Fires at most once per excursion: the predicate must become false
+    again (hysteresis) before a new derived event can be emitted.
+    """
+
+    AGGREGATES = {
+        "mean": lambda values: sum(values) / len(values),
+        "min": min,
+        "max": max,
+        "sum": sum,
+        "count": len,
+    }
+
+    def __init__(
+        self,
+        name: str,
+        sink: EventSink,
+        event_type: str,
+        attribute: str,
+        window: float,
+        aggregate: str,
+        predicate: Callable[[float], bool],
+        derived_type: str,
+        source_filter: Optional[str] = None,
+    ):
+        super().__init__(name, sink)
+        if aggregate not in self.AGGREGATES:
+            raise PolicyError(f"unknown aggregate {aggregate!r}")
+        if window <= 0:
+            raise PolicyError("window must be positive")
+        self.event_type = event_type
+        self.attribute = attribute
+        self.window = window
+        self.aggregate = self.AGGREGATES[aggregate]
+        self.aggregate_name = aggregate
+        self.predicate = predicate
+        self.derived_type = derived_type
+        self.source_filter = source_filter
+        self._entries: Deque[_WindowEntry] = deque()
+        self._armed = True
+
+    def process(self, event: Event) -> None:
+        if event.type != self.event_type:
+            return
+        if self.source_filter is not None and event.source != self.source_filter:
+            return
+        value = event.attributes.get(self.attribute)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return
+        self._entries.append(_WindowEntry(event.timestamp, float(value)))
+        cutoff = event.timestamp - self.window
+        while self._entries and self._entries[0].timestamp < cutoff:
+            self._entries.popleft()
+        current = self.aggregate([e.value for e in self._entries])
+        if self.predicate(current):
+            if self._armed:
+                self._armed = False
+                self._emit(
+                    self.derived_type,
+                    {
+                        "aggregate": self.aggregate_name,
+                        "value": current,
+                        "window": self.window,
+                        "samples": len(self._entries),
+                        "trigger_source": event.source,
+                    },
+                    event.timestamp,
+                )
+        else:
+            self._armed = True
+
+
+class SequenceDetector(Detector):
+    """An ordered sequence of event types within a time budget.
+
+    Example — door opened, then motion, then no badge scan (intrusion)::
+
+        SequenceDetector("intrusion", sink,
+                         sequence=["door-open", "motion"],
+                         within=30.0, derived_type="intrusion-suspected")
+
+    Progress resets when the budget expires; matches may overlap is
+    deliberately *not* supported (one in-flight match at a time), which
+    keeps behaviour predictable for audit.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sink: EventSink,
+        sequence: Sequence[str],
+        within: float,
+        derived_type: str,
+    ):
+        super().__init__(name, sink)
+        if not sequence:
+            raise PolicyError("sequence must be non-empty")
+        if within <= 0:
+            raise PolicyError("sequence window must be positive")
+        self.sequence = list(sequence)
+        self.within = within
+        self.derived_type = derived_type
+        self._position = 0
+        self._started_at: Optional[float] = None
+
+    def process(self, event: Event) -> None:
+        if self._started_at is not None and (
+            event.timestamp - self._started_at > self.within
+        ):
+            self._position = 0
+            self._started_at = None
+        expected = self.sequence[self._position]
+        if event.type != expected:
+            return
+        if self._position == 0:
+            self._started_at = event.timestamp
+        self._position += 1
+        if self._position == len(self.sequence):
+            started = (
+                event.timestamp if self._started_at is None else self._started_at
+            )
+            self._emit(
+                self.derived_type,
+                {
+                    "sequence": list(self.sequence),
+                    "duration": event.timestamp - started,
+                },
+                event.timestamp,
+            )
+            self._position = 0
+            self._started_at = None
+
+
+class AbsenceDetector(Detector):
+    """Fires when an expected event stops arriving (silent heartbeat).
+
+    Unlike the other detectors this one needs a clock tick:
+    :meth:`check` is called periodically (wire it to
+    ``Simulator.schedule_every``) and emits when the last sighting is
+    older than ``timeout``.  Re-arms when the event reappears.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sink: EventSink,
+        event_type: str,
+        timeout: float,
+        derived_type: str,
+        source_filter: Optional[str] = None,
+    ):
+        super().__init__(name, sink)
+        if timeout <= 0:
+            raise PolicyError("timeout must be positive")
+        self.event_type = event_type
+        self.timeout = timeout
+        self.derived_type = derived_type
+        self.source_filter = source_filter
+        self._last_seen: Optional[float] = None
+        self._reported = False
+
+    def process(self, event: Event) -> None:
+        if event.type != self.event_type:
+            return
+        if self.source_filter is not None and event.source != self.source_filter:
+            return
+        self._last_seen = event.timestamp
+        self._reported = False
+
+    def check(self, now: float) -> None:
+        """Periodic liveness check; emits once per silence episode."""
+        if self._last_seen is None or self._reported:
+            return
+        if now - self._last_seen > self.timeout:
+            self._reported = True
+            self._emit(
+                self.derived_type,
+                {
+                    "last_seen": self._last_seen,
+                    "silent_for": now - self._last_seen,
+                },
+                now,
+            )
+
+
+class EventProcessor:
+    """Fans primitive events out to registered detectors.
+
+    The composition point between raw telemetry and the policy engine:
+    components/things publish into the processor; derived events land in
+    the engine.
+    """
+
+    def __init__(self) -> None:
+        self._detectors: List[Detector] = []
+        self.processed = 0
+
+    def add(self, detector: Detector) -> Detector:
+        """Register a detector."""
+        self._detectors.append(detector)
+        return detector
+
+    def remove(self, name: str) -> bool:
+        """Remove a detector by name."""
+        before = len(self._detectors)
+        self._detectors = [d for d in self._detectors if d.name != name]
+        return len(self._detectors) != before
+
+    def process(self, event: Event) -> None:
+        """Push one primitive event through every detector."""
+        self.processed += 1
+        for detector in self._detectors:
+            detector.process(event)
+
+    def tick(self, now: float) -> None:
+        """Drive time-based detectors (absence)."""
+        for detector in self._detectors:
+            if isinstance(detector, AbsenceDetector):
+                detector.check(now)

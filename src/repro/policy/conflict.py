@@ -1,0 +1,172 @@
+"""Policy conflict detection and resolution (Challenge 4).
+
+"Federation means that policy will conflict ... Work is certainly
+required on policy conflict resolution, e.g. standardisation, authoring
+interfaces and/or mechanisms for runtime negotiation and resolution."
+The paper's earlier work [83] considered "policy prioritisation and
+override ... within a single administrative domain"; this module
+implements those mechanisms over the structured command set, so that
+when several fired rules propose reconfigurations, contradictions are
+detected and resolved deterministically before anything executes.
+
+Conflict pairs recognised between commands on the same target:
+
+* MAP vs UNMAP of the same source→sink pair (connect/disconnect race);
+* SET_CONTEXT with different proposed contexts;
+* SHUTDOWN / ISOLATE vs anything constructive (MAP, SET_CONTEXT, GRANT);
+* DIVERT vs DIVERT to different sinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.middleware.reconfig import CommandKind, ControlMessage
+from repro.policy.rules import Rule
+
+#: Commands that restrict/sever (win under DENY_OVERRIDES).
+_RESTRICTIVE = {CommandKind.UNMAP, CommandKind.ISOLATE, CommandKind.SHUTDOWN}
+#: Commands that build/extend.
+_CONSTRUCTIVE = {
+    CommandKind.MAP,
+    CommandKind.SET_CONTEXT,
+    CommandKind.GRANT_PRIVILEGE,
+    CommandKind.DIVERT,
+}
+
+
+class ResolutionStrategy(str, Enum):
+    """How conflicting proposals are resolved."""
+
+    PRIORITY = "priority"              # higher rule priority wins
+    DENY_OVERRIDES = "deny-overrides"  # restrictive commands win
+    FIRST_MATCH = "first-match"        # earliest proposal wins
+
+
+@dataclass
+class Proposal:
+    """A command proposed by a fired rule."""
+
+    rule: Rule
+    command: ControlMessage
+
+
+@dataclass
+class Conflict:
+    """A detected contradiction between two proposals."""
+
+    first: Proposal
+    second: Proposal
+    reason: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.first.rule.name} vs {self.second.rule.name}: {self.reason}"
+        )
+
+
+def _map_pair(command: ControlMessage) -> Tuple[str, str]:
+    return (command.target, str(command.arguments.get("sink", "")))
+
+
+def commands_conflict(a: ControlMessage, b: ControlMessage) -> Optional[str]:
+    """Return a reason string when two commands contradict, else None."""
+    if a.target != b.target:
+        return None
+    ka, kb = a.kind, b.kind
+    if {ka, kb} == {CommandKind.MAP, CommandKind.UNMAP}:
+        map_cmd = a if ka == CommandKind.MAP else b
+        unmap_cmd = b if map_cmd is a else a
+        unmap_sink = unmap_cmd.arguments.get("sink")
+        if unmap_sink is None or unmap_sink == map_cmd.arguments.get("sink"):
+            return "map and unmap of the same connection"
+        return None
+    if ka == kb == CommandKind.SET_CONTEXT:
+        if a.arguments.get("context") != b.arguments.get("context"):
+            return "different security contexts proposed for the same target"
+        return None
+    if ka == kb == CommandKind.DIVERT:
+        if a.arguments.get("new_sink") != b.arguments.get("new_sink"):
+            return "divert to different sinks"
+        return None
+    if (ka in _RESTRICTIVE and kb in _CONSTRUCTIVE) or (
+        kb in _RESTRICTIVE and ka in _CONSTRUCTIVE
+    ):
+        return "restrictive command contradicts constructive command"
+    return None
+
+
+def detect_conflicts(proposals: Sequence[Proposal]) -> List[Conflict]:
+    """All pairwise contradictions among proposals."""
+    conflicts: List[Conflict] = []
+    for i in range(len(proposals)):
+        for j in range(i + 1, len(proposals)):
+            reason = commands_conflict(proposals[i].command, proposals[j].command)
+            if reason is not None:
+                conflicts.append(Conflict(proposals[i], proposals[j], reason))
+    return conflicts
+
+
+@dataclass
+class ResolutionResult:
+    """Outcome of conflict resolution.
+
+    Attributes:
+        accepted: proposals to execute, in order.
+        rejected: proposals suppressed, with the conflict that killed
+            each.
+        conflicts: everything detected (for audit).
+    """
+
+    accepted: List[Proposal] = field(default_factory=list)
+    rejected: List[Tuple[Proposal, Conflict]] = field(default_factory=list)
+    conflicts: List[Conflict] = field(default_factory=list)
+
+
+def _loses(p: Proposal, other: Proposal, strategy: ResolutionStrategy,
+           order: Dict[int, int]) -> bool:
+    """Whether p loses to other under the strategy (ties break on
+    proposal order, earliest wins, for determinism)."""
+    if strategy == ResolutionStrategy.PRIORITY:
+        if p.rule.priority != other.rule.priority:
+            return p.rule.priority < other.rule.priority
+        return order[id(p)] > order[id(other)]
+    if strategy == ResolutionStrategy.DENY_OVERRIDES:
+        p_restrictive = p.command.kind in _RESTRICTIVE
+        o_restrictive = other.command.kind in _RESTRICTIVE
+        if p_restrictive != o_restrictive:
+            return not p_restrictive
+        if p.rule.priority != other.rule.priority:
+            return p.rule.priority < other.rule.priority
+        return order[id(p)] > order[id(other)]
+    # FIRST_MATCH
+    return order[id(p)] > order[id(other)]
+
+
+def resolve(
+    proposals: Sequence[Proposal],
+    strategy: ResolutionStrategy = ResolutionStrategy.PRIORITY,
+) -> ResolutionResult:
+    """Resolve conflicts among proposals under a strategy.
+
+    A proposal is rejected when it loses any of its conflicts; the
+    survivor set is therefore conflict-free.  (With symmetric losses the
+    higher-ranked proposal of each conflicting pair always survives.)
+    """
+    result = ResolutionResult(conflicts=detect_conflicts(proposals))
+    order = {id(p): i for i, p in enumerate(proposals)}
+    losers: Dict[int, Conflict] = {}
+    for conflict in result.conflicts:
+        a, b = conflict.first, conflict.second
+        if _loses(a, b, strategy, order):
+            losers.setdefault(id(a), conflict)
+        else:
+            losers.setdefault(id(b), conflict)
+    for proposal in proposals:
+        if id(proposal) in losers:
+            result.rejected.append((proposal, losers[id(proposal)]))
+        else:
+            result.accepted.append(proposal)
+    return result

@@ -1,0 +1,128 @@
+"""Context representation and monitoring (§10.2 "Representing context").
+
+"IoT is dynamic and data-driven, therefore context is a key
+consideration.  Policy is inherently contextual, defined to be enforced
+in particular circumstances."
+
+:class:`ContextStore` is a hierarchical key/value state ("patient.ann.
+location" = "home") with change subscriptions, so policy engines react
+to context transitions, and with per-key provenance (who set it, when) —
+context is itself data whose quality matters (Concern 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+#: Subscriber signature: (key, old_value, new_value).
+ContextSubscriber = Callable[[str, Any, Any], None]
+
+
+@dataclass
+class ContextEntry:
+    """One context value with provenance."""
+
+    value: Any
+    set_by: str = ""
+    set_at: float = 0.0
+
+
+class ContextStore(Mapping[str, Any]):
+    """Hierarchical, observable context state.
+
+    Keys are dotted paths.  :meth:`view` projects a subtree into a flat
+    mapping for expression evaluation; :meth:`subscribe` registers
+    callbacks on exact keys or prefixes (``"patient.ann.*"``).
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or (lambda: 0.0)
+        self._entries: Dict[str, ContextEntry] = {}
+        self._subscribers: List[Tuple[str, ContextSubscriber]] = []
+
+    # -- Mapping interface (read side) ----------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        return self._entries[key].value
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        entry = self._entries.get(key)
+        return default if entry is None else entry.value
+
+    # -- writes ------------------------------------------------------------------
+
+    def set(self, key: str, value: Any, by: str = "") -> None:
+        """Set a context value, notifying subscribers on change."""
+        old_entry = self._entries.get(key)
+        old = old_entry.value if old_entry else None
+        self._entries[key] = ContextEntry(value, by, self._clock())
+        if old != value:
+            self._notify(key, old, value)
+
+    def update(self, values: Mapping[str, Any], by: str = "") -> None:
+        """Set many values at once."""
+        for key, value in values.items():
+            self.set(key, value, by)
+
+    def delete(self, key: str, by: str = "") -> None:
+        """Remove a key, notifying subscribers with new value None."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._notify(key, entry.value, None)
+
+    def provenance(self, key: str) -> Optional[ContextEntry]:
+        """Who set a key, and when."""
+        return self._entries.get(key)
+
+    # -- subscriptions --------------------------------------------------------------
+
+    def subscribe(self, pattern: str, subscriber: ContextSubscriber) -> Callable[[], None]:
+        """Subscribe to changes of a key or prefix pattern.
+
+        ``pattern`` is an exact key, or a prefix ending in ``*``.
+        Returns an unsubscribe function.
+        """
+        entry = (pattern, subscriber)
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            if entry in self._subscribers:
+                self._subscribers.remove(entry)
+
+        return unsubscribe
+
+    def _notify(self, key: str, old: Any, new: Any) -> None:
+        for pattern, subscriber in list(self._subscribers):
+            if self._matches(pattern, key):
+                subscriber(key, old, new)
+
+    @staticmethod
+    def _matches(pattern: str, key: str) -> bool:
+        if pattern.endswith("*"):
+            return key.startswith(pattern[:-1])
+        return pattern == key
+
+    # -- projections -------------------------------------------------------------------
+
+    def view(self, prefix: str = "") -> Dict[str, Any]:
+        """A flat snapshot; with a prefix, keys are relativised.
+
+        ``view("patient.ann")`` maps ``location`` → value for
+        ``patient.ann.location``, which is what rule conditions close
+        over.
+        """
+        if not prefix:
+            return {k: e.value for k, e in self._entries.items()}
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        result: Dict[str, Any] = {}
+        for key, entry in self._entries.items():
+            if key.startswith(dotted):
+                result[key[len(dotted):]] = entry.value
+        return result

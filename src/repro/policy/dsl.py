@@ -1,0 +1,248 @@
+"""A textual DSL for authoring ECA rules (Challenge 2).
+
+"There is a clear need for suitable, intuitive means for IFC tags,
+privileges and reconfiguration policy to be expressed, so that
+obligations can be captured and adhered to.  Work concerning policy
+authoring interfaces and templates can be relevant."
+
+Grammar (line-oriented; ``#`` starts a comment)::
+
+    rule <name>
+      on <event-type> [from <source>]
+      [when <expression>]
+      [priority <integer>]
+      [author <principal>]
+      do notify <channel> "<template>"
+      do set <context-key> = <literal>
+      do map <issuer>: <component>.<endpoint> -> <component>.<endpoint>
+      do unmap <issuer>: <component> [-> <component>]
+      do divert <issuer>: <component> -> <component>.<endpoint>
+      do isolate <issuer>: <component>
+      do shutdown <issuer>: <component>
+
+Multiple ``rule`` blocks per document.  The parser returns fully
+constructed :class:`~repro.policy.rules.Rule` objects ready for
+:meth:`PolicyEngine.add_rule`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import PolicyError
+from repro.middleware.reconfig import CommandKind, ControlMessage, Reconfigurator
+from repro.policy.expr import Expression
+from repro.policy.rules import (
+    Action,
+    CommandAction,
+    ContextAction,
+    NotifyAction,
+    Rule,
+)
+
+_ENDPOINT_RE = re.compile(r"^([\w\-]+)\.([\w\-]+)$")
+_COMPONENT_RE = re.compile(r"^[\w\-]+$")
+
+
+def _parse_endpoint(text: str, line_no: int) -> Tuple[str, str]:
+    match = _ENDPOINT_RE.match(text.strip())
+    if match is None:
+        raise PolicyError(
+            f"line {line_no}: expected component.endpoint, got {text!r}"
+        )
+    return match.group(1), match.group(2)
+
+
+def _parse_literal(text: str, line_no: int):
+    text = text.strip()
+    if text in ("true", "false"):
+        return text == "true"
+    if text == "none":
+        return None
+    if (text.startswith("'") and text.endswith("'")) or (
+        text.startswith('"') and text.endswith('"')
+    ):
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise PolicyError(f"line {line_no}: bad literal {text!r}") from None
+
+
+def _parse_do(line: str, line_no: int) -> Action:
+    body = line[len("do "):].strip()
+    verb, _, rest = body.partition(" ")
+    rest = rest.strip()
+
+    if verb == "notify":
+        channel, _, template = rest.partition(" ")
+        template = template.strip()
+        if template.startswith('"') and template.endswith('"'):
+            template = template[1:-1]
+        if not channel:
+            raise PolicyError(f"line {line_no}: notify needs a channel")
+        return NotifyAction(channel, template)
+
+    if verb == "set":
+        key, sep, value = rest.partition("=")
+        if not sep:
+            raise PolicyError(f"line {line_no}: set needs 'key = value'")
+        return ContextAction(key.strip(), _parse_literal(value, line_no))
+
+    if verb not in ("map", "unmap", "divert", "isolate", "shutdown"):
+        raise PolicyError(f"line {line_no}: unknown action verb {verb!r}")
+
+    # Remaining verbs: reconfiguration commands "issuer: args".
+    issuer, sep, args = rest.partition(":")
+    if not sep:
+        raise PolicyError(
+            f"line {line_no}: {verb} needs an issuer "
+            f"('do {verb} <issuer>: ...')"
+        )
+    issuer = issuer.strip()
+    args = args.strip()
+
+    if verb == "map":
+        src_text, arrow, dst_text = args.partition("->")
+        if not arrow:
+            raise PolicyError(f"line {line_no}: map needs 'src.ep -> dst.ep'")
+        src, src_ep = _parse_endpoint(src_text, line_no)
+        dst, dst_ep = _parse_endpoint(dst_text, line_no)
+        return CommandAction(
+            command=Reconfigurator.map_command(issuer, src, src_ep, dst, dst_ep)
+        )
+
+    if verb == "unmap":
+        src_text, arrow, dst_text = args.partition("->")
+        target = src_text.strip()
+        if not _COMPONENT_RE.match(target):
+            raise PolicyError(f"line {line_no}: bad component {target!r}")
+        arguments = {}
+        if arrow:
+            arguments["sink"] = dst_text.strip()
+        return CommandAction(
+            command=ControlMessage(issuer, target, CommandKind.UNMAP, arguments)
+        )
+
+    if verb == "divert":
+        src_text, arrow, dst_text = args.partition("->")
+        if not arrow:
+            raise PolicyError(
+                f"line {line_no}: divert needs 'component -> dst.ep'"
+            )
+        target = src_text.strip()
+        new_sink, new_ep = _parse_endpoint(dst_text, line_no)
+        return CommandAction(
+            command=ControlMessage(
+                issuer,
+                target,
+                CommandKind.DIVERT,
+                {"new_sink": new_sink, "new_sink_endpoint": new_ep},
+            )
+        )
+
+    if verb in ("isolate", "shutdown"):
+        target = args.strip()
+        if not _COMPONENT_RE.match(target):
+            raise PolicyError(f"line {line_no}: bad component {target!r}")
+        kind = CommandKind.ISOLATE if verb == "isolate" else CommandKind.SHUTDOWN
+        return CommandAction(command=ControlMessage(issuer, target, kind))
+
+    raise PolicyError(f"line {line_no}: unknown action verb {verb!r}")
+
+
+def parse_rules(text: str) -> List[Rule]:
+    """Parse a policy document into rules.
+
+    Raises:
+        PolicyError: with the offending line number on any syntax error.
+    """
+    rules: List[Rule] = []
+    name: Optional[str] = None
+    event_type: Optional[str] = None
+    source: Optional[str] = None
+    condition: Optional[str] = None
+    priority = 0
+    author = ""
+    actions: List[Action] = []
+    start_line = 0
+
+    def flush(line_no: int) -> None:
+        nonlocal name, event_type, source, condition, priority, author, actions
+        if name is None:
+            return
+        if event_type is None:
+            raise PolicyError(
+                f"rule {name!r} (line {start_line}) has no 'on' clause"
+            )
+        if not actions:
+            raise PolicyError(
+                f"rule {name!r} (line {start_line}) has no 'do' clause"
+            )
+        rules.append(
+            Rule.build(
+                name=name,
+                event_type=event_type,
+                condition=condition,
+                actions=actions,
+                priority=priority,
+                author=author,
+                source_filter=source,
+            )
+        )
+        name = None
+        event_type = None
+        source = None
+        condition = None
+        priority = 0
+        author = ""
+        actions = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("rule "):
+            flush(line_no)
+            name = line[len("rule "):].strip()
+            if not name:
+                raise PolicyError(f"line {line_no}: rule needs a name")
+            start_line = line_no
+            continue
+        if name is None:
+            raise PolicyError(
+                f"line {line_no}: {line.split()[0]!r} outside a rule block"
+            )
+        if line.startswith("on "):
+            body = line[len("on "):].strip()
+            event_part, _, source_part = body.partition(" from ")
+            event_type = event_part.strip()
+            source = source_part.strip() or None
+            continue
+        if line.startswith("when "):
+            condition = line[len("when "):].strip()
+            Expression(condition)  # validate eagerly for good line numbers
+            continue
+        if line.startswith("priority "):
+            try:
+                priority = int(line[len("priority "):].strip())
+            except ValueError:
+                raise PolicyError(
+                    f"line {line_no}: priority must be an integer"
+                ) from None
+            continue
+        if line.startswith("author "):
+            author = line[len("author "):].strip()
+            continue
+        if line.startswith("do "):
+            actions.append(_parse_do(line, line_no))
+            continue
+        raise PolicyError(f"line {line_no}: cannot parse {line!r}")
+
+    flush(-1)
+    return rules

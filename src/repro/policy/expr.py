@@ -1,0 +1,375 @@
+"""A small, safe expression language for policy conditions.
+
+Challenge 2 calls for "suitable, intuitive means for IFC tags, privileges
+and reconfiguration policy to be expressed".  Conditions in ECA rules are
+written in a restricted expression language::
+
+    heart_rate > 120 and location == 'home'
+    'medical' in tags or not consent
+    abs(temp - baseline) >= 2.5
+
+The implementation is a conventional tokenizer + recursive-descent
+parser producing an AST, evaluated against a context mapping.  There is
+no attribute access on arbitrary objects, no assignment, and only a
+whitelisted function table — policy text can never escape into the host
+program (the property an embedded policy language must have).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import PolicyError
+
+# -- tokens --------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.\-]*)
+  | (?P<op><=|>=|==|!=|<|>|\+|-|\*|/|%|\(|\)|,)
+  | (?P<ws>\s+)
+""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "in", "true", "false", "none"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split policy text into tokens.
+
+    Raises:
+        PolicyError: on characters outside the language.
+    """
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise PolicyError(
+                f"unexpected character {text[pos]!r} at position {pos}"
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "ws":
+            if kind == "name" and value in _KEYWORDS:
+                kind = "keyword"
+            tokens.append(Token(kind, value, pos))
+        pos = match.end()
+    return tokens
+
+
+# -- AST -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+
+@dataclass(frozen=True)
+class Name:
+    identifier: str
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str
+    operand: "Node"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: "Node"
+    right: "Node"
+
+
+@dataclass(frozen=True)
+class Call:
+    function: str
+    arguments: Tuple["Node", ...]
+
+
+Node = Union[Literal, Name, Unary, Binary, Call]
+
+
+# -- parser ----------------------------------------------------------------------
+
+
+class _Parser:
+    """Recursive descent with conventional precedence:
+    or < and < not < comparison/in < additive < multiplicative < unary.
+    """
+
+    def __init__(self, tokens: List[Token], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.index = 0
+
+    def peek(self) -> Optional[Token]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise PolicyError(f"unexpected end of expression: {self.text!r}")
+        self.index += 1
+        return token
+
+    def _at_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "keyword" and token.value == keyword
+
+    def expect(self, value: str) -> Token:
+        token = self.next()
+        if token.value != value:
+            raise PolicyError(
+                f"expected {value!r} at position {token.position}, "
+                f"got {token.value!r}"
+            )
+        return token
+
+    def parse(self) -> Node:
+        node = self.parse_or()
+        leftover = self.peek()
+        if leftover is not None:
+            raise PolicyError(
+                f"unexpected token {leftover.value!r} at position "
+                f"{leftover.position}"
+            )
+        return node
+
+    def parse_or(self) -> Node:
+        node = self.parse_and()
+        while self._at_keyword("or"):
+            self.next()
+            node = Binary("or", node, self.parse_and())
+        return node
+
+    def parse_and(self) -> Node:
+        node = self.parse_not()
+        while self._at_keyword("and"):
+            self.next()
+            node = Binary("and", node, self.parse_not())
+        return node
+
+    def parse_not(self) -> Node:
+        if self._at_keyword("not"):
+            self.next()
+            return Unary("not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Node:
+        node = self.parse_additive()
+        token = self.peek()
+        while token is not None and (
+            token.value in ("<", "<=", ">", ">=", "==", "!=")
+            or (token.kind == "keyword" and token.value == "in")
+        ):
+            op = self.next().value
+            node = Binary(op, node, self.parse_additive())
+            token = self.peek()
+        return node
+
+    def parse_additive(self) -> Node:
+        node = self.parse_multiplicative()
+        token = self.peek()
+        while token is not None and token.value in ("+", "-"):
+            op = self.next().value
+            node = Binary(op, node, self.parse_multiplicative())
+            token = self.peek()
+        return node
+
+    def parse_multiplicative(self) -> Node:
+        node = self.parse_unary()
+        token = self.peek()
+        while token is not None and token.value in ("*", "/", "%"):
+            op = self.next().value
+            node = Binary(op, node, self.parse_unary())
+            token = self.peek()
+        return node
+
+    def parse_unary(self) -> Node:
+        token = self.peek()
+        if token is not None and token.value == "-":
+            self.next()
+            return Unary("neg", self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Node:
+        token = self.next()
+        if token.kind == "number":
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "string":
+            return Literal(token.value[1:-1])
+        if token.kind == "keyword":
+            if token.value == "true":
+                return Literal(True)
+            if token.value == "false":
+                return Literal(False)
+            if token.value == "none":
+                return Literal(None)
+            raise PolicyError(
+                f"keyword {token.value!r} cannot start an expression "
+                f"(position {token.position})"
+            )
+        if token.kind == "name":
+            following = self.peek()
+            if following is not None and following.value == "(":
+                self.next()
+                args: List[Node] = []
+                if self.peek() is not None and self.peek().value != ")":
+                    args.append(self.parse_or())
+                    while self.peek() is not None and self.peek().value == ",":
+                        self.next()
+                        args.append(self.parse_or())
+                self.expect(")")
+                return Call(token.value, tuple(args))
+            return Name(token.value)
+        if token.value == "(":
+            node = self.parse_or()
+            self.expect(")")
+            return node
+        raise PolicyError(
+            f"unexpected token {token.value!r} at position {token.position}"
+        )
+
+
+def parse(text: str) -> Node:
+    """Parse an expression into an AST.
+
+    Raises:
+        PolicyError: on syntax errors.
+    """
+    return _Parser(tokenize(text), text).parse()
+
+
+# -- evaluation --------------------------------------------------------------------
+
+#: Whitelisted functions callable from policy expressions.
+SAFE_FUNCTIONS: Dict[str, Callable] = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "len": len,
+    "round": round,
+    "contains": lambda container, item: item in container,
+    "startswith": lambda s, prefix: str(s).startswith(str(prefix)),
+}
+
+
+def evaluate(node: Node, context: Mapping[str, Any]) -> Any:
+    """Evaluate an AST against a context mapping.
+
+    Unknown names evaluate to ``None`` rather than raising — policy
+    often runs before all context is known, and a missing value should
+    make a comparison false, not crash the engine.  (Compare §9.3
+    Challenge 3: context is partial and changing.)
+    """
+    if isinstance(node, Literal):
+        return node.value
+    if isinstance(node, Name):
+        return context.get(node.identifier)
+    if isinstance(node, Unary):
+        value = evaluate(node.operand, context)
+        if node.op == "not":
+            return not value
+        if node.op == "neg":
+            return -_require_number(value, "unary minus")
+        raise PolicyError(f"unknown unary operator {node.op}")
+    if isinstance(node, Binary):
+        return _evaluate_binary(node, context)
+    if isinstance(node, Call):
+        function = SAFE_FUNCTIONS.get(node.function)
+        if function is None:
+            raise PolicyError(f"unknown function {node.function!r}")
+        args = [evaluate(a, context) for a in node.arguments]
+        return function(*args)
+    raise PolicyError(f"unknown AST node {node!r}")
+
+
+def _require_number(value: Any, where: str) -> Union[int, float]:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise PolicyError(f"{where} needs a number, got {value!r}")
+    return value
+
+
+def _evaluate_binary(node: Binary, context: Mapping[str, Any]) -> Any:
+    op = node.op
+    if op == "and":
+        return bool(evaluate(node.left, context)) and bool(
+            evaluate(node.right, context)
+        )
+    if op == "or":
+        return bool(evaluate(node.left, context)) or bool(
+            evaluate(node.right, context)
+        )
+    left = evaluate(node.left, context)
+    right = evaluate(node.right, context)
+    if op == "in":
+        if right is None:
+            return False
+        return left in right
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op in ("<", "<=", ">", ">="):
+        if left is None or right is None:
+            return False
+        try:
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            return left >= right
+        except TypeError:
+            return False
+    if op in ("+", "-", "*", "/", "%"):
+        if op == "+" and isinstance(left, str) and isinstance(right, str):
+            return left + right
+        lnum = _require_number(left, f"operator {op}")
+        rnum = _require_number(right, f"operator {op}")
+        if op == "+":
+            return lnum + rnum
+        if op == "-":
+            return lnum - rnum
+        if op == "*":
+            return lnum * rnum
+        if op == "/":
+            if rnum == 0:
+                raise PolicyError("division by zero in policy expression")
+            return lnum / rnum
+        if rnum == 0:
+            raise PolicyError("modulo by zero in policy expression")
+        return lnum % rnum
+    raise PolicyError(f"unknown operator {op}")
+
+
+class Expression:
+    """A compiled policy expression: parse once, evaluate many times."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.ast = parse(text)
+
+    def __call__(self, context: Mapping[str, Any]) -> Any:
+        return evaluate(self.ast, context)
+
+    def __repr__(self) -> str:
+        return f"Expression({self.text!r})"

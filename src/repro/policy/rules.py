@@ -1,0 +1,189 @@
+"""Events, actions and Event-Condition-Action rules (§5).
+
+"Event-driven systems embody policy-driven behaviour; for example,
+Event-Condition-Action (ECA) rules can specify the circumstances under
+which systems need to be reconfigured."
+
+A :class:`Rule` binds an event pattern, a condition over event
+attributes + ambient context (a :class:`~repro.policy.expr.Expression`),
+and a list of actions.  Actions are structured — they produce
+:class:`~repro.middleware.reconfig.ControlMessage` objects, context
+updates, or notifications — so that the conflict analyser can reason
+about what rules *do*, not just that they fired.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from repro.errors import PolicyError
+from repro.middleware.reconfig import CommandKind, ControlMessage
+from repro.policy.expr import Expression
+
+_event_counter = itertools.count(1)
+
+
+@dataclass
+class Event:
+    """Something that happened: sensor reading, alert, context change.
+
+    Attributes:
+        type: event type name (matched by rules).
+        attributes: event payload values, visible to conditions.
+        source: name of the emitting component/thing.
+        timestamp: simulated time.
+    """
+
+    type: str
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    source: str = ""
+    timestamp: float = 0.0
+    event_id: int = field(default_factory=lambda: next(_event_counter))
+
+
+# -- actions ------------------------------------------------------------------------
+
+#: Builds a control message from the firing event and evaluation scope.
+CommandBuilder = Callable[[Event, Mapping[str, Any]], ControlMessage]
+
+
+@dataclass
+class CommandAction:
+    """Action issuing a reconfiguration command (Fig. 8 arrows).
+
+    Either a fixed ``command`` or a ``builder`` computing one from the
+    event (e.g. the patient name comes from the event attributes).
+    """
+
+    command: Optional[ControlMessage] = None
+    builder: Optional[CommandBuilder] = None
+
+    def __post_init__(self) -> None:
+        if (self.command is None) == (self.builder is None):
+            raise PolicyError(
+                "CommandAction needs exactly one of command/builder"
+            )
+
+    def build(self, event: Event, scope: Mapping[str, Any]) -> ControlMessage:
+        if self.command is not None:
+            return self.command
+        assert self.builder is not None
+        return self.builder(event, scope)
+
+
+@dataclass
+class ContextAction:
+    """Action updating the context store (e.g. entering emergency mode)."""
+
+    key: str
+    value: Any = None
+    value_expression: Optional[Expression] = None
+
+    def compute(self, event: Event, scope: Mapping[str, Any]) -> Any:
+        if self.value_expression is not None:
+            return self.value_expression(scope)
+        return self.value
+
+
+@dataclass
+class NotifyAction:
+    """Action raising a notification to a named channel (e.g. paging the
+    emergency services in Fig. 7)."""
+
+    channel: str
+    template: str = ""
+
+    def render(self, event: Event, scope: Mapping[str, Any]) -> str:
+        if not self.template:
+            return f"{event.type} from {event.source}"
+        try:
+            return self.template.format(**dict(scope))
+        except (KeyError, IndexError):
+            return self.template
+
+
+Action = Union[CommandAction, ContextAction, NotifyAction]
+
+
+# -- rules ---------------------------------------------------------------------------
+
+
+@dataclass
+class Rule:
+    """One ECA rule.
+
+    Attributes:
+        name: unique rule name (appears in audit and conflict reports).
+        event_type: event type to match, or ``"*"`` for all.
+        condition: expression over event attributes merged with the
+            ambient context view (event attributes shadow context keys);
+            ``None`` means always.
+        actions: what to do when fired.
+        priority: larger wins in priority-based conflict resolution.
+        author: principal who authored the rule (authority-checked
+            before installation, Challenge 4).
+        source_filter: only match events from this source, when set.
+        enabled: disabled rules never match (runtime switch).
+        fired_count: bookkeeping for audit/ablation.
+    """
+
+    name: str
+    event_type: str
+    actions: List[Action]
+    condition: Optional[Expression] = None
+    priority: int = 0
+    author: str = ""
+    source_filter: Optional[str] = None
+    enabled: bool = True
+    fired_count: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        event_type: str,
+        condition: Optional[str] = None,
+        actions: Optional[List[Action]] = None,
+        priority: int = 0,
+        author: str = "",
+        source_filter: Optional[str] = None,
+    ) -> "Rule":
+        """Convenience constructor compiling the condition text."""
+        return cls(
+            name=name,
+            event_type=event_type,
+            actions=list(actions or ()),
+            condition=Expression(condition) if condition else None,
+            priority=priority,
+            author=author,
+            source_filter=source_filter,
+        )
+
+    def matches(self, event: Event, scope: Mapping[str, Any]) -> bool:
+        """Whether this rule fires for ``event`` under ``scope``."""
+        if not self.enabled:
+            return False
+        if self.event_type != "*" and self.event_type != event.type:
+            return False
+        if self.source_filter is not None and self.source_filter != event.source:
+            return False
+        if self.condition is None:
+            return True
+        return bool(self.condition(scope))
+
+
+def evaluation_scope(event: Event, context_view: Mapping[str, Any]) -> Dict[str, Any]:
+    """Merge ambient context with event data for condition evaluation.
+
+    Event attributes shadow context keys; the event's own metadata is
+    exposed as ``event.type`` / ``event.source`` (dotted names are plain
+    identifiers in the expression language).
+    """
+    scope: Dict[str, Any] = dict(context_view)
+    scope.update(event.attributes)
+    scope["event.type"] = event.type
+    scope["event.source"] = event.source
+    scope["event.timestamp"] = event.timestamp
+    return scope

@@ -1,0 +1,250 @@
+"""Policy authoring templates (Challenge 2).
+
+"Work concerning policy authoring interfaces and templates can be
+relevant" — a non-expert (a DPO, a household owner) should instantiate
+vetted templates rather than write raw rules.  A
+:class:`PolicyTemplate` is DSL text with ``$placeholders`` plus
+parameter declarations (type, validation); instantiation validates the
+arguments, substitutes, and parses the result through the normal DSL
+pipeline — so templates can never produce rules the DSL would reject.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import PolicyError
+from repro.policy.dsl import parse_rules
+from repro.policy.rules import Rule
+
+_PLACEHOLDER_RE = re.compile(r"\$([a-z_][a-z0-9_]*)")
+_IDENTIFIER_RE = re.compile(r"^[\w\-.]+$")
+
+
+@dataclass(frozen=True)
+class TemplateParameter:
+    """One parameter of a template.
+
+    Attributes:
+        name: placeholder name (``$name`` in the body).
+        description: authoring-UI help text.
+        kind: ``"identifier"`` (component/tag names — validated),
+            ``"number"``, or ``"text"`` (quoted into the DSL).
+        default: optional default value.
+    """
+
+    name: str
+    description: str = ""
+    kind: str = "identifier"
+    default: Optional[str] = None
+
+    def validate(self, value: object) -> str:
+        """Check and render one argument as DSL text."""
+        if self.kind == "identifier":
+            text = str(value)
+            if not _IDENTIFIER_RE.match(text):
+                raise PolicyError(
+                    f"parameter {self.name}: {text!r} is not a valid identifier"
+                )
+            return text
+        if self.kind == "number":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                try:
+                    value = float(str(value))
+                except ValueError:
+                    raise PolicyError(
+                        f"parameter {self.name}: {value!r} is not a number"
+                    ) from None
+            rendered = repr(value)
+            return rendered
+        if self.kind == "text":
+            text = str(value).replace('"', "'")
+            return text
+        raise PolicyError(f"parameter {self.name}: unknown kind {self.kind!r}")
+
+
+@dataclass
+class PolicyTemplate:
+    """A reusable, parameterised policy fragment.
+
+    Example::
+
+        TEMPLATE = PolicyTemplate(
+            name="threshold-alert",
+            description="Alert a channel when a reading exceeds a bound",
+            parameters=[
+                TemplateParameter("source", kind="identifier"),
+                TemplateParameter("threshold", kind="number"),
+                TemplateParameter("channel", kind="identifier"),
+            ],
+            body='''
+            rule $source-threshold-alert
+              on reading from $source
+              when value > $threshold
+              do notify $channel "Threshold exceeded: {value}"
+            ''',
+        )
+        rules = TEMPLATE.instantiate(source="ann-sensor",
+                                     threshold=140, channel="ward")
+    """
+
+    name: str
+    description: str
+    parameters: List[TemplateParameter]
+    body: str
+
+    def __post_init__(self) -> None:
+        declared = {p.name for p in self.parameters}
+        used = set(_PLACEHOLDER_RE.findall(self.body))
+        missing = used - declared
+        if missing:
+            raise PolicyError(
+                f"template {self.name}: undeclared placeholders "
+                + ", ".join(sorted(missing))
+            )
+
+    def instantiate(self, **arguments) -> List[Rule]:
+        """Substitute arguments and parse the resulting rules.
+
+        Raises:
+            PolicyError: unknown/missing arguments, validation failures,
+                or (never silently) DSL errors in the rendered text.
+        """
+        declared = {p.name: p for p in self.parameters}
+        unknown = set(arguments) - set(declared)
+        if unknown:
+            raise PolicyError(
+                f"template {self.name}: unknown arguments "
+                + ", ".join(sorted(unknown))
+            )
+        rendered: Dict[str, str] = {}
+        for parameter in self.parameters:
+            if parameter.name in arguments:
+                rendered[parameter.name] = parameter.validate(
+                    arguments[parameter.name]
+                )
+            elif parameter.default is not None:
+                rendered[parameter.name] = parameter.default
+            else:
+                raise PolicyError(
+                    f"template {self.name}: missing argument {parameter.name}"
+                )
+
+        def substitute(match: "re.Match[str]") -> str:
+            return rendered[match.group(1)]
+
+        text = _PLACEHOLDER_RE.sub(substitute, self.body)
+        return parse_rules(text)
+
+
+class TemplateLibrary:
+    """A curated catalogue of templates for policy authors."""
+
+    def __init__(self) -> None:
+        self._templates: Dict[str, PolicyTemplate] = {}
+
+    def add(self, template: PolicyTemplate) -> PolicyTemplate:
+        if template.name in self._templates:
+            raise PolicyError(f"template already registered: {template.name}")
+        self._templates[template.name] = template
+        return template
+
+    def get(self, name: str) -> PolicyTemplate:
+        try:
+            return self._templates[name]
+        except KeyError:
+            raise PolicyError(f"no template named {name!r}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._templates)
+
+    def instantiate(self, name: str, **arguments) -> List[Rule]:
+        """Look up and instantiate in one call."""
+        return self.get(name).instantiate(**arguments)
+
+
+def standard_library() -> TemplateLibrary:
+    """Templates for the obligations the paper's scenarios need."""
+    library = TemplateLibrary()
+
+    library.add(PolicyTemplate(
+        name="threshold-alert",
+        description="Notify a channel when a reading from a source "
+                    "exceeds a threshold.",
+        parameters=[
+            TemplateParameter("source", "emitting component"),
+            TemplateParameter("threshold", "numeric bound", kind="number"),
+            TemplateParameter("channel", "notification channel"),
+        ],
+        body="""
+rule $source-threshold-alert
+  on reading from $source
+  when value > $threshold
+  priority 10
+  do notify $channel "Threshold exceeded: {value}"
+""",
+    ))
+
+    library.add(PolicyTemplate(
+        name="emergency-replug",
+        description="Break-glass: on an emergency event, wire a stream "
+                    "to the response team and flag the context.",
+        parameters=[
+            TemplateParameter("engine", "issuing policy engine"),
+            TemplateParameter("stream", "source component"),
+            TemplateParameter("stream_endpoint", "source endpoint",
+                              default="out"),
+            TemplateParameter("team", "responder component"),
+            TemplateParameter("team_endpoint", "responder endpoint",
+                              default="in"),
+        ],
+        body="""
+rule emergency-replug-$stream
+  on emergency
+  when not emergency.active
+  priority 100
+  do set emergency.active = true
+  do notify emergency-services "Emergency response engaged"
+  do map $engine: $stream.$stream_endpoint -> $team.$team_endpoint
+""",
+    ))
+
+    library.add(PolicyTemplate(
+        name="shift-end-disconnect",
+        description="Disconnect an employee's components when their "
+                    "shift ends (§5.2).",
+        parameters=[
+            TemplateParameter("engine", "issuing policy engine"),
+            TemplateParameter("employee", "employee component"),
+        ],
+        body="""
+rule shift-end-$employee
+  on shift-ended from rota
+  when employee == '$employee'
+  priority 50
+  do unmap $engine: $employee
+""",
+    ))
+
+    library.add(PolicyTemplate(
+        name="rogue-isolation",
+        description="Isolate a misbehaving thing on an anomaly event "
+                    "(§5.2: 'preventing a rogue thing from causing more "
+                    "damage').",
+        parameters=[
+            TemplateParameter("engine", "issuing policy engine"),
+            TemplateParameter("thing", "the suspect component"),
+        ],
+        body="""
+rule isolate-$thing
+  on anomaly-detected
+  when suspect == '$thing'
+  priority 90
+  do isolate $engine: $thing
+  do notify security "Isolated $thing after anomaly"
+""",
+    ))
+
+    return library

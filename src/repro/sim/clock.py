@@ -1,0 +1,39 @@
+"""Simulated clocks.
+
+All components take a :class:`Clock` rather than calling wall-time
+functions, so simulated deployments can run years of policy evolution in
+milliseconds and tests remain deterministic.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """A monotonically advancing simulated clock (seconds as float)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative advances are rejected."""
+        if seconds < 0:
+            raise ValueError("clock cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute simulated time (must not be in the past)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock back from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+
+class ManualClock(Clock):
+    """Alias kept for API clarity in tests: a clock only tests advance."""

@@ -1,0 +1,175 @@
+"""Event queue and simulator driving the IoT world.
+
+A small, deterministic discrete-event engine: events are ``(time, seq,
+callback)`` triples in a heap; ties break by insertion order so runs are
+reproducible.  The :class:`Simulator` owns the clock, a seeded RNG, and
+the queue, and offers ``run_until`` / ``run_for`` / ``step`` drivers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.clock import Clock
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event in the queue; ordering is (time, sequence number)."""
+
+    time: float
+    seq: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A heap of scheduled events with stable ordering."""
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def push(self, time: float, callback: EventCallback, label: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        event = ScheduledEvent(time, next(self._seq), callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Remove and return the next live event, or None when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+
+class Simulator:
+    """Clock + queue + seeded RNG: the deterministic heart of the world.
+
+    Example::
+
+        sim = Simulator(seed=42)
+        sim.schedule_in(5.0, lambda: print("five seconds in"))
+        sim.run_for(10.0)
+    """
+
+    def __init__(self, seed: int = 0, start: float = 0.0):
+        self.clock = Clock(start)
+        self.queue = EventQueue()
+        self.rng = random.Random(seed)
+        self.events_processed = 0
+
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now()
+
+    def schedule_at(
+        self, time: float, callback: EventCallback, label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule at an absolute time (>= now)."""
+        if time < self.clock.now():
+            raise ValueError(
+                f"cannot schedule at {time}, now is {self.clock.now()}"
+            )
+        return self.queue.push(time, callback, label)
+
+    def schedule_in(
+        self, delay: float, callback: EventCallback, label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.queue.push(self.clock.now() + delay, callback, label)
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: EventCallback,
+        label: str = "",
+        until: Optional[float] = None,
+    ) -> Callable[[], None]:
+        """Schedule a recurring event; returns a cancel function.
+
+        The recurrence re-arms itself after each firing, stopping once
+        ``until`` (absolute time) is passed or the cancel function runs.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        state = {"stopped": False, "event": None}
+
+        def fire() -> None:
+            if state["stopped"]:
+                return
+            callback()
+            next_time = self.clock.now() + interval
+            if until is None or next_time <= until:
+                state["event"] = self.schedule_at(next_time, fire, label)
+
+        state["event"] = self.schedule_in(interval, fire, label)
+
+        def cancel() -> None:
+            state["stopped"] = True
+            if state["event"] is not None:
+                state["event"].cancel()
+
+        return cancel
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        event.callback()
+        self.events_processed += 1
+        return True
+
+    def run_until(self, time: float, max_events: int = 1_000_000) -> int:
+        """Run events with time <= ``time``; returns events processed.
+
+        The clock always ends at exactly ``time`` even if the queue
+        drains early.
+        """
+        processed = 0
+        while processed < max_events:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+            processed += 1
+        if self.clock.now() < time:
+            self.clock.advance_to(time)
+        return processed
+
+    def run_for(self, duration: float, max_events: int = 1_000_000) -> int:
+        """Run for a relative duration from the current time."""
+        return self.run_until(self.clock.now() + duration, max_events)
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Run until the queue is empty (or the safety cap is hit)."""
+        processed = 0
+        while processed < max_events and self.step():
+            processed += 1
+        return processed

@@ -1,0 +1,84 @@
+"""Assisted living: break-glass override and ad hoc authority."""
+
+import pytest
+
+from repro.apps import RESIDENT, AssistedLivingSystem
+from repro.audit import RecordKind
+from repro.iot import IoTWorld
+
+
+@pytest.fixture
+def system():
+    return AssistedLivingSystem(IoTWorld(seed=11))
+
+
+class TestNormalOperation:
+    def test_no_emergency_access_by_default(self, system):
+        assert system.emergency_channels() == 0
+
+    def test_data_stays_home(self, system):
+        system.world.run(seconds=600)
+        assert len(system.home_hub.received) > 0
+        assert len(system.emergency_team.received) == 0
+
+
+class TestBreakGlass:
+    def test_emergency_replugs_streams(self, system):
+        system.trigger_emergency(reading=30.0)
+        assert system.emergency_channels() == 1
+        assert system.home.context.get("emergency.active") is True
+
+    def test_notifications_sent(self, system):
+        system.trigger_emergency(reading=30.0)
+        channels = [ch for ch, __ in system.alerts]
+        assert "emergency-services" in channels
+        assert "family" in channels
+
+    def test_team_receives_data_during_emergency(self, system):
+        system.trigger_emergency(reading=30.0)
+        system.world.run(seconds=600)
+        assert len(system.emergency_team.received) > 0
+
+    def test_normal_reading_does_not_trigger(self, system):
+        system.trigger_emergency(reading=70.0)  # condition reading < 45
+        assert system.emergency_channels() == 0
+
+    def test_stand_down_revokes_access(self, system):
+        system.trigger_emergency(reading=30.0)
+        before = len(system.emergency_team.received)
+        system.resolve_emergency()
+        assert system.emergency_channels() == 0
+        assert system.home.context.get("emergency.active") is False
+        system.world.run(seconds=600)
+        assert len(system.emergency_team.received) == before
+
+    def test_break_glass_fully_audited(self, system):
+        system.trigger_emergency(reading=30.0)
+        system.resolve_emergency()
+        log = system.home.audit
+        assert log.verify()
+        fired = log.records(kind=RecordKind.POLICY_FIRED)
+        reconfigs = log.records(kind=RecordKind.RECONFIGURATION)
+        assert len(fired) >= 2            # break-glass + stand-down
+        assert any(r.detail.get("command") == "map" for r in reconfigs)
+        assert any(r.detail.get("command") == "unmap" for r in reconfigs)
+
+    def test_detection_from_live_signal(self):
+        """Wire a collapsing signal through the hub's detector."""
+        system = AssistedLivingSystem(IoTWorld(seed=2))
+        system.motion_sensor.source = lambda t: 30.0  # collapse
+        system.world.run(seconds=300)
+        assert system.falls_detected > 0
+        assert system.emergency_channels() == 1
+
+
+class TestAdHocAuthority:
+    def test_nurse_authority_is_location_gated(self, system):
+        assert not system.nurse_may_reconfigure()
+        system.nurse_arrives()
+        assert system.nurse_may_reconfigure()
+        system.nurse_leaves()
+        assert not system.nurse_may_reconfigure()
+
+    def test_resident_always_has_authority(self, system):
+        assert system.home.authority.may_author_policy(RESIDENT, "ada-wearable")

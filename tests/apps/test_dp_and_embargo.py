@@ -1,0 +1,93 @@
+"""Timed declassification (Concern 6) and ε-DP statistics (§4)."""
+
+import pytest
+
+from repro.apps import HomeMonitoringSystem
+from repro.errors import FlowError, PolicyError
+from repro.ifc import (
+    Declassifier,
+    PassiveEntity,
+    PrivilegeSet,
+    SecurityContext,
+    embargo_guard,
+)
+from repro.iot import IoTWorld, PatientProfile
+from repro.sim import Simulator
+
+
+class TestEmbargoGuard:
+    def _gateway(self, sim) -> Declassifier:
+        return Declassifier(
+            "declassifier-2050",
+            input_context=SecurityContext.of(["gov-secret"], []),
+            output_context=SecurityContext.public(),
+            privileges=PrivilegeSet.of(
+                add_secrecy=["gov-secret"], remove_secrecy=["gov-secret"]
+            ),
+            guards=[embargo_guard(release_at=1000.0, clock=sim.now)],
+        )
+
+    def test_release_refused_before_embargo(self):
+        sim = Simulator()
+        gateway = self._gateway(sim)
+        item = PassiveEntity("records",
+                             SecurityContext.of(["gov-secret"], []))
+        with pytest.raises(FlowError):
+            gateway.process(item)
+
+    def test_release_allowed_after_embargo(self):
+        """'After a certain period of time, governmental data previously
+        considered secret should become public' (§9.2)."""
+        sim = Simulator()
+        gateway = self._gateway(sim)
+        item = PassiveEntity("records",
+                             SecurityContext.of(["gov-secret"], []))
+        sim.clock.advance(1000.0)
+        result = gateway.process(item)
+        assert result.output.context.is_public()
+
+
+class TestDifferentiallyPrivateStatistics:
+    def _system(self, dp_epsilon):
+        world = IoTWorld(seed=13)
+        return HomeMonitoringSystem(
+            world,
+            [
+                PatientProfile("ann", device_standard=True),
+                PatientProfile("may", device_standard=True),
+            ],
+            sample_interval=600.0,
+            dp_epsilon=dp_epsilon,
+        )
+
+    def test_dp_mean_noisy_but_plausible(self):
+        exact_system = self._system(dp_epsilon=None)
+        exact_system.run(hours=4)
+        exact = exact_system.stats_generator.publish_statistics()
+
+        dp_system = self._system(dp_epsilon=2.0)
+        dp_system.run(hours=4)
+        noisy = dp_system.stats_generator.publish_statistics()
+
+        assert noisy != exact              # noise was added
+        assert abs(noisy - exact) < 30.0   # but utility preserved
+
+    def test_dp_output_still_declassified(self):
+        system = self._system(dp_epsilon=2.0)
+        system.run(hours=2)
+        system.stats_generator.publish_statistics()
+        message = system.ward_manager.received[-1]
+        assert "stats" in message.context.secrecy
+        assert "ann" not in message.context.secrecy
+
+    def test_dp_budget_eventually_exhausts(self):
+        """'Regulates the queries on a dataset' — the accountant stops
+        unlimited re-querying."""
+        system = self._system(dp_epsilon=4.0)  # budget 10.0 -> 2 queries
+        system.run(hours=2)
+        assert system.stats_generator.publish_statistics() is not None
+        system.run(hours=2)
+        assert system.stats_generator.publish_statistics() is not None
+        system.run(hours=2)
+        with pytest.raises(PolicyError):
+            system.stats_generator.publish_statistics()

@@ -1,0 +1,65 @@
+"""Smart city: federation, gateways, and the IFC-vs-AC-only contrast."""
+
+import pytest
+
+from repro.accesscontrol import EnforcementMode
+from repro.apps import SmartCitySystem
+from repro.iot import IoTWorld
+
+
+def build(mode=EnforcementMode.AC_AND_IFC, households=3):
+    world = IoTWorld(seed=5, mode=mode)
+    city = SmartCitySystem(world, household_count=households,
+                           sample_interval=600.0)
+    city.run(hours=1)
+    return city
+
+
+class TestFederatedCollection:
+    def test_aggregator_collects_from_all_households(self):
+        city = build()
+        sources = {m.values.get("unit") for m in city.aggregator.received}
+        assert len(city.aggregator.received) == 3 * 6  # 3 homes, 6 samples/h
+
+    def test_each_household_is_its_own_domain(self):
+        city = build()
+        assert set(city.households) <= set(city.world.domains)
+
+    def test_gateways_forward_everything(self):
+        city = build()
+        for household in city.households.values():
+            assert household.gateway.forwarded == 6
+
+
+class TestLeakExperiment:
+    def test_ifc_blocks_raw_leak(self):
+        city = build(EnforcementMode.AC_AND_IFC)
+        leak = city.attempt_raw_leak()
+        assert leak["delivered"] == 0
+        assert leak["denied"] >= 1
+
+    def test_ac_only_leaks(self):
+        city = build(EnforcementMode.AC_ONLY)
+        leak = city.attempt_raw_leak()
+        assert leak["delivered"] == len(city.aggregator.received)
+
+    def test_geo_fence_audit_flags_the_ac_only_leak(self):
+        city = build(EnforcementMode.AC_ONLY)
+        city.attempt_raw_leak()
+        report = city.geo_fence_auditor().run(city.city.audit)
+        assert not report.compliant
+
+    def test_geo_fence_audit_passes_under_ifc(self):
+        city = build(EnforcementMode.AC_AND_IFC)
+        city.attempt_raw_leak()
+        report = city.geo_fence_auditor().run(city.city.audit)
+        assert report.compliant
+
+    def test_federated_audit_collects_all_domains(self):
+        city = build()
+        collector = city.world.collect_audit()
+        assert collector.rejected_domains == set()
+        # home domains + city logged flows
+        domains_with_records = {d for d, __ in collector.merged()}
+        assert "city" in domains_with_records
+        assert any(d.startswith("home-") for d in domains_with_records)

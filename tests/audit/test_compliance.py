@@ -1,0 +1,135 @@
+"""Compliance checkers and report generation (Fig. 1's feedback loop)."""
+
+import pytest
+
+from repro.audit import (
+    AuditLog,
+    ComplianceAuditor,
+    Finding,
+    all_accesses_consented,
+    declassification_precedes_flows,
+    denial_rate_below,
+    no_flows_to,
+)
+from repro.ifc import SecurityContext
+
+
+class TestNoFlowsTo:
+    def test_clean_deployment_passes(self, audit):
+        audit.flow_allowed("eu-sensor", "eu-store")
+        auditor = ComplianceAuditor()
+        auditor.register(no_flows_to({"us-store"}, {"eu-sensor"}, "residency"))
+        report = auditor.run(audit)
+        assert report.compliant
+
+    def test_direct_violation_caught(self, audit):
+        audit.flow_allowed("eu-sensor", "us-store")
+        auditor = ComplianceAuditor()
+        auditor.register(no_flows_to({"us-store"}, {"eu-sensor"}, "residency"))
+        report = auditor.run(audit)
+        assert not report.compliant
+        assert "us-store" in report.failures()[0].explanation
+
+    def test_transitive_violation_caught(self, audit):
+        audit.flow_allowed("eu-sensor", "relay")
+        audit.flow_allowed("relay", "us-store")
+        auditor = ComplianceAuditor()
+        auditor.register(no_flows_to({"us-store"}, {"eu-sensor"}, "residency"))
+        assert not auditor.run(audit).compliant
+
+
+class TestDeclassificationOrder:
+    def test_release_after_declassification_ok(self, sim):
+        log = AuditLog(clock=sim.now)
+        secret = SecurityContext.of(["medical"], [])
+        public = SecurityContext.of(["stats"], [])
+        log.context_change("generator", secret, public)
+        sim.clock.advance(1.0)
+        log.flow_allowed("generator", "manager")
+        auditor = ComplianceAuditor()
+        auditor.register(
+            declassification_precedes_flows("generator", "manager", "anon-first")
+        )
+        assert auditor.run(log).compliant
+
+    def test_release_without_declassification_fails(self, audit):
+        audit.flow_allowed("generator", "manager")
+        auditor = ComplianceAuditor()
+        auditor.register(
+            declassification_precedes_flows("generator", "manager", "anon-first")
+        )
+        report = auditor.run(audit)
+        assert not report.compliant
+        assert report.failures()[0].evidence  # names the offending records
+
+
+class TestDenialRate:
+    def test_below_threshold_passes(self, audit):
+        for __ in range(99):
+            audit.flow_allowed("a", "b")
+        audit.flow_denied("a", "c", "r")
+        auditor = ComplianceAuditor()
+        auditor.register(denial_rate_below(0.05, "policy agreement"))
+        assert auditor.run(audit).compliant
+
+    def test_above_threshold_fails(self, audit):
+        audit.flow_allowed("a", "b")
+        audit.flow_denied("a", "c", "r")
+        auditor = ComplianceAuditor()
+        auditor.register(denial_rate_below(0.10, "policy agreement"))
+        report = auditor.run(audit)
+        assert not report.compliant
+        assert "50.0%" in report.failures()[0].explanation
+
+    def test_empty_log_is_compliant(self, audit):
+        auditor = ComplianceAuditor()
+        auditor.register(denial_rate_below(0.0, "x"))
+        assert auditor.run(audit).compliant
+
+
+class TestConsent:
+    def test_sensitive_flow_with_consent_ok(self, audit):
+        ctx = SecurityContext.of(["medical"], ["consent"])
+        audit.flow_allowed("sensor", "analyser", ctx, ctx)
+        auditor = ComplianceAuditor()
+        auditor.register(all_accesses_consented("consent", "consent"))
+        assert auditor.run(audit).compliant
+
+    def test_sensitive_flow_without_consent_fails(self, audit):
+        ctx = SecurityContext.of(["medical"], [])
+        audit.flow_allowed("sensor", "analyser", ctx, ctx)
+        auditor = ComplianceAuditor()
+        auditor.register(all_accesses_consented("consent", "consent"))
+        assert not auditor.run(audit).compliant
+
+    def test_non_sensitive_flows_exempt(self, audit):
+        audit.flow_allowed(
+            "weather", "portal", SecurityContext.public(), SecurityContext.public()
+        )
+        auditor = ComplianceAuditor()
+        auditor.register(all_accesses_consented("consent", "consent"))
+        assert auditor.run(audit).compliant
+
+
+class TestReport:
+    def test_tampered_log_never_compliant(self, audit):
+        audit.flow_allowed("a", "b")
+        record = audit.records()[0]
+        object.__setattr__(record, "actor", "mallory")
+        auditor = ComplianceAuditor()
+        report = auditor.run(audit)
+        assert not report.log_verified
+        assert not report.compliant
+
+    def test_summary_lists_failures(self, audit):
+        audit.flow_allowed("eu", "us")
+        auditor = ComplianceAuditor()
+        auditor.register(no_flows_to({"us"}, {"eu"}, "residency"))
+        summary = auditor.run(audit).summary()
+        assert "NON-COMPLIANT" in summary
+        assert "residency" in summary
+
+    def test_compliant_summary(self, audit):
+        auditor = ComplianceAuditor()
+        auditor.register(denial_rate_below(1.0, "x"))
+        assert "COMPLIANT" in auditor.run(audit).summary()

@@ -1,0 +1,117 @@
+"""Provenance graphs and forensic queries (Fig. 11)."""
+
+import pytest
+
+from repro.audit import (
+    AuditLog,
+    EdgeKind,
+    NodeKind,
+    ProvenanceGraph,
+    RecordKind,
+    graph_from_log,
+)
+
+
+@pytest.fixture
+def fig11_graph() -> ProvenanceGraph:
+    """The Fig. 11 fragment: F1..F4, P1..P2, A1..A2."""
+    graph = ProvenanceGraph()
+    for f in ("F1", "F2", "F3", "F4"):
+        graph.add_data(f)
+    graph.add_process("P1")
+    graph.add_process("P2")
+    graph.add_agent("A1")
+    graph.add_agent("A2")
+    graph.add_flow("F1", "P1", timestamp=1.0)
+    graph.add_flow("F2", "P1", timestamp=2.0)
+    graph.add_flow("P1", "F3", timestamp=3.0)
+    graph.add_flow("F3", "P2", timestamp=4.0)
+    graph.add_flow("P2", "F4", timestamp=5.0)
+    graph.add_control("A1", "P1")
+    graph.add_control("A2", "P2")
+    return graph
+
+
+class TestGraphModel:
+    def test_node_kinds(self, fig11_graph):
+        assert fig11_graph.node_kind("F1") == NodeKind.DATA
+        assert fig11_graph.node_kind("P1") == NodeKind.PROCESS
+        assert fig11_graph.node_kind("A1") == NodeKind.AGENT
+        assert fig11_graph.node_kind("ghost") is None
+
+    def test_stats(self, fig11_graph):
+        stats = fig11_graph.stats()
+        assert stats["nodes"] == 8
+        assert stats["data"] == 4
+        assert stats["process"] == 2
+        assert stats["agent"] == 2
+
+    def test_control_edges_not_flows(self, fig11_graph):
+        # A1 controls P1 but information did not flow A1 -> P1.
+        assert "P1" not in fig11_graph.descendants("A1")
+        assert fig11_graph.controllers_of("P1") == {"A1"}
+
+
+class TestForensics:
+    def test_ancestry(self, fig11_graph):
+        assert fig11_graph.ancestry("F4") == {"F1", "F2", "F3", "P1", "P2"}
+
+    def test_descendants_taint(self, fig11_graph):
+        assert fig11_graph.descendants("F1") == {"P1", "F3", "P2", "F4"}
+
+    def test_paths_between(self, fig11_graph):
+        paths = fig11_graph.paths_between("F1", "F4")
+        assert paths == [["F1", "P1", "F3", "P2", "F4"]]
+
+    def test_leak_investigation_positive(self, fig11_graph):
+        result = fig11_graph.investigate_leak("F1", {"P2", "unrelated"})
+        assert result.nodes == {"P2"}
+        assert result.paths[0][0] == "F1"
+        assert result.paths[0][-1] == "P2"
+
+    def test_leak_investigation_clean(self, fig11_graph):
+        result = fig11_graph.investigate_leak("F4", {"P1"})
+        assert result.nodes == set()
+        assert result.paths == []
+
+    def test_unknown_nodes_return_empty(self, fig11_graph):
+        assert fig11_graph.ancestry("nope") == set()
+        assert fig11_graph.descendants("nope") == set()
+        assert fig11_graph.paths_between("nope", "F1") == []
+
+
+class TestGraphFromLog:
+    def test_allowed_flows_become_edges(self, audit):
+        audit.flow_allowed("sensor", "analyser")
+        audit.flow_allowed("analyser", "archive")
+        graph = graph_from_log(audit)
+        assert "archive" in graph.descendants("sensor")
+
+    def test_denied_flows_are_not_edges_but_annotated(self, audit):
+        audit.flow_denied("sensor", "portal", "secrecy")
+        graph = graph_from_log(audit)
+        assert "portal" not in graph.descendants("sensor")
+        attempts = graph.graph.nodes["sensor"].get("denied_attempts")
+        assert attempts and attempts[0][1] == "portal"
+
+    def test_context_changes_annotate_nodes(self, audit, ann_device):
+        from repro.ifc import SecurityContext
+
+        audit.context_change(
+            "anonymiser", ann_device, SecurityContext.of(["stats"], [])
+        )
+        graph = graph_from_log(audit)
+        changes = graph.graph.nodes["anonymiser"].get("context_changes")
+        assert changes is not None
+
+    def test_entity_creation_edges(self, audit):
+        audit.append(RecordKind.ENTITY_CREATED, "proc", "file")
+        graph = graph_from_log(audit)
+        assert "file" in graph.descendants("proc")
+
+    def test_derivation_edges_count_for_taint(self):
+        graph = ProvenanceGraph()
+        graph.add_data("raw")
+        graph.add_data("derived")
+        graph.add_derivation("raw", "derived")
+        assert "derived" in graph.descendants("raw")

@@ -1,0 +1,77 @@
+"""DOT and text rendering of provenance graphs (§8.3)."""
+
+import pytest
+
+from repro.audit import AuditLog, ProvenanceGraph, graph_from_log, to_dot, to_text_tree
+
+
+@pytest.fixture
+def small_graph() -> ProvenanceGraph:
+    graph = ProvenanceGraph()
+    graph.add_data("F1")
+    graph.add_process("P1")
+    graph.add_agent("A1")
+    graph.add_flow("F1", "P1", timestamp=3.0)
+    graph.add_control("A1", "P1")
+    return graph
+
+
+class TestDot:
+    def test_shapes_follow_fig11_legend(self, small_graph):
+        dot = to_dot(small_graph)
+        assert 'shape=box' in dot          # data
+        assert 'shape=ellipse' in dot      # process
+        assert 'shape=diamond' in dot      # agent
+        assert dot.startswith('digraph')
+        assert dot.rstrip().endswith('}')
+
+    def test_control_edges_dashed(self, small_graph):
+        dot = to_dot(small_graph)
+        assert 'style="dashed"' in dot
+
+    def test_flow_edges_carry_timestamps(self, small_graph):
+        assert 't=3' in to_dot(small_graph)
+
+    def test_highlight_and_denials_marked(self):
+        log = AuditLog()
+        log.flow_allowed("sensor", "db")
+        log.flow_denied("sensor", "portal", "secrecy")
+        graph = graph_from_log(log)
+        dot = to_dot(graph, highlight={"db"})
+        assert 'fillcolor="khaki"' in dot
+        assert 'color="red"' in dot
+
+    def test_quoting_of_odd_names(self):
+        graph = ProvenanceGraph()
+        graph.add_data('weird "name"')
+        dot = to_dot(graph)
+        assert '\\"name\\"' in dot
+
+
+class TestTextTree:
+    def test_tree_spreads_downstream(self):
+        log = AuditLog()
+        log.flow_allowed("a", "b")
+        log.flow_allowed("b", "c")
+        log.flow_allowed("b", "d")
+        tree = to_text_tree(graph_from_log(log), "a")
+        lines = tree.splitlines()
+        assert lines[0] == "a"
+        assert any("-> b" in line for line in lines)
+        assert any("-> c" in line for line in lines)
+        assert any("-> d" in line for line in lines)
+
+    def test_cycles_marked_not_expanded(self):
+        graph = ProvenanceGraph()
+        graph.add_flow("a", "b")
+        graph.add_flow("b", "a")
+        tree = to_text_tree(graph, "a")
+        assert "(seen)" in tree
+
+    def test_depth_bounded(self):
+        graph = ProvenanceGraph()
+        for i in range(10):
+            graph.add_flow(f"n{i}", f"n{i+1}")
+        tree = to_text_tree(graph, "n0", max_depth=3)
+        assert "n3" in tree
+        assert "n9" not in tree

@@ -1,0 +1,104 @@
+"""The row-labelled shared datastore (§4's DB problem, Concern 5)."""
+
+import pytest
+
+from repro.audit import AuditLog
+from repro.cloud import LabelledStore
+from repro.errors import FlowError, KernelError
+from repro.ifc import SecurityContext
+
+ANN = SecurityContext.of(["medical", "ann"], [])
+ZEB = SecurityContext.of(["medical", "zeb"], [])
+BOTH = SecurityContext.of(["medical", "ann", "zeb"], [])
+PUBLIC = SecurityContext.public()
+
+
+@pytest.fixture
+def store(audit):
+    store = LabelledStore("patients", audit=audit)
+    store.insert("ann-app", {"patient": "ann", "hr": 72.0}, ANN)
+    store.insert("zeb-app", {"patient": "zeb", "hr": 85.0}, ZEB)
+    return store
+
+
+class TestSharedTableViews:
+    def test_each_application_sees_its_legal_slice(self, store):
+        """The §4 scenario: two apps share the table, different views."""
+        ann_rows = store.query("ann-analyser", ANN)
+        assert [r.values["patient"] for r in ann_rows] == ["ann"]
+        zeb_rows = store.query("zeb-analyser", ZEB)
+        assert [r.values["patient"] for r in zeb_rows] == ["zeb"]
+
+    def test_cleared_reader_sees_everything(self, store):
+        assert len(store.query("ward", BOTH)) == 2
+
+    def test_public_reader_sees_nothing(self, store):
+        assert store.query("portal", PUBLIC) == []
+
+    def test_predicate_composes_with_filtering(self, store):
+        rows = store.query("ward", BOTH, predicate=lambda v: v["hr"] > 80)
+        assert [r.values["patient"] for r in rows] == ["zeb"]
+
+    def test_strict_mode_aborts_on_hidden_rows(self, store):
+        with pytest.raises(FlowError):
+            store.query("ann-analyser", ANN, strict=True)
+
+    def test_strict_mode_passes_when_view_complete(self, store):
+        rows = store.query(
+            "ann-analyser", ANN,
+            predicate=lambda v: v["patient"] == "ann", strict=True,
+        )
+        assert len(rows) == 1
+
+    def test_filtered_reads_audited_as_denials(self, store, audit):
+        store.query("ann-analyser", ANN)
+        assert audit.denials()  # zeb's row was filtered, and recorded
+
+
+class TestWrites:
+    def test_update_requires_writer_flow(self, store):
+        row = store.query("ann-analyser", ANN)[0]
+        store.update("ann-app", ANN, row.row_id, {"hr": 75.0})
+        assert store.query("ann-analyser", ANN)[0].values["hr"] == 75.0
+
+    def test_update_denied_across_contexts(self, store):
+        zeb_row = store.query("zeb-analyser", ZEB)[0]
+        with pytest.raises(FlowError):
+            store.update("ann-app", ANN, zeb_row.row_id, {"hr": 0.0})
+
+    def test_update_joins_contexts(self, store):
+        """A row touched by a more-labelled writer becomes more
+        constrained (write-up is legal, the row records it)."""
+        ann_row = store.query("ann-analyser", ANN)[0]
+        public_writer = SecurityContext.public()
+        store.update("ingest", public_writer, ann_row.row_id, {"hr": 73.0})
+        # context unchanged: join(ANN, public) == ANN for secrecy
+        assert "ann" in ann_row.context.secrecy
+        with pytest.raises(KernelError):
+            store.update("x", ANN, 999, {})
+
+
+class TestAggregation:
+    def test_aggregate_needs_amalgamated_clearance(self, store):
+        """Concern 5: a summary over both patients demands both tags."""
+        mean = store.aggregate("ward", BOTH, "hr", lambda vs: sum(vs) / len(vs))
+        assert mean == pytest.approx(78.5)
+
+    def test_underclear_reader_cannot_aggregate(self, store):
+        with pytest.raises(FlowError):
+            store.aggregate("ann-analyser", ANN, "hr", sum)
+
+    def test_scoped_aggregate_within_clearance(self, store):
+        total = store.aggregate(
+            "ann-analyser", ANN, "hr", sum,
+            predicate=lambda v: v["patient"] == "ann",
+        )
+        assert total == 72.0
+
+    def test_empty_aggregate_returns_none(self, store):
+        assert store.aggregate(
+            "ward", BOTH, "hr", sum, predicate=lambda v: False
+        ) is None
+
+    def test_contexts_present_for_creep_analysis(self, store):
+        assert len(store.contexts_present()) == 2

@@ -1,0 +1,126 @@
+"""Machines, attestation, tenants, and the application manager (§8.2)."""
+
+import pytest
+
+from repro.cloud import (
+    APPROVED_BOOT_CHAIN,
+    BOOT_PCR,
+    Machine,
+    MachineConfig,
+    PaaSCloud,
+    trusted_verifier,
+)
+from repro.errors import AuthorityError, FlowError, KernelError
+from repro.ifc import PrivilegeSet, SecurityContext, Tag
+
+
+class TestMachine:
+    def test_ifc_machine_enforces(self):
+        machine = Machine("host")
+        owner = machine.launch("owner", SecurityContext.of(["s"], []))
+        from repro.cloud import ObjectKind
+
+        obj = machine.kernel.create_object(owner.pid, ObjectKind.FILE, "f")
+        snoop = machine.launch("snoop")
+        with pytest.raises(FlowError):
+            machine.kernel.read(snoop.pid, obj.oid)
+
+    def test_baseline_machine_does_not(self):
+        machine = Machine("host", MachineConfig(enforce_ifc=False))
+        owner = machine.launch("owner", SecurityContext.of(["s"], []))
+        from repro.cloud import ObjectKind
+
+        obj = machine.kernel.create_object(owner.pid, ObjectKind.FILE, "f")
+        snoop = machine.launch("snoop")
+        machine.kernel.read(snoop.pid, obj.oid)  # no exception
+
+    def test_approved_platform_attests(self):
+        machine = Machine("host")
+        verifier = trusted_verifier([machine])
+        assert machine.attest_to(verifier)
+
+    def test_tampered_boot_chain_rejected(self):
+        evil = Machine(
+            "host", MachineConfig(boot_chain=["bootloader-v2", "rootkit"])
+        )
+        verifier = trusted_verifier([Machine("reference")])
+        verifier.golden_for_measurements("host", BOOT_PCR, APPROVED_BOOT_CHAIN)
+        assert not evil.attest_to(verifier)
+
+
+class TestPaaSCloud:
+    def test_duplicate_machine_rejected(self):
+        cloud = PaaSCloud("c")
+        cloud.add_machine("h")
+        with pytest.raises(KernelError):
+            cloud.add_machine("h")
+
+    def test_duplicate_tenant_rejected(self):
+        cloud = PaaSCloud("c")
+        cloud.register_tenant("t")
+        with pytest.raises(AuthorityError):
+            cloud.register_tenant("t")
+
+    def test_tenant_tags_namespaced_and_owned(self):
+        cloud = PaaSCloud("c")
+        tenant = cloud.register_tenant("hospital")
+        tag = cloud.manager.create_tag(tenant, "medical")
+        assert tag.namespace == "hospital"
+        assert cloud.registry.owner_of(tag) == "hospital"
+
+    def test_instance_setup_in_own_namespace(self):
+        cloud = PaaSCloud("c")
+        host = cloud.add_machine("h")
+        tenant = cloud.register_tenant("hospital")
+        tag = cloud.manager.create_tag(tenant, "medical")
+        process = cloud.manager.setup_instance(
+            host, tenant, "analyser", SecurityContext.of([tag], [])
+        )
+        assert process.security.secrecy.tags == frozenset({tag})
+        assert tenant.instances == [("h", process.pid)]
+
+    def test_tenant_cannot_use_anothers_tags(self):
+        cloud = PaaSCloud("c")
+        host = cloud.add_machine("h")
+        hospital = cloud.register_tenant("hospital")
+        rival = cloud.register_tenant("rival")
+        tag = cloud.manager.create_tag(hospital, "medical")
+        with pytest.raises(AuthorityError):
+            cloud.manager.setup_instance(
+                host, rival, "thief", SecurityContext.of([tag], [])
+            )
+
+    def test_local_tags_usable_by_anyone(self):
+        cloud = PaaSCloud("c")
+        host = cloud.add_machine("h")
+        tenant = cloud.register_tenant("t")
+        cloud.manager.setup_instance(
+            host, tenant, "app", SecurityContext.of(["scratch"], [])
+        )
+
+    def test_cloud_audit_collection(self):
+        cloud = PaaSCloud("c")
+        host = cloud.add_machine("h")
+        tenant = cloud.register_tenant("t")
+        process = cloud.manager.setup_instance(
+            host, tenant, "app", SecurityContext.of(["s"], [])
+        )
+        from repro.cloud import ObjectKind
+
+        host.kernel.create_object(process.pid, ObjectKind.FILE, "f")
+        collector = cloud.collect_audit()
+        assert len(collector.merged()) >= 1
+        assert collector.rejected_domains == set()
+
+    def test_total_syscalls_aggregates(self):
+        cloud = PaaSCloud("c")
+        h1 = cloud.add_machine("h1")
+        h2 = cloud.add_machine("h2")
+        t = cloud.register_tenant("t")
+        p1 = cloud.manager.setup_instance(h1, t, "a", SecurityContext.public())
+        p2 = cloud.manager.setup_instance(h2, t, "b", SecurityContext.public())
+        from repro.cloud import ObjectKind
+
+        h1.kernel.create_object(p1.pid, ObjectKind.FILE, "f1")
+        h2.kernel.create_object(p2.pid, ObjectKind.FILE, "f2")
+        assert cloud.total_syscalls() == 2

@@ -1,0 +1,67 @@
+"""Shared fixtures: the paper's canonical contexts and small worlds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import AuditLog
+from repro.ifc import PrivilegeSet, SecurityContext, TagRegistry
+from repro.iot import IoTWorld
+from repro.middleware import Component, EndpointKind, MessageBus, MessageType
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def ann_device() -> SecurityContext:
+    """Ann's hospital-issued home monitoring sensors (Fig. 4)."""
+    return SecurityContext.of(["medical", "ann"], ["hosp-dev", "consent"])
+
+
+@pytest.fixture
+def ann_analyser() -> SecurityContext:
+    """Ann's hospital-based data analyser (Fig. 4)."""
+    return SecurityContext.of(["medical", "ann"], ["hosp-dev", "consent"])
+
+
+@pytest.fixture
+def zeb_device() -> SecurityContext:
+    """Zeb's third-party home monitoring sensors (Fig. 4)."""
+    return SecurityContext.of(["medical", "zeb"], ["zeb-dev", "consent"])
+
+
+@pytest.fixture
+def registry() -> TagRegistry:
+    return TagRegistry()
+
+
+@pytest.fixture
+def audit() -> AuditLog:
+    return AuditLog()
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def world() -> IoTWorld:
+    return IoTWorld(seed=1234)
+
+
+@pytest.fixture
+def reading_type() -> MessageType:
+    return MessageType.simple("reading", value=float)
+
+
+def make_component(
+    name: str,
+    context: SecurityContext,
+    reading_type: MessageType,
+    owner: str = "op",
+) -> Component:
+    """A component with one source and one sink endpoint."""
+    component = Component(name, context, owner=owner)
+    component.add_endpoint("out", EndpointKind.SOURCE, reading_type)
+    component.add_endpoint("in", EndpointKind.SINK, reading_type)
+    return component

@@ -1,0 +1,112 @@
+"""Entities: creation inheritance, observable context changes (§6)."""
+
+import pytest
+
+from repro.errors import PrivilegeError
+from repro.ifc import (
+    ActiveEntity,
+    PassiveEntity,
+    PrivilegeSet,
+    SecurityContext,
+)
+
+
+class TestEntityBasics:
+    def test_unique_ids(self):
+        a = PassiveEntity("a")
+        b = PassiveEntity("b")
+        assert a.entity_id != b.entity_id
+
+    def test_default_context_public(self):
+        assert PassiveEntity("x").context.is_public()
+
+    def test_flow_to_evaluates_rule(self, ann_device, zeb_device):
+        src = PassiveEntity("zeb-data", zeb_device)
+        dst = ActiveEntity("ann-analyser", ann_device)
+        assert not src.flow_to(dst).allowed
+
+
+class TestContextObservers:
+    def test_observer_sees_old_and_new(self):
+        entity = ActiveEntity(
+            "e", SecurityContext.public(),
+            PrivilegeSet.of(add_secrecy=["s"]),
+        )
+        seen = []
+        entity.observe_context(lambda ent, old, new: seen.append((old, new)))
+        entity.add_secrecy("s")
+        assert len(seen) == 1
+        old, new = seen[0]
+        assert old.secrecy.is_empty()
+        assert "s" in new.secrecy
+
+    def test_unobserve_stops_notifications(self):
+        entity = ActiveEntity(
+            "e", privileges=PrivilegeSet.of(add_secrecy=["s"])
+        )
+        seen = []
+        observer = lambda ent, old, new: seen.append(1)
+        entity.observe_context(observer)
+        entity.unobserve_context(observer)
+        entity.add_secrecy("s")
+        assert seen == []
+
+
+class TestActiveEntity:
+    def test_context_change_respects_privileges(self):
+        entity = ActiveEntity("e", SecurityContext.of(["s"], []))
+        with pytest.raises(PrivilegeError):
+            entity.remove_secrecy("s")
+
+    def test_change_recorded_in_transitions(self):
+        entity = ActiveEntity(
+            "e", privileges=PrivilegeSet.of(add_integrity=["i"])
+        )
+        entity.add_integrity("i")
+        assert len(entity.transitions) == 1
+
+    def test_create_passive_inherits_labels(self, ann_device):
+        process = ActiveEntity("proc", ann_device)
+        data = process.create_passive("file", payload=b"x")
+        assert data.context == ann_device
+        assert data.payload == b"x"
+
+    def test_child_does_not_inherit_privileges(self):
+        parent = ActiveEntity(
+            "parent",
+            SecurityContext.of(["s"], []),
+            PrivilegeSet.of(remove_secrecy=["s"]),
+        )
+        child = parent.create_active("child")
+        assert child.context == parent.context
+        assert child.privileges.is_empty()
+        with pytest.raises(PrivilegeError):
+            child.remove_secrecy("s")
+
+    def test_explicit_privilege_passing_checked(self):
+        parent = ActiveEntity(
+            "parent", privileges=PrivilegeSet.of(add_secrecy=["a"])
+        )
+        child = parent.create_active(
+            "child", privileges=PrivilegeSet.of(add_secrecy=["a"])
+        )
+        assert child.privileges.covers(PrivilegeSet.of(add_secrecy=["a"]))
+        with pytest.raises(PrivilegeError):
+            parent.create_active(
+                "greedy", privileges=PrivilegeSet.of(remove_secrecy=["a"])
+            )
+
+
+class TestAmalgamation:
+    def test_merged_secrecy_unions_integrity_intersects(self):
+        a = PassiveEntity("a", SecurityContext.of(["s1"], ["i1", "i2"]))
+        b = PassiveEntity("b", SecurityContext.of(["s2"], ["i2"]))
+        merged = a.merged_with(b, "ab")
+        assert "s1" in merged.context.secrecy and "s2" in merged.context.secrecy
+        assert "i2" in merged.context.integrity
+        assert "i1" not in merged.context.integrity
+
+    def test_merged_payload_preserves_both(self):
+        a = PassiveEntity("a", payload=1)
+        b = PassiveEntity("b", payload=2)
+        assert a.merged_with(b, "ab").payload == (1, 2)

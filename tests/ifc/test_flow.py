@@ -1,0 +1,116 @@
+"""The flow rule: A → B iff S(A) ⊆ S(B) ∧ I(B) ⊆ I(A) (§6, Fig. 4)."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.ifc import (
+    SecurityContext,
+    can_flow,
+    check_flow,
+    flow_decision,
+    flow_path_allowed,
+)
+
+
+class TestCanFlow:
+    def test_equal_contexts_flow(self, ann_device, ann_analyser):
+        assert can_flow(ann_device, ann_analyser)
+
+    def test_fig4_zeb_to_ann_analyser_blocked(self, zeb_device, ann_analyser):
+        """The paper's Fig. 4: fails both secrecy and integrity."""
+        decision = flow_decision(zeb_device, ann_analyser)
+        assert not decision.allowed
+        assert not decision.secrecy_ok      # destination S has no zeb
+        assert not decision.integrity_ok    # source I has no hosp-dev
+        assert "zeb" in str(decision.missing_secrecy)
+        assert "hosp-dev" in str(decision.missing_integrity)
+
+    def test_secrecy_may_rise_along_flow(self):
+        low = SecurityContext.of(["s1"], [])
+        high = SecurityContext.of(["s1", "s2"], [])
+        assert can_flow(low, high)
+        assert not can_flow(high, low)
+
+    def test_integrity_may_fall_along_flow(self):
+        endorsed = SecurityContext.of([], ["i1", "i2"])
+        plain = SecurityContext.of([], ["i1"])
+        assert can_flow(endorsed, plain)
+        assert not can_flow(plain, endorsed)
+
+    def test_public_flows_anywhere_without_integrity_demands(self):
+        public = SecurityContext.public()
+        secret = SecurityContext.of(["s"], [])
+        assert can_flow(public, secret)
+        assert not can_flow(secret, public)
+
+    def test_integrity_demand_blocks_public_source(self):
+        public = SecurityContext.public()
+        demanding = SecurityContext.of([], ["certified"])
+        assert not can_flow(public, demanding)
+
+    def test_incomparable_contexts_block_both_ways(self):
+        a = SecurityContext.of(["s1"], [])
+        b = SecurityContext.of(["s2"], [])
+        assert not can_flow(a, b)
+        assert not can_flow(b, a)
+
+
+class TestFlowDecision:
+    def test_allowed_decision_has_no_missing_tags(self):
+        ctx = SecurityContext.of(["s"], ["i"])
+        decision = flow_decision(ctx, ctx)
+        assert decision.allowed
+        assert decision.reason == "allowed"
+        assert decision.missing_secrecy.is_empty()
+        assert decision.missing_integrity.is_empty()
+
+    def test_reason_names_each_failed_half(self):
+        src = SecurityContext.of(["s"], [])
+        dst = SecurityContext.of([], ["i"])
+        decision = flow_decision(src, dst)
+        assert "secrecy" in decision.reason
+        assert "integrity" in decision.reason
+
+    def test_secrecy_only_failure(self):
+        src = SecurityContext.of(["s"], [])
+        dst = SecurityContext.public()
+        decision = flow_decision(src, dst)
+        assert not decision.secrecy_ok
+        assert decision.integrity_ok
+
+
+class TestCheckFlow:
+    def test_raises_with_names_on_denial(self, zeb_device, ann_analyser):
+        with pytest.raises(FlowError) as excinfo:
+            check_flow(zeb_device, ann_analyser, "zeb-sensor", "ann-analyser")
+        assert "zeb-sensor" in str(excinfo.value)
+        assert "ann-analyser" in str(excinfo.value)
+
+    def test_returns_decision_on_success(self, ann_device, ann_analyser):
+        decision = check_flow(ann_device, ann_analyser)
+        assert decision.allowed
+
+
+class TestFlowPath:
+    def test_legal_chain(self):
+        chain = [
+            SecurityContext.of(["s1"], []),
+            SecurityContext.of(["s1", "s2"], []),
+            SecurityContext.of(["s1", "s2", "s3"], []),
+        ]
+        ok, failed_at = flow_path_allowed(chain)
+        assert ok and failed_at is None
+
+    def test_reports_first_broken_hop(self):
+        chain = [
+            SecurityContext.of(["s1"], []),
+            SecurityContext.of(["s1", "s2"], []),
+            SecurityContext.of(["s1"], []),  # hop 1->2 drops s2: illegal
+        ]
+        ok, failed_at = flow_path_allowed(chain)
+        assert not ok
+        assert failed_at == 1
+
+    def test_single_and_empty_chains_trivially_pass(self):
+        assert flow_path_allowed([]) == (True, None)
+        assert flow_path_allowed([SecurityContext.public()]) == (True, None)

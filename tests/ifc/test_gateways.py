@@ -1,0 +1,191 @@
+"""Declassifiers and endorsers (§6, Figs. 3, 5, 6)."""
+
+import pytest
+
+from repro.errors import FlowError, PrivilegeError
+from repro.ifc import (
+    Declassifier,
+    Endorser,
+    Gateway,
+    PassiveEntity,
+    PrivilegeSet,
+    SecurityContext,
+    can_flow,
+    plan_gateway_chain,
+)
+
+
+def make_sanitiser() -> Endorser:
+    """Fig. 5's input sanitiser: zeb-dev data endorsed to hosp-dev."""
+    return Endorser(
+        "sanitiser",
+        input_context=SecurityContext.of(["medical", "zeb"], ["zeb-dev"]),
+        output_context=SecurityContext.of(["medical", "zeb"], ["hosp-dev"]),
+        privileges=PrivilegeSet.of(
+            add_integrity=["hosp-dev", "zeb-dev"],
+            remove_integrity=["zeb-dev", "hosp-dev"],
+        ),
+        transform=lambda payload: {"standardised": payload},
+    )
+
+
+def make_anonymiser() -> Declassifier:
+    """Fig. 6's statistics generator: drops patient tags after anon."""
+    return Declassifier(
+        "anonymiser",
+        input_context=SecurityContext.of(["medical", "ann", "zeb"], []),
+        output_context=SecurityContext.of(["stats"], ["anon"]),
+        privileges=PrivilegeSet.of(
+            add_secrecy=["stats"],
+            remove_secrecy=["medical", "ann", "zeb"],
+            add_integrity=["anon"],
+        ),
+        transform=lambda values: sum(values) / len(values),
+    )
+
+
+class TestEndorser:
+    def test_fig5_pipeline(self):
+        sanitiser = make_sanitiser()
+        zeb_data = PassiveEntity(
+            "zeb-reading",
+            SecurityContext.of(["medical", "zeb"], ["zeb-dev"]),
+            payload=72.0,
+        )
+        result = sanitiser.process(zeb_data)
+        analyser = SecurityContext.of(["medical", "zeb"], ["hosp-dev"])
+        assert can_flow(result.output.context, analyser)
+        assert result.output.payload == {"standardised": 72.0}
+
+    def test_endorser_may_not_lower_secrecy(self):
+        with pytest.raises(PrivilegeError):
+            Endorser(
+                "bad",
+                input_context=SecurityContext.of(["s"], []),
+                output_context=SecurityContext.public(),
+                privileges=PrivilegeSet.owner_of("s"),
+            )
+
+    def test_construction_validates_privileges(self):
+        with pytest.raises(PrivilegeError):
+            Endorser(
+                "powerless",
+                input_context=SecurityContext.of([], []),
+                output_context=SecurityContext.of([], ["hosp-dev"]),
+                privileges=PrivilegeSet.none(),
+            )
+
+    def test_rejects_input_outside_its_domain(self):
+        sanitiser = make_sanitiser()
+        foreign = PassiveEntity(
+            "ann-reading",
+            SecurityContext.of(["medical", "ann"], ["hosp-dev"]),
+        )
+        with pytest.raises(FlowError):
+            sanitiser.process(foreign)
+
+    def test_gateway_reusable_across_items(self):
+        sanitiser = make_sanitiser()
+        ctx = SecurityContext.of(["medical", "zeb"], ["zeb-dev"])
+        for value in (70.0, 71.0, 72.0):
+            result = sanitiser.process(PassiveEntity("r", ctx, payload=value))
+            assert result.output.payload == {"standardised": value}
+
+
+class TestDeclassifier:
+    def test_fig6_anonymisation(self):
+        anonymiser = make_anonymiser()
+        raw = PassiveEntity(
+            "all-patients",
+            SecurityContext.of(["medical", "ann", "zeb"], []),
+            payload=[70.0, 80.0],
+        )
+        result = anonymiser.process(raw)
+        ward_manager = SecurityContext.of(["stats"], ["anon"])
+        assert can_flow(result.output.context, ward_manager)
+        assert result.output.payload == 75.0
+
+    def test_declassifier_must_lower_secrecy(self):
+        with pytest.raises(PrivilegeError):
+            Declassifier(
+                "not-a-declassifier",
+                input_context=SecurityContext.of(["s"], []),
+                output_context=SecurityContext.of(["s", "t"], []),
+                privileges=PrivilegeSet.owner_of("s", "t"),
+            )
+
+    def test_guard_blocks_release(self):
+        embargo_lifted = {"value": False}
+        anonymiser = Declassifier(
+            "guarded",
+            input_context=SecurityContext.of(["s"], []),
+            output_context=SecurityContext.public(),
+            privileges=PrivilegeSet.of(remove_secrecy=["s"]),
+            guards=[lambda item: embargo_lifted["value"]],
+        )
+        item = PassiveEntity("d", SecurityContext.of(["s"], []))
+        with pytest.raises(FlowError):
+            anonymiser.process(item)
+        embargo_lifted["value"] = True
+        assert anonymiser.process(item).output.context.secrecy.is_empty()
+
+    def test_context_changes_recorded_for_audit(self):
+        anonymiser = make_anonymiser()
+        raw = PassiveEntity(
+            "raw", SecurityContext.of(["medical", "ann", "zeb"], []), payload=[1.0]
+        )
+        anonymiser.process(raw)
+        assert len(anonymiser.transitions) >= 1
+
+
+class TestChainPlanning:
+    def test_direct_flow_needs_no_gateways(self):
+        ctx = SecurityContext.of(["s"], [])
+        assert plan_gateway_chain(ctx, ctx, []) == []
+
+    def test_single_gateway_found(self):
+        anonymiser = make_anonymiser()
+        source = SecurityContext.of(["medical", "ann"], [])
+        target = SecurityContext.of(["stats"], ["anon"])
+        chain = plan_gateway_chain(source, target, [anonymiser])
+        assert chain == [anonymiser]
+
+    def _strict_anonymiser(self) -> Declassifier:
+        """Anonymiser that accepts only hospital-standard input — forces
+        non-standard data through the sanitiser first."""
+        return Declassifier(
+            "strict-anonymiser",
+            input_context=SecurityContext.of(
+                ["medical", "ann", "zeb"], ["hosp-dev"]
+            ),
+            output_context=SecurityContext.of(["stats"], ["anon"]),
+            privileges=PrivilegeSet.of(
+                add_secrecy=["stats"],
+                remove_secrecy=["medical", "ann", "zeb"],
+                add_integrity=["anon"],
+                remove_integrity=["hosp-dev"],
+            ),
+        )
+
+    def test_two_hop_chain_found(self):
+        sanitiser = make_sanitiser()
+        anonymiser = self._strict_anonymiser()
+        source = SecurityContext.of(["medical", "zeb"], ["zeb-dev"])
+        target = SecurityContext.of(["stats"], ["anon"])
+        chain = plan_gateway_chain(source, target, [sanitiser, anonymiser])
+        assert chain is not None
+        assert [g.name for g in chain] == ["sanitiser", "strict-anonymiser"]
+
+    def test_no_chain_returns_none(self):
+        source = SecurityContext.of(["top-secret"], [])
+        target = SecurityContext.public()
+        assert plan_gateway_chain(source, target, [make_sanitiser()]) is None
+
+    def test_hop_budget_respected(self):
+        sanitiser = make_sanitiser()
+        anonymiser = self._strict_anonymiser()
+        source = SecurityContext.of(["medical", "zeb"], ["zeb-dev"])
+        target = SecurityContext.of(["stats"], ["anon"])
+        assert plan_gateway_chain(
+            source, target, [sanitiser, anonymiser], max_hops=1
+        ) is None

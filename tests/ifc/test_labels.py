@@ -1,0 +1,107 @@
+"""Labels and security contexts (§6)."""
+
+import pytest
+
+from repro.ifc import Label, SecurityContext, Tag, as_label
+
+
+class TestLabel:
+    def test_of_and_contains(self):
+        label = Label.of("medical", "ann")
+        assert "medical" in label
+        assert "zeb" not in label
+        assert len(label) == 2
+
+    def test_empty_singleton_semantics(self):
+        assert Label.empty().is_empty()
+        assert Label.of().is_empty()
+
+    def test_subset_ordering(self):
+        small = Label.of("a")
+        big = Label.of("a", "b")
+        assert small <= big
+        assert small < big
+        assert big >= small
+        assert not big <= small
+
+    def test_add_remove_are_pure(self):
+        label = Label.of("a")
+        bigger = label.add("b")
+        assert "b" not in label
+        assert "b" in bigger
+        smaller = bigger.remove("a")
+        assert "a" in bigger
+        assert "a" not in smaller
+
+    def test_remove_missing_tag_is_noop(self):
+        assert Label.of("a").remove("zzz") == Label.of("a")
+
+    def test_set_operations(self):
+        a = Label.of("x", "y")
+        b = Label.of("y", "z")
+        assert (a | b) == Label.of("x", "y", "z")
+        assert (a & b) == Label.of("y")
+        assert (a - b) == Label.of("x")
+
+    def test_str_is_sorted_and_qualified(self):
+        text = str(Label.of("b", "a"))
+        assert text == "{local:a, local:b}"
+        assert str(Label.empty()) == "{}"
+
+    def test_iteration_sorted(self):
+        label = Label.of("c", "a", "b")
+        assert [t.name for t in label] == ["a", "b", "c"]
+
+    def test_as_label_coercions(self):
+        assert as_label(None).is_empty()
+        assert as_label(["a"]) == Label.of("a")
+        existing = Label.of("x")
+        assert as_label(existing) is existing
+
+
+class TestSecurityContext:
+    def test_of_builds_both_labels(self):
+        ctx = SecurityContext.of(["medical"], ["consent"])
+        assert "medical" in ctx.secrecy
+        assert "consent" in ctx.integrity
+
+    def test_public_context(self):
+        assert SecurityContext.public().is_public()
+        assert not SecurityContext.of(["s"]).is_public()
+
+    def test_with_replacements_are_pure(self):
+        ctx = SecurityContext.of(["a"], ["i"])
+        changed = ctx.with_secrecy(["b"])
+        assert "a" in ctx.secrecy
+        assert "b" in changed.secrecy
+        assert changed.integrity == ctx.integrity
+
+    def test_add_remove_helpers(self):
+        ctx = SecurityContext.of(["a"], ["i"])
+        assert "b" in ctx.add_secrecy("b").secrecy
+        assert ctx.remove_secrecy("a").secrecy.is_empty()
+        assert "j" in ctx.add_integrity("j").integrity
+        assert ctx.remove_integrity("i").integrity.is_empty()
+
+    def test_creation_context_copies_labels(self):
+        ctx = SecurityContext.of(["s"], ["i"])
+        child = ctx.creation_context()
+        assert child == ctx
+
+    def test_merge_for_read_secrecy_accrues_integrity_erodes(self):
+        reader = SecurityContext.of(["a"], ["i1", "i2"])
+        data = SecurityContext.of(["b"], ["i2", "i3"])
+        merged = reader.merge_for_read(data)
+        assert merged.secrecy == Label.of("a", "b")
+        assert merged.integrity == Label.of("i2")
+
+    def test_contexts_hashable_for_lattice_search(self):
+        a = SecurityContext.of(["x"], [])
+        b = SecurityContext.of(["x"], [])
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_str_rendering(self):
+        ctx = SecurityContext.of(["s"], ["i"])
+        assert "S={local:s}" in str(ctx)
+        assert "I={local:i}" in str(ctx)

@@ -1,0 +1,124 @@
+"""Federated tag naming: authorities, delegation, caching (Challenge 1)."""
+
+import pytest
+
+from repro.errors import TagError
+from repro.ifc import CachingResolver, Tag, TagAuthority
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def hierarchy():
+    """org root delegating org.hospital to the hospital's authority."""
+    root = TagAuthority("org")
+    hospital = TagAuthority("org.hospital")
+    root.delegate(hospital)
+    root.register("org:public-data", owner="org")
+    hospital.register("org.hospital:medical", owner="hospital")
+    hospital.register("org.hospital:cardiology", owner="hospital")
+    return root, hospital
+
+
+class TestAuthority:
+    def test_register_in_zone(self):
+        authority = TagAuthority("org")
+        signed = authority.register("org:x", owner="o", description="d")
+        assert signed.record.tag == Tag("org", "x")
+        assert signed.signature
+
+    def test_cannot_register_outside_zone(self):
+        authority = TagAuthority("org")
+        with pytest.raises(TagError):
+            authority.register("other:x", owner="o")
+
+    def test_cannot_register_in_delegated_zone(self, hierarchy):
+        root, hospital = hierarchy
+        with pytest.raises(TagError):
+            root.register("org.hospital:sneaky", owner="root")
+
+    def test_duplicate_rejected(self):
+        authority = TagAuthority("org")
+        authority.register("org:x", owner="o")
+        with pytest.raises(TagError):
+            authority.register("org:x", owner="o2")
+
+    def test_delegation_must_be_subzone(self):
+        root = TagAuthority("org")
+        with pytest.raises(TagError):
+            root.delegate(TagAuthority("com"))
+        with pytest.raises(TagError):
+            root.delegate(TagAuthority("org"))
+
+    def test_lookup_answers_or_refers(self, hierarchy):
+        root, hospital = hierarchy
+        direct = root.lookup("org:public-data")
+        assert direct.record.owner == "org"
+        referral = root.lookup("org.hospital:medical")
+        assert referral is hospital
+
+    def test_lookup_outside_zone_raises(self, hierarchy):
+        root, __ = hierarchy
+        with pytest.raises(TagError):
+            root.lookup("com:x")
+
+    def test_longest_match_delegation(self):
+        root = TagAuthority("org")
+        hospital = TagAuthority("org.hospital")
+        ward = TagAuthority("org.hospital.ward7")
+        root.delegate(hospital)
+        root.delegate(ward)
+        assert root.lookup("org.hospital.ward7:bed3") is ward
+
+
+class TestResolver:
+    def test_resolution_walks_referrals(self, hierarchy):
+        root, __ = hierarchy
+        resolver = CachingResolver(root)
+        record = resolver.resolve("org.hospital:medical")
+        assert record.owner == "hospital"
+
+    def test_unknown_tag(self, hierarchy):
+        root, __ = hierarchy
+        resolver = CachingResolver(root)
+        with pytest.raises(TagError):
+            resolver.resolve("org.hospital:nonexistent")
+
+    def test_cache_hits_counted_and_ttl_expires(self, hierarchy):
+        root, hospital = hierarchy
+        sim = Simulator()
+        resolver = CachingResolver(root, ttl=100.0, clock=sim.now)
+        resolver.resolve("org.hospital:medical")
+        served_before = hospital.queries_served
+        resolver.resolve("org.hospital:medical")   # cache hit
+        assert resolver.hits == 1
+        assert hospital.queries_served == served_before
+        sim.clock.advance(200.0)                   # TTL expired
+        resolver.resolve("org.hospital:medical")
+        assert hospital.queries_served == served_before + 1
+        assert 0 < resolver.hit_rate < 1
+
+    def test_invalidate_forces_refetch(self, hierarchy):
+        root, hospital = hierarchy
+        resolver = CachingResolver(root)
+        resolver.resolve("org.hospital:medical")
+        resolver.invalidate("org.hospital:medical")
+        served = hospital.queries_served
+        resolver.resolve("org.hospital:medical")
+        assert hospital.queries_served == served + 1
+
+    def test_forged_record_rejected(self, hierarchy):
+        root, hospital = hierarchy
+        signed = hospital._records["org.hospital:medical"]
+        signed.record.owner = "mallory"  # tamper after signing
+        resolver = CachingResolver(root)
+        with pytest.raises(TagError):
+            resolver.resolve("org.hospital:medical")
+
+    def test_referral_loop_bounded(self):
+        root = TagAuthority("org")
+        a = TagAuthority("org.a")
+        root.delegate(a)
+        resolver = CachingResolver(root)
+        # a has no record and no further delegation: lookup raises there
+        with pytest.raises(TagError):
+            resolver.resolve("org.a:missing")

@@ -1,0 +1,137 @@
+"""Tag ontologies and cross-level translation (§8.2.2, §10.2)."""
+
+import pytest
+
+from repro.errors import TagError
+from repro.ifc import (
+    Label,
+    SecurityContext,
+    TagMapper,
+    TagOntology,
+    UnmappedPolicy,
+    can_flow,
+    semantic_can_flow,
+)
+
+
+@pytest.fixture
+def medical_ontology() -> TagOntology:
+    onto = TagOntology()
+    onto.declare_subtype("cardiology", "medical")
+    onto.declare_subtype("oncology", "medical")
+    onto.declare_subtype("medical", "personal")
+    onto.declare_subtype("hosp-dev", "certified-dev")
+    return onto
+
+
+class TestOntology:
+    def test_ancestors_transitive(self, medical_ontology):
+        ancestors = medical_ontology.ancestors("cardiology")
+        names = {t.name for t in ancestors}
+        assert names == {"medical", "personal"}
+
+    def test_is_subtype_reflexive(self, medical_ontology):
+        assert medical_ontology.is_subtype("cardiology", "cardiology")
+        assert medical_ontology.is_subtype("cardiology", "personal")
+        assert not medical_ontology.is_subtype("medical", "cardiology")
+
+    def test_descendants(self, medical_ontology):
+        names = {t.name for t in medical_ontology.descendants("medical")}
+        assert names == {"cardiology", "oncology"}
+
+    def test_cycle_rejected(self, medical_ontology):
+        with pytest.raises(TagError):
+            medical_ontology.declare_subtype("personal", "cardiology")
+        with pytest.raises(TagError):
+            medical_ontology.declare_subtype("x", "x")
+
+    def test_label_expansion(self, medical_ontology):
+        expanded = medical_ontology.expand_label(Label.of("cardiology"))
+        names = {t.name for t in expanded}
+        assert names == {"cardiology", "medical", "personal"}
+
+    def test_semantic_flow_specialised_data_to_general_sink(
+        self, medical_ontology
+    ):
+        """Cardiology data flows to a medical-cleared sink — the case
+        flat IFC denies but the ontology sanctions."""
+        cardio = SecurityContext.of(["cardiology"], [])
+        medical_sink = SecurityContext.of(["medical"], [])
+        assert not can_flow(cardio, medical_sink)          # flat: denied
+        assert semantic_can_flow(medical_ontology, cardio, medical_sink)
+
+    def test_semantic_flow_never_generalises_data_down(self, medical_ontology):
+        """Medical data must NOT flow to a cardiology-only sink."""
+        medical = SecurityContext.of(["medical"], [])
+        cardio_sink = SecurityContext.of(["cardiology"], [])
+        assert not semantic_can_flow(medical_ontology, medical, cardio_sink)
+
+    def test_semantic_integrity_specific_endorsement_satisfies_general(
+        self, medical_ontology
+    ):
+        """hosp-dev endorsement satisfies a certified-dev demand."""
+        source = SecurityContext.of([], ["hosp-dev"])
+        demanding = SecurityContext.of([], ["certified-dev"])
+        assert not can_flow(source, demanding)             # flat: denied
+        assert semantic_can_flow(medical_ontology, source, demanding)
+
+    def test_semantic_flow_subsumes_flat_flow(self, medical_ontology):
+        """Whatever flat IFC allows, semantic IFC also allows."""
+        a = SecurityContext.of(["medical"], ["hosp-dev"])
+        b = SecurityContext.of(["medical", "extra"], [])
+        assert can_flow(a, b)
+        assert semantic_can_flow(medical_ontology, a, b)
+
+
+class TestTranslation:
+    @pytest.fixture
+    def mapper(self) -> TagMapper:
+        mapper = TagMapper("kernel", "middleware")
+        mapper.map("k:t1", "hospital:medical")
+        mapper.map("k:t2", "hospital:ann")
+        mapper.map("k:i1", "hospital:hosp-dev")
+        return mapper
+
+    def test_roundtrip(self, mapper):
+        ctx = SecurityContext.of(["k:t1", "k:t2"], ["k:i1"])
+        up = mapper.translate(ctx)
+        assert "hospital:medical" in str(up.secrecy)
+        assert mapper.translate_down(up) == ctx
+        assert mapper.roundtrip_consistent(ctx)
+
+    def test_unmapped_secrecy_fails_closed(self, mapper):
+        ctx = SecurityContext.of(["k:unknown"], [])
+        with pytest.raises(TagError):
+            mapper.translate(ctx)
+
+    def test_unmapped_secrecy_keep_policy(self, mapper):
+        ctx = SecurityContext.of(["k:unknown"], [])
+        up = mapper.translate(ctx, unmapped_secrecy=UnmappedPolicy.KEEP)
+        assert "k:unknown" in str(up.secrecy)
+
+    def test_unmapped_integrity_drops_by_default(self, mapper):
+        ctx = SecurityContext.of([], ["k:unendorsed"])
+        up = mapper.translate(ctx)
+        assert up.integrity.is_empty()
+
+    def test_injectivity_enforced(self, mapper):
+        with pytest.raises(TagError):
+            mapper.map("k:t1", "hospital:other")
+        with pytest.raises(TagError):
+            mapper.map("k:t9", "hospital:medical")
+
+    def test_remapping_same_pair_is_idempotent(self, mapper):
+        mapper.map("k:t1", "hospital:medical")  # no error
+
+    def test_roundtrip_consistency_fails_for_partial_tables(self, mapper):
+        ctx = SecurityContext.of(["k:unmapped"], [])
+        assert not mapper.roundtrip_consistent(ctx)
+
+    def test_translation_preserves_flow_decisions(self, mapper):
+        """Fully mapped contexts: the flow decision is level-invariant —
+        the §8.2.2 interoperability requirement."""
+        a = SecurityContext.of(["k:t1"], ["k:i1"])
+        b = SecurityContext.of(["k:t1", "k:t2"], [])
+        assert can_flow(a, b) == can_flow(mapper.translate(a), mapper.translate(b))
+        c = SecurityContext.of(["k:t2"], [])
+        assert can_flow(a, c) == can_flow(mapper.translate(a), mapper.translate(c))

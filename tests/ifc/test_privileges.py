@@ -1,0 +1,128 @@
+"""Privileges for label change, delegation, revocation (§6)."""
+
+import pytest
+
+from repro.errors import PrivilegeError
+from repro.ifc import (
+    PrivilegeAuthority,
+    PrivilegeSet,
+    SecurityContext,
+    TagRegistry,
+)
+
+
+class TestPrivilegeSet:
+    def test_none_is_empty(self):
+        assert PrivilegeSet.none().is_empty()
+
+    def test_owner_of_holds_everything(self):
+        privileges = PrivilegeSet.owner_of("t")
+        current = SecurityContext.of(["t"], ["t"])
+        cleared = SecurityContext.public()
+        assert privileges.permits_transition(current, cleared)
+        assert privileges.permits_transition(cleared, current)
+
+    def test_add_secrecy_requires_privilege(self):
+        none = PrivilegeSet.none()
+        ctx = SecurityContext.public()
+        raised = ctx.add_secrecy("s")
+        assert not none.permits_transition(ctx, raised)
+        assert PrivilegeSet.of(add_secrecy=["s"]).permits_transition(ctx, raised)
+
+    def test_declassification_requires_remove_secrecy(self):
+        ctx = SecurityContext.of(["s"], [])
+        lowered = ctx.remove_secrecy("s")
+        assert not PrivilegeSet.of(add_secrecy=["s"]).permits_transition(ctx, lowered)
+        assert PrivilegeSet.of(remove_secrecy=["s"]).permits_transition(ctx, lowered)
+
+    def test_endorsement_requires_add_integrity(self):
+        ctx = SecurityContext.public()
+        endorsed = ctx.add_integrity("i")
+        assert not PrivilegeSet.none().permits_transition(ctx, endorsed)
+        assert PrivilegeSet.of(add_integrity=["i"]).permits_transition(ctx, endorsed)
+
+    def test_unchanged_context_always_permitted(self):
+        ctx = SecurityContext.of(["s"], ["i"])
+        assert PrivilegeSet.none().permits_transition(ctx, ctx)
+
+    def test_merged_and_without(self):
+        a = PrivilegeSet.of(add_secrecy=["x"])
+        b = PrivilegeSet.of(remove_secrecy=["y"])
+        merged = a.merged(b)
+        assert merged.covers(a) and merged.covers(b)
+        assert merged.without(a).covers(b)
+        assert not merged.without(a).covers(a)
+
+    def test_covers_is_componentwise(self):
+        big = PrivilegeSet.of(add_secrecy=["a", "b"], remove_integrity=["c"])
+        small = PrivilegeSet.of(add_secrecy=["a"])
+        assert big.covers(small)
+        assert not small.covers(big)
+
+    def test_explain_denial_names_each_problem(self):
+        ctx = SecurityContext.of(["s"], ["i"])
+        proposed = SecurityContext.of(["t"], [])
+        explanation = PrivilegeSet.none().explain_denial(ctx, proposed)
+        assert "add secrecy" in explanation
+        assert "remove secrecy" in explanation
+        assert "remove integrity" in explanation
+
+    def test_explain_denial_permitted_case(self):
+        ctx = SecurityContext.public()
+        assert PrivilegeSet.none().explain_denial(ctx, ctx) == "permitted"
+
+
+class TestPrivilegeAuthority:
+    def _authority(self):
+        registry = TagRegistry()
+        registry.register("medical", owner="hospital")
+        return registry, PrivilegeAuthority(registry)
+
+    def test_owner_has_implicit_privileges(self):
+        __, authority = self._authority()
+        privileges = authority.privileges_of("hospital")
+        assert privileges.covers(PrivilegeSet.owner_of("medical"))
+
+    def test_delegation_passes_privileges(self):
+        __, authority = self._authority()
+        granted = PrivilegeSet.of(remove_secrecy=["medical"])
+        authority.delegate("hospital", "anonymiser", granted)
+        assert authority.privileges_of("anonymiser").covers(granted)
+
+    def test_cannot_delegate_unheld_privileges(self):
+        __, authority = self._authority()
+        with pytest.raises(PrivilegeError):
+            authority.delegate(
+                "random-app", "friend", PrivilegeSet.of(remove_secrecy=["medical"])
+            )
+
+    def test_revocation_removes_privileges(self):
+        __, authority = self._authority()
+        granted = PrivilegeSet.of(remove_secrecy=["medical"])
+        authority.delegate("hospital", "app", granted)
+        revoked = authority.revoke("hospital", "app")
+        assert revoked.covers(granted)
+        assert not authority.privileges_of("app").covers(granted)
+
+    def test_revocation_cascades_to_redelegations(self):
+        __, authority = self._authority()
+        granted = PrivilegeSet.of(remove_secrecy=["medical"])
+        authority.delegate("hospital", "app", granted)
+        authority.delegate("app", "subapp", granted)
+        authority.revoke("hospital", "app")
+        assert not authority.privileges_of("subapp").covers(granted)
+
+    def test_irrevocable_delegation_survives(self):
+        __, authority = self._authority()
+        granted = PrivilegeSet.of(add_secrecy=["medical"])
+        authority.delegate("hospital", "app", granted, revocable=False)
+        authority.revoke("hospital", "app")
+        assert authority.privileges_of("app").covers(granted)
+
+    def test_delegation_trail_recorded(self):
+        __, authority = self._authority()
+        authority.delegate("hospital", "a", PrivilegeSet.of(add_secrecy=["medical"]))
+        trail = authority.delegations()
+        assert len(trail) == 1
+        assert trail[0].grantor == "hospital"
+        assert trail[0].grantee == "a"

@@ -1,0 +1,138 @@
+"""Property-based tests on the IFC core (hypothesis).
+
+The invariants IFC soundness relies on: the flow relation is a preorder,
+join/meet are genuine lattice operations, creation/amalgamation are
+conservative, and quenching never reveals more than the receiver's
+context allows.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ifc import (
+    Label,
+    PrivilegeSet,
+    SecurityContext,
+    can_flow,
+    flow_decision,
+    join,
+    meet,
+)
+
+TAG_POOL = ["a", "b", "c", "d", "e"]
+
+labels = st.builds(
+    lambda names: Label.of(*names),
+    st.frozensets(st.sampled_from(TAG_POOL), max_size=5),
+)
+contexts = st.builds(SecurityContext, labels, labels)
+
+
+@given(contexts)
+def test_flow_reflexive(ctx):
+    assert can_flow(ctx, ctx)
+
+
+@given(contexts, contexts, contexts)
+def test_flow_transitive(a, b, c):
+    if can_flow(a, b) and can_flow(b, c):
+        assert can_flow(a, c)
+
+
+@given(contexts, contexts)
+def test_flow_antisymmetric_up_to_equality(a, b):
+    if can_flow(a, b) and can_flow(b, a):
+        assert a == b
+
+
+@given(contexts, contexts)
+def test_join_is_least_upper_bound(a, b):
+    j = join(a, b)
+    assert can_flow(a, j) and can_flow(b, j)
+    # least: any other upper bound is above the join
+    for other in (join(a, b), join(b, a)):
+        assert can_flow(j, other)
+
+
+@given(contexts, contexts)
+def test_meet_is_greatest_lower_bound(a, b):
+    m = meet(a, b)
+    assert can_flow(m, a) and can_flow(m, b)
+
+
+@given(contexts, contexts)
+def test_join_commutative(a, b):
+    assert join(a, b) == join(b, a)
+
+
+@given(contexts, contexts, contexts)
+def test_join_associative(a, b, c):
+    assert join(join(a, b), c) == join(a, join(b, c))
+
+
+@given(contexts)
+def test_join_idempotent(a):
+    assert join(a, a) == a
+
+
+@given(contexts, contexts)
+def test_decision_agrees_with_boolean(a, b):
+    assert flow_decision(a, b).allowed == can_flow(a, b)
+
+
+@given(contexts, contexts)
+def test_denial_reasons_cover_missing_tags(a, b):
+    decision = flow_decision(a, b)
+    if not decision.allowed:
+        assert (not decision.secrecy_ok) or (not decision.integrity_ok)
+        if not decision.secrecy_ok:
+            assert not decision.missing_secrecy.is_empty()
+        if not decision.integrity_ok:
+            assert not decision.missing_integrity.is_empty()
+
+
+@given(contexts, contexts)
+def test_merge_for_read_dominates_reader(reader, data):
+    merged = reader.merge_for_read(data)
+    # After reading, the reader can only become more constrained:
+    # everything it could NOT flow to before, it still cannot.
+    assert can_flow(reader, merged) or not can_flow(data, reader)
+    assert reader.secrecy <= merged.secrecy
+    assert merged.integrity <= reader.integrity
+
+
+@given(contexts)
+def test_creation_inherits_exactly(parent):
+    assert parent.creation_context() == parent
+
+
+@given(labels, labels)
+def test_label_union_intersection_duality(a, b):
+    assert (a | b) - (a & b) == (a - b) | (b - a)
+
+
+privilege_sets = st.builds(
+    lambda a, b, c, d: PrivilegeSet.of(a, b, c, d),
+    st.frozensets(st.sampled_from(TAG_POOL), max_size=3),
+    st.frozensets(st.sampled_from(TAG_POOL), max_size=3),
+    st.frozensets(st.sampled_from(TAG_POOL), max_size=3),
+    st.frozensets(st.sampled_from(TAG_POOL), max_size=3),
+)
+
+
+@given(privilege_sets, privilege_sets)
+def test_merged_covers_both(a, b):
+    merged = a.merged(b)
+    assert merged.covers(a) and merged.covers(b)
+
+
+@given(privilege_sets, contexts, contexts)
+def test_permitted_transitions_are_exactly_the_explained_ones(p, old, new):
+    permitted = p.permits_transition(old, new)
+    explanation = p.explain_denial(old, new)
+    assert permitted == (explanation == "permitted")
+
+
+@given(privilege_sets, contexts)
+def test_identity_transition_always_permitted(p, ctx):
+    assert p.permits_transition(ctx, ctx)

@@ -1,0 +1,114 @@
+"""Tags and the global tag registry (§6, Challenge 1)."""
+
+import pytest
+
+from repro.errors import TagError
+from repro.ifc import Tag, TagRegistry, as_tag, as_tags
+
+
+class TestTag:
+    def test_parse_qualified(self):
+        tag = Tag.parse("hospital:medical")
+        assert tag.namespace == "hospital"
+        assert tag.name == "medical"
+        assert tag.qualified == "hospital:medical"
+
+    def test_parse_bare_uses_local_namespace(self):
+        assert Tag.parse("medical").namespace == "local"
+
+    def test_equality_and_hash_by_value(self):
+        assert Tag.parse("a:b") == Tag("a", "b")
+        assert len({Tag.parse("a:b"), Tag("a", "b")}) == 1
+
+    def test_same_name_different_namespace_distinct(self):
+        assert Tag.parse("hospital-a:medical") != Tag.parse("hospital-b:medical")
+
+    def test_ordering_is_stable(self):
+        tags = sorted([Tag.parse("b:x"), Tag.parse("a:y"), Tag.parse("a:x")])
+        assert [t.qualified for t in tags] == ["a:x", "a:y", "b:x"]
+
+    @pytest.mark.parametrize("bad", ["", "has space", "semi;colon", "a:b:c!"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(TagError):
+            Tag("ns", bad)
+
+    def test_invalid_namespace_rejected(self):
+        with pytest.raises(TagError):
+            Tag("bad ns", "name")
+
+    def test_as_tag_coercion(self):
+        assert as_tag("x") == Tag("local", "x")
+        tag = Tag("a", "b")
+        assert as_tag(tag) is tag
+
+    def test_as_tag_rejects_non_string(self):
+        with pytest.raises(TagError):
+            as_tag(42)
+
+    def test_as_tags_builds_frozenset(self):
+        tags = as_tags(["a", "b", Tag("c", "d")])
+        assert isinstance(tags, frozenset)
+        assert len(tags) == 3
+
+
+class TestTagRegistry:
+    def test_register_and_lookup(self, registry):
+        tag = registry.register("hospital:medical", owner="hospital",
+                                description="medical data")
+        record = registry.lookup(tag)
+        assert record.owner == "hospital"
+        assert record.description == "medical data"
+
+    def test_duplicate_registration_rejected(self, registry):
+        registry.register("x", owner="a")
+        with pytest.raises(TagError):
+            registry.register("x", owner="b")
+
+    def test_unknown_lookup_raises(self, registry):
+        with pytest.raises(TagError):
+            registry.lookup("nope")
+
+    def test_contains_and_len(self, registry):
+        registry.register("a", owner="o")
+        assert "a" in registry
+        assert "b" not in registry
+        assert len(registry) == 1
+
+    def test_ownership_transfer(self, registry):
+        registry.register("t", owner="alice")
+        registry.transfer_ownership("t", "alice", "bob")
+        assert registry.owner_of("t") == "bob"
+
+    def test_transfer_requires_current_owner(self, registry):
+        registry.register("t", owner="alice")
+        with pytest.raises(TagError):
+            registry.transfer_ownership("t", "mallory", "mallory")
+
+    def test_sensitive_tag_redacted_for_strangers(self, registry):
+        registry.register(
+            "hiv-status", owner="clinic",
+            description="patient HIV status", sensitive=True,
+        )
+        assert registry.describe("hiv-status", "clinic") == "patient HIV status"
+        assert registry.describe("hiv-status", "stranger") == "<redacted>"
+
+    def test_sensitive_tag_visible_after_grant(self, registry):
+        registry.register("s", owner="clinic", description="d", sensitive=True)
+        registry.grant_visibility("s", "clinic", "auditor")
+        assert registry.describe("s", "auditor") == "d"
+
+    def test_grant_visibility_requires_owner(self, registry):
+        registry.register("s", owner="clinic", sensitive=True)
+        with pytest.raises(TagError):
+            registry.grant_visibility("s", "mallory", "mallory")
+
+    def test_namespace_listing(self, registry):
+        registry.register("hosp:a", owner="h")
+        registry.register("hosp:b", owner="h")
+        registry.register("city:a", owner="c")
+        assert [t.name for t in registry.tags_in_namespace("hosp")] == ["a", "b"]
+
+    def test_owned_by(self, registry):
+        registry.register("hosp:a", owner="h")
+        registry.register("city:x", owner="c")
+        assert [t.qualified for t in registry.owned_by("h")] == ["hosp:a"]

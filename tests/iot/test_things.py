@@ -1,0 +1,154 @@
+"""Things: sensors, actuators, apps, device profiles."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.ifc import SecurityContext
+from repro.iot import (
+    ACTUATION,
+    Actuator,
+    App,
+    DeviceClass,
+    DeviceProfile,
+    EnforcementPlacement,
+    Sensor,
+    enforcement_plan,
+)
+from repro.iot.world import IoTWorld
+from repro.middleware import EndpointKind, MessageBus
+
+
+class TestDeviceProfile:
+    def test_memory_constraint(self):
+        profile = DeviceProfile(DeviceClass.CONSTRAINED, memory_capacity=4.0)
+        assert profile.can_hold_tags(4)
+        assert not profile.can_hold_tags(5)
+
+    def test_battery_drain_and_exhaustion(self):
+        profile = DeviceProfile(DeviceClass.CONSTRAINED, battery=12.0)
+        assert profile.perform_check()     # costs 5.0
+        assert profile.perform_check()     # costs 5.0 -> 2.0 left
+        assert profile.exhausted
+        assert not profile.perform_check()
+        assert profile.enforcement_ops == 2
+
+    def test_mains_powered_never_exhausts(self):
+        profile = DeviceProfile(DeviceClass.SERVER)
+        for __ in range(1000):
+            assert profile.perform_check()
+
+    def test_placement_offloads_on_memory(self):
+        profile = DeviceProfile(DeviceClass.CONSTRAINED, memory_capacity=2.0)
+        placement = enforcement_plan(profile, tag_count=10,
+                                     expected_checks_per_hour=1)
+        assert placement == EnforcementPlacement.GATEWAY
+
+    def test_placement_offloads_on_energy(self):
+        profile = DeviceProfile(
+            DeviceClass.CONSTRAINED, memory_capacity=100.0, battery=100.0
+        )
+        placement = enforcement_plan(profile, tag_count=2,
+                                     expected_checks_per_hour=100)
+        assert placement == EnforcementPlacement.GATEWAY
+
+    def test_placement_local_when_cheap(self):
+        profile = DeviceProfile(DeviceClass.GATEWAY, memory_capacity=100.0)
+        placement = enforcement_plan(profile, tag_count=5,
+                                     expected_checks_per_hour=100)
+        assert placement == EnforcementPlacement.LOCAL
+
+
+class TestSensor:
+    def test_sampling_on_schedule(self, world):
+        domain = world.create_domain("home")
+        sensor = Sensor("s", source=lambda t: 1.0, interval=10.0)
+        domain.adopt(sensor)
+        sensor.start(world.sim, domain.bus)
+        world.run(seconds=35.0)
+        assert sensor.samples_taken == 3
+
+    def test_interval_change_reschedules(self, world):
+        domain = world.create_domain("home")
+        sensor = Sensor("s", source=lambda t: 1.0, interval=10.0)
+        domain.adopt(sensor)
+        sensor.start(world.sim, domain.bus)
+        world.run(seconds=20.0)           # 2 samples
+        sensor.set_interval(5.0)
+        world.run(seconds=20.0)           # 4 more samples
+        assert sensor.samples_taken == 6
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(SchemaError):
+            Sensor("s", source=lambda t: 0.0, interval=0.0)
+        sensor = Sensor("s", source=lambda t: 0.0, interval=1.0)
+        with pytest.raises(SchemaError):
+            sensor.set_interval(-5.0)
+
+    def test_stop_halts_sampling(self, world):
+        domain = world.create_domain("home")
+        sensor = Sensor("s", source=lambda t: 1.0, interval=10.0)
+        domain.adopt(sensor)
+        sensor.start(world.sim, domain.bus)
+        world.run(seconds=15.0)
+        sensor.stop()
+        world.run(seconds=50.0)
+        assert sensor.samples_taken == 1
+
+    def test_control_endpoint_actuates_interval(self, world):
+        domain = world.create_domain("home")
+        sensor = Sensor("s", source=lambda t: 1.0, interval=100.0)
+        domain.adopt(sensor)
+        controller = App("controller", message_type=ACTUATION, owner="home")
+        domain.adopt(controller)
+        domain.bus.connect("home", controller, "out", sensor, "control")
+        domain.bus.publish(controller, "out", command="set-interval",
+                           argument=10.0)
+        assert sensor.interval == 10.0
+
+    def test_readings_carry_sensor_context(self, world, ann_device):
+        domain = world.create_domain("home")
+        sensor = Sensor("s", source=lambda t: 2.0, interval=10.0,
+                        context=ann_device, owner="home")
+        received = []
+        analyser = App("analyser", context=ann_device, owner="home",
+                       process=lambda app, m: received.append(m))
+        domain.adopt(sensor)
+        domain.adopt(analyser)
+        domain.bus.connect("home", sensor, "out", analyser, "in")
+        sensor.start(world.sim, domain.bus)
+        world.run(seconds=10.0)
+        assert received[0].context == ann_device
+        assert received[0].values["value"] == 2.0
+
+
+class TestActuator:
+    def test_commands_recorded_as_effects(self, world):
+        domain = world.create_domain("home")
+        applied = []
+        actuator = Actuator("valve",
+                            apply_effect=lambda cmd, arg: applied.append((cmd, arg)),
+                            owner="home")
+        domain.adopt(actuator)
+        commander = App("ctl", message_type=ACTUATION, owner="home")
+        domain.adopt(commander)
+        domain.bus.connect("home", commander, "out", actuator, "in")
+        domain.bus.publish(commander, "out", command="open", argument=0.5)
+        assert applied == [("open", 0.5)]
+        assert actuator.effects[0]["command"] == "open"
+
+    def test_actuation_blocked_by_integrity_demand(self, world):
+        """Concern 2: actuation commands need integrity endorsement."""
+        domain = world.create_domain("home")
+        actuator = Actuator(
+            "door",
+            context=SecurityContext.of([], ["authorised-cmd"]),
+            owner="home",
+        )
+        domain.adopt(actuator)
+        rogue = App("rogue", message_type=ACTUATION, owner="home")
+        domain.adopt(rogue)
+        from repro.errors import FlowError
+
+        with pytest.raises(FlowError):
+            domain.bus.connect("home", rogue, "out", actuator, "in")
+        assert actuator.effects == []

@@ -1,0 +1,75 @@
+"""Workload signal generators: shape and determinism (§1's domains)."""
+
+import pytest
+
+from repro.iot import energy_usage, traffic_flow, vital_signs
+from repro.iot.workloads import PatientProfile
+
+
+class TestTrafficFlow:
+    def test_rush_hours_peak(self):
+        signal = traffic_flow(seed=3)
+        morning_rush = signal(8.5 * 3600)
+        midnight = signal(0.5 * 3600)
+        assert morning_rush > midnight * 2
+
+    def test_never_negative(self):
+        signal = traffic_flow(seed=3)
+        assert all(signal(t * 977.0) >= 0.0 for t in range(100))
+
+    def test_deterministic(self):
+        a = traffic_flow(seed=4)
+        b = traffic_flow(seed=4)
+        assert [a(t) for t in (0.0, 3600.0)] == [b(t) for t in (0.0, 3600.0)]
+
+
+class TestEnergyUsage:
+    def test_evening_peak(self):
+        signal = energy_usage(seed=5)
+        evening = sum(signal(19 * 3600 + i * 60) for i in range(10))
+        dawn = sum(signal(4 * 3600 + i * 60) for i in range(10))
+        assert evening > dawn
+
+    def test_positive_base_load(self):
+        signal = energy_usage(seed=5, base_load=0.4)
+        assert all(signal(t * 601.0) >= 0.4 for t in range(50))
+
+
+class TestVitalSigns:
+    def test_circadian_rhythm(self):
+        signal = vital_signs(seed=6, variability=0.0, circadian_amplitude=6.0)
+        midday = signal(12 * 3600.0)
+        midnight = signal(0.0)
+        assert midday > midnight  # heart rate higher awake
+
+    def test_baseline_respected(self):
+        signal = vital_signs(seed=6, baseline=60.0, variability=1.0)
+        samples = [signal(t * 301.0) for t in range(200)]
+        mean = sum(samples) / len(samples)
+        assert 55.0 < mean < 65.0
+
+
+class TestPatientSignals:
+    def test_distinct_patients_get_distinct_signals(self):
+        ann = PatientProfile("ann", device_standard=True).signal(seed=1)
+        zeb = PatientProfile("zeb", device_standard=True).signal(seed=1)
+        assert ann(0.0) != zeb(0.0)
+
+    def test_emergency_window_elevates(self):
+        profile = PatientProfile(
+            "pat", device_standard=True,
+            emergency_at=1000.0, emergency_duration=500.0,
+        )
+        signal = profile.signal(seed=2)
+        normal = signal(100.0)
+        during = signal(1400.0)
+        after = signal(2000.0)
+        assert during > normal + 40.0
+        assert abs(after - normal) < 40.0
+
+    def test_signal_stable_across_processes(self):
+        """The per-name salt must not depend on interpreter hash seed."""
+        profile = PatientProfile("ann", device_standard=True)
+        a = profile.signal(seed=0)(0.0)
+        b = PatientProfile("ann", device_standard=True).signal(seed=0)(0.0)
+        assert a == b

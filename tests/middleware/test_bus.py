@@ -1,0 +1,182 @@
+"""Bus: registration, channel establishment, per-message enforcement."""
+
+import pytest
+
+from repro.accesscontrol import EnforcementMode
+from repro.audit import AuditLog, RecordKind
+from repro.errors import AccessDenied, DiscoveryError, FlowError, SchemaError
+from repro.ifc import SecurityContext
+from repro.middleware import (
+    Component,
+    EndpointKind,
+    MessageBus,
+    MessageType,
+)
+from tests.conftest import make_component
+
+
+@pytest.fixture
+def bus(audit):
+    return MessageBus(audit=audit)
+
+
+class TestRegistry:
+    def test_duplicate_names_rejected(self, bus, reading_type, ann_device):
+        bus.register(make_component("a", ann_device, reading_type))
+        with pytest.raises(DiscoveryError):
+            bus.register(make_component("a", ann_device, reading_type))
+
+    def test_unknown_component_lookup(self, bus):
+        with pytest.raises(DiscoveryError):
+            bus.component("ghost")
+
+    def test_deregister_tears_channels(self, bus, reading_type, ann_device):
+        a = bus.register(make_component("a", ann_device, reading_type, owner="op"))
+        b = bus.register(make_component("b", ann_device, reading_type, owner="op"))
+        channel = bus.connect("op", a, "out", b, "in")
+        bus.deregister(a)
+        assert not channel.alive
+
+
+class TestConnect:
+    def test_endpoint_type_mismatch(self, bus, ann_device):
+        readings = MessageType.simple("reading", value=float)
+        alerts = MessageType.simple("alert", text=str)
+        a = Component("a", ann_device, owner="op")
+        a.add_endpoint("out", EndpointKind.SOURCE, readings)
+        b = Component("b", ann_device, owner="op")
+        b.add_endpoint("in", EndpointKind.SINK, alerts)
+        bus.register(a)
+        bus.register(b)
+        with pytest.raises(SchemaError):
+            bus.connect("op", a, "out", b, "in")
+
+    def test_sink_cannot_be_source(self, bus, reading_type, ann_device):
+        a = make_component("a", ann_device, reading_type, owner="op")
+        b = make_component("b", ann_device, reading_type, owner="op")
+        bus.register(a)
+        bus.register(b)
+        with pytest.raises(SchemaError):
+            bus.connect("op", a, "in", b, "out")
+
+    def test_unauthorised_initiator_rejected(self, bus, reading_type, ann_device, audit):
+        a = bus.register(make_component("a", ann_device, reading_type, owner="alice"))
+        b = bus.register(make_component("b", ann_device, reading_type, owner="bob"))
+        with pytest.raises(AccessDenied):
+            bus.connect("mallory", a, "out", b, "in")
+        assert any(r.kind == RecordKind.ACCESS_DENIED for r in audit)
+
+    def test_controller_of_either_end_may_connect(self, bus, reading_type, ann_device):
+        a = bus.register(make_component("a", ann_device, reading_type, owner="alice"))
+        b = bus.register(make_component("b", ann_device, reading_type, owner="bob"))
+        bus.connect("alice", a, "out", b, "in")  # alice controls the source
+
+    def test_ifc_check_at_establishment(self, bus, reading_type, zeb_device, ann_analyser, audit):
+        zeb = bus.register(make_component("zeb", zeb_device, reading_type, owner="op"))
+        ann = bus.register(make_component("ann", ann_analyser, reading_type, owner="op"))
+        with pytest.raises(FlowError):
+            bus.connect("op", zeb, "out", ann, "in")
+        assert audit.denials()
+
+    def test_establishment_audited(self, bus, reading_type, ann_device, audit):
+        a = bus.register(make_component("a", ann_device, reading_type, owner="op"))
+        b = bus.register(make_component("b", ann_device, reading_type, owner="op"))
+        bus.connect("op", a, "out", b, "in")
+        assert any(r.kind == RecordKind.CHANNEL_ESTABLISHED for r in audit)
+
+
+class TestDelivery:
+    def _wired(self, bus, reading_type, ctx_a, ctx_b):
+        a = bus.register(make_component("a", ctx_a, reading_type, owner="op"))
+        received = []
+        b = Component("b", ctx_b, owner="op")
+        b.add_endpoint(
+            "in", EndpointKind.SINK, reading_type,
+            handler=lambda c, e, m: received.append(m),
+        )
+        bus.register(b)
+        bus.connect("op", a, "out", b, "in")
+        return a, b, received
+
+    def test_publish_delivers(self, bus, reading_type, ann_device):
+        a, b, received = self._wired(bus, reading_type, ann_device, ann_device)
+        report = bus.publish(a, "out", value=1.0)
+        assert report.delivered == 1
+        assert received[0].values["value"] == 1.0
+
+    def test_message_carries_sender_context(self, bus, reading_type, ann_device):
+        a, b, received = self._wired(bus, reading_type, ann_device, ann_device)
+        bus.publish(a, "out", value=1.0)
+        assert received[0].context == ann_device
+
+    def test_per_message_denial_when_context_escalates(
+        self, bus, reading_type, ann_device
+    ):
+        from repro.ifc import PrivilegeSet
+
+        a = Component(
+            "a", ann_device, PrivilegeSet.of(add_secrecy=["extra"]), owner="op"
+        )
+        a.add_endpoint("out", EndpointKind.SOURCE, reading_type)
+        received = []
+        b = Component("b", ann_device, owner="op")
+        b.add_endpoint("in", EndpointKind.SINK, reading_type,
+                       handler=lambda c, e, m: received.append(m))
+        bus.register(a)
+        bus.register(b)
+        bus.connect("op", a, "out", b, "in")
+        # Source escalates: the standing channel suspends, deliveries stop.
+        a.add_secrecy("extra")
+        report = bus.publish(a, "out", value=2.0)
+        assert report.delivered == 0
+        assert received == []
+
+    def test_publish_without_channels_goes_nowhere(self, bus, reading_type, ann_device):
+        a = bus.register(make_component("lonely", ann_device, reading_type))
+        report = bus.publish(a, "out", value=1.0)
+        assert report.sent == 0
+
+    def test_fanout_counts(self, bus, reading_type, ann_device):
+        a = bus.register(make_component("a", ann_device, reading_type, owner="op"))
+        sinks = []
+        for i in range(3):
+            sink = make_component(f"s{i}", ann_device, reading_type, owner="op")
+            bus.register(sink)
+            bus.connect("op", a, "out", sink, "in")
+            sinks.append(sink)
+        report = bus.publish(a, "out", value=1.0)
+        assert report.sent == 3
+        assert report.delivered == 3
+
+    def test_ac_only_mode_skips_ifc(self, reading_type, zeb_device, ann_analyser):
+        bus = MessageBus(mode=EnforcementMode.AC_ONLY)
+        zeb = bus.register(make_component("zeb", zeb_device, reading_type, owner="op"))
+        ann = bus.register(make_component("ann", ann_analyser, reading_type, owner="op"))
+        bus.connect("op", zeb, "out", ann, "in")  # AC-only: allowed
+        report = bus.publish(zeb, "out", value=1.0)
+        assert report.delivered == 1  # the leak the paper warns about
+
+    def test_quenching_counted_in_stats(self, bus, ann_device):
+        from repro.ifc import as_tags
+        from repro.middleware import AttributeSpec
+
+        typed = MessageType(
+            "person",
+            [
+                AttributeSpec("name", str, extra_secrecy=as_tags(["pii"])),
+                AttributeSpec("country", str),
+            ],
+        )
+        a = Component("a", ann_device, owner="op")
+        a.add_endpoint("out", EndpointKind.SOURCE, typed)
+        received = []
+        b = Component("b", ann_device, owner="op")
+        b.add_endpoint("in", EndpointKind.SINK, typed,
+                       handler=lambda c, e, m: received.append(m))
+        bus.register(a)
+        bus.register(b)
+        bus.connect("op", a, "out", b, "in")
+        report = bus.publish(a, "out", name="Ann", country="UK")
+        assert report.delivered == 1
+        assert report.quenched_attributes == 1
+        assert "name" not in received[0].values

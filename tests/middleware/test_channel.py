@@ -1,0 +1,102 @@
+"""Channel lifecycle: monitoring, suspend/resume, teardown (§8.2.2)."""
+
+import pytest
+
+from repro.audit import RecordKind
+from repro.ifc import PrivilegeSet, SecurityContext
+from repro.middleware import ChannelState, MessageBus
+from tests.conftest import make_component
+
+
+@pytest.fixture
+def wired(audit, reading_type, ann_device):
+    bus = MessageBus(audit=audit)
+    source = make_component("src", ann_device, reading_type, owner="op")
+    source.privileges = PrivilegeSet.of(
+        add_secrecy=["extra"], remove_secrecy=["extra"]
+    )
+    sink = make_component("dst", ann_device, reading_type, owner="op")
+    bus.register(source)
+    bus.register(sink)
+    channel = bus.connect("op", source, "out", sink, "in")
+    return bus, source, sink, channel
+
+
+class TestMonitoring:
+    def test_context_change_suspends(self, wired, audit):
+        bus, source, sink, channel = wired
+        source.add_secrecy("extra")
+        assert channel.state == ChannelState.SUSPENDED
+        assert not channel.active
+        assert channel.alive
+
+    def test_restoring_context_resumes(self, wired):
+        bus, source, sink, channel = wired
+        source.add_secrecy("extra")
+        source.remove_secrecy("extra")
+        assert channel.state == ChannelState.ACTIVE
+
+    def test_suspension_and_resume_audited(self, wired, audit):
+        bus, source, sink, channel = wired
+        source.add_secrecy("extra")
+        source.remove_secrecy("extra")
+        suspensions = [
+            r for r in audit
+            if r.kind == RecordKind.CHANNEL_TORN_DOWN
+            and r.detail.get("suspended")
+        ]
+        resumes = [
+            r for r in audit
+            if r.kind == RecordKind.CHANNEL_ESTABLISHED
+            and r.detail.get("resumed")
+        ]
+        assert suspensions and resumes
+
+    def test_no_delivery_while_suspended(self, wired):
+        bus, source, sink, channel = wired
+        source.add_secrecy("extra")
+        report = bus.publish(source, "out", value=1.0)
+        assert report.delivered == 0
+
+    def test_sink_escalation_keeps_channel_legal(self, wired):
+        """Sink becoming *more* constrained keeps source→sink legal."""
+        bus, source, sink, channel = wired
+        sink.privileges = PrivilegeSet.of(add_secrecy=["extra2"])
+        sink.add_secrecy("extra2")
+        assert channel.state == ChannelState.ACTIVE
+
+
+class TestTeardown:
+    def test_teardown_is_terminal(self, wired):
+        bus, source, sink, channel = wired
+        channel.teardown("test")
+        source.add_secrecy("extra")
+        source.remove_secrecy("extra")
+        assert channel.state == ChannelState.TORN_DOWN
+
+    def test_teardown_idempotent(self, wired, audit):
+        bus, source, sink, channel = wired
+        channel.teardown("first")
+        count = len(audit)
+        channel.teardown("second")
+        assert len(audit) == count
+
+    def test_suspended_channel_can_be_torn_down(self, wired):
+        bus, source, sink, channel = wired
+        source.add_secrecy("extra")
+        channel.teardown("policy")
+        assert channel.state == ChannelState.TORN_DOWN
+
+    def test_teardown_callbacks_fire(self, wired):
+        bus, source, sink, channel = wired
+        reasons = []
+        channel.on_teardown.append(lambda ch, reason: reasons.append(reason))
+        channel.teardown("unplugged")
+        assert reasons == ["unplugged"]
+
+    def test_torn_down_channel_stops_observing(self, wired):
+        bus, source, sink, channel = wired
+        channel.teardown("done")
+        # further context changes must not resurrect or error
+        source.add_secrecy("extra")
+        assert channel.state == ChannelState.TORN_DOWN

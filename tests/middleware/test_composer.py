@@ -1,0 +1,177 @@
+"""Automatic chain composition with gateway interposition (§8.1)."""
+
+import pytest
+
+from repro.audit import AuditLog
+from repro.errors import DiscoveryError, FlowError
+from repro.ifc import PrivilegeSet, SecurityContext
+from repro.middleware import (
+    ChainComposer,
+    Component,
+    EndpointKind,
+    MessageBus,
+    MessageType,
+    Reconfigurator,
+    RelaySpec,
+)
+
+READING = MessageType.simple("reading", value=float)
+
+ZEB_CTX = SecurityContext.of(["medical", "zeb"], ["zeb-dev"])
+HOSP_CTX = SecurityContext.of(["medical", "zeb"], ["hosp-dev"])
+STATS_CTX = SecurityContext.of(["stats"], ["anon"])
+
+
+def relay_component(name: str, input_ctx, output_ctx) -> Component:
+    """A sanitiser-style relay that flips context per message."""
+    privileges = PrivilegeSet.of(
+        add_secrecy=[t.qualified for t in output_ctx.secrecy]
+        + [t.qualified for t in input_ctx.secrecy],
+        remove_secrecy=[t.qualified for t in input_ctx.secrecy]
+        + [t.qualified for t in output_ctx.secrecy],
+        add_integrity=[t.qualified for t in output_ctx.integrity]
+        + [t.qualified for t in input_ctx.integrity],
+        remove_integrity=[t.qualified for t in input_ctx.integrity]
+        + [t.qualified for t in output_ctx.integrity],
+    )
+    component = Component(name, input_ctx, privileges, owner="op")
+    component.add_endpoint("in", EndpointKind.SINK, READING)
+    component.add_endpoint("out", EndpointKind.SOURCE, READING)
+    return component
+
+
+@pytest.fixture
+def setup():
+    audit = AuditLog()
+    bus = MessageBus(audit=audit)
+    rc = Reconfigurator(bus)
+    composer = ChainComposer(bus, rc)
+
+    source = Component("zeb-sensor", ZEB_CTX, owner="op")
+    source.add_endpoint("out", EndpointKind.SOURCE, READING)
+    sink = Component("analyser", HOSP_CTX, owner="op")
+    sink.add_endpoint("in", EndpointKind.SINK, READING)
+    bus.register(source)
+    bus.register(sink)
+
+    sanitiser = relay_component("sanitiser", ZEB_CTX, HOSP_CTX)
+    bus.register(sanitiser)
+    composer.register_relay(RelaySpec(sanitiser, "in", "out", ZEB_CTX, HOSP_CTX))
+    return bus, composer, source, sink, sanitiser
+
+
+class TestPlanning:
+    def test_direct_flow_plans_empty_chain(self, setup):
+        bus, composer, *_ = setup
+        assert composer.plan(HOSP_CTX, HOSP_CTX) == []
+
+    def test_single_relay_plan(self, setup):
+        bus, composer, *_ = setup
+        plan = composer.plan(ZEB_CTX, HOSP_CTX)
+        assert plan is not None
+        assert [r.component.name for r in plan] == ["sanitiser"]
+
+    def test_impossible_plan_returns_none(self, setup):
+        bus, composer, *_ = setup
+        assert composer.plan(ZEB_CTX, STATS_CTX) is None
+
+    def test_plan_is_minimal_hops(self, setup):
+        """With a redundant two-hop alternative available, BFS picks the
+        single-hop chain."""
+        bus, composer, source, sink, __ = setup
+        mid = SecurityContext.of(["medical", "zeb"], ["half-done"])
+        a = relay_component("half-sanitiser", ZEB_CTX, mid)
+        b = relay_component("finisher", mid, HOSP_CTX)
+        bus.register(a)
+        bus.register(b)
+        composer.register_relay(RelaySpec(a, "in", "out", ZEB_CTX, mid))
+        composer.register_relay(RelaySpec(b, "in", "out", mid, HOSP_CTX))
+        plan = composer.plan(ZEB_CTX, HOSP_CTX)
+        assert len(plan) == 1
+
+
+class TestComposition:
+    def test_composition_wires_and_delivers(self, setup):
+        bus, composer, source, sink, sanitiser = setup
+        received = []
+        sink.endpoints["in"].handler = lambda c, e, m: received.append(m)
+        composition = composer.compose("op", source, "out", sink, "in")
+        assert composition.hop_count == 2
+        assert len(composition.channels) == 2
+
+        # Drive a message along the chain: source -> sanitiser (which
+        # must flip to its output context and re-emit) -> sink.
+        forwarded = []
+
+        def relay_handler(component, endpoint, message):
+            component.change_context(HOSP_CTX)
+            out = component.make_message("out", **message.values)
+            bus.route(component, "out", out)
+            component.change_context(ZEB_CTX)
+
+        sanitiser.endpoints["in"].handler = relay_handler
+        bus.publish(source, "out", value=72.0)
+        assert len(received) == 1
+        assert "hosp-dev" in received[0].context.integrity
+
+    def test_direct_composition_when_contexts_accord(self, setup):
+        bus, composer, __, sink, ___ = setup
+        other = Component("hospital-sensor", HOSP_CTX, owner="op")
+        other.add_endpoint("out", EndpointKind.SOURCE, READING)
+        bus.register(other)
+        composition = composer.compose("op", other, "out", sink, "in")
+        assert composition.relays == []
+        assert composition.hop_count == 1
+
+    def test_impossible_composition_raises(self, setup):
+        bus, composer, source, __, ___ = setup
+        stats_sink = Component("stats", STATS_CTX, owner="op")
+        stats_sink.add_endpoint("in", EndpointKind.SINK, READING)
+        bus.register(stats_sink)
+        with pytest.raises(FlowError):
+            composer.compose("op", source, "out", stats_sink, "in")
+
+    def test_relay_context_restored_after_wiring(self, setup):
+        bus, composer, source, sink, sanitiser = setup
+        composer.compose("op", source, "out", sink, "in")
+        assert sanitiser.context == ZEB_CTX  # back in ingest context
+
+    def test_composition_teardown_as_unit(self, setup):
+        bus, composer, source, sink, __ = setup
+        composition = composer.compose("op", source, "out", sink, "in")
+        assert composition.active
+        composition.teardown()
+        assert not composition.active
+        assert all(not c.alive for c in composition.channels)
+
+    def test_dissolve_all(self, setup):
+        bus, composer, source, sink, __ = setup
+        composer.compose("op", source, "out", sink, "in")
+        assert composer.dissolve_all() == 1
+        assert composer.dissolve_all() == 0
+
+    def test_unregistered_relay_rejected(self, setup):
+        bus, composer, *_ = setup
+        ghost = relay_component("ghost", ZEB_CTX, HOSP_CTX)
+        with pytest.raises(DiscoveryError):
+            composer.register_relay(
+                RelaySpec(ghost, "in", "out", ZEB_CTX, HOSP_CTX)
+            )
+
+
+class TestTwoHopComposition:
+    def test_two_relays_chained(self, setup):
+        bus, composer, source, __, ___ = setup
+        stats_sink = Component("research", STATS_CTX, owner="op")
+        stats_sink.add_endpoint("in", EndpointKind.SINK, READING)
+        bus.register(stats_sink)
+        anonymiser = relay_component("anonymiser", HOSP_CTX, STATS_CTX)
+        bus.register(anonymiser)
+        composer.register_relay(
+            RelaySpec(anonymiser, "in", "out", HOSP_CTX, STATS_CTX)
+        )
+        composition = composer.compose("op", source, "out", stats_sink, "in")
+        names = [r.component.name for r in composition.relays]
+        assert names == ["sanitiser", "anonymiser"]
+        assert composition.hop_count == 3
+        assert len(composition.channels) == 3

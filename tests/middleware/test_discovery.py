@@ -1,0 +1,68 @@
+"""Resource discovery with policy-respecting visibility."""
+
+import pytest
+
+from repro.errors import DiscoveryError
+from repro.ifc import SecurityContext
+from repro.middleware import EndpointKind, ResourceDiscovery
+from tests.conftest import make_component
+
+
+@pytest.fixture
+def rdc(reading_type):
+    rdc = ResourceDiscovery()
+    thermo = make_component(
+        "kitchen-thermo", SecurityContext.public(), reading_type
+    )
+    rdc.register(thermo, {"kind": "thermometer", "room": "kitchen"})
+    cam = make_component(
+        "bedroom-cam", SecurityContext.public(), reading_type
+    )
+    rdc.register(
+        cam,
+        {"kind": "camera", "room": "bedroom"},
+        visibility=SecurityContext.of(["private"], []),
+    )
+    return rdc
+
+
+class TestQueries:
+    def test_metadata_match(self, rdc):
+        found = rdc.find(kind="thermometer")
+        assert [c.name for c in found] == ["kitchen-thermo"]
+
+    def test_no_match(self, rdc):
+        assert rdc.find(kind="doorbell") == []
+
+    def test_endpoint_filter(self, rdc):
+        found = rdc.find(message_type="reading", endpoint_kind=EndpointKind.SOURCE)
+        assert "kitchen-thermo" in [c.name for c in found]
+
+    def test_endpoint_filter_excludes(self, rdc):
+        assert rdc.find(message_type="alert") == []
+
+    def test_lookup_by_name(self, rdc):
+        assert rdc.lookup("kitchen-thermo").name == "kitchen-thermo"
+        with pytest.raises(DiscoveryError):
+            rdc.lookup("ghost")
+
+    def test_deregister(self, rdc):
+        component = rdc.lookup("kitchen-thermo")
+        rdc.deregister(component)
+        assert rdc.find(kind="thermometer") == []
+
+
+class TestVisibility:
+    def test_sensitive_entry_hidden_from_anonymous(self, rdc):
+        found = rdc.find(kind="camera")
+        assert found == []
+
+    def test_sensitive_entry_visible_to_cleared_querier(self, rdc):
+        cleared = SecurityContext.of(["private"], [])
+        found = rdc.find(querier_context=cleared, kind="camera")
+        assert [c.name for c in found] == ["bedroom-cam"]
+
+    def test_public_entries_visible_to_everyone(self, rdc):
+        cleared = SecurityContext.of(["private"], [])
+        found = rdc.find(querier_context=cleared)
+        assert {c.name for c in found} == {"kitchen-thermo", "bedroom-cam"}

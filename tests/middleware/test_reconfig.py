@@ -1,0 +1,179 @@
+"""Third-party reconfiguration via control messages (§8.1, Fig. 8)."""
+
+import pytest
+
+from repro.audit import AuditLog, RecordKind
+from repro.ifc import (
+    PrivilegeAuthority,
+    PrivilegeSet,
+    SecurityContext,
+    TagRegistry,
+)
+from repro.middleware import (
+    CommandKind,
+    ControlMessage,
+    MessageBus,
+    Reconfigurator,
+)
+from tests.conftest import make_component
+
+
+@pytest.fixture
+def setup(audit, reading_type, ann_device):
+    bus = MessageBus(audit=audit)
+    a = make_component("a", ann_device, reading_type, owner="op")
+    b = make_component("b", ann_device, reading_type, owner="op")
+    c = make_component("c", ann_device, reading_type, owner="op")
+    for component in (a, b, c):
+        component.allow_controller("policy-engine")
+        bus.register(component)
+    reconfigurator = Reconfigurator(bus)
+    return bus, reconfigurator, a, b, c
+
+
+class TestAuthorisation:
+    def test_unauthorised_issuer_refused_and_audited(self, setup, audit):
+        bus, rc, a, b, c = setup
+        command = Reconfigurator.map_command("mallory", "a", "out", "b", "in")
+        outcome = rc.apply(command)
+        assert not outcome.applied
+        assert "not an authorised controller" in outcome.detail
+        assert any(r.kind == RecordKind.ACCESS_DENIED for r in audit)
+
+    def test_unknown_target_refused(self, setup):
+        bus, rc, *_ = setup
+        command = ControlMessage("policy-engine", "ghost", CommandKind.ISOLATE)
+        assert not rc.apply(command).applied
+
+    def test_owner_is_implicit_controller(self, setup):
+        bus, rc, a, b, c = setup
+        command = Reconfigurator.map_command("op", "a", "out", "b", "in")
+        assert rc.apply(command).applied
+
+
+class TestCommands:
+    def test_map_establishes_channel(self, setup):
+        bus, rc, a, b, c = setup
+        outcome = rc.apply(
+            Reconfigurator.map_command("policy-engine", "a", "out", "b", "in")
+        )
+        assert outcome.applied
+        assert len(bus.channels_of(a)) == 1
+
+    def test_map_respects_ifc(self, setup, zeb_device):
+        bus, rc, a, b, c = setup
+        zeb = make_component("zeb", zeb_device, a.endpoints["out"].message_type,
+                             owner="op")
+        zeb.allow_controller("policy-engine")
+        bus.register(zeb)
+        outcome = rc.apply(
+            Reconfigurator.map_command("policy-engine", "zeb", "out", "b", "in")
+        )
+        assert not outcome.applied  # flow rule refused; reported not raised
+
+    def test_unmap_specific_sink(self, setup):
+        bus, rc, a, b, c = setup
+        rc.apply(Reconfigurator.map_command("policy-engine", "a", "out", "b", "in"))
+        rc.apply(Reconfigurator.map_command("policy-engine", "a", "out", "c", "in"))
+        outcome = rc.apply(
+            ControlMessage("policy-engine", "a", CommandKind.UNMAP, {"sink": "b"})
+        )
+        assert outcome.applied
+        remaining = [ch.sink.name for ch in bus.channels_of(a)]
+        assert remaining == ["c"]
+
+    def test_unmap_all(self, setup):
+        bus, rc, a, b, c = setup
+        rc.apply(Reconfigurator.map_command("policy-engine", "a", "out", "b", "in"))
+        rc.apply(Reconfigurator.map_command("policy-engine", "a", "out", "c", "in"))
+        rc.apply(ControlMessage("policy-engine", "a", CommandKind.UNMAP))
+        assert bus.channels_of(a) == []
+
+    def test_set_context_uses_targets_privileges(self, setup, ann_device):
+        bus, rc, a, b, c = setup
+        proposed = ann_device.add_secrecy("extra")
+        outcome = rc.apply(
+            Reconfigurator.set_context_command("policy-engine", "a", proposed)
+        )
+        assert not outcome.applied  # a holds no privileges
+        a.privileges = PrivilegeSet.of(add_secrecy=["extra"])
+        outcome = rc.apply(
+            Reconfigurator.set_context_command("policy-engine", "a", proposed)
+        )
+        assert outcome.applied
+        assert "extra" in a.context.secrecy
+
+    def test_grant_privilege_via_authority(self, setup):
+        bus, rc, a, b, c = setup
+        registry = TagRegistry()
+        registry.register("medical", owner="policy-engine")
+        rc.privilege_authority = PrivilegeAuthority(registry)
+        granted = PrivilegeSet.of(remove_secrecy=["medical"])
+        outcome = rc.apply(
+            Reconfigurator.grant_command("policy-engine", "a", granted)
+        )
+        assert outcome.applied
+        assert a.privileges.covers(granted)
+
+    def test_grant_refused_when_issuer_lacks_privilege(self, setup):
+        bus, rc, a, b, c = setup
+        registry = TagRegistry()
+        registry.register("medical", owner="someone-else")
+        rc.privilege_authority = PrivilegeAuthority(registry)
+        outcome = rc.apply(
+            Reconfigurator.grant_command(
+                "policy-engine", "a", PrivilegeSet.of(remove_secrecy=["medical"])
+            )
+        )
+        assert not outcome.applied
+
+    def test_divert_redirects_flows(self, setup):
+        """§5.2: 'forcing data through a sanitiser'."""
+        bus, rc, a, b, c = setup
+        rc.apply(Reconfigurator.map_command("policy-engine", "a", "out", "b", "in"))
+        outcome = rc.apply(
+            ControlMessage(
+                "policy-engine", "a", CommandKind.DIVERT,
+                {"new_sink": "c", "new_sink_endpoint": "in"},
+            )
+        )
+        assert outcome.applied
+        sinks = [ch.sink.name for ch in bus.channels_of(a)]
+        assert sinks == ["c"]
+
+    def test_isolate_severs_everything(self, setup):
+        """§5.2: 'preventing a rogue thing from causing more damage'."""
+        bus, rc, a, b, c = setup
+        rc.apply(Reconfigurator.map_command("policy-engine", "a", "out", "b", "in"))
+        rc.apply(Reconfigurator.map_command("policy-engine", "c", "out", "a", "in"))
+        outcome = rc.apply(
+            ControlMessage("policy-engine", "a", CommandKind.ISOLATE)
+        )
+        assert outcome.applied
+        assert bus.channels_of(a) == []
+
+    def test_shutdown_stops_component(self, setup):
+        bus, rc, a, b, c = setup
+        outcome = rc.apply(
+            ControlMessage("policy-engine", "a", CommandKind.SHUTDOWN)
+        )
+        assert outcome.applied
+        assert not a.running
+
+
+class TestAudit:
+    def test_applied_commands_audited(self, setup, audit):
+        bus, rc, a, b, c = setup
+        rc.apply(Reconfigurator.map_command("policy-engine", "a", "out", "b", "in"))
+        records = audit.records(kind=RecordKind.RECONFIGURATION)
+        assert records
+        assert records[0].actor == "policy-engine"
+        assert records[0].detail["command"] == "map"
+
+    def test_batch_outcomes(self, setup):
+        bus, rc, a, b, c = setup
+        outcomes = rc.apply_all([
+            Reconfigurator.map_command("policy-engine", "a", "out", "b", "in"),
+            Reconfigurator.map_command("mallory", "a", "out", "c", "in"),
+        ])
+        assert [o.applied for o in outcomes] == [True, False]

@@ -1,0 +1,171 @@
+"""Cross-machine messaging substrate (Figs. 9, 10)."""
+
+import pytest
+
+from repro.cloud import Machine, MachineConfig
+from repro.errors import NetworkError
+from repro.ifc import SecurityContext, as_tags
+from repro.middleware import (
+    AttributeSpec,
+    Message,
+    MessageType,
+    MessagingSubstrate,
+)
+from repro.net import Network
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def pair(sim):
+    net = Network(sim)
+    m1 = Machine("host-1", clock=sim.now)
+    m2 = Machine("host-2", clock=sim.now)
+    s1 = MessagingSubstrate(m1, net)
+    s2 = MessagingSubstrate(m2, net)
+    return sim, net, m1, m2, s1, s2
+
+
+READING = MessageType.simple("reading", value=float)
+
+
+class TestTransfer:
+    def test_matching_contexts_deliver(self, pair):
+        sim, net, m1, m2, s1, s2 = pair
+        ctx = SecurityContext.of(["s"], [])
+        p1 = m1.launch("app1", ctx)
+        p2 = m2.launch("app2", ctx)
+        s1.register(p1, lambda a, m: None)
+        received = []
+        s2.register(p2, lambda addr, msg: received.append((addr, msg)))
+        message = Message(READING, {"value": 1.0}, context=p1.security)
+        assert s1.send(p1, s2, "app2", message)
+        sim.drain()
+        assert len(received) == 1
+        assert received[0][0] == "host-1/app1"
+        assert s2.stats.delivered == 1
+
+    def test_receiver_side_ifc_denial(self, pair):
+        sim, net, m1, m2, s1, s2 = pair
+        p1 = m1.launch("app1", SecurityContext.of(["secret"], []))
+        p2 = m2.launch("app2")  # public: may not receive secret
+        s1.register(p1, lambda a, m: None)
+        received = []
+        s2.register(p2, lambda a, m: received.append(m))
+        message = Message(READING, {"value": 1.0}, context=p1.security)
+        s1.send(p1, s2, "app2", message)
+        sim.drain()
+        assert received == []
+        assert s2.stats.denied_remote == 1
+        assert m2.audit.denials()
+
+    def test_sender_side_underlabelling_denied(self, pair):
+        """A process cannot launder data by underlabelling the message."""
+        sim, net, m1, m2, s1, s2 = pair
+        p1 = m1.launch("app1", SecurityContext.of(["secret"], []))
+        p2 = m2.launch("app2")
+        s1.register(p1, lambda a, m: None)
+        s2.register(p2, lambda a, m: None)
+        laundered = Message(READING, {"value": 1.0},
+                            context=SecurityContext.public())
+        assert not s1.send(p1, s2, "app2", laundered)
+        assert s1.stats.denied_local == 1
+
+    def test_unregistered_sender_rejected(self, pair):
+        sim, net, m1, m2, s1, s2 = pair
+        p1 = m1.launch("app1")
+        with pytest.raises(NetworkError):
+            s1.send(p1, s2, "app2", Message(READING, {"value": 1.0}))
+
+    def test_unknown_destination_process_dropped(self, pair):
+        sim, net, m1, m2, s1, s2 = pair
+        p1 = m1.launch("app1")
+        s1.register(p1, lambda a, m: None)
+        s1.send(p1, s2, "ghost", Message(READING, {"value": 1.0}))
+        sim.drain()
+        assert s2.stats.delivered == 0
+
+
+class TestAttestation:
+    def test_untrusted_platform_refused(self, sim):
+        net = Network(sim)
+        good = Machine("good-host", clock=sim.now)
+        evil = Machine(
+            "evil-host",
+            MachineConfig(boot_chain=["bootloader-v2", "rootkit"]),
+            clock=sim.now,
+        )
+        from repro.cloud import trusted_verifier
+
+        verifier = trusted_verifier([good])
+        # Golden values registered only for approved chains; evil-host's
+        # quote will not match.
+        verifier.golden_for_measurements(
+            "evil-host", 0, ["bootloader-v2", "kernel-5.4-camflow", "lsm-ifc-1.0"]
+        )
+        s_good = MessagingSubstrate(good, net, verifier=verifier)
+        s_evil = MessagingSubstrate(evil, net)
+        p = good.launch("app", SecurityContext.of(["s"], []))
+        s_good.register(p, lambda a, m: None)
+        message = Message(READING, {"value": 1.0}, context=p.security)
+        assert not s_good.send(p, s_evil, "x", message)
+        assert s_good.stats.attestation_failures == 1
+
+    def test_attestation_cached_then_invalidated(self, sim):
+        net = Network(sim)
+        m1 = Machine("h1", clock=sim.now)
+        m2 = Machine("h2", clock=sim.now)
+        from repro.cloud import trusted_verifier
+
+        verifier = trusted_verifier([m1, m2])
+        s1 = MessagingSubstrate(m1, net, verifier=verifier)
+        s2 = MessagingSubstrate(m2, net)
+        p1 = m1.launch("a")
+        p2 = m2.launch("b")
+        s1.register(p1, lambda a, m: None)
+        s2.register(p2, lambda a, m: None)
+        message = Message(READING, {"value": 1.0})
+        assert s1.send(p1, s2, "b", message)
+        assert s1.send(p1, s2, "b", message)  # cached — no re-quote
+        s1.invalidate_attestation("h2")
+        assert s1.send(p1, s2, "b", message)  # re-attests
+
+
+class TestMessageLevelTags:
+    def test_fig10_attribute_quenching_cross_machine(self, pair):
+        sim, net, m1, m2, s1, s2 = pair
+        typed = MessageType(
+            "person",
+            [
+                AttributeSpec("name", str, extra_secrecy=as_tags(["C"])),
+                AttributeSpec("country", str),
+            ],
+        )
+        base = SecurityContext.of(["A", "B"], [])
+        p1 = m1.launch("app1", base)
+        p2 = m2.launch("app2", SecurityContext.of(["A", "B"], []))
+        s1.register(p1, lambda a, m: None)
+        received = []
+        s2.register(p2, lambda a, m: received.append(m))
+        message = Message(typed, {"name": "Ann", "country": "UK"}, context=base)
+        s1.send(p1, s2, "app2", message)
+        sim.drain()
+        assert len(received) == 1
+        assert "name" not in received[0].values     # tag C quenched
+        assert received[0].values["country"] == "UK"
+        assert s2.stats.quenched_attributes == 1
+
+    def test_enforcement_disabled_baseline(self, sim):
+        net = Network(sim)
+        m1 = Machine("h1", clock=sim.now)
+        m2 = Machine("h2", clock=sim.now)
+        s1 = MessagingSubstrate(m1, net, enforce=False)
+        s2 = MessagingSubstrate(m2, net, enforce=False)
+        p1 = m1.launch("a", SecurityContext.of(["secret"], []))
+        p2 = m2.launch("b")  # public
+        s1.register(p1, lambda a, m: None)
+        received = []
+        s2.register(p2, lambda a, m: received.append(m))
+        message = Message(READING, {"value": 1.0}, context=p1.security)
+        s1.send(p1, s2, "b", message)
+        sim.drain()
+        assert len(received) == 1  # the baseline leaks

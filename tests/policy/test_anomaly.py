@@ -1,0 +1,129 @@
+"""Online anomaly detection feeding policy (§5)."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy import AnomalyDetector, Event, StreamStats
+
+
+def reading(value: float, t: float, source: str = "meter") -> Event:
+    return Event("reading", {"value": value}, source=source, timestamp=t)
+
+
+class TestStreamStats:
+    def test_welford_matches_batch_statistics(self):
+        import statistics
+
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        stats = StreamStats()
+        for v in values:
+            stats.update(v)
+        assert stats.mean == pytest.approx(statistics.fmean(values))
+        assert stats.variance == pytest.approx(statistics.variance(values))
+
+    def test_zscore_undefined_early(self):
+        stats = StreamStats()
+        assert stats.zscore(1.0) is None
+        stats.update(5.0)
+        assert stats.zscore(1.0) is None
+        stats.update(5.0)  # zero variance
+        assert stats.zscore(1.0) is None
+
+
+class TestAnomalyDetector:
+    def _detector(self, sink, threshold=4.0, warmup=10):
+        return AnomalyDetector(
+            "watchdog", sink, event_type="reading", attribute="value",
+            threshold=threshold, warmup=warmup,
+        )
+
+    def test_learns_baseline_then_flags_outlier(self):
+        derived = []
+        detector = self._detector(derived.append)
+        for i in range(30):
+            detector.process(reading(10.0 + (i % 3) * 0.1, float(i)))
+        assert derived == []
+        detector.process(reading(100.0, 31.0))
+        assert len(derived) == 1
+        anomaly = derived[0]
+        assert anomaly.type == "anomaly-detected"
+        assert anomaly.attributes["suspect"] == "meter"
+        assert abs(anomaly.attributes["zscore"]) > 4.0
+
+    def test_no_alarms_during_warmup(self):
+        derived = []
+        detector = self._detector(derived.append, warmup=50)
+        for i in range(20):
+            detector.process(reading(10.0, float(i)))
+        detector.process(reading(1000.0, 21.0))
+        assert derived == []
+
+    def test_anomalies_not_learned(self):
+        derived = []
+        detector = self._detector(derived.append, warmup=5)
+        for i in range(20):
+            detector.process(reading(10.0 + (i % 5) * 0.1, float(i)))
+        baseline = detector.stats.mean
+        detector.process(reading(500.0, 20.0))
+        assert detector.stats.mean == baseline  # outlier excluded
+        # a second identical outlier still fires
+        detector.process(reading(500.0, 21.0))
+        assert len(derived) == 2
+
+    def test_normal_drift_is_absorbed(self):
+        derived = []
+        detector = self._detector(derived.append, threshold=6.0, warmup=5)
+        for i in range(200):
+            detector.process(reading(10.0 + i * 0.05 + (i % 7) * 0.3, float(i)))
+        assert derived == []
+
+    def test_non_numeric_ignored(self):
+        derived = []
+        detector = self._detector(derived.append)
+        detector.process(Event("reading", {"value": "junk"}, timestamp=0.0))
+        detector.process(Event("reading", {"value": True}, timestamp=1.0))
+        assert detector.stats.count == 0
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            AnomalyDetector("a", lambda e: None, "r", "v", threshold=0.0)
+        with pytest.raises(PolicyError):
+            AnomalyDetector("a", lambda e: None, "r", "v", warmup=1)
+
+    def test_drives_rogue_isolation_policy(self):
+        """End to end: anomaly -> rogue-isolation template -> ISOLATE."""
+        from repro.ifc import SecurityContext
+        from repro.middleware import (
+            EndpointKind,
+            MessageBus,
+            MessageType,
+            Reconfigurator,
+        )
+        from repro.policy import PolicyEngine, standard_library
+        from tests.conftest import make_component
+
+        reading_type = MessageType.simple("reading", value=float)
+        bus = MessageBus()
+        ctx = SecurityContext.of(["city"], [])
+        rogue = make_component("hacked-meter", ctx, reading_type, owner="op")
+        sink = make_component("collector", ctx, reading_type, owner="op")
+        rogue.allow_controller("pe")
+        bus.register(rogue)
+        bus.register(sink)
+        bus.connect("op", rogue, "out", sink, "in")
+        engine = PolicyEngine("pe", Reconfigurator(bus))
+        for rule in standard_library().instantiate(
+            "rogue-isolation", engine="pe", thing="hacked-meter"
+        ):
+            engine.add_rule(rule)
+        detector = AnomalyDetector(
+            "watchdog", engine.handle_event,
+            event_type="reading", attribute="value", warmup=5,
+            source_filter="hacked-meter",
+        )
+        for i in range(20):
+            detector.process(reading(1.0 + (i % 4) * 0.01, float(i),
+                                     source="hacked-meter"))
+        assert bus.channels_of(rogue)          # still connected
+        detector.process(reading(9999.0, 21.0, source="hacked-meter"))
+        assert bus.channels_of(rogue) == []    # isolated by policy

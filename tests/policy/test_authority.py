@@ -1,0 +1,127 @@
+"""Authority over things: ownership, loans, ad hoc grants (Challenge 4)."""
+
+import pytest
+
+from repro.errors import AuthorityError
+from repro.policy import AuthorityModel
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def clockwork():
+    sim = Simulator()
+    return sim, AuthorityModel(clock=sim.now)
+
+
+class TestOwnership:
+    def test_individual_ownership(self, clockwork):
+        __, authority = clockwork
+        authority.set_owner("wearable", "ann")
+        assert authority.may_author_policy("ann", "wearable")
+        assert not authority.may_author_policy("zeb", "wearable")
+
+    def test_shared_ownership(self, clockwork):
+        __, authority = clockwork
+        authority.set_owner("thermostat", "alice", "bob")
+        assert authority.may_author_policy("alice", "thermostat")
+        assert authority.may_author_policy("bob", "thermostat")
+
+    def test_add_and_remove_co_owner(self, clockwork):
+        __, authority = clockwork
+        authority.set_owner("tv", "alice")
+        authority.add_owner("tv", "bob")
+        assert authority.may_author_policy("bob", "tv")
+        authority.remove_owner("tv", "bob")
+        assert not authority.may_author_policy("bob", "tv")
+
+    def test_last_owner_cannot_be_removed(self, clockwork):
+        __, authority = clockwork
+        authority.set_owner("tv", "alice")
+        with pytest.raises(AuthorityError):
+            authority.remove_owner("tv", "alice")
+
+    def test_at_least_one_owner_required(self, clockwork):
+        __, authority = clockwork
+        with pytest.raises(AuthorityError):
+            authority.set_owner("thing")
+
+    def test_unregistered_thing_has_no_authorities(self, clockwork):
+        __, authority = clockwork
+        assert authority.owners_of("ghost") == set()
+        assert not authority.may_author_policy("anyone", "ghost")
+
+
+class TestLoans:
+    def test_loan_grants_borrower_authority(self, clockwork):
+        __, authority = clockwork
+        authority.set_owner("monitor", "health-service")
+        authority.loan("monitor", "health-service", "patient-ann")
+        assert authority.may_author_policy("patient-ann", "monitor")
+        # Lender retains authority.
+        assert authority.may_author_policy("health-service", "monitor")
+
+    def test_loan_expiry(self, clockwork):
+        sim, authority = clockwork
+        authority.set_owner("monitor", "svc")
+        authority.loan("monitor", "svc", "pat", expires_at=100.0)
+        assert authority.may_author_policy("pat", "monitor")
+        sim.clock.advance(200.0)
+        assert not authority.may_author_policy("pat", "monitor")
+
+    def test_cannot_loan_without_authority(self, clockwork):
+        __, authority = clockwork
+        authority.set_owner("monitor", "svc")
+        with pytest.raises(AuthorityError):
+            authority.loan("monitor", "random", "friend")
+
+    def test_borrower_can_sub_loan(self, clockwork):
+        """A borrower holds authority and may pass it on (delegated
+        ownership chains)."""
+        __, authority = clockwork
+        authority.set_owner("monitor", "svc")
+        authority.loan("monitor", "svc", "hospital-ward")
+        authority.loan("monitor", "hospital-ward", "nurse")
+        assert authority.may_author_policy("nurse", "monitor")
+
+    def test_end_loan(self, clockwork):
+        __, authority = clockwork
+        authority.set_owner("monitor", "svc")
+        authority.loan("monitor", "svc", "pat")
+        assert authority.end_loan("monitor", "pat")
+        assert not authority.may_author_policy("pat", "monitor")
+        assert not authority.end_loan("monitor", "pat")
+
+
+class TestAdHoc:
+    def test_contextual_grant(self, clockwork):
+        __, authority = clockwork
+        authority.set_owner("hub", "ada")
+        authority.grant_adhoc(
+            "hub", "nurse", condition=lambda ctx: ctx.get("loc") == "home"
+        )
+        assert authority.may_author_policy("nurse", "hub", {"loc": "home"})
+        assert not authority.may_author_policy("nurse", "hub", {"loc": "away"})
+        assert not authority.may_author_policy("nurse", "hub")
+
+    def test_revoke_adhoc(self, clockwork):
+        __, authority = clockwork
+        authority.grant_adhoc("hub", "nurse", condition=lambda ctx: True)
+        assert authority.revoke_adhoc("hub", "nurse") == 1
+        assert not authority.may_author_policy("nurse", "hub", {})
+
+    def test_broken_condition_treated_as_no(self, clockwork):
+        __, authority = clockwork
+
+        def broken(ctx):
+            raise RuntimeError("boom")
+
+        authority.grant_adhoc("hub", "nurse", condition=broken)
+        assert not authority.may_author_policy("nurse", "hub", {})
+
+    def test_authorities_over_aggregates_all_sources(self, clockwork):
+        __, authority = clockwork
+        authority.set_owner("hub", "ada")
+        authority.loan("hub", "ada", "carer")
+        authority.grant_adhoc("hub", "nurse", condition=lambda ctx: True)
+        everyone = authority.authorities_over("hub", {})
+        assert everyone == {"ada", "carer", "nurse"}

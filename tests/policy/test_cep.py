@@ -1,0 +1,208 @@
+"""Complex event processing: windows, sequences, absence (§5)."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy import (
+    AbsenceDetector,
+    Event,
+    EventProcessor,
+    SequenceDetector,
+    SlidingWindowDetector,
+)
+
+
+def reading(value: float, t: float, source: str = "s") -> Event:
+    return Event("reading", {"value": value}, source=source, timestamp=t)
+
+
+class TestSlidingWindow:
+    def _detector(self, sink, aggregate="mean", window=100.0):
+        return SlidingWindowDetector(
+            "d", sink, event_type="reading", attribute="value",
+            window=window, aggregate=aggregate,
+            predicate=lambda v: v > 100.0,
+            derived_type="high",
+        )
+
+    def test_threshold_fires_once_per_excursion(self):
+        derived = []
+        detector = self._detector(derived.append)
+        for i, value in enumerate([50, 150, 160, 50, 40, 150, 200]):
+            # spread out so the window holds ~1 sample at a time
+            detector.process(reading(float(value), i * 90.0))
+        # two excursions above the mean threshold -> two derived events
+        assert [e.type for e in derived].count("high") == 2
+
+    def test_window_evicts_old_samples(self):
+        derived = []
+        detector = self._detector(derived.append, aggregate="sum", window=10.0)
+        detector.process(reading(60.0, 0.0))
+        detector.process(reading(60.0, 5.0))    # sum 120 -> fires
+        assert len(derived) == 1
+        detector.process(reading(60.0, 100.0))  # old samples evicted, sum 60
+        assert len(derived) == 1
+
+    def test_derived_event_carries_evidence(self):
+        derived = []
+        detector = self._detector(derived.append)
+        detector.process(reading(150.0, 1.0))
+        event = derived[0]
+        assert event.attributes["aggregate"] == "mean"
+        assert event.attributes["value"] == 150.0
+        assert event.attributes["samples"] == 1
+        assert event.source == "d"
+
+    def test_source_filter(self):
+        derived = []
+        detector = SlidingWindowDetector(
+            "d", derived.append, event_type="reading", attribute="value",
+            window=10.0, aggregate="max",
+            predicate=lambda v: v > 100, derived_type="high",
+            source_filter="ann-sensor",
+        )
+        detector.process(reading(200.0, 0.0, source="zeb-sensor"))
+        assert derived == []
+        detector.process(reading(200.0, 1.0, source="ann-sensor"))
+        assert len(derived) == 1
+
+    def test_non_numeric_values_ignored(self):
+        derived = []
+        detector = self._detector(derived.append)
+        detector.process(Event("reading", {"value": "broken"}, timestamp=0.0))
+        detector.process(Event("reading", {}, timestamp=1.0))
+        assert derived == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PolicyError):
+            SlidingWindowDetector("d", lambda e: None, "r", "v", 10.0,
+                                  "median", lambda v: True, "x")
+        with pytest.raises(PolicyError):
+            SlidingWindowDetector("d", lambda e: None, "r", "v", 0.0,
+                                  "mean", lambda v: True, "x")
+
+
+class TestSequence:
+    def test_ordered_sequence_detected(self):
+        derived = []
+        detector = SequenceDetector(
+            "seq", derived.append,
+            sequence=["door-open", "motion"], within=30.0,
+            derived_type="intrusion",
+        )
+        detector.process(Event("door-open", timestamp=0.0))
+        detector.process(Event("motion", timestamp=10.0))
+        assert len(derived) == 1
+        assert derived[0].attributes["duration"] == 10.0
+
+    def test_out_of_order_does_not_match(self):
+        derived = []
+        detector = SequenceDetector(
+            "seq", derived.append, ["a", "b"], 30.0, "match")
+        detector.process(Event("b", timestamp=0.0))
+        detector.process(Event("a", timestamp=1.0))
+        assert derived == []
+
+    def test_timeout_resets_progress(self):
+        derived = []
+        detector = SequenceDetector(
+            "seq", derived.append, ["a", "b"], within=10.0,
+            derived_type="match")
+        detector.process(Event("a", timestamp=0.0))
+        detector.process(Event("b", timestamp=50.0))  # too late
+        assert derived == []
+        # but a fresh sequence still works
+        detector.process(Event("a", timestamp=60.0))
+        detector.process(Event("b", timestamp=65.0))
+        assert len(derived) == 1
+
+    def test_interleaved_irrelevant_events_tolerated(self):
+        derived = []
+        detector = SequenceDetector(
+            "seq", derived.append, ["a", "b"], 30.0, "match")
+        detector.process(Event("a", timestamp=0.0))
+        detector.process(Event("noise", timestamp=1.0))
+        detector.process(Event("b", timestamp=2.0))
+        assert len(derived) == 1
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            SequenceDetector("s", lambda e: None, [], 10.0, "x")
+        with pytest.raises(PolicyError):
+            SequenceDetector("s", lambda e: None, ["a"], 0.0, "x")
+
+
+class TestAbsence:
+    def test_silence_detected_once(self):
+        derived = []
+        detector = AbsenceDetector(
+            "hb", derived.append, event_type="heartbeat",
+            timeout=60.0, derived_type="thing-silent")
+        detector.process(Event("heartbeat", timestamp=0.0))
+        detector.check(30.0)
+        assert derived == []
+        detector.check(100.0)
+        assert len(derived) == 1
+        detector.check(200.0)  # still silent: no duplicate report
+        assert len(derived) == 1
+
+    def test_reappearance_rearms(self):
+        derived = []
+        detector = AbsenceDetector(
+            "hb", derived.append, "heartbeat", 60.0, "silent")
+        detector.process(Event("heartbeat", timestamp=0.0))
+        detector.check(100.0)
+        detector.process(Event("heartbeat", timestamp=110.0))
+        detector.check(120.0)
+        assert len(derived) == 1
+        detector.check(300.0)
+        assert len(derived) == 2
+
+    def test_never_seen_never_fires(self):
+        derived = []
+        detector = AbsenceDetector(
+            "hb", derived.append, "heartbeat", 60.0, "silent")
+        detector.check(1000.0)
+        assert derived == []
+
+
+class TestProcessor:
+    def test_fanout_and_tick(self):
+        derived = []
+        processor = EventProcessor()
+        processor.add(SlidingWindowDetector(
+            "w", derived.append, "reading", "value", 10.0, "max",
+            lambda v: v > 100, "high"))
+        processor.add(AbsenceDetector(
+            "a", derived.append, "reading", 60.0, "silent"))
+        processor.process(reading(150.0, 0.0))
+        processor.tick(100.0)
+        types = [e.type for e in derived]
+        assert "high" in types and "silent" in types
+        assert processor.processed == 1
+
+    def test_remove_detector(self):
+        processor = EventProcessor()
+        processor.add(SequenceDetector("s", lambda e: None, ["a"], 10.0, "x"))
+        assert processor.remove("s")
+        assert not processor.remove("s")
+
+    def test_cep_feeds_policy_engine(self):
+        """Integration: detector output drives ECA rules (§5's stack)."""
+        from repro.middleware import MessageBus, Reconfigurator
+        from repro.policy import NotifyAction, PolicyEngine, Rule
+
+        engine = PolicyEngine("pe", Reconfigurator(MessageBus()))
+        engine.add_rule(Rule.build(
+            "react", "tachycardia",
+            actions=[NotifyAction("ward", "sustained high heart rate")]))
+        alerts = []
+        engine.add_notifier(lambda ch, msg: alerts.append(msg))
+        processor = EventProcessor()
+        processor.add(SlidingWindowDetector(
+            "tachy", engine.handle_event, "reading", "value",
+            window=300.0, aggregate="mean",
+            predicate=lambda v: v > 120, derived_type="tachycardia"))
+        for i in range(5):
+            processor.process(reading(150.0, i * 60.0))
+        assert alerts == ["sustained high heart rate"]

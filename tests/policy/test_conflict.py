@@ -1,0 +1,130 @@
+"""Policy conflict detection and resolution (Challenge 4)."""
+
+import pytest
+
+from repro.ifc import SecurityContext
+from repro.middleware import CommandKind, ControlMessage, Reconfigurator
+from repro.policy import (
+    NotifyAction,
+    Proposal,
+    ResolutionStrategy,
+    Rule,
+    commands_conflict,
+    detect_conflicts,
+    resolve,
+)
+
+
+def rule(name: str, priority: int = 0) -> Rule:
+    return Rule.build(name, "*", actions=[NotifyAction("x")], priority=priority)
+
+
+def map_cmd(target="a", sink="b"):
+    return Reconfigurator.map_command("pe", target, "out", sink, "in")
+
+
+def unmap_cmd(target="a", sink=None):
+    args = {} if sink is None else {"sink": sink}
+    return ControlMessage("pe", target, CommandKind.UNMAP, args)
+
+
+class TestDetection:
+    def test_map_vs_unmap_same_connection(self):
+        assert commands_conflict(map_cmd(), unmap_cmd(sink="b")) is not None
+
+    def test_map_vs_unmap_different_sink_ok(self):
+        assert commands_conflict(map_cmd(sink="b"), unmap_cmd(sink="c")) is None
+
+    def test_blanket_unmap_conflicts_with_any_map(self):
+        assert commands_conflict(map_cmd(), unmap_cmd()) is not None
+
+    def test_different_targets_never_conflict(self):
+        assert commands_conflict(map_cmd(target="a"), unmap_cmd(target="z")) is None
+
+    def test_set_context_disagreement(self):
+        a = Reconfigurator.set_context_command(
+            "pe", "t", SecurityContext.of(["x"], [])
+        )
+        b = Reconfigurator.set_context_command(
+            "pe", "t", SecurityContext.of(["y"], [])
+        )
+        assert commands_conflict(a, b) is not None
+
+    def test_set_context_agreement_no_conflict(self):
+        ctx = SecurityContext.of(["x"], [])
+        a = Reconfigurator.set_context_command("pe", "t", ctx)
+        b = Reconfigurator.set_context_command("pe", "t", ctx)
+        assert commands_conflict(a, b) is None
+
+    def test_shutdown_conflicts_with_constructive(self):
+        shutdown = ControlMessage("pe", "a", CommandKind.SHUTDOWN)
+        assert commands_conflict(shutdown, map_cmd()) is not None
+
+    def test_divert_disagreement(self):
+        a = ControlMessage("pe", "t", CommandKind.DIVERT,
+                           {"new_sink": "x", "new_sink_endpoint": "in"})
+        b = ControlMessage("pe", "t", CommandKind.DIVERT,
+                           {"new_sink": "y", "new_sink_endpoint": "in"})
+        assert commands_conflict(a, b) is not None
+
+    def test_detect_lists_all_pairs(self):
+        proposals = [
+            Proposal(rule("r1"), map_cmd()),
+            Proposal(rule("r2"), unmap_cmd(sink="b")),
+            Proposal(rule("r3"), ControlMessage("pe", "a", CommandKind.SHUTDOWN)),
+        ]
+        conflicts = detect_conflicts(proposals)
+        assert len(conflicts) == 2  # r1-r2 and r1-r3 (r2 vs r3 both restrictive)
+
+
+class TestResolution:
+    def test_priority_strategy(self):
+        high = Proposal(rule("high", priority=10), map_cmd())
+        low = Proposal(rule("low", priority=1), unmap_cmd(sink="b"))
+        result = resolve([low, high], ResolutionStrategy.PRIORITY)
+        assert [p.rule.name for p in result.accepted] == ["high"]
+        assert result.rejected[0][0].rule.name == "low"
+
+    def test_deny_overrides_strategy(self):
+        connect = Proposal(rule("connect", priority=100), map_cmd())
+        sever = Proposal(rule("sever", priority=1), unmap_cmd(sink="b"))
+        result = resolve([connect, sever], ResolutionStrategy.DENY_OVERRIDES)
+        assert [p.rule.name for p in result.accepted] == ["sever"]
+
+    def test_first_match_strategy(self):
+        first = Proposal(rule("first"), map_cmd())
+        second = Proposal(rule("second", priority=99), unmap_cmd(sink="b"))
+        result = resolve([first, second], ResolutionStrategy.FIRST_MATCH)
+        assert [p.rule.name for p in result.accepted] == ["first"]
+
+    def test_priority_tie_breaks_by_order(self):
+        a = Proposal(rule("a", priority=5), map_cmd())
+        b = Proposal(rule("b", priority=5), unmap_cmd(sink="b"))
+        result = resolve([a, b], ResolutionStrategy.PRIORITY)
+        assert [p.rule.name for p in result.accepted] == ["a"]
+
+    def test_non_conflicting_proposals_all_accepted(self):
+        proposals = [
+            Proposal(rule("r1"), map_cmd(target="a")),
+            Proposal(rule("r2"), map_cmd(target="z", sink="q")),
+        ]
+        result = resolve(proposals)
+        assert len(result.accepted) == 2
+        assert result.conflicts == []
+
+    def test_empty_input(self):
+        result = resolve([])
+        assert result.accepted == [] and result.conflicts == []
+
+    def test_survivor_set_is_conflict_free(self):
+        proposals = [
+            Proposal(rule("a", priority=3), map_cmd()),
+            Proposal(rule("b", priority=2), unmap_cmd(sink="b")),
+            Proposal(rule("c", priority=1),
+                     ControlMessage("pe", "a", CommandKind.SHUTDOWN)),
+        ]
+        result = resolve(proposals, ResolutionStrategy.PRIORITY)
+        survivors = [p.command for p in result.accepted]
+        for i in range(len(survivors)):
+            for j in range(i + 1, len(survivors)):
+                assert commands_conflict(survivors[i], survivors[j]) is None

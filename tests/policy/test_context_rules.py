@@ -1,0 +1,163 @@
+"""Context store and ECA rule matching."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy import (
+    CommandAction,
+    ContextStore,
+    Event,
+    NotifyAction,
+    Rule,
+    evaluation_scope,
+)
+from repro.sim import Simulator
+
+
+class TestContextStore:
+    def test_set_get_default(self):
+        store = ContextStore()
+        store.set("a.b", 1)
+        assert store.get("a.b") == 1
+        assert store.get("missing", "dflt") == "dflt"
+
+    def test_mapping_interface(self):
+        store = ContextStore()
+        store.update({"x": 1, "y": 2})
+        assert len(store) == 2
+        assert set(store) == {"x", "y"}
+        assert store["x"] == 1
+
+    def test_empty_store_is_falsy_but_usable(self):
+        # Regression guard: engines must not replace an empty store.
+        store = ContextStore()
+        assert not store  # Mapping semantics
+        store.set("k", "v")
+        assert store
+
+    def test_provenance_recorded(self):
+        sim = Simulator()
+        store = ContextStore(clock=sim.now)
+        sim.clock.advance(5.0)
+        store.set("loc", "home", by="gps")
+        entry = store.provenance("loc")
+        assert entry.set_by == "gps"
+        assert entry.set_at == 5.0
+
+    def test_exact_subscription(self):
+        store = ContextStore()
+        seen = []
+        store.subscribe("a", lambda k, old, new: seen.append((k, old, new)))
+        store.set("a", 1)
+        store.set("b", 2)  # not subscribed
+        assert seen == [("a", None, 1)]
+
+    def test_prefix_subscription(self):
+        store = ContextStore()
+        seen = []
+        store.subscribe("patient.*", lambda k, o, n: seen.append(k))
+        store.set("patient.ann.hr", 70)
+        store.set("weather", "rain")
+        assert seen == ["patient.ann.hr"]
+
+    def test_no_notification_on_same_value(self):
+        store = ContextStore()
+        seen = []
+        store.subscribe("a", lambda k, o, n: seen.append(1))
+        store.set("a", 1)
+        store.set("a", 1)
+        assert len(seen) == 1
+
+    def test_unsubscribe(self):
+        store = ContextStore()
+        seen = []
+        unsubscribe = store.subscribe("a", lambda k, o, n: seen.append(1))
+        unsubscribe()
+        store.set("a", 1)
+        assert seen == []
+
+    def test_delete_notifies_none(self):
+        store = ContextStore()
+        store.set("a", 1)
+        seen = []
+        store.subscribe("a", lambda k, old, new: seen.append(new))
+        store.delete("a")
+        assert seen == [None]
+
+    def test_view_relativises_prefix(self):
+        store = ContextStore()
+        store.set("patient.ann.hr", 70)
+        store.set("patient.ann.loc", "home")
+        store.set("patient.zeb.hr", 80)
+        view = store.view("patient.ann")
+        assert view == {"hr": 70, "loc": "home"}
+
+
+class TestRuleMatching:
+    def _rule(self, **kwargs) -> Rule:
+        defaults = dict(
+            name="r", event_type="reading",
+            actions=[NotifyAction("ch")],
+        )
+        defaults.update(kwargs)
+        return Rule.build(**defaults)
+
+    def test_event_type_match(self):
+        rule = self._rule()
+        assert rule.matches(Event("reading"), {})
+        assert not rule.matches(Event("alert"), {})
+
+    def test_wildcard_event_type(self):
+        rule = self._rule(event_type="*")
+        assert rule.matches(Event("anything"), {})
+
+    def test_source_filter(self):
+        rule = self._rule(source_filter="ann-analyser")
+        assert rule.matches(Event("reading", source="ann-analyser"), {})
+        assert not rule.matches(Event("reading", source="zeb"), {})
+
+    def test_condition_over_scope(self):
+        rule = self._rule(condition="hr > 100")
+        assert rule.matches(Event("reading"), {"hr": 150})
+        assert not rule.matches(Event("reading"), {"hr": 80})
+
+    def test_disabled_rule_never_matches(self):
+        rule = self._rule()
+        rule.enabled = False
+        assert not rule.matches(Event("reading"), {})
+
+    def test_duplicate_action_spec_rejected(self):
+        with pytest.raises(PolicyError):
+            CommandAction()  # neither command nor builder
+        with pytest.raises(PolicyError):
+            CommandAction(command=object(), builder=lambda e, s: None)
+
+
+class TestEvaluationScope:
+    def test_event_attributes_shadow_context(self):
+        event = Event("reading", {"hr": 150})
+        scope = evaluation_scope(event, {"hr": 60, "loc": "home"})
+        assert scope["hr"] == 150
+        assert scope["loc"] == "home"
+
+    def test_event_metadata_exposed(self):
+        event = Event("reading", source="sensor-1", timestamp=42.0)
+        scope = evaluation_scope(event, {})
+        assert scope["event.type"] == "reading"
+        assert scope["event.source"] == "sensor-1"
+        assert scope["event.timestamp"] == 42.0
+
+
+class TestNotifyAction:
+    def test_template_rendering(self):
+        action = NotifyAction("ch", "HR {hr} for {patient}")
+        text = action.render(Event("e"), {"hr": 150, "patient": "ann"})
+        assert text == "HR 150 for ann"
+
+    def test_missing_key_falls_back_to_template(self):
+        action = NotifyAction("ch", "HR {missing}")
+        assert action.render(Event("e"), {}) == "HR {missing}"
+
+    def test_default_text(self):
+        action = NotifyAction("ch")
+        assert "from sensor" in action.render(Event("x", source="sensor"), {})

@@ -1,0 +1,113 @@
+"""The textual policy DSL (Challenge 2)."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.middleware import CommandKind
+from repro.policy import (
+    CommandAction,
+    ContextAction,
+    NotifyAction,
+    parse_rules,
+)
+
+FULL_DOCUMENT = """
+# Hospital emergency policy
+rule emergency-alert
+  on reading from ann-analyser
+  when heart_rate > 150 and location == 'home'
+  priority 10
+  author hospital
+  do notify emergency "Emergency: {heart_rate}"
+  do set emergency.active = true
+  do map engine: analyser.alert -> doctor.in
+
+rule stand-down
+  on resolved
+  priority 5
+  do set emergency.active = false
+  do unmap engine: analyser -> doctor
+"""
+
+
+class TestParsing:
+    def test_full_document(self):
+        rules = parse_rules(FULL_DOCUMENT)
+        assert [r.name for r in rules] == ["emergency-alert", "stand-down"]
+
+    def test_clauses_populated(self):
+        rule = parse_rules(FULL_DOCUMENT)[0]
+        assert rule.event_type == "reading"
+        assert rule.source_filter == "ann-analyser"
+        assert rule.priority == 10
+        assert rule.author == "hospital"
+        assert rule.condition is not None
+        assert rule.condition({"heart_rate": 160, "location": "home"})
+
+    def test_action_types(self):
+        rule = parse_rules(FULL_DOCUMENT)[0]
+        assert isinstance(rule.actions[0], NotifyAction)
+        assert isinstance(rule.actions[1], ContextAction)
+        assert isinstance(rule.actions[2], CommandAction)
+        command = rule.actions[2].command
+        assert command.kind == CommandKind.MAP
+        assert command.issuer == "engine"
+        assert command.target == "analyser"
+        assert command.arguments["sink"] == "doctor"
+
+    def test_unmap_with_sink(self):
+        rule = parse_rules(FULL_DOCUMENT)[1]
+        command = rule.actions[1].command
+        assert command.kind == CommandKind.UNMAP
+        assert command.arguments["sink"] == "doctor"
+
+    def test_set_literal_types(self):
+        rules = parse_rules(
+            "rule r\n  on e\n"
+            "  do set a = 1\n  do set b = 1.5\n"
+            "  do set c = 'text'\n  do set d = false\n  do set e = none\n"
+        )
+        values = [a.value for a in rules[0].actions]
+        assert values == [1, 1.5, "text", False, None]
+
+    def test_divert_isolate_shutdown(self):
+        rules = parse_rules(
+            "rule r\n  on e\n"
+            "  do divert engine: sensor -> sanitiser.in\n"
+            "  do isolate engine: rogue\n"
+            "  do shutdown engine: rogue\n"
+        )
+        kinds = [a.command.kind for a in rules[0].actions]
+        assert kinds == [CommandKind.DIVERT, CommandKind.ISOLATE,
+                         CommandKind.SHUTDOWN]
+
+    def test_comments_and_blank_lines_ignored(self):
+        rules = parse_rules(
+            "# top comment\n\nrule r  # trailing\n  on e\n"
+            "  do notify x \"hi\"\n\n"
+        )
+        assert len(rules) == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text,fragment", [
+        ("on e\n  do notify x", "outside a rule"),
+        ("rule r\n  do notify x \"m\"", "no 'on' clause"),
+        ("rule r\n  on e", "no 'do' clause"),
+        ("rule r\n  on e\n  priority abc\n  do notify x", "integer"),
+        ("rule r\n  on e\n  do fly away", "unknown action verb"),
+        ("rule r\n  on e\n  do map engine: a -> b", "component.endpoint"),
+        ("rule r\n  on e\n  do map a.out -> b.in", "issuer"),
+        ("rule r\n  on e\n  do set x 5", "set needs"),
+        ("rule r\n  on e\n  when ???\n  do notify x", "unexpected"),
+        ("rule r\n  on e\n  gibberish line\n  do notify x", "cannot parse"),
+    ])
+    def test_syntax_errors(self, text, fragment):
+        with pytest.raises(PolicyError) as excinfo:
+            parse_rules(text)
+        assert fragment in str(excinfo.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(PolicyError) as excinfo:
+            parse_rules("rule r\n  on e\n  do fly x: y\n")
+        assert "line 3" in str(excinfo.value)

@@ -1,0 +1,78 @@
+"""Property-based fuzzing of the policy DSL and expression language."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PolicyError, ReproError
+from repro.policy import Expression, parse_rules
+from repro.policy.expr import evaluate, parse
+
+identifiers = st.text(
+    alphabet=string.ascii_lowercase + "-", min_size=1, max_size=10
+).filter(lambda s: s[0].isalpha() and not s.endswith("-"))
+
+numbers = st.integers(min_value=0, max_value=10_000)
+
+
+@given(identifiers, identifiers, numbers, identifiers)
+def test_generated_rules_always_parse(name, event, priority, channel):
+    """Any structurally valid document parses to matching rules."""
+    text = (
+        f"rule {name}\n"
+        f"  on {event}\n"
+        f"  priority {priority}\n"
+        f'  do notify {channel} "msg"\n'
+    )
+    rules = parse_rules(text)
+    assert rules[0].name == name
+    assert rules[0].event_type == event
+    assert rules[0].priority == priority
+
+
+@given(st.text(max_size=120))
+def test_dsl_never_crashes_unhandled(text):
+    """Arbitrary input either parses or raises PolicyError — never
+    anything else (the parser is a safe boundary for untrusted policy)."""
+    try:
+        parse_rules(text)
+    except PolicyError:
+        pass
+
+
+@given(st.text(max_size=60))
+def test_expression_parser_never_crashes_unhandled(text):
+    try:
+        parse(text)
+    except PolicyError:
+        pass
+
+
+expression_values = st.integers(min_value=-1000, max_value=1000)
+
+
+@given(expression_values, expression_values)
+def test_comparison_expressions_agree_with_python(a, b):
+    scope = {"a": a, "b": b}
+    for op in ("<", "<=", ">", ">=", "==", "!="):
+        expr = Expression(f"a {op} b")
+        expected = eval(f"a {op} b")  # noqa: S307 - test oracle
+        assert expr(scope) == expected
+
+
+@given(expression_values, expression_values)
+def test_arithmetic_matches_python(a, b):
+    scope = {"a": a, "b": b}
+    assert Expression("a + b")(scope) == a + b
+    assert Expression("a - b")(scope) == a - b
+    assert Expression("a * b")(scope) == a * b
+    if b != 0:
+        assert Expression("a / b")(scope) == a / b
+
+
+@given(st.booleans(), st.booleans(), st.booleans())
+def test_boolean_logic_matches_python(p, q, r):
+    scope = {"p": p, "q": q, "r": r}
+    assert Expression("p and q or not r")(scope) == (p and q or not r)
+    assert Expression("not (p or q) and r")(scope) == (not (p or q) and r)

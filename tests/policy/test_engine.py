@@ -1,0 +1,213 @@
+"""The policy engine: firing, conflicts, authority, audit (§8.1, Fig. 7)."""
+
+import pytest
+
+from repro.audit import AuditLog, RecordKind
+from repro.errors import AuthorityError, PolicyError
+from repro.ifc import SecurityContext
+from repro.middleware import (
+    CommandKind,
+    ControlMessage,
+    MessageBus,
+    Reconfigurator,
+)
+from repro.policy import (
+    AuthorityModel,
+    CommandAction,
+    ContextAction,
+    Event,
+    NotifyAction,
+    PolicyEngine,
+    ResolutionStrategy,
+    Rule,
+)
+from tests.conftest import make_component
+
+
+@pytest.fixture
+def engine_setup(audit, reading_type, ann_device):
+    bus = MessageBus(audit=audit)
+    a = make_component("a", ann_device, reading_type, owner="op")
+    b = make_component("b", ann_device, reading_type, owner="op")
+    for component in (a, b):
+        component.allow_controller("engine")
+        bus.register(component)
+    engine = PolicyEngine("engine", Reconfigurator(bus), audit=audit)
+    return bus, engine, a, b
+
+
+class TestRuleManagement:
+    def test_duplicate_rule_name_rejected(self, engine_setup):
+        __, engine, *_ = engine_setup
+        engine.add_rule(Rule.build("r", "*", actions=[NotifyAction("x")]))
+        with pytest.raises(PolicyError):
+            engine.add_rule(Rule.build("r", "*", actions=[NotifyAction("x")]))
+
+    def test_remove_rule(self, engine_setup):
+        __, engine, *_ = engine_setup
+        engine.add_rule(Rule.build("r", "*", actions=[NotifyAction("x")]))
+        assert engine.remove_rule("r")
+        assert not engine.remove_rule("r")
+
+    def test_enable_disable(self, engine_setup):
+        __, engine, *_ = engine_setup
+        engine.add_rule(Rule.build("r", "ev", actions=[NotifyAction("x")]))
+        engine.enable_rule("r", False)
+        report = engine.handle_event(Event("ev"))
+        assert report.fired_rules == []
+        engine.enable_rule("r", True)
+        report = engine.handle_event(Event("ev"))
+        assert report.fired_rules == ["r"]
+        with pytest.raises(PolicyError):
+            engine.enable_rule("ghost")
+
+    def test_authority_checked_at_install(self, engine_setup):
+        __, engine, *_ = engine_setup
+        authority = AuthorityModel()
+        authority.set_owner("a", "alice")
+        engine.authority = authority
+        # bob has no authority over component a:
+        with pytest.raises(AuthorityError):
+            engine.add_rule(
+                Rule.build(
+                    "bobs-rule", "*", author="bob",
+                    actions=[CommandAction(
+                        command=ControlMessage("engine", "a", CommandKind.ISOLATE)
+                    )],
+                )
+            )
+        # alice does:
+        engine.add_rule(
+            Rule.build(
+                "alices-rule", "*", author="alice",
+                actions=[CommandAction(
+                    command=ControlMessage("engine", "a", CommandKind.ISOLATE)
+                )],
+            )
+        )
+
+
+class TestFiring:
+    def test_matching_rule_fires_and_audits(self, engine_setup, audit):
+        __, engine, *_ = engine_setup
+        engine.add_rule(
+            Rule.build("r", "reading", condition="v > 10",
+                       actions=[NotifyAction("alerts", "high: {v}")])
+        )
+        alerts = []
+        engine.add_notifier(lambda ch, msg: alerts.append((ch, msg)))
+        report = engine.handle_event(Event("reading", {"v": 20}))
+        assert report.fired_rules == ["r"]
+        assert alerts == [("alerts", "high: 20")]
+        assert any(r.kind == RecordKind.POLICY_FIRED for r in audit)
+
+    def test_non_matching_rule_does_not_fire(self, engine_setup):
+        __, engine, *_ = engine_setup
+        engine.add_rule(
+            Rule.build("r", "reading", condition="v > 10",
+                       actions=[NotifyAction("alerts")])
+        )
+        report = engine.handle_event(Event("reading", {"v": 5}))
+        assert report.fired_rules == []
+
+    def test_command_action_applied_through_reconfigurator(self, engine_setup):
+        bus, engine, a, b = engine_setup
+        engine.add_rule(
+            Rule.build("wire", "emergency", actions=[
+                CommandAction(
+                    command=Reconfigurator.map_command("engine", "a", "out", "b", "in")
+                )
+            ])
+        )
+        report = engine.handle_event(Event("emergency"))
+        assert report.outcomes[0].applied
+        assert len(bus.channels_of(a)) == 1
+
+    def test_command_builder_uses_event_data(self, engine_setup):
+        bus, engine, a, b = engine_setup
+
+        def build(event, scope):
+            return Reconfigurator.map_command(
+                "engine", str(event.attributes["src"]), "out", "b", "in"
+            )
+
+        engine.add_rule(
+            Rule.build("wire", "emergency", actions=[CommandAction(builder=build)])
+        )
+        report = engine.handle_event(Event("emergency", {"src": "a"}))
+        assert report.outcomes[0].applied
+
+    def test_context_action_updates_store(self, engine_setup):
+        __, engine, *_ = engine_setup
+        engine.add_rule(
+            Rule.build("flag", "emergency",
+                       actions=[ContextAction("emergency.active", True)])
+        )
+        engine.handle_event(Event("emergency"))
+        assert engine.context.get("emergency.active") is True
+
+    def test_rule_firing_counts(self, engine_setup):
+        __, engine, *_ = engine_setup
+        rule = Rule.build("r", "ev", actions=[NotifyAction("x")])
+        engine.add_rule(rule)
+        engine.handle_events([Event("ev"), Event("ev"), Event("other")])
+        assert rule.fired_count == 2
+
+    def test_broken_condition_does_not_crash_engine(self, engine_setup, audit):
+        __, engine, *_ = engine_setup
+        engine.add_rule(
+            Rule.build("broken", "ev", condition="x / 0 > 1",
+                       actions=[NotifyAction("x")])
+        )
+        engine.add_rule(Rule.build("fine", "ev", actions=[NotifyAction("y")]))
+        report = engine.handle_event(Event("ev", {"x": 1}))
+        assert report.fired_rules == ["fine"]
+        errors = [
+            r for r in audit
+            if r.kind == RecordKind.POLICY_FIRED and "error" in r.detail
+        ]
+        assert errors
+
+
+class TestConflictHandling:
+    def test_conflicting_rules_resolved_by_priority(self, engine_setup, audit):
+        bus, engine, a, b = engine_setup
+        engine.add_rule(
+            Rule.build("connect", "ev", priority=10, actions=[
+                CommandAction(
+                    command=Reconfigurator.map_command("engine", "a", "out", "b", "in")
+                )
+            ])
+        )
+        engine.add_rule(
+            Rule.build("sever", "ev", priority=1, actions=[
+                CommandAction(
+                    command=ControlMessage("engine", "a", CommandKind.UNMAP,
+                                           {"sink": "b"})
+                )
+            ])
+        )
+        report = engine.handle_event(Event("ev"))
+        applied_kinds = [o.command.kind for o in report.outcomes]
+        assert applied_kinds == [CommandKind.MAP]
+        assert any(r.kind == RecordKind.POLICY_CONFLICT for r in audit)
+
+    def test_deny_overrides_strategy(self, engine_setup):
+        bus, engine, a, b = engine_setup
+        engine.strategy = ResolutionStrategy.DENY_OVERRIDES
+        engine.add_rule(
+            Rule.build("connect", "ev", priority=10, actions=[
+                CommandAction(
+                    command=Reconfigurator.map_command("engine", "a", "out", "b", "in")
+                )
+            ])
+        )
+        engine.add_rule(
+            Rule.build("sever", "ev", priority=1, actions=[
+                CommandAction(
+                    command=ControlMessage("engine", "a", CommandKind.UNMAP)
+                )
+            ])
+        )
+        report = engine.handle_event(Event("ev"))
+        assert [o.command.kind for o in report.outcomes] == [CommandKind.UNMAP]

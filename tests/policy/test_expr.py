@@ -1,0 +1,128 @@
+"""The policy expression language: lexing, parsing, evaluation."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy import Expression, evaluate, parse, tokenize
+
+
+class TestTokenizer:
+    def test_numbers_strings_names(self):
+        tokens = tokenize("x >= 1.5 and name == 'ann'")
+        kinds = [t.kind for t in tokens]
+        assert "number" in kinds and "string" in kinds and "name" in kinds
+
+    def test_keywords_recognised(self):
+        tokens = tokenize("a and not b")
+        assert [t.kind for t in tokens if t.value in ("and", "not")] == [
+            "keyword", "keyword",
+        ]
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(PolicyError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    @pytest.mark.parametrize("text", [
+        "1 + 2 * 3",
+        "(a or b) and c",
+        "not x == 1",
+        "value in allowed",
+        "max(a, b) > 0",
+        "-x < 5",
+        "'lit' == name",
+    ])
+    def test_valid_syntax(self, text):
+        parse(text)
+
+    @pytest.mark.parametrize("text", [
+        "1 +",
+        "and a",
+        "(a",
+        "f(a,",
+        "a b",
+        "",
+        "true(1)",
+    ])
+    def test_invalid_syntax(self, text):
+        with pytest.raises(PolicyError):
+            parse(text)
+
+
+class TestEvaluation:
+    def check(self, text, context, expected):
+        assert Expression(text)(context) == expected
+
+    def test_arithmetic_precedence(self):
+        self.check("1 + 2 * 3", {}, 7)
+        self.check("(1 + 2) * 3", {}, 9)
+        self.check("10 / 4", {}, 2.5)
+        self.check("7 % 3", {}, 1)
+
+    def test_comparisons(self):
+        self.check("2 < 3", {}, True)
+        self.check("3 <= 3", {}, True)
+        self.check("2 > 3", {}, False)
+        self.check("'a' != 'b'", {}, True)
+
+    def test_boolean_logic(self):
+        self.check("true and false", {}, False)
+        self.check("true or false", {}, True)
+        self.check("not false", {}, True)
+
+    def test_names_from_context(self):
+        self.check("heart_rate > 120", {"heart_rate": 150}, True)
+        self.check("patient.name == 'ann'", {"patient.name": "ann"}, True)
+
+    def test_missing_names_are_none_and_comparisons_false(self):
+        self.check("missing > 5", {}, False)
+        self.check("missing == none", {}, True)
+        self.check("missing in things", {}, False)
+
+    def test_in_operator(self):
+        self.check("'medical' in tags", {"tags": ["medical", "x"]}, True)
+        self.check("'y' in tags", {"tags": ["medical"]}, False)
+
+    def test_string_concatenation(self):
+        self.check("'a' + 'b'", {}, "ab")
+
+    def test_safe_functions(self):
+        self.check("abs(0 - 5)", {}, 5)
+        self.check("max(1, 2, 3)", {}, 3)
+        self.check("min(x, 10)", {"x": 4}, 4)
+        self.check("len(items)", {"items": [1, 2]}, 2)
+        self.check("contains(s, 'b')", {"s": "abc"}, True)
+        self.check("startswith(s, 'ab')", {"s": "abc"}, True)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(PolicyError):
+            Expression("exec('rm -rf /')")({})
+
+    def test_division_by_zero(self):
+        with pytest.raises(PolicyError):
+            Expression("1 / 0")({})
+        with pytest.raises(PolicyError):
+            Expression("1 % 0")({})
+
+    def test_arithmetic_on_non_numbers_rejected(self):
+        with pytest.raises(PolicyError):
+            Expression("x * 2")({"x": "string"})
+        with pytest.raises(PolicyError):
+            Expression("-x")({"x": "string"})
+
+    def test_mixed_type_comparison_is_false_not_error(self):
+        self.check("x < 5", {"x": "str"}, False)
+
+    def test_negative_numbers(self):
+        self.check("-3 + 5", {}, 2)
+        self.check("x > -1", {"x": 0}, True)
+
+    def test_boolean_coercion_of_operands(self):
+        self.check("1 and 2", {}, True)
+        self.check("0 or 0", {}, False)
+
+    def test_expression_reusable(self):
+        expression = Expression("v > 10")
+        assert expression({"v": 11}) is True
+        assert expression({"v": 9}) is False

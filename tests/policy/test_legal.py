@@ -1,0 +1,138 @@
+"""Legal obligation packs and the obligation register (Fig. 1)."""
+
+import pytest
+
+from repro.audit import AuditLog, ComplianceAuditor, RecordKind
+from repro.ifc import SecurityContext
+from repro.policy import (
+    NotifyAction,
+    ObligationRegister,
+    Rule,
+    anonymisation_obligation,
+    break_glass_obligation,
+    consent_obligation,
+    geo_fence_obligation,
+    retention_obligation,
+)
+from repro.sim import Simulator
+
+
+def run_checkers(obligation, log):
+    auditor = ComplianceAuditor()
+    for checker in obligation.checkers:
+        auditor.register(checker)
+    return auditor.run(log)
+
+
+class TestConsent:
+    def test_pack_contents(self):
+        obligation = consent_obligation()
+        assert obligation.obligation_id == "dp-consent"
+        assert obligation.required_tags
+        assert obligation.checkers
+
+    def test_checker_flags_unconsented_flow(self, audit):
+        ctx = SecurityContext.of(["medical"], [])
+        audit.flow_allowed("sensor", "app", ctx, ctx)
+        assert not run_checkers(consent_obligation(), audit).compliant
+
+    def test_checker_passes_consented_flow(self, audit):
+        ctx = SecurityContext.of(["medical"], ["consent"])
+        audit.flow_allowed("sensor", "app", ctx, ctx)
+        assert run_checkers(consent_obligation(), audit).compliant
+
+
+class TestGeoFence:
+    def test_violation_detected(self, audit):
+        audit.flow_allowed("eu-db", "us-mirror")
+        obligation = geo_fence_obligation({"eu-db"}, {"us-mirror"})
+        assert not run_checkers(obligation, audit).compliant
+
+    def test_clean_log_passes(self, audit):
+        audit.flow_allowed("eu-db", "eu-app")
+        obligation = geo_fence_obligation({"eu-db"}, {"us-mirror"})
+        assert run_checkers(obligation, audit).compliant
+
+
+class TestRetention:
+    def test_fresh_log_compliant(self):
+        sim = Simulator()
+        log = AuditLog(clock=sim.now)
+        log.flow_allowed("a", "b")
+        sim.clock.advance(10.0)
+        log.flow_allowed("c", "d")
+        assert run_checkers(retention_obligation(3600.0), log).compliant
+
+    def test_overlong_retention_flagged(self):
+        sim = Simulator()
+        log = AuditLog(clock=sim.now)
+        log.flow_allowed("a", "b")
+        sim.clock.advance(10_000.0)
+        log.flow_allowed("c", "d")
+        report = run_checkers(retention_obligation(3600.0), log)
+        assert not report.compliant
+        assert "prune" in report.failures()[0].explanation
+
+    def test_prune_restores_compliance(self):
+        sim = Simulator()
+        log = AuditLog(clock=sim.now)
+        log.flow_allowed("a", "b")
+        sim.clock.advance(10_000.0)
+        log.flow_allowed("c", "d")
+        log.prune_before(sim.now() - 3600.0)
+        assert run_checkers(retention_obligation(3600.0), log).compliant
+        assert log.verify()
+
+    def test_empty_log_compliant(self, audit):
+        assert run_checkers(retention_obligation(60.0), audit).compliant
+
+
+class TestBreakGlass:
+    def test_reconfig_with_firing_is_accountable(self):
+        sim = Simulator()
+        log = AuditLog(clock=sim.now)
+        log.append(RecordKind.POLICY_FIRED, "engine", "break-glass")
+        sim.clock.advance(1.0)
+        log.reconfiguration("engine", "sensor", "unmap")
+        obligation = break_glass_obligation([])
+        assert run_checkers(obligation, log).compliant
+
+    def test_orphan_reconfig_flagged(self):
+        log = AuditLog()
+        log.reconfiguration("rogue", "sensor", "unmap")
+        obligation = break_glass_obligation([])
+        assert not run_checkers(obligation, log).compliant
+
+    def test_rules_carried_in_pack(self):
+        rule = Rule.build("bg", "emergency", actions=[NotifyAction("x")])
+        obligation = break_glass_obligation([rule])
+        assert obligation.rules == [rule]
+
+
+class TestAnonymisation:
+    def test_checker_wired_to_actors(self, audit):
+        audit.flow_allowed("generator", "manager")
+        obligation = anonymisation_obligation("generator", "manager")
+        assert not run_checkers(obligation, audit).compliant
+
+
+class TestRegister:
+    def test_registration_and_supersession(self):
+        register = ObligationRegister()
+        v1 = consent_obligation(regulation="DPA 1998")
+        v2 = consent_obligation(regulation="GDPR 2016")
+        register.register(v1)
+        register.register(v2)
+        current = register.current()
+        assert len(current) == 1
+        assert current[0].regulation == "GDPR 2016"
+        history = register.history_of("dp-consent")
+        assert [o.regulation for o in history] == ["DPA 1998"]
+
+    def test_aggregated_checkers_and_rules(self):
+        register = ObligationRegister()
+        register.register(consent_obligation())
+        rule = Rule.build("bg", "e", actions=[NotifyAction("x")])
+        register.register(break_glass_obligation([rule]))
+        assert len(register.all_checkers()) == 2
+        assert register.all_rules() == [rule]

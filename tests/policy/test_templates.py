@@ -1,0 +1,150 @@
+"""Policy templates and the standard library (Challenge 2)."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy import (
+    CommandAction,
+    Event,
+    NotifyAction,
+    PolicyTemplate,
+    TemplateParameter,
+    standard_library,
+)
+
+
+class TestTemplateMechanics:
+    def _template(self) -> PolicyTemplate:
+        return PolicyTemplate(
+            name="t",
+            description="d",
+            parameters=[
+                TemplateParameter("source"),
+                TemplateParameter("threshold", kind="number"),
+            ],
+            body="""
+rule $source-alert
+  on reading from $source
+  when value > $threshold
+  do notify ward "over"
+""",
+        )
+
+    def test_instantiation_produces_rules(self):
+        rules = self._template().instantiate(source="ann-sensor", threshold=140)
+        assert len(rules) == 1
+        rule = rules[0]
+        assert rule.name == "ann-sensor-alert"
+        assert rule.source_filter == "ann-sensor"
+        assert rule.matches(
+            Event("reading", {"value": 150}, source="ann-sensor"),
+            {"value": 150},
+        )
+
+    def test_missing_argument(self):
+        with pytest.raises(PolicyError):
+            self._template().instantiate(source="s")
+
+    def test_unknown_argument(self):
+        with pytest.raises(PolicyError):
+            self._template().instantiate(source="s", threshold=1, bogus=2)
+
+    def test_identifier_validation_blocks_injection(self):
+        """A malicious value cannot smuggle extra DSL clauses."""
+        with pytest.raises(PolicyError):
+            self._template().instantiate(
+                source="x\n  do isolate pe: everything", threshold=1
+            )
+
+    def test_number_validation(self):
+        with pytest.raises(PolicyError):
+            self._template().instantiate(source="s", threshold="not-a-number")
+        rules = self._template().instantiate(source="s", threshold="42")
+        assert rules[0].condition({"value": 43})
+
+    def test_undeclared_placeholder_rejected_at_definition(self):
+        with pytest.raises(PolicyError):
+            PolicyTemplate("bad", "d", [], body="rule $ghost\n  on e\n")
+
+    def test_defaults_used(self):
+        template = PolicyTemplate(
+            "t", "d",
+            [TemplateParameter("ep", default="out"),
+             TemplateParameter("src")],
+            body="rule r\n  on e\n  do map pe: $src.$ep -> sink.in\n",
+        )
+        rules = template.instantiate(src="sensor")
+        command = rules[0].actions[0].command
+        assert command.arguments["source_endpoint"] == "out"
+
+
+class TestStandardLibrary:
+    def test_catalogue(self):
+        library = standard_library()
+        assert set(library.names()) >= {
+            "threshold-alert", "emergency-replug",
+            "shift-end-disconnect", "rogue-isolation",
+        }
+        with pytest.raises(PolicyError):
+            library.get("missing")
+
+    def test_threshold_alert_behaviour(self):
+        library = standard_library()
+        rules = library.instantiate(
+            "threshold-alert", source="meter", threshold=5, channel="ops")
+        assert rules[0].matches(
+            Event("reading", {"value": 9.0}, source="meter"), {"value": 9.0})
+
+    def test_emergency_replug_wires_break_glass(self):
+        library = standard_library()
+        rules = library.instantiate(
+            "emergency-replug", engine="pe", stream="wearable",
+            team="ambulance")
+        rule = rules[0]
+        commands = [a for a in rule.actions if isinstance(a, CommandAction)]
+        assert commands[0].command.target == "wearable"
+        assert commands[0].command.arguments["sink"] == "ambulance"
+        # idempotence guard baked in:
+        assert not rule.matches(Event("emergency"), {"emergency.active": True})
+        assert rule.matches(Event("emergency"), {})
+
+    def test_rogue_isolation_scoped_to_suspect(self):
+        library = standard_library()
+        rules = library.instantiate("rogue-isolation", engine="pe",
+                                    thing="hacked-bulb")
+        rule = rules[0]
+        assert rule.matches(Event("anomaly-detected"),
+                            {"suspect": "hacked-bulb"})
+        assert not rule.matches(Event("anomaly-detected"),
+                                {"suspect": "innocent-kettle"})
+
+    def test_duplicate_template_rejected(self):
+        library = standard_library()
+        with pytest.raises(PolicyError):
+            library.add(library.get("threshold-alert"))
+
+    def test_engine_integration(self):
+        """Template → rules → engine → reconfiguration, end to end."""
+        from repro.ifc import SecurityContext
+        from repro.middleware import MessageBus, Reconfigurator
+        from repro.policy import PolicyEngine
+        from tests.conftest import make_component
+        from repro.middleware import MessageType
+
+        reading = MessageType.simple("reading", value=float)
+        bus = MessageBus()
+        ctx = SecurityContext.of(["personal"], [])
+        wearable = make_component("wearable", ctx, reading, owner="op")
+        ambulance = make_component("ambulance", ctx, reading, owner="op")
+        for component in (wearable, ambulance):
+            component.allow_controller("pe")
+            bus.register(component)
+        engine = PolicyEngine("pe", Reconfigurator(bus))
+        for rule in standard_library().instantiate(
+            "emergency-replug", engine="pe", stream="wearable",
+            team="ambulance"
+        ):
+            engine.add_rule(rule)
+        report = engine.handle_event(Event("emergency"))
+        assert report.outcomes and report.outcomes[0].applied
+        assert len(bus.channels_of(wearable)) == 1

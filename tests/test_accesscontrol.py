@@ -1,0 +1,172 @@
+"""Parametrised RBAC and two-stage PEPs (§4, §8.2.2)."""
+
+import pytest
+
+from repro.accesscontrol import (
+    EnforcementMode,
+    EnforcementPoint,
+    Permission,
+    RBACPolicy,
+    Role,
+    RoleActivationRule,
+    Session,
+)
+from repro.audit import AuditLog, RecordKind
+from repro.errors import AccessDenied, FlowError
+from repro.ifc import SecurityContext
+
+
+@pytest.fixture
+def ward_policy() -> RBACPolicy:
+    policy = RBACPolicy()
+    policy.grant(
+        "nurse",
+        Permission("read", "ward/w7/*", parameter_match=(("ward", "w7"),)),
+    )
+    policy.grant("doctor", Permission("read", "ward/*"))
+    policy.grant("doctor", Permission("write", "ward/*"))
+    policy.add_activation_rule(
+        RoleActivationRule(
+            "nurse", required_credentials=frozenset({"nursing-cert"})
+        )
+    )
+    policy.add_activation_rule(
+        RoleActivationRule(
+            "on-duty-nurse",
+            prerequisite_roles=frozenset({"nurse"}),
+            condition=lambda ctx: ctx.get("shift") == "on",
+        )
+    )
+    return policy
+
+
+class TestRoles:
+    def test_parametrised_role_equality(self):
+        assert Role.of("nurse", ward="w7") == Role.of("nurse", ward="w7")
+        assert Role.of("nurse", ward="w7") != Role.of("nurse", ward="w8")
+
+    def test_parameter_lookup(self):
+        role = Role.of("nurse", ward="w7")
+        assert role.parameter("ward") == "w7"
+        assert role.parameter("missing") is None
+
+    def test_str_rendering(self):
+        assert str(Role.of("doctor")) == "doctor"
+        assert str(Role.of("nurse", ward="w7")) == "nurse(ward=w7)"
+
+
+class TestActivation:
+    def test_activation_needs_credential(self, ward_policy):
+        session = Session("pat", ward_policy)
+        with pytest.raises(AccessDenied):
+            session.activate(Role.of("nurse", ward="w7"))
+        session.present_credential("nursing-cert")
+        session.activate(Role.of("nurse", ward="w7"))
+        assert Role.of("nurse", ward="w7") in session.active_roles
+
+    def test_contextual_activation(self, ward_policy):
+        session = Session("pat", ward_policy)
+        session.present_credential("nursing-cert")
+        session.activate(Role.of("nurse", ward="w7"))
+        with pytest.raises(AccessDenied):
+            session.activate(Role.of("on-duty-nurse"), context={"shift": "off"})
+        session.activate(Role.of("on-duty-nurse"), context={"shift": "on"})
+
+    def test_unrestricted_role_freely_activated(self, ward_policy):
+        session = Session("anyone", ward_policy)
+        session.activate(Role.of("visitor"))
+
+    def test_deactivation_cascades_to_dependent_roles(self, ward_policy):
+        session = Session("pat", ward_policy)
+        session.present_credential("nursing-cert")
+        nurse = Role.of("nurse", ward="w7")
+        session.activate(nurse)
+        session.activate(Role.of("on-duty-nurse"), context={"shift": "on"})
+        session.deactivate(nurse)
+        names = {r.name for r in session.active_roles}
+        assert "on-duty-nurse" not in names
+
+
+class TestAuthorisation:
+    def test_parameter_scoped_permission(self, ward_policy):
+        session = Session("pat", ward_policy)
+        session.present_credential("nursing-cert")
+        session.activate(Role.of("nurse", ward="w7"))
+        assert session.is_authorised("read", "ward/w7/bed3")
+        assert not session.is_authorised("read", "ward/w8/bed1")
+        assert not session.is_authorised("write", "ward/w7/bed3")
+
+    def test_wrong_parameterisation_gets_nothing(self, ward_policy):
+        session = Session("pat", ward_policy)
+        session.present_credential("nursing-cert")
+        session.activate(Role.of("nurse", ward="w8"))
+        assert not session.is_authorised("read", "ward/w7/bed3")
+
+    def test_check_raises_with_detail(self, ward_policy):
+        session = Session("pat", ward_policy)
+        with pytest.raises(AccessDenied) as excinfo:
+            session.check("read", "ward/w7/bed3")
+        assert "pat" in str(excinfo.value)
+
+    def test_revoke_all(self, ward_policy):
+        session = Session("doc", ward_policy)
+        session.activate(Role.of("doctor"))
+        assert session.is_authorised("write", "ward/w7/bed1")
+        ward_policy.revoke_all("doctor")
+        assert not session.is_authorised("write", "ward/w7/bed1")
+
+
+class TestEnforcementPoint:
+    def _session(self, ward_policy) -> Session:
+        session = Session("doc", ward_policy)
+        session.activate(Role.of("doctor"))
+        return session
+
+    def test_two_stage_check_passes(self, ward_policy, ann_device, ann_analyser):
+        log = AuditLog()
+        pep = EnforcementPoint("pep", audit=log)
+        session = self._session(ward_policy)
+        result = pep.enforce(
+            session, "read", "ward/w7/bed1", ann_device, ann_analyser
+        )
+        assert result.allowed and result.ac_passed and result.ifc_passed
+        kinds = [r.kind for r in log]
+        assert RecordKind.ACCESS_ALLOWED in kinds
+        assert RecordKind.FLOW_ALLOWED in kinds
+
+    def test_ac_failure_short_circuits(self, ward_policy, ann_device):
+        pep = EnforcementPoint("pep")
+        session = Session("nobody", ward_policy)
+        with pytest.raises(AccessDenied):
+            pep.enforce(session, "read", "ward/w7/bed1", ann_device, ann_device)
+        assert pep.denials == 1
+
+    def test_ifc_failure_after_ac_pass(self, ward_policy, zeb_device, ann_analyser):
+        log = AuditLog()
+        pep = EnforcementPoint("pep", audit=log)
+        session = self._session(ward_policy)
+        with pytest.raises(FlowError):
+            pep.enforce(session, "read", "ward/w7/bed1", zeb_device, ann_analyser)
+        assert log.denials()
+
+    def test_ac_only_mode_misses_ifc_violation(
+        self, ward_policy, zeb_device, ann_analyser
+    ):
+        """The paper's baseline: AC alone passes what IFC would block."""
+        pep = EnforcementPoint("pep", mode=EnforcementMode.AC_ONLY)
+        session = self._session(ward_policy)
+        result = pep.check(
+            session, "read", "ward/w7/bed1", zeb_device, ann_analyser
+        )
+        assert result.allowed  # the leak AC cannot see
+
+    def test_ifc_only_mode_needs_no_session(self, ann_device, ann_analyser):
+        pep = EnforcementPoint("pep", mode=EnforcementMode.IFC_ONLY)
+        result = pep.check(None, "read", "r", ann_device, ann_analyser)
+        assert result.allowed
+
+    def test_missing_session_denied_in_ac_modes(self, ann_device):
+        pep = EnforcementPoint("pep")
+        result = pep.check(None, "read", "r", ann_device, ann_device)
+        assert not result.allowed
+        assert not result.ac_passed

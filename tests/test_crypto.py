@@ -1,0 +1,261 @@
+"""Simulated crypto substrate: keys, certs, TLS, re-encryption, DP, TPM."""
+
+import pytest
+
+from repro.crypto import (
+    TPM,
+    AttestationVerifier,
+    CertificateAuthority,
+    PrivacyBudget,
+    PrivateAggregator,
+    ReEncryptionProxy,
+    ReEncryptionToken,
+    SymmetricKey,
+    TLSContext,
+    TrustStore,
+    decrypt_item,
+    encrypt_item,
+    generate_keypair,
+    share_via_proxy,
+    verify,
+)
+from repro.errors import AttestationError, CertificateError, PolicyError
+
+
+class TestKeysAndSignatures:
+    def test_sign_verify_roundtrip(self):
+        pair = generate_keypair()
+        signature = pair.sign(b"message")
+        assert verify(pair.public, b"message", signature)
+
+    def test_tampered_message_fails(self):
+        pair = generate_keypair()
+        signature = pair.sign(b"message")
+        assert not verify(pair.public, b"other", signature)
+
+    def test_wrong_key_fails(self):
+        a = generate_keypair()
+        b = generate_keypair()
+        assert not verify(b.public, b"m", a.sign(b"m"))
+
+    def test_unknown_key_verifies_nothing(self):
+        from repro.crypto.keys import KeyPair, PublicKey
+
+        ghost = PublicKey("not-registered")
+        assert not verify(ghost, b"m", "sig")
+
+
+class TestCertificates:
+    def _setup(self):
+        ca = CertificateAuthority("hospital-ca")
+        keys = generate_keypair()
+        cert = ca.issue("ann-device", keys.public,
+                        {"owner": "ann", "role": "sensor"},
+                        not_before=0.0, not_after=100.0)
+        store = TrustStore()
+        store.trust(ca)
+        return ca, cert, store
+
+    def test_valid_certificate_accepted(self):
+        __, cert, store = self._setup()
+        store.validate(cert, at_time=50.0)
+        assert cert.attribute("owner") == "ann"
+        assert cert.attribute("missing", "default") == "default"
+
+    def test_expired_certificate_rejected(self):
+        __, cert, store = self._setup()
+        with pytest.raises(CertificateError):
+            store.validate(cert, at_time=200.0)
+
+    def test_revocation(self):
+        ca, cert, store = self._setup()
+        ca.revoke("ann-device")
+        with pytest.raises(CertificateError):
+            store.validate(cert, at_time=50.0)
+
+    def test_untrusted_issuer_rejected(self):
+        rogue = CertificateAuthority("rogue-ca")
+        keys = generate_keypair()
+        cert = rogue.issue("impostor", keys.public)
+        store = TrustStore()
+        with pytest.raises(CertificateError):
+            store.validate(cert)
+
+    def test_forged_signature_rejected(self):
+        ca, cert, store = self._setup()
+        forged = type(cert)(
+            subject=cert.subject,
+            subject_key=cert.subject_key,
+            issuer=cert.issuer,
+            attributes=(("owner", "mallory"),),
+            not_before=cert.not_before,
+            not_after=cert.not_after,
+            signature=cert.signature,
+        )
+        assert not store.is_valid(forged, at_time=50.0)
+
+
+class TestWebOfTrust:
+    def test_endorsement_chain_within_depth(self):
+        store = TrustStore()
+        store.anchor_principal("alice")
+        store.add_endorsement("alice", "bob")
+        store.add_endorsement("bob", "carol")
+        assert store.web_trusts("carol", max_depth=2)
+        assert not store.web_trusts("carol", max_depth=1)
+
+    def test_unreachable_principal(self):
+        store = TrustStore()
+        store.anchor_principal("alice")
+        assert not store.web_trusts("stranger")
+
+
+class TestTLS:
+    def _context(self, name, ca, store):
+        keys = generate_keypair()
+        cert = ca.issue(name, keys.public)
+        return TLSContext(name, cert, keys, store)
+
+    def test_handshake_and_transfer(self):
+        ca = CertificateAuthority("ca")
+        store = TrustStore()
+        store.trust(ca)
+        alice = self._context("alice", ca, store)
+        bob = self._context("bob", ca, store)
+        chan_a, chan_b = alice.handshake(bob)
+        blob = chan_a.send({"v": 1})
+        assert chan_b.receive(blob) == {"v": 1}
+
+    def test_handshake_fails_for_distrusted_peer(self):
+        ca = CertificateAuthority("ca")
+        rogue_ca = CertificateAuthority("rogue")
+        store = TrustStore()
+        store.trust(ca)
+        alice = self._context("alice", ca, store)
+        mallory = self._context("mallory", rogue_ca, store)
+        with pytest.raises(CertificateError):
+            alice.handshake(mallory)
+
+
+class TestItemEncryption:
+    def test_roundtrip(self):
+        key = SymmetricKey.generate("k1")
+        blob = encrypt_item({"hr": 72}, key)
+        assert decrypt_item(blob, key) == {"hr": 72}
+
+    def test_wrong_key_rejected(self):
+        blob = encrypt_item("secret", SymmetricKey.generate("a"))
+        with pytest.raises(CertificateError):
+            decrypt_item(blob, SymmetricKey.generate("b"))
+
+
+class TestProxyReEncryption:
+    def test_share_via_proxy(self):
+        owner = SymmetricKey.generate("owner")
+        recipient = SymmetricKey.generate("recipient")
+        proxy = ReEncryptionProxy()
+        assert share_via_proxy("data", owner, recipient, proxy) == "data"
+        assert proxy.transform_count == 1
+
+    def test_no_token_no_transform(self):
+        proxy = ReEncryptionProxy()
+        blob = encrypt_item("x", SymmetricKey.generate("o"))
+        with pytest.raises(CertificateError):
+            proxy.transform(blob, "some-key")
+
+    def test_revoked_token_stops_transforms(self):
+        owner = SymmetricKey.generate("o")
+        recipient = SymmetricKey.generate("r")
+        proxy = ReEncryptionProxy()
+        token = ReEncryptionToken.issue(owner, recipient)
+        proxy.install_token(token)
+        blob = encrypt_item("x", owner)
+        proxy.transform(blob, recipient.key_id)
+        assert proxy.revoke_token(owner.key_id, recipient.key_id)
+        with pytest.raises(CertificateError):
+            proxy.transform(blob, recipient.key_id)
+
+
+class TestDifferentialPrivacy:
+    def test_budget_enforced(self):
+        budget = PrivacyBudget(total_epsilon=1.0)
+        aggregator = PrivateAggregator(budget, seed=1)
+        aggregator.count([1, 2, 3], epsilon=0.6)
+        with pytest.raises(PolicyError):
+            aggregator.count([1, 2, 3], epsilon=0.6)
+        assert budget.remaining < 0.5
+
+    def test_count_is_noisy_but_close(self):
+        aggregator = PrivateAggregator(PrivacyBudget(100.0), seed=7)
+        values = list(range(1000))
+        noisy = aggregator.count(values, epsilon=1.0)
+        assert abs(noisy - 1000) < 50
+
+    def test_mean_within_bounds(self):
+        aggregator = PrivateAggregator(PrivacyBudget(100.0), seed=3)
+        values = [70.0] * 500
+        noisy = aggregator.mean(values, epsilon=2.0, lower=0.0, upper=200.0)
+        assert 60.0 < noisy < 80.0
+
+    def test_sum_clamps_outliers(self):
+        aggregator = PrivateAggregator(PrivacyBudget(100.0), seed=5)
+        values = [1.0, 1.0, 10_000.0]  # outlier clamped to 2.0
+        noisy = aggregator.sum(values, epsilon=5.0, lower=0.0, upper=2.0)
+        assert noisy < 100.0
+
+    def test_invalid_parameters(self):
+        aggregator = PrivateAggregator(PrivacyBudget(1.0), seed=0)
+        with pytest.raises(PolicyError):
+            aggregator.count([], epsilon=0.0)
+        with pytest.raises(PolicyError):
+            aggregator.sum([1.0], epsilon=0.1, lower=5.0, upper=1.0)
+        with pytest.raises(PolicyError):
+            aggregator.mean([], epsilon=0.1, lower=0.0, upper=1.0)
+
+    def test_histogram(self):
+        aggregator = PrivateAggregator(PrivacyBudget(10.0), seed=2)
+        histogram = aggregator.histogram(["a", "a", "b"], epsilon=2.0)
+        assert set(histogram) == {"a", "b"}
+
+
+class TestTPMAndAttestation:
+    def test_pcr_extend_only(self):
+        tpm = TPM("host")
+        before = tpm.pcr(0)
+        tpm.extend(0, "kernel")
+        assert tpm.pcr(0) != before
+        with pytest.raises(AttestationError):
+            tpm.extend(99, "x")
+
+    def test_good_platform_attests(self):
+        tpm = TPM("host")
+        tpm.extend(0, "bootloader")
+        tpm.extend(0, "kernel")
+        verifier = AttestationVerifier()
+        verifier.golden_for_measurements("host", 0, ["bootloader", "kernel"])
+        assert verifier.attest(tpm, [0])
+
+    def test_tampered_platform_rejected(self):
+        tpm = TPM("host")
+        tpm.extend(0, "bootloader")
+        tpm.extend(0, "evil-kernel")
+        verifier = AttestationVerifier()
+        verifier.golden_for_measurements("host", 0, ["bootloader", "kernel"])
+        assert not verifier.attest(tpm, [0])
+
+    def test_nonce_replay_rejected(self):
+        tpm = TPM("host")
+        verifier = AttestationVerifier()
+        verifier.golden_for_measurements("host", 0, [])
+        nonce = verifier.fresh_nonce()
+        quote = tpm.quote(nonce, [0])
+        verifier.verify_quote(quote)
+        with pytest.raises(AttestationError):
+            verifier.verify_quote(quote)
+
+    def test_unknown_platform_rejected(self):
+        tpm = TPM("mystery")
+        verifier = AttestationVerifier()
+        nonce = verifier.fresh_nonce()
+        with pytest.raises(AttestationError):
+            verifier.verify_quote(tpm.quote(nonce, [0]))

@@ -1,0 +1,112 @@
+"""Simulated network: latency, loss, partitions, offline hosts."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import Network
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, default_latency=0.5)
+
+
+class TestTopology:
+    def test_duplicate_host_rejected(self, net):
+        net.add_host("a")
+        with pytest.raises(NetworkError):
+            net.add_host("a")
+
+    def test_unknown_host_send_raises(self, net):
+        net.add_host("a")
+        with pytest.raises(NetworkError):
+            net.send("a", "ghost", "x")
+        with pytest.raises(NetworkError):
+            net.send("ghost", "a", "x")
+
+
+class TestDelivery:
+    def test_delivery_after_latency(self, sim, net):
+        received = []
+        net.add_host("a")
+        net.add_host("b", receiver=lambda d: received.append(d))
+        net.send("a", "b", "hello")
+        assert received == []  # not yet delivered
+        sim.run_for(1.0)
+        assert len(received) == 1
+        assert received[0].payload == "hello"
+        assert received[0].delivered_at == 0.5
+
+    def test_custom_link_latency(self, sim, net):
+        received = []
+        net.add_host("a")
+        net.add_host("b", receiver=lambda d: received.append(d))
+        net.link("a", "b", latency=2.0)
+        net.send("a", "b", "x")
+        sim.run_for(1.0)
+        assert received == []
+        sim.run_for(1.5)
+        assert len(received) == 1
+
+    def test_loss_probability_drops_deterministically(self, sim):
+        net = Network(sim)
+        received = []
+        net.add_host("a")
+        net.add_host("b", receiver=lambda d: received.append(d))
+        net.link("a", "b", loss_probability=1.0)
+        net.send("a", "b", "x")
+        sim.run_for(1.0)
+        assert received == []
+        assert net.stats.dropped == 1
+
+    def test_offline_destination_drops(self, sim, net):
+        received = []
+        net.add_host("a")
+        host_b = net.add_host("b", receiver=lambda d: received.append(d))
+        host_b.online = False
+        net.send("a", "b", "x")
+        sim.run_for(1.0)
+        assert received == []
+        assert net.stats.dropped == 1
+
+    def test_no_receiver_counts_as_drop(self, sim, net):
+        net.add_host("a")
+        net.add_host("b")  # no receiver
+        net.send("a", "b", "x")
+        sim.run_for(1.0)
+        assert net.stats.dropped == 1
+
+
+class TestPartitions:
+    def test_partition_blocks_both_directions(self, sim, net):
+        received = []
+        net.add_host("a", receiver=lambda d: received.append(("a", d)))
+        net.add_host("b", receiver=lambda d: received.append(("b", d)))
+        net.partition({"a"}, {"b"})
+        net.send("a", "b", "x")
+        net.send("b", "a", "y")
+        sim.run_for(1.0)
+        assert received == []
+        assert net.stats.blocked_partition == 2
+
+    def test_heal_restores_connectivity(self, sim, net):
+        received = []
+        net.add_host("a")
+        net.add_host("b", receiver=lambda d: received.append(d))
+        net.partition({"a"}, {"b"})
+        net.send("a", "b", "lost")
+        net.heal_partitions()
+        net.send("a", "b", "found")
+        sim.run_for(1.0)
+        assert [d.payload for d in received] == ["found"]
+
+    def test_partition_does_not_affect_third_parties(self, sim, net):
+        received = []
+        net.add_host("a")
+        net.add_host("b")
+        net.add_host("c", receiver=lambda d: received.append(d))
+        net.partition({"a"}, {"b"})
+        net.send("a", "c", "ok")
+        sim.run_for(1.0)
+        assert len(received) == 1

@@ -1,0 +1,176 @@
+"""Property-based tests across the newer subsystems (hypothesis)."""
+
+import string
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.audit import AuditLog
+from repro.ifc import (
+    Label,
+    SecurityContext,
+    TagMapper,
+    TagOntology,
+    can_flow,
+    semantic_can_flow,
+)
+from repro.ifc.tags import Tag
+from repro.middleware import AttributeSpec, Message, MessageType
+from repro.ifc import as_tags
+
+TAGS = ["a", "b", "c", "d"]
+
+labels = st.builds(
+    lambda names: Label.of(*names),
+    st.frozensets(st.sampled_from(TAGS), max_size=4),
+)
+contexts = st.builds(SecurityContext, labels, labels)
+
+
+# -- ontology ---------------------------------------------------------------------
+
+ontology_edges = st.lists(
+    st.tuples(st.sampled_from(TAGS), st.sampled_from(TAGS)),
+    max_size=6,
+)
+
+
+def build_ontology(edges):
+    onto = TagOntology()
+    for child, parent in edges:
+        try:
+            onto.declare_subtype(child, parent)
+        except Exception:
+            pass  # skip self/cycle edges
+    return onto
+
+
+@given(ontology_edges, contexts, contexts)
+def test_semantic_flow_subsumes_flat_flow(edges, a, b):
+    """Everything flat IFC allows, semantic IFC allows (monotone)."""
+    onto = build_ontology(edges)
+    if can_flow(a, b):
+        assert semantic_can_flow(onto, a, b)
+
+
+@given(contexts, contexts)
+def test_semantic_flow_equals_flat_with_empty_ontology(a, b):
+    onto = TagOntology()
+    assert semantic_can_flow(onto, a, b) == can_flow(a, b)
+
+
+@given(ontology_edges, labels)
+def test_expansion_is_extensive_and_idempotent(edges, label):
+    onto = build_ontology(edges)
+    expanded = onto.expand_label(label)
+    assert label <= expanded
+    assert onto.expand_label(expanded) == expanded
+
+
+# -- translation --------------------------------------------------------------------
+
+
+@given(contexts)
+def test_full_mapping_roundtrips(ctx):
+    mapper = TagMapper("lo", "hi")
+    for name in TAGS:
+        mapper.map(f"local:{name}", f"hi:{name}")
+    assert mapper.roundtrip_consistent(ctx)
+
+
+@given(contexts, contexts)
+def test_translation_preserves_flow_decisions(a, b):
+    mapper = TagMapper("lo", "hi")
+    for name in TAGS:
+        mapper.map(f"local:{name}", f"hi:{name}")
+    assert can_flow(a, b) == can_flow(mapper.translate(a), mapper.translate(b))
+
+
+# -- message quenching -----------------------------------------------------------------
+
+attribute_tags = st.lists(
+    st.frozensets(st.sampled_from(TAGS), max_size=2), min_size=1, max_size=5
+)
+
+
+@given(attribute_tags, labels)
+def test_quenching_sound_and_maximal(extra_tags, receiver_secrecy):
+    """Quenching keeps exactly the attributes the receiver may see."""
+    schema = MessageType(
+        "m",
+        [
+            AttributeSpec(f"attr{i}", int, extra_secrecy=as_tags(tags))
+            for i, tags in enumerate(extra_tags)
+        ],
+    )
+    message = Message(
+        schema,
+        {f"attr{i}": i for i in range(len(extra_tags))},
+        SecurityContext.public(),
+    )
+    receiver = SecurityContext(receiver_secrecy, Label.empty())
+    quenched = message.quenched_for(receiver)
+    for i, tags in enumerate(extra_tags):
+        name = f"attr{i}"
+        needed = Label(as_tags(tags))
+        if needed <= receiver.secrecy:
+            assert name in quenched.values          # maximal
+        else:
+            assert name not in quenched.values      # sound
+
+
+@given(attribute_tags)
+def test_fully_cleared_receiver_loses_nothing(extra_tags):
+    schema = MessageType(
+        "m",
+        [
+            AttributeSpec(f"attr{i}", int, extra_secrecy=as_tags(tags))
+            for i, tags in enumerate(extra_tags)
+        ],
+    )
+    message = Message(
+        schema,
+        {f"attr{i}": i for i in range(len(extra_tags))},
+        SecurityContext.public(),
+    )
+    receiver = SecurityContext.of(TAGS, [])
+    assert message.quenched_for(receiver).values == message.values
+
+
+# -- audit log -------------------------------------------------------------------------
+
+actions = st.lists(
+    st.tuples(
+        st.sampled_from(["allow", "deny"]),
+        st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6),
+        st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6),
+    ),
+    max_size=30,
+)
+
+
+@given(actions)
+def test_audit_chain_always_verifies_fresh(entries):
+    log = AuditLog()
+    for kind, actor, subject in entries:
+        if kind == "allow":
+            log.flow_allowed(actor, subject)
+        else:
+            log.flow_denied(actor, subject, "reason")
+    assert log.verify()
+    assert len(log) == len(entries)
+
+
+@given(actions, st.integers(min_value=0, max_value=29))
+def test_audit_tamper_always_detected(entries, position):
+    assume(entries)
+    log = AuditLog()
+    for kind, actor, subject in entries:
+        if kind == "allow":
+            log.flow_allowed(actor, subject)
+        else:
+            log.flow_denied(actor, subject, "reason")
+    position = position % len(entries)
+    record = log.records()[position]
+    object.__setattr__(record, "actor", record.actor + "-tampered")
+    assert not log.verify()

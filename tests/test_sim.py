@@ -1,0 +1,129 @@
+"""Discrete-event simulator: clocks, ordering, recurrence."""
+
+import pytest
+
+from repro.sim import Clock, EventQueue, Simulator
+
+
+class TestClock:
+    def test_starts_at_given_time(self):
+        assert Clock(5.0).now() == 5.0
+
+    def test_advance(self):
+        clock = Clock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_no_backwards_travel(self):
+        clock = Clock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert order == ["a", "b"]
+
+    def test_ties_break_by_insertion(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("first"))
+        queue.push(1.0, lambda: order.append("second"))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert order == ["first", "second"]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule_in(5.0, lambda: times.append(sim.now()))
+        sim.run_for(10.0)
+        assert times == [5.0]
+        assert sim.now() == 10.0
+
+    def test_run_until_stops_at_boundary(self, sim):
+        fired = []
+        sim.schedule_at(3.0, lambda: fired.append(3))
+        sim.schedule_at(7.0, lambda: fired.append(7))
+        sim.run_until(5.0)
+        assert fired == [3]
+        sim.run_until(10.0)
+        assert fired == [3, 7]
+
+    def test_cannot_schedule_in_the_past(self, sim):
+        sim.run_for(10.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_recurring_events(self, sim):
+        count = []
+        sim.schedule_every(2.0, lambda: count.append(sim.now()))
+        sim.run_for(7.0)
+        assert count == [2.0, 4.0, 6.0]
+
+    def test_recurring_cancel(self, sim):
+        count = []
+        cancel = sim.schedule_every(1.0, lambda: count.append(1))
+        sim.run_for(3.0)
+        cancel()
+        sim.run_for(3.0)
+        assert len(count) == 3
+
+    def test_recurring_until(self, sim):
+        count = []
+        sim.schedule_every(1.0, lambda: count.append(sim.now()), until=3.0)
+        sim.run_for(10.0)
+        assert count == [1.0, 2.0, 3.0]
+
+    def test_recurring_rejects_bad_interval(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule_every(0.0, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self, sim):
+        log = []
+
+        def outer():
+            log.append("outer")
+            sim.schedule_in(1.0, lambda: log.append("inner"))
+
+        sim.schedule_in(1.0, outer)
+        sim.run_for(5.0)
+        assert log == ["outer", "inner"]
+
+    def test_drain_respects_cap(self, sim):
+        def reschedule():
+            sim.schedule_in(1.0, reschedule)
+
+        sim.schedule_in(1.0, reschedule)
+        processed = sim.drain(max_events=50)
+        assert processed == 50
+
+    def test_seeded_rng_reproducible(self):
+        a = Simulator(seed=99).rng.random()
+        b = Simulator(seed=99).rng.random()
+        assert a == b

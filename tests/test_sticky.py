@@ -1,0 +1,90 @@
+"""Sticky policies — the §10.2 comparator, including its gap."""
+
+import pytest
+
+from repro.crypto import (
+    StickyBundle,
+    StickyParty,
+    StickyPolicy,
+    TrustedAuthority,
+)
+from repro.errors import CertificateError
+
+
+@pytest.fixture
+def sealed():
+    authority = TrustedAuthority()
+    policy = StickyPolicy(
+        allowed_purposes=("research",),
+        allowed_parties=("university",),
+    )
+    bundle = authority.seal({"hr": [72.0, 75.0]}, policy, owner="ann")
+    return authority, bundle
+
+
+class TestMechanism:
+    def test_allowed_party_and_purpose_gets_key(self, sealed):
+        authority, bundle = sealed
+        party = StickyParty("university")
+        payload = party.obtain(authority, bundle, purpose="research")
+        assert payload == {"hr": [72.0, 75.0]}
+
+    def test_wrong_party_refused(self, sealed):
+        authority, bundle = sealed
+        party = StickyParty("advertiser")
+        with pytest.raises(CertificateError):
+            party.obtain(authority, bundle, purpose="research")
+
+    def test_wrong_purpose_refused(self, sealed):
+        authority, bundle = sealed
+        party = StickyParty("university")
+        with pytest.raises(CertificateError):
+            party.obtain(authority, bundle, purpose="marketing")
+
+    def test_open_party_list_admits_any_promiser(self):
+        authority = TrustedAuthority()
+        bundle = authority.seal(
+            "data", StickyPolicy(allowed_purposes=("x",)), owner="o")
+        payload = StickyParty("anyone").obtain(authority, bundle, "x")
+        assert payload == "data"
+
+    def test_owner_sees_key_releases(self, sealed):
+        authority, bundle = sealed
+        StickyParty("university").obtain(authority, bundle, "research")
+        assert len(authority.releases) == 1
+        release = authority.releases[0]
+        assert release.party == "university"
+        assert release.owner == "ann"
+
+
+class TestTheGap:
+    """The paper's criticism, demonstrated as executable fact."""
+
+    def test_post_decryption_resharing_is_invisible(self, sealed):
+        authority, bundle = sealed
+        university = StickyParty("university")
+        university.obtain(authority, bundle, "research")
+        advertiser = StickyParty("advertiser")
+
+        university.reshare(advertiser)   # nothing prevents this
+
+        assert advertiser.plaintexts == [{"hr": [72.0, 75.0]}]
+        # and the authority saw exactly one release — the leak is
+        # invisible: "no means to ensure the proper usage of data once
+        # decrypted".
+        assert len(authority.releases) == 1
+        assert all(r.party == "university" for r in authority.releases)
+
+    def test_contrast_with_ifc(self):
+        """The same leak attempt under IFC is blocked AND audited."""
+        from repro.audit import AuditLog
+        from repro.ifc import SecurityContext, flow_decision
+
+        log = AuditLog()
+        ann_data = SecurityContext.of(["medical", "ann"], [])
+        advertiser = SecurityContext.public()
+        decision = flow_decision(ann_data, advertiser)
+        assert not decision.allowed
+        log.flow_denied("university", "advertiser", decision.reason,
+                        ann_data, advertiser)
+        assert log.denials()  # the attempt itself is evidence
