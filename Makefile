@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: verify test bench bench-all
+
+# Tier-1 verification: the whole suite, fail-fast.
+verify:
+	$(PYTHON) -m pytest -x -q
+
+# Unit tests only (fast inner loop; skips the benchmark figures).
+test:
+	$(PYTHON) -m pytest tests/ -x -q
+
+# Quick bench: the decision-plane microbenchmarks, with the report rows
+# printed and BENCH_decision_plane.json regenerated.
+bench:
+	$(PYTHON) -m pytest benchmarks/test_scale_decision_cache.py -q -s
+
+# The full figure/scale benchmark suite.
+bench-all:
+	$(PYTHON) -m pytest benchmarks/ -q -s

@@ -25,7 +25,7 @@ from repro.accesscontrol.rbac import RBACPolicy, Role, Session
 from repro.audit.log import AuditLog
 from repro.audit.records import RecordKind
 from repro.errors import AccessDenied, FlowError
-from repro.ifc.flow import flow_decision
+from repro.ifc.decisions import DecisionPlane
 from repro.ifc.labels import SecurityContext
 
 
@@ -61,10 +61,12 @@ class EnforcementPoint:
         name: str,
         mode: EnforcementMode = EnforcementMode.AC_AND_IFC,
         audit: Optional[AuditLog] = None,
+        plane: Optional[DecisionPlane] = None,
     ):
         self.name = name
         self.mode = mode
         self.audit = audit
+        self.plane = plane or DecisionPlane(audit=audit)
         self.checks = 0
         self.denials = 0
 
@@ -83,12 +85,10 @@ class EnforcementPoint:
         target: Optional[SecurityContext],
         reason: str,
     ) -> None:
-        if self.audit is None:
-            return
         if allowed:
-            self.audit.flow_allowed(actor, subject, source, target, {"pep": self.name})
+            self.plane.audit_allowed(actor, subject, source, target, {"pep": self.name})
         else:
-            self.audit.flow_denied(actor, subject, reason, source, target)
+            self.plane.audit_denied(actor, subject, reason, source, target)
 
     def check(
         self,
@@ -126,7 +126,7 @@ class EnforcementPoint:
 
         if self.mode in (EnforcementMode.IFC_ONLY, EnforcementMode.AC_AND_IFC):
             if source_context is not None and target_context is not None:
-                decision = flow_decision(source_context, target_context)
+                decision = self.plane.evaluate(source_context, target_context)
                 ifc_passed = decision.allowed
                 reason = decision.reason
                 actor = session.principal if session else "<anonymous>"

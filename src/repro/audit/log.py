@@ -38,6 +38,20 @@ class AuditLog:
     supplies timestamps (wire it to the simulator for deterministic
     runs).
 
+    ``buffer_size`` enables the buffered writer used by batched
+    workloads: records are appended immediately (they are visible to
+    ``records()``/iteration right away) but their chain digests are
+    computed lazily, in chunks, once ``buffer_size`` records are pending
+    or on an explicit :meth:`flush`.  Everything that *observes* the
+    chain — :attr:`head_digest`, :meth:`verify`, :meth:`export`,
+    :meth:`prune_before` — flushes first, so the chain construction and
+    the ``verify()`` result are byte-identical to an unbuffered log with
+    the same records.  The tamper-evidence *window* does narrow:
+    records become tamper-evident when folded into the chain, so a
+    still-pending record modified in memory before its first flush is
+    chained as modified.  Size the buffer for the trust domain — the
+    default of 0 keeps the original append-time guarantee.
+
     Example::
 
         log = AuditLog(clock=sim.now)
@@ -45,13 +59,19 @@ class AuditLog:
         assert log.verify()
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None, name: str = "audit"):
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        name: str = "audit",
+        buffer_size: int = 0,
+    ):
         self.name = name
         self._clock = clock or (lambda: 0.0)
         self._records: List[AuditRecord] = []
         self._digests: List[str] = []
         self._base_digest = GENESIS_DIGEST
         self._base_seq = 0
+        self.buffer_size = buffer_size
 
     # -- core append/verify ------------------------------------------------
 
@@ -62,8 +82,14 @@ class AuditLog:
         return iter(self._records)
 
     @property
+    def pending(self) -> int:
+        """Records appended but not yet folded into the hash chain."""
+        return len(self._records) - len(self._digests)
+
+    @property
     def head_digest(self) -> str:
         """Digest of the most recent record (genesis digest when empty)."""
+        self.flush()
         return self._digests[-1] if self._digests else self._base_digest
 
     def append(
@@ -75,7 +101,11 @@ class AuditLog:
         source_context: Optional[SecurityContext] = None,
         target_context: Optional[SecurityContext] = None,
     ) -> AuditRecord:
-        """Append one record, extending the hash chain."""
+        """Append one record, extending the hash chain.
+
+        In buffered mode the chain extension is deferred; see
+        :meth:`flush`.
+        """
         record = AuditRecord(
             seq=self._base_seq + len(self._records),
             timestamp=self._clock(),
@@ -86,9 +116,27 @@ class AuditLog:
             source_context=source_context,
             target_context=target_context,
         )
-        self._digests.append(_chain_digest(self.head_digest, record))
         self._records.append(record)
+        if self.buffer_size <= 0 or self.pending >= self.buffer_size:
+            self.flush()
         return record
+
+    def flush(self) -> int:
+        """Fold all pending records into the hash chain, in one chunk.
+
+        Returns the number of records whose digests were computed.
+        Idempotent; a no-op on an unbuffered or already-flushed log.
+        """
+        digests = self._digests
+        start = len(digests)
+        records = self._records
+        if start == len(records):
+            return 0
+        digest = digests[-1] if digests else self._base_digest
+        for record in records[start:]:
+            digest = _chain_digest(digest, record)
+            digests.append(digest)
+        return len(records) - start
 
     def verify(self) -> bool:
         """Recompute the whole chain; True iff untampered.
@@ -104,6 +152,7 @@ class AuditLog:
 
     def verify_strict(self) -> None:
         """Recompute the chain, raising on the first mismatch."""
+        self.flush()
         digest = self._base_digest
         for i, record in enumerate(self._records):
             digest = _chain_digest(digest, record)
@@ -205,8 +254,10 @@ class AuditLog:
         The digest of the last pruned record becomes the new chain base,
         so the retained suffix still verifies; auditors holding the old
         head digest can still authenticate continuity.  Returns the
-        number of records pruned.
+        number of records pruned.  Buffered appends are flushed first so
+        the new chain base is always a real, computed digest.
         """
+        self.flush()
         keep_from = 0
         while (
             keep_from < len(self._records)
@@ -225,6 +276,7 @@ class AuditLog:
         """Serialise records (with digests) for offload to another party
         (Challenge 6: "can logs be offloaded to others for distributed
         audit?")."""
+        self.flush()
         return [
             {"record": r.canonical(), "digest": d}
             for r, d in zip(self._records, self._digests)

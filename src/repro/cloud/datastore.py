@@ -30,7 +30,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
 
 from repro.audit.log import AuditLog
 from repro.errors import FlowError, KernelError
-from repro.ifc.flow import can_flow, flow_decision
+from repro.ifc.decisions import DecisionPlane
 from repro.ifc.labels import SecurityContext
 from repro.ifc.lattice import join
 
@@ -70,6 +70,10 @@ class LabelledStore:
     ):
         self.name = name
         self.audit = audit
+        # Row scans re-check the same (row, reader) context pairs on
+        # every query; the memoizing plane makes the per-row check a
+        # dict hit.
+        self.plane = DecisionPlane(audit=audit)
         self._clock = clock or (lambda: 0.0)
         self._rows: Dict[int, Row] = {}
         self._ids = itertools.count(1)
@@ -94,11 +98,10 @@ class LabelledStore:
             written_at=self._clock(),
         )
         self._rows[row.row_id] = row
-        if self.audit is not None:
-            self.audit.flow_allowed(
-                writer, f"{self.name}#{row.row_id}", context, context,
-                {"op": "insert"},
-            )
+        self.plane.audit_allowed(
+            writer, f"{self.name}#{row.row_id}", context, context,
+            {"op": "insert"},
+        )
         return row
 
     def update(
@@ -116,23 +119,21 @@ class LabelledStore:
         row = self._rows.get(row_id)
         if row is None:
             raise KernelError(f"{self.name}: no row {row_id}")
-        decision = flow_decision(writer_context, row.context)
+        decision = self.plane.evaluate(writer_context, row.context)
         if not decision.allowed:
-            if self.audit is not None:
-                self.audit.flow_denied(
-                    writer, f"{self.name}#{row_id}", decision.reason,
-                    writer_context, row.context,
-                )
+            self.plane.audit_denied(
+                writer, f"{self.name}#{row_id}", decision.reason,
+                writer_context, row.context,
+            )
             raise FlowError(writer, f"{self.name}#{row_id}", decision.reason)
         row.values.update(values)
         row.context = join(row.context, writer_context)
         row.written_by = writer
         row.written_at = self._clock()
-        if self.audit is not None:
-            self.audit.flow_allowed(
-                writer, f"{self.name}#{row_id}", writer_context, row.context,
-                {"op": "update"},
-            )
+        self.plane.audit_allowed(
+            writer, f"{self.name}#{row_id}", writer_context, row.context,
+            {"op": "update"},
+        )
         return row
 
     # -- reads ---------------------------------------------------------------------
@@ -154,23 +155,22 @@ class LabelledStore:
         for row in self._rows.values():
             if predicate is not None and not predicate(row.values):
                 continue
-            if can_flow(row.context, reader_context):
+            if self.plane.allows(row.context, reader_context):
                 visible.append(row)
             else:
                 denied += 1
-                if self.audit is not None:
-                    self.audit.flow_denied(
-                        f"{self.name}#{row.row_id}", reader,
-                        "row context exceeds reader clearance",
-                        row.context, reader_context,
-                    )
+                self.plane.audit_denied(
+                    f"{self.name}#{row.row_id}", reader,
+                    "row context exceeds reader clearance",
+                    row.context, reader_context,
+                )
                 if strict:
                     raise FlowError(
                         f"{self.name}#{row.row_id}", reader,
                         "strict query touched an unreadable row",
                     )
-        if self.audit is not None and visible:
-            self.audit.flow_allowed(
+        if visible:
+            self.plane.audit_allowed(
                 self.name, reader, None, reader_context,
                 {"op": "query", "rows": len(visible), "filtered": denied},
             )
@@ -204,20 +204,18 @@ class LabelledStore:
         amalgamated = SecurityContext.public()
         for row in contributing:
             amalgamated = join(amalgamated, row.context)
-        decision = flow_decision(amalgamated, reader_context)
+        decision = self.plane.evaluate(amalgamated, reader_context)
         if not decision.allowed:
-            if self.audit is not None:
-                self.audit.flow_denied(
-                    self.name, reader, f"aggregate: {decision.reason}",
-                    amalgamated, reader_context,
-                )
-            raise FlowError(self.name, reader, decision.reason)
-        if self.audit is not None:
-            self.audit.flow_allowed(
-                self.name, reader, amalgamated, reader_context,
-                {"op": "aggregate", "column": column,
-                 "rows": len(contributing)},
+            self.plane.audit_denied(
+                self.name, reader, f"aggregate: {decision.reason}",
+                amalgamated, reader_context,
             )
+            raise FlowError(self.name, reader, decision.reason)
+        self.plane.audit_allowed(
+            self.name, reader, amalgamated, reader_context,
+            {"op": "aggregate", "column": column,
+             "rows": len(contributing)},
+        )
         return reducer([float(row.values[column]) for row in contributing])
 
     def contexts_present(self) -> List[SecurityContext]:

@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.audit.log import AuditLog
 from repro.audit.records import RecordKind
 from repro.errors import FlowError, KernelError, PrivilegeError
-from repro.ifc.flow import flow_decision
+from repro.ifc.decisions import DecisionPlane
 from repro.ifc.labels import SecurityContext
 from repro.ifc.privileges import PrivilegeSet
 
@@ -122,16 +122,18 @@ class IFCSecurityModule(SecurityModule):
 
     def __init__(self, audit: Optional[AuditLog] = None):
         self.audit = audit
+        # LSM hooks fire once per syscall on the same few (process,
+        # object) context pairs — the memoizing plane is what keeps the
+        # F9 overhead benchmark's per-syscall cost flat.
+        self.plane = DecisionPlane(audit=audit)
 
     def _check(self, src_name: str, src: SecurityContext,
                dst_name: str, dst: SecurityContext) -> None:
-        decision = flow_decision(src, dst)
-        if self.audit is not None:
-            if decision.allowed:
-                self.audit.flow_allowed(src_name, dst_name, src, dst)
-            else:
-                self.audit.flow_denied(src_name, dst_name, decision.reason, src, dst)
-        if not decision.allowed:
+        decision = self.plane.evaluate(src, dst)
+        if decision.allowed:
+            self.plane.audit_allowed(src_name, dst_name, src, dst)
+        else:
+            self.plane.audit_denied(src_name, dst_name, decision.reason, src, dst)
             raise FlowError(src_name, dst_name, decision.reason)
 
     def hook_object_create(self, process: Process, obj: KernelObject) -> None:

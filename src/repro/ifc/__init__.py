@@ -5,6 +5,7 @@ Public API::
     from repro.ifc import (
         Tag, TagRegistry, Label, SecurityContext,
         can_flow, flow_decision, check_flow, FlowDecision,
+        DecisionPlane, DecisionCache, TagInterner,
         PrivilegeSet, PrivilegeAuthority,
         Entity, ActiveEntity, PassiveEntity,
         Gateway, Endorser, Declassifier, plan_gateway_chain,
@@ -27,6 +28,12 @@ from repro.ifc.flow import (
     check_flow,
     flow_decision,
     flow_path_allowed,
+)
+from repro.ifc.interner import TagInterner, global_interner
+from repro.ifc.decisions import (
+    DecisionCache,
+    DecisionPlane,
+    DecisionStats,
 )
 from repro.ifc.privileges import (
     Delegation,
@@ -81,6 +88,11 @@ __all__ = [
     "SecurityContext",
     "as_label",
     "FlowDecision",
+    "DecisionCache",
+    "DecisionPlane",
+    "DecisionStats",
+    "TagInterner",
+    "global_interner",
     "can_flow",
     "check_flow",
     "flow_decision",

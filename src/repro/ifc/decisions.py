@@ -1,0 +1,216 @@
+"""The decision plane: one shared, memoizing IFC decision core.
+
+Every enforcement point in the system — channel establishment and
+per-message re-checks on the bus, the cross-machine substrate's send and
+receive sides, the AC+IFC PEP, the simulated kernel's LSM hooks, and the
+labelled datastore — enforces the same §6 rule::
+
+    A -> B  iff  S(A) ⊆ S(B)  ∧  I(B) ⊆ I(A)
+
+The overhead benchmarks (F9/F10, scale-flowcheck) show this check plus
+per-record audit emission dominating the hot path, and most workloads
+evaluate the *same pair of contexts* over and over (a sensor publishing
+to the same analysers, a process writing the same file).  Rather than
+each enforcement site calling :func:`~repro.ifc.flow.flow_decision` ad
+hoc, they all route through a :class:`DecisionPlane` that owns:
+
+* **evaluation** — memoized in a :class:`DecisionCache` keyed on the
+  *label values* of the two contexts (their interned bitset masks);
+* **audit emission** — the plane forwards flow outcomes to its audit
+  log, so buffered/batched audit policy lives in one place.
+
+Cache-invalidation rule
+-----------------------
+The cache is value-keyed: the key of ``(src, dst)`` is the 4-tuple of
+the contexts' secrecy/integrity bitsets.  Because
+:class:`~repro.ifc.labels.SecurityContext` is immutable, a
+declassification or endorsement necessarily produces a *new* context
+whose masks differ, hence a different key — a stale grant can never be
+served after a label change.  Explicit :meth:`DecisionPlane.invalidate`
+exists to bound memory (and for belt-and-braces after bulk policy
+changes), not for correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.errors import FlowError
+from repro.ifc.flow import FlowDecision, flow_decision
+from repro.ifc.labels import SecurityContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (audit ↔ ifc)
+    from repro.audit.log import AuditLog
+
+
+@dataclass
+class DecisionStats:
+    """Hit/miss/eviction counters for one decision cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class DecisionCache:
+    """Memo table from context-pair label values to flow decisions.
+
+    Keys are the four label bitsets of the pair — ``(src.secrecy,
+    src.integrity, dst.secrecy, dst.integrity)`` masks.  Entries
+    are immutable :class:`~repro.ifc.flow.FlowDecision` objects, safe to
+    share between callers.  The table is bounded: when ``max_entries`` is
+    reached it is cleared wholesale (the workloads this serves re-warm in
+    one round, and wholesale clearing avoids per-hit LRU bookkeeping on
+    the fast path).  Counters are bare ints — this method runs once per
+    enforced flow in the whole system.
+    """
+
+    __slots__ = ("_table", "max_entries", "hits", "misses", "evictions")
+
+    def __init__(self, max_entries: int = 65536):
+        self._table: Dict[Tuple[int, int, int, int], FlowDecision] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def stats(self) -> DecisionStats:
+        return DecisionStats(self.hits, self.misses, self.evictions)
+
+    def evaluate(self, source: SecurityContext, target: SecurityContext) -> FlowDecision:
+        """The memoized flow rule."""
+        key = (
+            source.secrecy._mask,
+            source.integrity._mask,
+            target.secrecy._mask,
+            target.integrity._mask,
+        )
+        decision = self._table.get(key)
+        if decision is not None:
+            self.hits += 1
+            return decision
+        self.misses += 1
+        decision = flow_decision(source, target)
+        if len(self._table) >= self.max_entries:
+            self._table.clear()
+            self.evictions += 1
+        self._table[key] = decision
+        return decision
+
+    def clear(self) -> None:
+        """Drop every memoized decision (counters are preserved)."""
+        self._table.clear()
+
+
+class DecisionPlane:
+    """The shared decision + audit-emission core behind every PEP.
+
+    One plane per enforcement domain (a bus, a substrate, a kernel
+    module, a PEP); planes sharing a workload may also share a
+    :class:`DecisionCache`.  Hit/miss counters are exposed directly on
+    the plane (``plane.hits`` / ``plane.misses``) for benchmarks and
+    capacity planning.
+    """
+
+    def __init__(
+        self,
+        audit: "Optional[AuditLog]" = None,
+        cache: Optional[DecisionCache] = None,
+    ):
+        self.audit = audit
+        # `is None`, not truthiness: an empty DecisionCache has len() == 0.
+        self.cache = DecisionCache() if cache is None else cache
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, source: SecurityContext, target: SecurityContext) -> FlowDecision:
+        """Memoized flow rule; no audit emission."""
+        return self.cache.evaluate(source, target)
+
+    def allows(self, source: SecurityContext, target: SecurityContext) -> bool:
+        """Boolean form of :meth:`evaluate`."""
+        return self.cache.evaluate(source, target).allowed
+
+    def check(
+        self,
+        source: SecurityContext,
+        target: SecurityContext,
+        source_name: str = "source",
+        target_name: str = "target",
+    ) -> FlowDecision:
+        """Memoized flow rule raising :class:`FlowError` on denial."""
+        decision = self.cache.evaluate(source, target)
+        if not decision.allowed:
+            raise FlowError(source_name, target_name, decision.reason)
+        return decision
+
+    # -- audit emission ----------------------------------------------------
+
+    def audit_allowed(
+        self,
+        actor: str,
+        subject: str,
+        source: Optional[SecurityContext] = None,
+        target: Optional[SecurityContext] = None,
+        detail: Optional[dict] = None,
+    ) -> None:
+        """Record a permitted flow (no-op when the plane has no log)."""
+        if self.audit is not None:
+            self.audit.flow_allowed(actor, subject, source, target, detail)
+
+    def audit_denied(
+        self,
+        actor: str,
+        subject: str,
+        reason: str,
+        source: Optional[SecurityContext] = None,
+        target: Optional[SecurityContext] = None,
+    ) -> None:
+        """Record a denied flow (no-op when the plane has no log)."""
+        if self.audit is not None:
+            self.audit.flow_denied(actor, subject, reason, source, target)
+
+    def flush(self) -> None:
+        """Flush any buffered audit appends (see ``AuditLog.flush``)."""
+        if self.audit is not None:
+            self.audit.flush()
+
+    # -- cache management & counters --------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop all memoized decisions.
+
+        Value-keying makes this unnecessary for label changes
+        (declassification/endorsement yields a new key); it exists to
+        bound memory and to force re-evaluation after out-of-band policy
+        swaps (e.g. replacing a tag ontology).
+        """
+        self.cache.clear()
+
+    @property
+    def stats(self) -> DecisionStats:
+        return self.cache.stats
+
+    @property
+    def hits(self) -> int:
+        """Memo-table hits across this plane's lifetime."""
+        return self.cache.hits
+
+    @property
+    def misses(self) -> int:
+        """Memo-table misses (each one evaluated the rule directly)."""
+        return self.cache.misses

@@ -5,97 +5,169 @@ secrecy (where data may flow *to*, per Bell-LaPadula) and ``I(A)`` for
 integrity (where data may flow *from*, per Biba).  A label is a set of
 tags; the *security context* of an entity is the pair ``(S, I)`` (§6).
 
-``Label`` wraps a frozenset of :class:`~repro.ifc.tags.Tag` with the
-subset/superset operations the flow rule needs, and ``SecurityContext``
-is an immutable value object so that context changes are explicit,
+``Label`` is the frozenset-facing façade over an interned *bitset*
+representation: every tag is assigned a stable bit position by the
+process-wide :class:`~repro.ifc.interner.TagInterner`, and a label is a
+single immutable int mask.  Subset, union, intersection and difference —
+the whole algebra the flow rule needs — become integer ops, while the
+``tags`` attribute, ``of``, iteration and the comparison operators keep
+the original frozenset semantics byte-for-byte.  ``SecurityContext``
+remains an immutable value object so that context changes are explicit,
 auditable events (an entity *replaces* its context, it never mutates it
-in place — this is what makes declassification visible to the audit log).
+in place — this is what makes declassification visible to the audit log,
+and what lets the decision plane memoize flow decisions by label value).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Iterator
+from typing import FrozenSet, Iterable, Iterator, Optional
 
+from repro.ifc.interner import global_interner
 from repro.ifc.tags import Tag, as_tag, as_tags
 
+_INTERNER = global_interner()
 
-@dataclass(frozen=True)
+
 class Label:
     """An immutable set of tags forming one half of a security context.
+
+    Internally a bitset (``mask``); externally a frozenset of
+    :class:`~repro.ifc.tags.Tag`.  The frozenset view is materialised
+    lazily and cached, as is ``hash()`` — repeated context hashing on the
+    enforcement hot path costs one attribute load, not a frozenset walk.
 
     >>> Label.of("medical", "ann") <= Label.of("medical", "ann", "zeb")
     True
     """
 
-    tags: FrozenSet[Tag] = frozenset()
+    __slots__ = ("_mask", "_tags", "_hash")
+
+    def __init__(self, tags: "Iterable[Tag | str]" = frozenset()):
+        self._mask = _INTERNER.mask_of(tags) if tags else 0
+        self._tags: Optional[FrozenSet[Tag]] = None
+        self._hash: Optional[int] = None
+
+    @classmethod
+    def _from_mask(cls, mask: int) -> "Label":
+        """Internal fast path: wrap an existing bitset without interning."""
+        if not mask:
+            return _EMPTY_LABEL
+        label = cls.__new__(cls)
+        label._mask = mask
+        label._tags = None
+        label._hash = None
+        return label
 
     @classmethod
     def of(cls, *tags: "Tag | str") -> "Label":
         """Build a label from tag values or ``"ns:name"`` strings."""
-        return cls(as_tags(tags))
+        return cls._from_mask(_INTERNER.mask_of(tags)) if tags else _EMPTY_LABEL
 
     @classmethod
     def empty(cls) -> "Label":
-        """The empty label (no constraints for S; no endorsements for I)."""
+        """The empty label (no constraints for S; no endorsements for I).
+
+        Always the same singleton object, so ``Label.empty()`` on the hot
+        path allocates nothing.
+        """
         return _EMPTY_LABEL
+
+    @property
+    def mask(self) -> int:
+        """The label's interned bitset (one bit per tag)."""
+        return self._mask
+
+    @property
+    def tags(self) -> FrozenSet[Tag]:
+        """The frozenset view, materialised lazily and cached."""
+        t = self._tags
+        if t is None:
+            t = self._tags = _INTERNER.tags_of(self._mask)
+        return t
 
     def __iter__(self) -> Iterator[Tag]:
         return iter(sorted(self.tags))
 
     def __len__(self) -> int:
-        return len(self.tags)
+        return self._mask.bit_count()
 
     def __contains__(self, tag: "Tag | str") -> bool:
-        return as_tag(tag) in self.tags
+        bit = _INTERNER.bit_if_known(tag)
+        return bit is not None and bool(self._mask & bit)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Label):
+            return self._mask == other._mask
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, Label):
+            return self._mask != other._mask
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = self._hash = hash((Label, self._mask))
+        return h
 
     def __le__(self, other: "Label") -> bool:
         """Subset: every tag of self is in other."""
-        return self.tags <= other.tags
+        return not (self._mask & ~other._mask)
 
     def __lt__(self, other: "Label") -> bool:
-        return self.tags < other.tags
+        return self._mask != other._mask and not (self._mask & ~other._mask)
 
     def __ge__(self, other: "Label") -> bool:
-        return self.tags >= other.tags
+        return not (other._mask & ~self._mask)
 
     def __gt__(self, other: "Label") -> bool:
-        return self.tags > other.tags
+        return self._mask != other._mask and not (other._mask & ~self._mask)
 
     def is_empty(self) -> bool:
-        return not self.tags
+        return not self._mask
 
     def add(self, *tags: "Tag | str") -> "Label":
         """Return a new label with ``tags`` added."""
-        return Label(self.tags | as_tags(tags))
+        return Label._from_mask(self._mask | _INTERNER.mask_of(tags))
 
     def remove(self, *tags: "Tag | str") -> "Label":
-        """Return a new label with ``tags`` removed (missing tags ignored)."""
-        return Label(self.tags - as_tags(tags))
+        """Return a new label with ``tags`` removed (missing tags ignored).
+
+        Never-interned tags are ignored without interning them — a
+        subtractive op must not grow the process-wide interner.
+        """
+        return Label._from_mask(self._mask & ~_INTERNER.mask_of_known(tags))
 
     def union(self, other: "Label") -> "Label":
         """Least upper bound of two labels (tag-set union)."""
-        return Label(self.tags | other.tags)
+        return Label._from_mask(self._mask | other._mask)
 
     def intersection(self, other: "Label") -> "Label":
         """Greatest lower bound of two labels (tag-set intersection)."""
-        return Label(self.tags & other.tags)
+        return Label._from_mask(self._mask & other._mask)
 
     def difference(self, other: "Label") -> "Label":
         """Tags in self but not in other."""
-        return Label(self.tags - other.tags)
+        return Label._from_mask(self._mask & ~other._mask)
 
     def __or__(self, other: "Label") -> "Label":
-        return self.union(other)
+        return Label._from_mask(self._mask | other._mask)
 
     def __and__(self, other: "Label") -> "Label":
-        return self.intersection(other)
+        return Label._from_mask(self._mask & other._mask)
 
     def __sub__(self, other: "Label") -> "Label":
-        return self.difference(other)
+        return Label._from_mask(self._mask & ~other._mask)
+
+    def __reduce__(self):
+        # Serialise by tag value, not by mask: bit positions are
+        # process-local, so a pickled label must re-intern on load.
+        return (Label, (self.tags,))
 
     def __str__(self) -> str:
-        if not self.tags:
+        if not self._mask:
             return "{}"
         return "{" + ", ".join(t.qualified for t in sorted(self.tags)) + "}"
 
@@ -103,13 +175,16 @@ class Label:
         return f"Label({str(self)})"
 
 
-_EMPTY_LABEL = Label(frozenset())
+_EMPTY_LABEL = Label.__new__(Label)
+_EMPTY_LABEL._mask = 0
+_EMPTY_LABEL._tags = frozenset()
+_EMPTY_LABEL._hash = hash((Label, 0))
 
 
 def as_label(value: "Label | Iterable[Tag | str] | None") -> Label:
     """Coerce None / iterable of tags / Label into a Label."""
     if value is None:
-        return Label.empty()
+        return _EMPTY_LABEL
     if isinstance(value, Label):
         return value
     return Label(as_tags(value))
@@ -123,7 +198,10 @@ class SecurityContext:
     labels, S and I" (§6).  Contexts are immutable; label changes produce
     a *new* context, which enforcement points observe and re-evaluate
     (§8.2.2: "an entity changing its security context triggers
-    re-evaluation").
+    re-evaluation").  Immutability is also what makes the decision
+    plane's memoisation sound: a declassified entity carries a *new*
+    context value, so the cached decision for the old value can never be
+    served for the new one.
 
     >>> ctx = SecurityContext.of(secrecy=["medical", "ann"],
     ...                          integrity=["hosp-dev", "consent"])
@@ -131,8 +209,8 @@ class SecurityContext:
     True
     """
 
-    secrecy: Label = Label(frozenset())
-    integrity: Label = Label(frozenset())
+    secrecy: Label = Label.empty()
+    integrity: Label = Label.empty()
 
     @classmethod
     def of(
@@ -176,7 +254,7 @@ class SecurityContext:
 
     def is_public(self) -> bool:
         """True when both labels are empty (no IFC constraints)."""
-        return self.secrecy.is_empty() and self.integrity.is_empty()
+        return not (self.secrecy._mask | self.integrity._mask)
 
     def creation_context(self) -> "SecurityContext":
         """Context a created entity inherits: identical labels (§6,

@@ -17,7 +17,7 @@ from repro.accesscontrol.pep import EnforcementMode
 from repro.audit.log import AuditLog
 from repro.audit.records import RecordKind
 from repro.errors import AccessDenied, DiscoveryError, FlowError, SchemaError
-from repro.ifc.flow import flow_decision
+from repro.ifc.decisions import DecisionPlane
 from repro.ifc.labels import SecurityContext
 from repro.middleware.channel import Channel
 from repro.middleware.component import Component, Endpoint, EndpointKind
@@ -75,6 +75,9 @@ class MessageBus:
         self.components: Dict[str, Component] = {}
         self.channels: List[Channel] = []
         self.stats = DeliveryReport()
+        #: The bus-wide decision plane: every IFC evaluation this bus (and
+        #: its channels) performs is memoized and audited through here.
+        self.plane = DecisionPlane(audit=audit)
 
     # -- registry -----------------------------------------------------------------
 
@@ -152,16 +155,17 @@ class MessageBus:
                 )
 
         if self.mode in (EnforcementMode.IFC_ONLY, EnforcementMode.AC_AND_IFC):
-            decision = flow_decision(source.context, sink.context)
+            decision = self.plane.evaluate(source.context, sink.context)
             if not decision.allowed:
-                if self.audit is not None:
-                    self.audit.flow_denied(
-                        source.name, sink.name, decision.reason,
-                        source.context, sink.context,
-                    )
+                self.plane.audit_denied(
+                    source.name, sink.name, decision.reason,
+                    source.context, sink.context,
+                )
                 raise FlowError(source.name, sink.name, decision.reason)
 
-        channel = Channel(source, src_ep, sink, dst_ep, audit=self.audit)
+        channel = Channel(
+            source, src_ep, sink, dst_ep, audit=self.audit, plane=self.plane
+        )
         self.channels.append(channel)
         if self.audit is not None:
             self.audit.append(
@@ -197,6 +201,34 @@ class MessageBus:
         message.sent_at = self._clock()
         return self.route(source, endpoint_name, message)
 
+    def publish_batch(
+        self, source: Component, endpoint_name: str, batch: List[Dict]
+    ) -> DeliveryReport:
+        """Publish many messages from one endpoint, amortising the per-
+        message costs: flow decisions for repeated (message, sink)
+        context pairs hit the decision cache, and audit appends are
+        chain-hashed in one chunk at the end (see ``AuditLog.flush``).
+
+        ``batch`` is a list of attribute-value mappings, one per message,
+        as would be passed to :meth:`publish` as keyword arguments.
+        Returns one aggregated :class:`DeliveryReport`.
+        """
+        report = DeliveryReport()
+        for values in batch:
+            # Delegate each message to route(): handlers may suspend,
+            # resume, connect or tear down channels (or advance the
+            # clock) mid-batch, and batching must not change which
+            # messages they see or how messages are stamped.
+            message = source.make_message(endpoint_name, **values)
+            message.sent_at = self._clock()
+            sub = self.route(source, endpoint_name, message)
+            report.sent += sub.sent
+            report.delivered += sub.delivered
+            report.denied += sub.denied
+            report.quenched_attributes += sub.quenched_attributes
+        self.plane.flush()
+        return report
+
     def route(
         self, source: Component, endpoint_name: str, message: Message
     ) -> DeliveryReport:
@@ -210,11 +242,14 @@ class MessageBus:
                 continue
             report.sent += 1
             self._deliver_on(channel, message, report)
+        self._accumulate(report)
+        return report
+
+    def _accumulate(self, report: DeliveryReport) -> None:
         self.stats.sent += report.sent
         self.stats.delivered += report.delivered
         self.stats.denied += report.denied
         self.stats.quenched_attributes += report.quenched_attributes
-        return report
 
     def _deliver_on(
         self, channel: Channel, message: Message, report: DeliveryReport
@@ -225,27 +260,25 @@ class MessageBus:
             # Deliveries are still logged (message-level audit needs no
             # IFC) so compliance tooling can expose what leaked.
             channel.messages_carried += 1
-            if self.audit is not None:
-                self.audit.flow_allowed(
-                    channel.source.name, sink.name,
-                    message.context, sink.context,
-                    {"msg_id": message.msg_id, "mode": "ac-only"},
-                )
+            self.plane.audit_allowed(
+                channel.source.name, sink.name,
+                message.context, sink.context,
+                {"msg_id": message.msg_id, "mode": "ac-only"},
+            )
             sink.deliver(channel.sink_endpoint.name, message)
             report.delivered += 1
             return
 
-        base = flow_decision(message.context, sink.context)
+        base = self.plane.evaluate(message.context, sink.context)
         if not base.allowed:
             report.denied += 1
-            if self.audit is not None:
-                self.audit.flow_denied(
-                    channel.source.name,
-                    sink.name,
-                    base.reason,
-                    message.context,
-                    sink.context,
-                )
+            self.plane.audit_denied(
+                channel.source.name,
+                sink.name,
+                base.reason,
+                message.context,
+                sink.context,
+            )
             return
 
         effective = message.effective_context()
@@ -254,11 +287,11 @@ class MessageBus:
         if dropped:
             outgoing = message.quenched_for(sink.context)
             report.quenched_attributes += len(dropped)
-        if self.audit is not None:
+        if self.plane.audit is not None:
             detail = {"msg_id": message.msg_id, "type": message.type.name}
             if dropped:
                 detail["quenched"] = dropped
-            self.audit.flow_allowed(
+            self.plane.audit_allowed(
                 channel.source.name, sink.name,
                 effective if not dropped else message.context,
                 sink.context, detail,

@@ -22,8 +22,8 @@ from typing import Callable, List, Optional
 from repro.audit.log import AuditLog
 from repro.audit.records import RecordKind
 from repro.errors import FlowError, SchemaError
+from repro.ifc.decisions import DecisionPlane
 from repro.ifc.entities import Entity
-from repro.ifc.flow import flow_decision
 from repro.ifc.labels import SecurityContext
 from repro.middleware.component import Component, Endpoint, EndpointKind
 
@@ -62,6 +62,7 @@ class Channel:
         sink: Component,
         sink_endpoint: Endpoint,
         audit: Optional[AuditLog] = None,
+        plane: Optional[DecisionPlane] = None,
     ):
         self.channel_id = next(_channel_counter)
         self.source = source
@@ -69,6 +70,9 @@ class Channel:
         self.sink = sink
         self.sink_endpoint = sink_endpoint
         self.audit = audit
+        # The bus shares its decision plane with every channel it opens;
+        # a directly constructed channel gets a private plane.
+        self.plane = plane or DecisionPlane(audit=audit)
         self.state = ChannelState.ACTIVE
         self.messages_carried = 0
         self.on_teardown: List[Callable[["Channel", str], None]] = []
@@ -102,7 +106,7 @@ class Channel:
         """
         if self.state == ChannelState.TORN_DOWN:
             return
-        decision = flow_decision(self.source.context, self.sink.context)
+        decision = self.plane.evaluate(self.source.context, self.sink.context)
         if self.state == ChannelState.ACTIVE and not decision.allowed:
             self.state = ChannelState.SUSPENDED
             if self.audit is not None:

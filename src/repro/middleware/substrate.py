@@ -28,7 +28,7 @@ from repro.cloud.kernel import Process
 from repro.cloud.machine import Machine
 from repro.crypto.attestation import AttestationVerifier
 from repro.errors import AttestationError, FlowError, NetworkError
-from repro.ifc.flow import flow_decision
+from repro.ifc.decisions import DecisionPlane
 from repro.ifc.labels import SecurityContext
 from repro.middleware.message import Message
 from repro.net.network import Datagram, Network
@@ -81,6 +81,7 @@ class MessagingSubstrate:
         self.enforce = enforce
         self.verifier = verifier
         self.audit: AuditLog = machine.audit
+        self.plane = DecisionPlane(audit=self.audit)
         self.stats = SubstrateStats()
         self._local: Dict[str, Tuple[Process, SubstrateHandler]] = {}
         self._attested_hosts: Dict[str, bool] = {}
@@ -156,12 +157,12 @@ class MessagingSubstrate:
                 return False
             # The substrate knows its application's kernel-level context;
             # the message carries that context across the wire.
-            decision = flow_decision(process.security, message.context)
+            decision = self.plane.evaluate(process.security, message.context)
             # Message context must at least cover the process's own; the
             # common case is equality (message created by the process).
             if not decision.allowed:
                 self.stats.denied_local += 1
-                self.audit.flow_denied(
+                self.plane.audit_denied(
                     process.name,
                     f"{peer.machine.hostname}/{peer_process_name}",
                     f"message labelled below its producer: {decision.reason}",
@@ -195,10 +196,10 @@ class MessagingSubstrate:
         source_addr = f"{envelope.source_host}/{envelope.source_process}"
 
         if self.enforce:
-            decision = flow_decision(message.context, process.security)
+            decision = self.plane.evaluate(message.context, process.security)
             if not decision.allowed:
                 self.stats.denied_remote += 1
-                self.audit.flow_denied(
+                self.plane.audit_denied(
                     source_addr, process.name, decision.reason,
                     message.context, process.security,
                 )
@@ -209,7 +210,7 @@ class MessagingSubstrate:
                 # receiver's context does not satisfy.
                 self.stats.quenched_attributes += len(dropped)
                 message = message.quenched_for(process.security)
-            self.audit.flow_allowed(
+            self.plane.audit_allowed(
                 source_addr,
                 process.name,
                 envelope.message.context,

@@ -1,0 +1,99 @@
+"""Buffered audit appends: chunked hash-chaining must preserve the
+``verify()`` contract, including across ``prune_before`` interleavings."""
+
+from repro.audit.log import AuditLog, GENESIS_DIGEST
+from repro.audit.records import RecordKind
+from repro.errors import IntegrityViolation
+
+import pytest
+
+
+def _fill(log, n, t0=0.0):
+    for i in range(n):
+        log._clock = (lambda ts: (lambda: ts))(t0 + i)
+        log.append(RecordKind.FLOW_ALLOWED, f"actor{i}", "subject")
+
+
+class TestBufferedAppend:
+    def test_records_visible_before_flush(self):
+        log = AuditLog(buffer_size=16)
+        _fill(log, 5)
+        assert len(log) == 5
+        assert log.pending == 5
+        assert [r.actor for r in log][:2] == ["actor0", "actor1"]
+
+    def test_auto_flush_at_buffer_size(self):
+        log = AuditLog(buffer_size=4)
+        _fill(log, 4)
+        assert log.pending == 0
+
+    def test_verify_flushes_and_matches_unbuffered_chain(self):
+        buffered = AuditLog(buffer_size=64)
+        plain = AuditLog()
+        _fill(buffered, 10)
+        _fill(plain, 10)
+        assert buffered.verify()
+        assert buffered.head_digest == plain.head_digest
+
+    def test_flush_returns_count_and_is_idempotent(self):
+        log = AuditLog(buffer_size=64)
+        _fill(log, 7)
+        assert log.flush() == 7
+        assert log.flush() == 0
+        assert log.verify()
+
+    def test_unbuffered_log_has_no_pending(self):
+        log = AuditLog()
+        _fill(log, 3)
+        assert log.pending == 0
+        assert log.verify()
+
+    def test_tamper_detected_after_buffered_appends(self):
+        log = AuditLog(buffer_size=8)
+        _fill(log, 8)
+        object.__setattr__(log._records[3], "actor", "mallory")
+        assert not log.verify()
+        with pytest.raises(IntegrityViolation):
+            log.verify_strict()
+
+
+class TestPruneBufferInterleave:
+    """Regression: prune_before on a log with pending buffered appends
+    must flush first so the retained suffix still authenticates."""
+
+    def test_prune_with_pending_appends_then_verify(self):
+        log = AuditLog(buffer_size=100)
+        _fill(log, 10, t0=0.0)
+        assert log.pending == 10
+        pruned = log.prune_before(5.0)
+        assert pruned == 5
+        assert len(log) == 5
+        assert log.pending == 0
+        assert log.verify()
+
+    def test_append_prune_append_interleave(self):
+        log = AuditLog(buffer_size=100)
+        _fill(log, 6, t0=0.0)
+        log.prune_before(3.0)
+        _fill(log, 6, t0=10.0)
+        assert log.pending == 6
+        log.prune_before(12.0)
+        assert log.verify()
+        # seq numbering stays continuous across prunes and buffers
+        assert [r.seq for r in log] == list(range(8, 12))
+
+    def test_pruned_chain_base_is_real_digest(self):
+        log = AuditLog(buffer_size=100)
+        _fill(log, 4, t0=0.0)
+        log.prune_before(2.0)
+        assert log._base_digest != GENESIS_DIGEST
+        assert log.verify()
+
+    def test_export_after_buffered_prune_interleave(self):
+        log = AuditLog(buffer_size=100)
+        _fill(log, 4, t0=0.0)
+        log.prune_before(1.0)
+        _fill(log, 2, t0=5.0)
+        exported = log.export()
+        assert len(exported) == 5
+        assert all(e["digest"] for e in exported)
