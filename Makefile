@@ -1,9 +1,11 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test bench bench-all
+.PHONY: verify test bench bench-wire bench-all
 
-# Tier-1 verification: the whole suite, fail-fast.
+# Tier-1 verification: the whole suite, fail-fast.  The bench smoke
+# list (decision-plane + wire-plane scale benches, with their ratio
+# asserts) is part of the suite, so verify exercises both.
 verify:
 	$(PYTHON) -m pytest -x -q
 
@@ -15,6 +17,11 @@ test:
 # printed and BENCH_decision_plane.json regenerated.
 bench:
 	$(PYTHON) -m pytest benchmarks/test_scale_decision_cache.py -q -s
+
+# Wire-plane bench: mask vs tag-set envelopes on the cross-machine
+# path; regenerates BENCH_wire_masks.json.
+bench-wire:
+	$(PYTHON) -m pytest benchmarks/test_scale_wire.py -q -s
 
 # The full figure/scale benchmark suite.
 bench-all:

@@ -37,6 +37,9 @@ class RecordKind(str, Enum):
     CHANNEL_TORN_DOWN = "channel-torn-down"
     ENTITY_CREATED = "entity-created"
     ATTESTATION = "attestation"
+    WIRE_HANDSHAKE = "wire-handshake"
+    TABLE_SYNC = "table-sync"
+    MISDELIVERY = "misdelivery"
     CUSTOM = "custom"
 
 

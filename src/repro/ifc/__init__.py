@@ -30,6 +30,17 @@ from repro.ifc.flow import (
     flow_path_allowed,
 )
 from repro.ifc.interner import TagInterner, global_interner
+from repro.ifc.wire import (
+    HandshakeAck,
+    HandshakeFin,
+    HandshakeHello,
+    MaskTranslator,
+    TableAck,
+    TableUpdate,
+    TagTable,
+    WireCodec,
+    WireControl,
+)
 from repro.ifc.decisions import (
     DecisionCache,
     DecisionPlane,
@@ -93,6 +104,15 @@ __all__ = [
     "DecisionStats",
     "TagInterner",
     "global_interner",
+    "TagTable",
+    "MaskTranslator",
+    "WireCodec",
+    "WireControl",
+    "HandshakeHello",
+    "HandshakeAck",
+    "HandshakeFin",
+    "TableUpdate",
+    "TableAck",
     "can_flow",
     "check_flow",
     "flow_decision",

@@ -23,9 +23,27 @@ one — sharing is precisely what makes cross-label integer ops sound.
 from __future__ import annotations
 
 import threading
-from typing import Dict, FrozenSet, Iterable, List, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.ifc.tags import Tag, as_tag
+
+
+def remap_mask(wire_mask: int, local_bits: "Sequence[int]") -> int:
+    """Remap a foreign-numbered bitset through a position → local-bit table.
+
+    ``local_bits[i]`` is the local single-bit mask for the foreign bit
+    position ``i``.  The single implementation of the IFC-critical
+    remap loop — :meth:`repro.ifc.labels.Label.from_foreign_mask` and
+    :class:`repro.ifc.wire.MaskTranslator` both route through it.
+    Raises :class:`IndexError` when the mask uses a position the table
+    does not cover — an un-synced tag must never be guessed at.
+    """
+    local = 0
+    while wire_mask:
+        low = wire_mask & -wire_mask
+        local |= local_bits[low.bit_length() - 1]
+        wire_mask ^= low
+    return local
 
 
 class TagInterner:
@@ -99,6 +117,28 @@ class TagInterner:
             if position is not None:
                 mask |= 1 << position
         return mask
+
+    def export_table(self, start: int = 0) -> "Tuple[str, ...]":
+        """Snapshot positions ``start..`` as qualified tag names.
+
+        This is the wire plane's handshake payload (``repro.ifc.wire``):
+        position ``start + i`` of this interner holds the tag named by
+        element ``i``.  The interner is append-only, so the snapshot
+        taken at length N is a stable prefix of every later snapshot —
+        which is what lets peers exchange *deltas* after first contact.
+        """
+        with self._lock:
+            snapshot = self._tags[start:]
+        return tuple(t.qualified for t in snapshot)
+
+    def merge_table(self, tags: Iterable[str]) -> List[int]:
+        """Intern foreign tags, returning each one's local single-bit mask.
+
+        Used by :class:`repro.ifc.wire.MaskTranslator` to build the
+        peer-position → local-bit remap from a handshake table.
+        """
+        bit = self.bit
+        return [bit(tag) for tag in tags]
 
     def tags_of(self, mask: int) -> FrozenSet[Tag]:
         """Expand a bitset mask back into the frozenset of its tags."""

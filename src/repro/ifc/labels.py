@@ -21,9 +21,9 @@ and what lets the decision plane memoize flow decisions by label value).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Iterator, Optional
+from typing import FrozenSet, Iterable, Iterator, Optional, Sequence
 
-from repro.ifc.interner import global_interner
+from repro.ifc.interner import global_interner, remap_mask
 from repro.ifc.tags import Tag, as_tag, as_tags
 
 _INTERNER = global_interner()
@@ -63,6 +63,30 @@ class Label:
     def of(cls, *tags: "Tag | str") -> "Label":
         """Build a label from tag values or ``"ns:name"`` strings."""
         return cls._from_mask(_INTERNER.mask_of(tags)) if tags else _EMPTY_LABEL
+
+    @classmethod
+    def from_mask(cls, mask: int) -> "Label":
+        """Wrap a bitset already in the *global* interner's numbering.
+
+        Bit positions are process-local: a mask that came off the wire
+        must first be remapped through the peer's translation table
+        (:class:`repro.ifc.wire.MaskTranslator` /
+        :meth:`from_foreign_mask`) — wrapping a foreign mask directly
+        silently relabels data.
+        """
+        return cls._from_mask(mask)
+
+    @classmethod
+    def from_foreign_mask(cls, wire_mask: int, local_bits: "Sequence[int]") -> "Label":
+        """Build a label from a peer-numbered mask plus a translation table.
+
+        ``local_bits[i]`` is the local single-bit mask for the peer's
+        bit position ``i`` (the product of a wire-plane handshake, see
+        :class:`repro.ifc.wire.MaskTranslator`).  Raises
+        :class:`IndexError` when the mask uses a position the table does
+        not cover — an un-synced tag must never be guessed at.
+        """
+        return cls._from_mask(remap_mask(wire_mask, local_bits))
 
     @classmethod
     def empty(cls) -> "Label":

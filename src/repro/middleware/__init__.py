@@ -27,9 +27,11 @@ from repro.middleware.reconfig import (
     Reconfigurator,
 )
 from repro.middleware.substrate import (
+    MaskEnvelope,
     MessagingSubstrate,
     SubstrateEnvelope,
     SubstrateStats,
+    TagSetEnvelope,
 )
 from repro.middleware.composer import (
     ChainComposer,
@@ -59,8 +61,10 @@ __all__ = [
     "ControlMessage",
     "Reconfigurator",
     "MessagingSubstrate",
+    "MaskEnvelope",
     "SubstrateEnvelope",
     "SubstrateStats",
+    "TagSetEnvelope",
     "ChainComposer",
     "Composition",
     "RelaySpec",

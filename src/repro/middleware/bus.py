@@ -75,6 +75,11 @@ class MessageBus:
         self.components: Dict[str, Component] = {}
         self.channels: List[Channel] = []
         self.stats = DeliveryReport()
+        # Torn-down channels are compacted out of `channels` so route()
+        # never scans dead entries; removal is deferred while route() is
+        # iterating (handlers may tear down channels mid-delivery).
+        self._route_depth = 0
+        self._compact_pending = False
         #: The bus-wide decision plane: every IFC evaluation this bus (and
         #: its channels) performs is memoized and audited through here.
         self.plane = DecisionPlane(audit=audit)
@@ -166,6 +171,7 @@ class MessageBus:
         channel = Channel(
             source, src_ep, sink, dst_ep, audit=self.audit, plane=self.plane
         )
+        channel.on_teardown.append(self._channel_torn_down)
         self.channels.append(channel)
         if self.audit is not None:
             self.audit.append(
@@ -184,6 +190,22 @@ class MessageBus:
     def disconnect(self, channel: Channel, reason: str = "requested") -> None:
         """Tear down a channel."""
         channel.teardown(reason)
+
+    def _channel_torn_down(self, channel: Channel, reason: str) -> None:
+        """Teardown hook: drop the channel from the scan list.
+
+        Mid-route teardowns (a handler disconnecting, a context change
+        collapsing a channel) must not mutate the list being iterated —
+        those compact once the outermost route() finishes instead, so a
+        long-running bus never accumulates dead channels either way.
+        """
+        if self._route_depth:
+            self._compact_pending = True
+            return
+        try:
+            self.channels.remove(channel)
+        except ValueError:
+            pass
 
     # -- delivery ---------------------------------------------------------------------
 
@@ -235,13 +257,20 @@ class MessageBus:
         """Route a pre-built message (used by gateways re-emitting)."""
         report = DeliveryReport()
         src_ep = source.endpoint(endpoint_name)
-        for channel in self.channels:
-            if not channel.active:
-                continue
-            if channel.source is not source or channel.source_endpoint is not src_ep:
-                continue
-            report.sent += 1
-            self._deliver_on(channel, message, report)
+        self._route_depth += 1
+        try:
+            for channel in self.channels:
+                if not channel.active:
+                    continue
+                if channel.source is not source or channel.source_endpoint is not src_ep:
+                    continue
+                report.sent += 1
+                self._deliver_on(channel, message, report)
+        finally:
+            self._route_depth -= 1
+            if not self._route_depth and self._compact_pending:
+                self._compact_pending = False
+                self.channels = [c for c in self.channels if c.alive]
         self._accumulate(report)
         return report
 
@@ -281,7 +310,6 @@ class MessageBus:
             )
             return
 
-        effective = message.effective_context()
         outgoing = message
         dropped = message.dropped_attributes(sink.context)
         if dropped:
@@ -291,9 +319,13 @@ class MessageBus:
             detail = {"msg_id": message.msg_id, "type": message.type.name}
             if dropped:
                 detail["quenched"] = dropped
+            # Audit the effective context of what was actually delivered:
+            # base context plus the extra secrecy of the attributes the
+            # receiver really got (quenched ones excluded) — the quenched
+            # case is exactly when the trail must show the reduced view.
             self.plane.audit_allowed(
                 channel.source.name, sink.name,
-                effective if not dropped else message.context,
+                outgoing.effective_context(),
                 sink.context, detail,
             )
         channel.messages_carried += 1

@@ -15,12 +15,21 @@ attestation of the peer platform (Challenge 5), (3) the IFC flow rule
 between application contexts — including message-level tags with
 quenching (Fig. 10), (4) network transfer, (5) receiver-side re-check
 on delivery (the receiving substrate trusts no one blindly).
+
+Wire formats (see ``docs/wire_plane.md``): security contexts cross the
+wire either as serialised tag sets (:class:`TagSetEnvelope`, the
+pre-handshake fallback) or — once the peers have exchanged tag tables
+through the :class:`~repro.ifc.wire.WireCodec` handshake — as plain int
+masks in the *sender's* numbering (:class:`MaskEnvelope`), which the
+receiver remaps through its per-peer translation table.  The receiver
+re-derives full :class:`~repro.ifc.labels.SecurityContext` objects
+either way, so the receive-side re-check is identical for both formats.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.audit.log import AuditLog
 from repro.audit.records import RecordKind
@@ -30,7 +39,8 @@ from repro.crypto.attestation import AttestationVerifier
 from repro.errors import AttestationError, FlowError, NetworkError
 from repro.ifc.decisions import DecisionPlane
 from repro.ifc.labels import SecurityContext
-from repro.middleware.message import Message
+from repro.ifc.wire import WireCodec, WireControl
+from repro.middleware.message import Message, MessageType
 from repro.net.network import Datagram, Network
 
 #: Application-level delivery callback: (sender_addr, message).
@@ -39,7 +49,12 @@ SubstrateHandler = Callable[[str, Message], None]
 
 @dataclass
 class SubstrateEnvelope:
-    """What actually crosses the network between substrate processes."""
+    """A decoded transfer: what the receive-side enforcement sees.
+
+    Wire payloads (:class:`TagSetEnvelope` / :class:`MaskEnvelope`) are
+    decoded into this form on receipt; in-process callers may also hand
+    one straight to a substrate (the legacy path, kept for tooling).
+    """
 
     source_host: str
     source_process: str
@@ -47,6 +62,66 @@ class SubstrateEnvelope:
     dest_process: str
     message: Message
     source_context: SecurityContext
+
+
+def _context_wire_tags(ctx: SecurityContext) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Serialise a context as (secrecy, integrity) qualified tag names."""
+    return (
+        tuple(t.qualified for t in ctx.secrecy.tags),
+        tuple(t.qualified for t in ctx.integrity.tags),
+    )
+
+
+@dataclass
+class TagSetEnvelope:
+    """Pre-handshake wire format: contexts as serialised tag names.
+
+    This is what the seed shipped on every message — each label spelled
+    out as qualified tag strings, re-interned on receipt.  It stays as
+    the fallback for peers that have not completed the tag-table
+    handshake (and for any message whose label contains a tag the peer
+    has not yet confirmed, see :class:`MaskEnvelope`).
+    """
+
+    source_host: str
+    source_process: str
+    dest_host: str
+    dest_process: str
+    type: MessageType
+    values: Dict
+    msg_id: int
+    sent_at: float
+    msg_secrecy: Tuple[str, ...]
+    msg_integrity: Tuple[str, ...]
+    src_secrecy: Tuple[str, ...]
+    src_integrity: Tuple[str, ...]
+
+
+@dataclass
+class MaskEnvelope:
+    """Post-handshake wire format: contexts as int masks.
+
+    Masks are in the *sender's* interner numbering and may only use bit
+    positions the receiver has confirmed holding (the codec enforces
+    this at encode time), so the receiver can always remap them through
+    its per-peer translation table.  ``table_version`` records the
+    sender-table length the masks were encoded against, for diagnostics
+    and defensive decoding.
+    """
+
+    source_host: str
+    source_process: str
+    dest_host: str
+    dest_process: str
+    type: MessageType
+    values: Dict
+    msg_id: int
+    sent_at: float
+    msg_secrecy_mask: int
+    msg_integrity_mask: int
+    src_secrecy_mask: int
+    src_integrity_mask: int
+    table_version: int
 
 
 @dataclass
@@ -59,6 +134,38 @@ class SubstrateStats:
     denied_remote: int = 0
     quenched_attributes: int = 0
     attestation_failures: int = 0
+    #: Envelopes shipped as int masks vs the tag-set fallback.
+    sent_masked: int = 0
+    sent_tagset: int = 0
+    #: Envelopes addressed to a process this substrate does not serve.
+    dropped_unroutable: int = 0
+    #: Mask envelopes whose bits exceeded our translation table
+    #: (reordered/lost control traffic) — dropped, never guessed at.
+    dropped_undecodable: int = 0
+    #: Table re-syncs triggered by post-handshake tag growth.
+    table_syncs: int = 0
+
+
+def _rebuild_message(
+    type: MessageType,
+    values: Dict,
+    context: SecurityContext,
+    msg_id: int,
+    sent_at: float,
+) -> Message:
+    """Reassemble a Message from wire fields without re-validating.
+
+    The sender validated against the schema; re-validating here would
+    also reject legitimately quenched partial messages (required
+    attributes already dropped upstream).
+    """
+    message = Message.__new__(Message)
+    message.type = type
+    message.values = values
+    message.context = context
+    message.msg_id = msg_id
+    message.sent_at = sent_at
+    return message
 
 
 class MessagingSubstrate:
@@ -67,6 +174,8 @@ class MessagingSubstrate:
     One substrate per :class:`Machine`; it registers as the machine's
     network receiver.  ``enforce=False`` builds the baseline substrate
     for overhead comparisons (same transfer path, no IFC evaluation).
+    ``wire_masks=False`` pins the substrate to the tag-set wire format
+    (no handshake), for A/B benchmarking of the wire plane itself.
     """
 
     def __init__(
@@ -75,14 +184,17 @@ class MessagingSubstrate:
         network: Network,
         enforce: bool = True,
         verifier: Optional[AttestationVerifier] = None,
+        wire_masks: bool = True,
     ):
         self.machine = machine
         self.network = network
         self.enforce = enforce
         self.verifier = verifier
+        self.wire_masks = wire_masks
         self.audit: AuditLog = machine.audit
         self.plane = DecisionPlane(audit=self.audit)
         self.stats = SubstrateStats()
+        self.wire = WireCodec()
         self._local: Dict[str, Tuple[Process, SubstrateHandler]] = {}
         self._attested_hosts: Dict[str, bool] = {}
         network.add_host(machine.hostname, self._receive)
@@ -107,7 +219,12 @@ class MessagingSubstrate:
     # -- attestation ----------------------------------------------------------------
 
     def _peer_trusted(self, peer: "MessagingSubstrate") -> bool:
-        """Attest the peer platform once per host (cached)."""
+        """Attest the peer platform once per host (cached).
+
+        The wire-plane handshake piggybacks here: attestation is the
+        substrate's first round-trip with an unfamiliar host, so the
+        tag-table HELLO rides out together with it (see :meth:`_ship`).
+        """
         if self.verifier is None:
             return True
         host = peer.machine.hostname
@@ -145,11 +262,14 @@ class MessagingSubstrate:
         never raises for policy denials on the send path, mirroring how a
         messaging layer reports rather than crashes.
         """
-        self.stats.sent += 1
         if process.name not in self._local:
+            # Not a send at all: an unregistered process has no binding
+            # to this substrate, so nothing must reach the counters the
+            # F9/F10 denial ratios are computed from.
             raise NetworkError(
                 f"{process.name} is not registered with this substrate"
             )
+        self.stats.sent += 1
 
         if self.enforce:
             if not self._peer_trusted(peer):
@@ -171,25 +291,198 @@ class MessagingSubstrate:
                 )
                 return False
 
-        envelope = SubstrateEnvelope(
-            source_host=self.machine.hostname,
-            source_process=process.name,
-            dest_host=peer.machine.hostname,
-            dest_process=peer_process_name,
-            message=message,
-            source_context=process.security,
-        )
-        self.network.send(self.machine.hostname, peer.machine.hostname, envelope)
+        self._ship(process, peer, peer_process_name, message)
         return True
+
+    def _ship(
+        self,
+        process: Process,
+        peer: "MessagingSubstrate",
+        peer_process_name: str,
+        message: Message,
+    ) -> None:
+        """Encode and transmit one message, driving the wire handshake."""
+        host = self.machine.hostname
+        peer_host = peer.machine.hostname
+
+        if self.wire_masks:
+            hello = self.wire.greet(peer_host)
+            if hello is not None:
+                self.network.send(host, peer_host, hello, kind="handshake")
+            masks = self.wire.encode_masks(
+                peer_host,
+                message.context.secrecy.mask,
+                message.context.integrity.mask,
+                process.security.secrecy.mask,
+                process.security.integrity.mask,
+            )
+            if masks is not None:
+                self.stats.sent_masked += 1
+                self.network.send(
+                    host,
+                    peer_host,
+                    MaskEnvelope(
+                        source_host=host,
+                        source_process=process.name,
+                        dest_host=peer_host,
+                        dest_process=peer_process_name,
+                        type=message.type,
+                        values=message.values,
+                        msg_id=message.msg_id,
+                        sent_at=message.sent_at,
+                        msg_secrecy_mask=masks[0],
+                        msg_integrity_mask=masks[1],
+                        src_secrecy_mask=masks[2],
+                        src_integrity_mask=masks[3],
+                        table_version=self.wire.peer(peer_host).confirmed,
+                    ),
+                )
+                return
+            # The peer is handshaked but a label used a tag it has not
+            # confirmed: ship the table delta, fall back to tag sets for
+            # this message — a re-sync, never a mislabel.
+            update = self.wire.resync(peer_host)
+            if update is not None:
+                self.stats.table_syncs += 1
+                self.network.send(host, peer_host, update, kind="handshake")
+                if self.audit is not None:
+                    self.audit.append(
+                        RecordKind.TABLE_SYNC,
+                        host,
+                        peer_host,
+                        {"base": update.base, "tags": len(update.tags)},
+                    )
+
+        self.stats.sent_tagset += 1
+        msg_secrecy, msg_integrity = _context_wire_tags(message.context)
+        src_secrecy, src_integrity = _context_wire_tags(process.security)
+        self.network.send(
+            host,
+            peer_host,
+            TagSetEnvelope(
+                source_host=host,
+                source_process=process.name,
+                dest_host=peer_host,
+                dest_process=peer_process_name,
+                type=message.type,
+                values=message.values,
+                msg_id=message.msg_id,
+                sent_at=message.sent_at,
+                msg_secrecy=msg_secrecy,
+                msg_integrity=msg_integrity,
+                src_secrecy=src_secrecy,
+                src_integrity=src_integrity,
+            ),
+        )
 
     # -- receiving --------------------------------------------------------------------
 
+    def _handle_control(self, source_host: str, payload: WireControl) -> None:
+        reply, event = self.wire.handle_control(source_host, payload)
+        if reply is not None:
+            self.network.send(
+                self.machine.hostname, source_host, reply, kind="handshake"
+            )
+        if event is not None and self.audit is not None:
+            step = event.get("step", "")
+            kind = (
+                RecordKind.TABLE_SYNC
+                if step.startswith("update")
+                else RecordKind.WIRE_HANDSHAKE
+            )
+            self.audit.append(kind, self.machine.hostname, source_host, event)
+
+    def _decode(self, datagram: Datagram) -> Optional[SubstrateEnvelope]:
+        """Decode a wire payload into a :class:`SubstrateEnvelope`."""
+        payload = datagram.payload
+        if isinstance(payload, SubstrateEnvelope):
+            return payload  # legacy in-process path
+        if isinstance(payload, TagSetEnvelope):
+            message = _rebuild_message(
+                payload.type,
+                payload.values,
+                SecurityContext.of(payload.msg_secrecy, payload.msg_integrity),
+                payload.msg_id,
+                payload.sent_at,
+            )
+            return SubstrateEnvelope(
+                payload.source_host,
+                payload.source_process,
+                payload.dest_host,
+                payload.dest_process,
+                message,
+                SecurityContext.of(payload.src_secrecy, payload.src_integrity),
+            )
+        if isinstance(payload, MaskEnvelope):
+            # Key the translation table by the transport-level source —
+            # the same field handshake state is keyed by — never by the
+            # sender-controlled envelope header: masks remapped through
+            # the wrong peer's table would silently relabel data.
+            host = datagram.source
+            if not self.wire.can_decode(
+                host,
+                payload.msg_secrecy_mask,
+                payload.msg_integrity_mask,
+                payload.src_secrecy_mask,
+                payload.src_integrity_mask,
+            ):
+                # Masks beyond our translation table: control traffic was
+                # lost or reordered.  Dropping (audited) is the only safe
+                # move — guessing at unknown bits would mislabel data.
+                self.stats.dropped_undecodable += 1
+                if self.audit is not None:
+                    self.audit.append(
+                        RecordKind.TABLE_SYNC,
+                        self.machine.hostname,
+                        host,
+                        {
+                            "step": "undecodable",
+                            "msg_id": payload.msg_id,
+                            "table_version": payload.table_version,
+                        },
+                    )
+                return None
+            message = _rebuild_message(
+                payload.type,
+                payload.values,
+                self.wire.decode_context(
+                    host, payload.msg_secrecy_mask, payload.msg_integrity_mask
+                ),
+                payload.msg_id,
+                payload.sent_at,
+            )
+            return SubstrateEnvelope(
+                payload.source_host,
+                payload.source_process,
+                payload.dest_host,
+                payload.dest_process,
+                message,
+                self.wire.decode_context(
+                    host, payload.src_secrecy_mask, payload.src_integrity_mask
+                ),
+            )
+        return None
+
     def _receive(self, datagram: Datagram) -> None:
-        envelope = datagram.payload
-        if not isinstance(envelope, SubstrateEnvelope):
+        if isinstance(datagram.payload, WireControl):
+            self._handle_control(datagram.source, datagram.payload)
+            return
+        envelope = self._decode(datagram)
+        if envelope is None:
             return
         entry = self._local.get(envelope.dest_process)
         if entry is None:
+            # Misdelivery: audited and counted, so compliance tooling can
+            # see envelopes that reached the wrong substrate.
+            self.stats.dropped_unroutable += 1
+            if self.audit is not None:
+                self.audit.append(
+                    RecordKind.MISDELIVERY,
+                    f"{envelope.source_host}/{envelope.source_process}",
+                    f"{self.machine.hostname}/{envelope.dest_process}",
+                    {"msg_id": envelope.message.msg_id,
+                     "reason": "no such process on this substrate"},
+                )
             return
         process, handler = entry
         message = envelope.message
@@ -210,10 +503,13 @@ class MessagingSubstrate:
                 # receiver's context does not satisfy.
                 self.stats.quenched_attributes += len(dropped)
                 message = message.quenched_for(process.security)
+            # As on the bus: audit the effective context of what was
+            # actually delivered — base context plus the extra secrecy of
+            # the attributes the receiver really got.
             self.plane.audit_allowed(
                 source_addr,
                 process.name,
-                envelope.message.context,
+                message.effective_context(),
                 process.security,
                 {"msg_id": message.msg_id, "quenched": dropped}
                 if dropped

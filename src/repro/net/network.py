@@ -27,6 +27,9 @@ class Datagram:
         source / destination: host names.
         payload: opaque application payload (typically a middleware
             message or control message).
+        kind: coarse traffic class — ``"data"`` for application
+            envelopes, ``"handshake"`` for wire-plane control traffic
+            (tag-table negotiation, §8.2.2 substrate dealings).
         sent_at / delivered_at: simulated timestamps.
     """
 
@@ -35,6 +38,7 @@ class Datagram:
     payload: object
     sent_at: float = 0.0
     delivered_at: Optional[float] = None
+    kind: str = "data"
 
 
 @dataclass
@@ -63,6 +67,7 @@ class NetworkStats:
     delivered: int = 0
     dropped: int = 0
     blocked_partition: int = 0
+    handshake_sent: int = 0
 
 
 class Network:
@@ -140,7 +145,9 @@ class Network:
 
     # -- transfer ----------------------------------------------------------------
 
-    def send(self, source: str, destination: str, payload: object) -> Datagram:
+    def send(
+        self, source: str, destination: str, payload: object, kind: str = "data"
+    ) -> Datagram:
         """Send a datagram; delivery is scheduled on the simulator.
 
         Sending never raises for delivery-time conditions (loss, offline
@@ -149,8 +156,12 @@ class Network:
         """
         self.host(source)
         dest = self.host(destination)
-        datagram = Datagram(source, destination, payload, sent_at=self.sim.now())
+        datagram = Datagram(
+            source, destination, payload, sent_at=self.sim.now(), kind=kind
+        )
         self.stats.sent += 1
+        if kind == "handshake":
+            self.stats.handshake_sent += 1
 
         if self._partitioned(source, destination):
             self.stats.blocked_partition += 1

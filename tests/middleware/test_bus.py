@@ -156,6 +156,66 @@ class TestDelivery:
         report = bus.publish(zeb, "out", value=1.0)
         assert report.delivered == 1  # the leak the paper warns about
 
+    def test_quenched_delivery_audits_what_receiver_actually_got(
+        self, bus, ann_device, audit
+    ):
+        """The flow-allowed record must carry the effective context of the
+        *delivered* (quenched) message, not the base context — the
+        quenched case is exactly when the trail must show the reduced
+        view."""
+        from repro.ifc import as_tags
+        from repro.middleware import AttributeSpec
+
+        typed = MessageType(
+            "person",
+            [
+                AttributeSpec("name", str, extra_secrecy=as_tags(["pii"])),
+                AttributeSpec("country", str, extra_secrecy=as_tags(["geo"])),
+            ],
+        )
+        receiver_ctx = ann_device.add_secrecy("geo")  # takes geo, not pii
+        a = Component("a", ann_device, owner="op")
+        a.add_endpoint("out", EndpointKind.SOURCE, typed)
+        received = []
+        b = Component("b", receiver_ctx, owner="op")
+        b.add_endpoint("in", EndpointKind.SINK, typed,
+                       handler=lambda c, e, m: received.append(m))
+        bus.register(a)
+        bus.register(b)
+        bus.connect("op", a, "out", b, "in")
+        report = bus.publish(a, "out", name="Ann", country="UK")
+        assert report.quenched_attributes == 1
+
+        flow = [r for r in audit if r.kind == RecordKind.FLOW_ALLOWED][-1]
+        assert flow.detail["quenched"] == ["name"]
+        # Logged context == effective context of the delivered message:
+        # base + geo (country kept), without pii (name quenched).
+        assert flow.source_context == received[0].effective_context()
+        assert "local:geo" in {t.qualified for t in flow.source_context.secrecy}
+        assert "local:pii" not in {t.qualified for t in flow.source_context.secrecy}
+
+    def test_unquenched_delivery_still_audits_effective_context(
+        self, bus, ann_device, audit
+    ):
+        from repro.ifc import as_tags
+        from repro.middleware import AttributeSpec
+
+        typed = MessageType(
+            "person", [AttributeSpec("name", str, extra_secrecy=as_tags(["pii"]))]
+        )
+        rich = ann_device.add_secrecy("pii")
+        a = Component("a", ann_device, owner="op")
+        a.add_endpoint("out", EndpointKind.SOURCE, typed)
+        b = Component("b", rich, owner="op")
+        b.add_endpoint("in", EndpointKind.SINK, typed, handler=lambda c, e, m: None)
+        bus.register(a)
+        bus.register(b)
+        bus.connect("op", a, "out", b, "in")
+        report = bus.publish(a, "out", name="Ann")
+        assert report.quenched_attributes == 0
+        flow = [r for r in audit if r.kind == RecordKind.FLOW_ALLOWED][-1]
+        assert "local:pii" in {t.qualified for t in flow.source_context.secrecy}
+
     def test_quenching_counted_in_stats(self, bus, ann_device):
         from repro.ifc import as_tags
         from repro.middleware import AttributeSpec
@@ -180,3 +240,115 @@ class TestDelivery:
         assert report.delivered == 1
         assert report.quenched_attributes == 1
         assert "name" not in received[0].values
+
+
+class TestChannelCompaction:
+    """Torn-down channels must leave the scan list (unbounded growth and
+    O(dead) route cost on long-running buses otherwise)."""
+
+    def test_teardown_removes_channel_from_bus(self, bus, reading_type, ann_device):
+        a = bus.register(make_component("a", ann_device, reading_type, owner="op"))
+        b = bus.register(make_component("b", ann_device, reading_type, owner="op"))
+        channel = bus.connect("op", a, "out", b, "in")
+        assert channel in bus.channels
+        bus.disconnect(channel)
+        assert channel not in bus.channels
+
+    def test_long_running_bus_does_not_accumulate_dead_channels(
+        self, bus, reading_type, ann_device
+    ):
+        a = bus.register(make_component("a", ann_device, reading_type, owner="op"))
+        b = bus.register(make_component("b", ann_device, reading_type, owner="op"))
+        for __ in range(100):
+            channel = bus.connect("op", a, "out", b, "in")
+            channel.teardown("churn")
+        assert len(bus.channels) == 0
+
+    def test_deregister_compacts(self, bus, reading_type, ann_device):
+        a = bus.register(make_component("a", ann_device, reading_type, owner="op"))
+        b = bus.register(make_component("b", ann_device, reading_type, owner="op"))
+        bus.connect("op", a, "out", b, "in")
+        bus.deregister(a)
+        assert bus.channels == []
+
+    def test_suspended_channels_stay(self, bus, reading_type, ann_device):
+        from repro.ifc import PrivilegeSet
+
+        a = Component(
+            "a", ann_device, PrivilegeSet.of(add_secrecy=["extra"]), owner="op"
+        )
+        a.add_endpoint("out", EndpointKind.SOURCE, reading_type)
+        b = make_component("b", ann_device, reading_type, owner="op")
+        bus.register(a)
+        bus.register(b)
+        channel = bus.connect("op", a, "out", b, "in")
+        a.add_secrecy("extra")  # suspends (alive, not active)
+        assert not channel.active and channel.alive
+        assert channel in bus.channels
+
+    def test_mid_route_teardown_does_not_disturb_fanout(
+        self, bus, reading_type, ann_device
+    ):
+        """A handler tearing down channels mid-delivery must not change
+        which of the remaining channels see the message (deferred
+        compaction, not list mutation under the iterator)."""
+        a = bus.register(make_component("a", ann_device, reading_type, owner="op"))
+        channels = []
+        received = []
+
+        def make_sink(i):
+            sink = Component(f"s{i}", ann_device, owner="op")
+
+            def handler(c, e, m):
+                received.append(i)
+                if i == 0:
+                    # First sink collapses the LAST channel mid-fan-out …
+                    channels[-1].teardown("mid-route")
+
+            sink.add_endpoint("in", EndpointKind.SINK, reading_type, handler=handler)
+            bus.register(sink)
+            channels.append(bus.connect("op", a, "out", sink, "in"))
+
+        for i in range(4):
+            make_sink(i)
+        report = bus.publish(a, "out", value=1.0)
+        # … so sinks 0-2 deliver, 3 is skipped (same as pre-compaction
+        # semantics: the torn-down channel is inactive when reached) …
+        assert received == [0, 1, 2]
+        assert report.delivered == 3
+        # … and compaction happens once the route finishes.
+        assert channels[-1] not in bus.channels
+        assert len(bus.channels) == 3
+
+    def test_mid_batch_teardown_keeps_later_messages_flowing(
+        self, bus, reading_type, ann_device
+    ):
+        """publish_batch: a handler disconnecting its own channel on the
+        first message must stop deliveries to it without disturbing the
+        other channel's remaining messages."""
+        a = bus.register(make_component("a", ann_device, reading_type, owner="op"))
+        seen = {"keep": 0, "drop": 0}
+
+        keep = Component("keep", ann_device, owner="op")
+        keep.add_endpoint(
+            "in", EndpointKind.SINK, reading_type,
+            handler=lambda c, e, m: seen.__setitem__("keep", seen["keep"] + 1),
+        )
+        bus.register(keep)
+        bus.connect("op", a, "out", keep, "in")
+
+        drop = Component("drop", ann_device, owner="op")
+
+        def drop_handler(c, e, m):
+            seen["drop"] += 1
+            bus.disconnect(drop_channel, "one and done")
+
+        drop.add_endpoint("in", EndpointKind.SINK, reading_type, handler=drop_handler)
+        bus.register(drop)
+        drop_channel = bus.connect("op", a, "out", drop, "in")
+
+        report = bus.publish_batch(a, "out", [{"value": float(i)} for i in range(5)])
+        assert seen["keep"] == 5
+        assert seen["drop"] == 1
+        assert report.delivered == 6
+        assert drop_channel not in bus.channels
