@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test bench bench-wire bench-all
+.PHONY: verify test bench bench-wire bench-audit bench-all
 
 # Tier-1 verification: the whole suite, fail-fast.  The bench smoke
 # list (decision-plane + wire-plane scale benches, with their ratio
@@ -22,6 +22,11 @@ bench:
 # path; regenerates BENCH_wire_masks.json.
 bench-wire:
 	$(PYTHON) -m pytest benchmarks/test_scale_wire.py -q -s
+
+# Audit-plane bench: staged spine emission vs synchronous hash-chain
+# appends across 1/4/16 sources; regenerates BENCH_audit_plane.json.
+bench-audit:
+	$(PYTHON) -m pytest benchmarks/test_scale_audit.py -q -s
 
 # The full figure/scale benchmark suite.
 bench-all:

@@ -24,6 +24,7 @@ from typing import Callable, Mapping, Optional, Set
 from repro.accesscontrol.rbac import RBACPolicy, Role, Session
 from repro.audit.log import AuditLog
 from repro.audit.records import RecordKind
+from repro.audit.spine import bind_source
 from repro.errors import AccessDenied, FlowError
 from repro.ifc.decisions import DecisionPlane
 from repro.ifc.labels import SecurityContext
@@ -65,8 +66,10 @@ class EnforcementPoint:
     ):
         self.name = name
         self.mode = mode
-        self.audit = audit
-        self.plane = plane or DecisionPlane(audit=audit)
+        # Per-PEP spine segment: AC and IFC outcomes stage off the
+        # enforcement path when the PEP runs on an audit spine.
+        self.audit = bind_source(audit, f"pep:{name}")
+        self.plane = plane or DecisionPlane(audit=self.audit)
         self.checks = 0
         self.denials = 0
 

@@ -1,7 +1,13 @@
 """Audit, provenance and compliance (§8.3, Challenge 6, Fig. 11)."""
 
 from repro.audit.records import AuditRecord, RecordKind
-from repro.audit.log import GENESIS_DIGEST, AuditLog
+from repro.audit.log import GENESIS_DIGEST, AuditLog, RecorderMixin
+from repro.audit.spine import (
+    AuditSegment,
+    AuditSpine,
+    SpineEmitter,
+    bind_source,
+)
 from repro.audit.provenance import (
     EdgeKind,
     NodeKind,
@@ -33,6 +39,11 @@ __all__ = [
     "RecordKind",
     "GENESIS_DIGEST",
     "AuditLog",
+    "RecorderMixin",
+    "AuditSegment",
+    "AuditSpine",
+    "SpineEmitter",
+    "bind_source",
     "EdgeKind",
     "NodeKind",
     "ProvenanceGraph",

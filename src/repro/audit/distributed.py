@@ -32,27 +32,55 @@ class OffloadReceipt:
 
     Attributes:
         domain: the contributing administrative domain.
-        head_digest: digest of the last record accepted.
+        head_digest: digest of the last record accepted — for a
+            segmented spine this is the checkpoint-chain head, which
+            itself folds every segment head.
         record_count: how many records the segment held.
         collector_signature: simulated signature binding the receipt.
+        segment_heads: for segmented (spine) logs, the per-source
+            ``(source, head digest)`` pairs the receipt covers, so a
+            domain pruning one segment can still point at the receipt
+            that attested it.
     """
 
     domain: str
     head_digest: str
     record_count: int
     collector_signature: str
+    segment_heads: Tuple[Tuple[str, str], ...] = ()
 
     @staticmethod
-    def sign(domain: str, head_digest: str, count: int, collector_key: str) -> "OffloadReceipt":
+    def sign(
+        domain: str,
+        head_digest: str,
+        count: int,
+        collector_key: str,
+        segment_heads: Tuple[Tuple[str, str], ...] = (),
+    ) -> "OffloadReceipt":
         """Create a receipt; the 'signature' is an HMAC-style digest over
-        the receipt body with the collector's key (simulated crypto)."""
-        body = f"{domain}|{head_digest}|{count}|{collector_key}"
+        the receipt body (including any segment heads) with the
+        collector's key (simulated crypto)."""
+        body = OffloadReceipt._body(domain, head_digest, count, segment_heads, collector_key)
         sig = hashlib.sha256(body.encode()).hexdigest()
-        return OffloadReceipt(domain, head_digest, count, sig)
+        return OffloadReceipt(domain, head_digest, count, sig, segment_heads)
+
+    @staticmethod
+    def _body(
+        domain: str,
+        head_digest: str,
+        count: int,
+        segment_heads: Tuple[Tuple[str, str], ...],
+        collector_key: str,
+    ) -> str:
+        segments = ";".join(f"{s}={d}" for s, d in segment_heads)
+        return f"{domain}|{head_digest}|{count}|{segments}|{collector_key}"
 
     def verify(self, collector_key: str) -> bool:
         """Check the receipt was issued by the holder of ``collector_key``."""
-        body = f"{self.domain}|{self.head_digest}|{self.record_count}|{collector_key}"
+        body = OffloadReceipt._body(
+            self.domain, self.head_digest, self.record_count,
+            tuple(self.segment_heads), collector_key,
+        )
         return hashlib.sha256(body.encode()).hexdigest() == self.collector_signature
 
 
@@ -87,6 +115,10 @@ class AuditCollector:
         self._segments: Dict[str, List[AuditRecord]] = {}
         self._rejected: Set[str] = set()
         self._receipts: List[OffloadReceipt] = []
+        # Actors the contributing logs vouch for even after local
+        # pruning (see AuditSpine.known_actors) — gap detection must not
+        # flag a component whose records were merely pruned.
+        self._known_reporters: Set[str] = set()
 
     @property
     def rejected_domains(self) -> Set[str]:
@@ -97,15 +129,33 @@ class AuditCollector:
         """Accept a domain's log if its chain verifies.
 
         Returns a receipt on acceptance, None on rejection.  Repeated
-        submissions from the same domain extend its segment.
+        submissions from the same domain extend its segment.  Segmented
+        logs (an :class:`~repro.audit.spine.AuditSpine`) are accepted
+        the same way: verification covers every segment plus the
+        checkpoint chain, and the receipt is taken over the segment
+        heads (via a fresh checkpoint) rather than a single linear
+        chain's head.
         """
         if not log.verify():
             self._rejected.add(domain)
             return None
+        segment_heads: Tuple[Tuple[str, str], ...] = ()
+        heads_fn = getattr(log, "segment_heads", None)
+        if callable(heads_fn):
+            # A fresh checkpoint binds every segment head into the
+            # head_digest the receipt signs (no-op if already current).
+            log.checkpoint()
+            segment_heads = tuple(
+                (source, head) for source, (__, head) in sorted(heads_fn().items())
+            )
+        actors_fn = getattr(log, "known_actors", None)
+        if callable(actors_fn):
+            self._known_reporters.update(actors_fn())
         records = list(log)
         self._segments.setdefault(domain, []).extend(records)
         receipt = OffloadReceipt.sign(
-            domain, log.head_digest, len(records), self._key
+            domain, log.head_digest, len(records), self._key,
+            segment_heads=segment_heads,
         )
         self._receipts.append(receipt)
         return receipt
@@ -149,9 +199,12 @@ class AuditCollector:
 
         A component named as the *subject* of flows but owning no records
         anywhere is an audit gap — Challenge 6's intermittently connected
-        or mobile 'thing'.
+        or mobile 'thing'.  Components a segmented log vouched for
+        (:meth:`~repro.audit.spine.AuditSpine.known_actors`) count as
+        reporters even when their segment has since been pruned — a
+        pruned reporter is not a gap.
         """
-        reporters: Set[str] = set()
+        reporters: Set[str] = set(self._known_reporters)
         for records in self._segments.values():
             for r in records:
                 reporters.add(r.actor)

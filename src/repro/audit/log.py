@@ -23,145 +23,22 @@ from repro.ifc.labels import SecurityContext
 GENESIS_DIGEST = hashlib.sha256(b"repro-audit-genesis").hexdigest()
 
 
-def _chain_digest(previous: str, record: AuditRecord) -> str:
+def chain_digest(previous: str, canonical: str) -> str:
+    """Extend a hash chain by one record's canonical serialisation."""
     h = hashlib.sha256()
     h.update(previous.encode())
-    h.update(record.canonical().encode())
+    h.update(canonical.encode())
     return h.hexdigest()
 
 
-class AuditLog:
-    """Append-only log of :class:`AuditRecord` with a SHA-256 hash chain.
+class RecorderMixin:
+    """Convenience appenders shared by every audit writer.
 
-    The log is the universal observer: kernels, substrates, channels,
-    policy engines and gateways all append here.  A ``clock`` callable
-    supplies timestamps (wire it to the simulator for deterministic
-    runs).
-
-    ``buffer_size`` enables the buffered writer used by batched
-    workloads: records are appended immediately (they are visible to
-    ``records()``/iteration right away) but their chain digests are
-    computed lazily, in chunks, once ``buffer_size`` records are pending
-    or on an explicit :meth:`flush`.  Everything that *observes* the
-    chain — :attr:`head_digest`, :meth:`verify`, :meth:`export`,
-    :meth:`prune_before` — flushes first, so the chain construction and
-    the ``verify()`` result are byte-identical to an unbuffered log with
-    the same records.  The tamper-evidence *window* does narrow:
-    records become tamper-evident when folded into the chain, so a
-    still-pending record modified in memory before its first flush is
-    chained as modified.  Size the buffer for the trust domain — the
-    default of 0 keeps the original append-time guarantee.
-
-    Example::
-
-        log = AuditLog(clock=sim.now)
-        log.flow_allowed("sensor", "analyser", src_ctx, dst_ctx)
-        assert log.verify()
+    Anything exposing ``append(kind, actor, subject, detail,
+    source_context, target_context)`` — :class:`AuditLog`, the
+    :class:`~repro.audit.spine.AuditSpine` and its per-source emitters —
+    gets the domain-specific recording vocabulary from here.
     """
-
-    def __init__(
-        self,
-        clock: Optional[Callable[[], float]] = None,
-        name: str = "audit",
-        buffer_size: int = 0,
-    ):
-        self.name = name
-        self._clock = clock or (lambda: 0.0)
-        self._records: List[AuditRecord] = []
-        self._digests: List[str] = []
-        self._base_digest = GENESIS_DIGEST
-        self._base_seq = 0
-        self.buffer_size = buffer_size
-
-    # -- core append/verify ------------------------------------------------
-
-    def __len__(self) -> int:
-        return len(self._records)
-
-    def __iter__(self) -> Iterator[AuditRecord]:
-        return iter(self._records)
-
-    @property
-    def pending(self) -> int:
-        """Records appended but not yet folded into the hash chain."""
-        return len(self._records) - len(self._digests)
-
-    @property
-    def head_digest(self) -> str:
-        """Digest of the most recent record (genesis digest when empty)."""
-        self.flush()
-        return self._digests[-1] if self._digests else self._base_digest
-
-    def append(
-        self,
-        kind: RecordKind,
-        actor: str,
-        subject: str = "",
-        detail: Optional[Dict] = None,
-        source_context: Optional[SecurityContext] = None,
-        target_context: Optional[SecurityContext] = None,
-    ) -> AuditRecord:
-        """Append one record, extending the hash chain.
-
-        In buffered mode the chain extension is deferred; see
-        :meth:`flush`.
-        """
-        record = AuditRecord(
-            seq=self._base_seq + len(self._records),
-            timestamp=self._clock(),
-            kind=kind,
-            actor=actor,
-            subject=subject,
-            detail=dict(detail or {}),
-            source_context=source_context,
-            target_context=target_context,
-        )
-        self._records.append(record)
-        if self.buffer_size <= 0 or self.pending >= self.buffer_size:
-            self.flush()
-        return record
-
-    def flush(self) -> int:
-        """Fold all pending records into the hash chain, in one chunk.
-
-        Returns the number of records whose digests were computed.
-        Idempotent; a no-op on an unbuffered or already-flushed log.
-        """
-        digests = self._digests
-        start = len(digests)
-        records = self._records
-        if start == len(records):
-            return 0
-        digest = digests[-1] if digests else self._base_digest
-        for record in records[start:]:
-            digest = _chain_digest(digest, record)
-            digests.append(digest)
-        return len(records) - start
-
-    def verify(self) -> bool:
-        """Recompute the whole chain; True iff untampered.
-
-        Raises nothing — audit tooling wants a boolean; use
-        :meth:`verify_strict` to get the failing position.
-        """
-        try:
-            self.verify_strict()
-            return True
-        except IntegrityViolation:
-            return False
-
-    def verify_strict(self) -> None:
-        """Recompute the chain, raising on the first mismatch."""
-        self.flush()
-        digest = self._base_digest
-        for i, record in enumerate(self._records):
-            digest = _chain_digest(digest, record)
-            if digest != self._digests[i]:
-                raise IntegrityViolation(
-                    f"audit chain broken at seq {record.seq}"
-                )
-
-    # -- convenience appenders ----------------------------------------------
 
     def flow_allowed(
         self,
@@ -217,6 +94,145 @@ class AuditLog:
         merged = {"command": command}
         merged.update(detail or {})
         return self.append(RecordKind.RECONFIGURATION, actor, target, merged)
+
+
+class AuditLog(RecorderMixin):
+    """Append-only log of :class:`AuditRecord` with a SHA-256 hash chain.
+
+    The log is the universal observer: kernels, substrates, channels,
+    policy engines and gateways all append here.  A ``clock`` callable
+    supplies timestamps (wire it to the simulator for deterministic
+    runs).
+
+    ``buffer_size`` enables the buffered writer used by batched
+    workloads: records are appended immediately (they are visible to
+    ``records()``/iteration right away) but their chain digests are
+    computed lazily, in chunks, once ``buffer_size`` records are pending
+    or on an explicit :meth:`flush`.  Everything that *observes* the
+    chain — :attr:`head_digest`, :meth:`verify`, :meth:`export`,
+    :meth:`prune_before` — flushes first, so the chain construction and
+    the ``verify()`` result are byte-identical to an unbuffered log with
+    the same records.  Each record's digest material (its canonical
+    serialisation) is snapshotted *at append time*, so the chain always
+    reflects what was appended: a still-pending record mutated in memory
+    before its first flush is chained as appended and the mutation is
+    detected by :meth:`verify`, exactly as in unbuffered mode.
+
+    Example::
+
+        log = AuditLog(clock=sim.now)
+        log.flow_allowed("sensor", "analyser", src_ctx, dst_ctx)
+        assert log.verify()
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        name: str = "audit",
+        buffer_size: int = 0,
+    ):
+        self.name = name
+        self._clock = clock or (lambda: 0.0)
+        self._records: List[AuditRecord] = []
+        self._digests: List[str] = []
+        # Canonical serialisations of records not yet folded into the
+        # chain, snapshotted at append time (see the class docstring).
+        self._pending_canonicals: List[str] = []
+        self._base_digest = GENESIS_DIGEST
+        self._base_seq = 0
+        self.buffer_size = buffer_size
+
+    # -- core append/verify ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self._records)
+
+    @property
+    def pending(self) -> int:
+        """Records appended but not yet folded into the hash chain."""
+        return len(self._records) - len(self._digests)
+
+    @property
+    def head_digest(self) -> str:
+        """Digest of the most recent record (genesis digest when empty)."""
+        self.flush()
+        return self._digests[-1] if self._digests else self._base_digest
+
+    def append(
+        self,
+        kind: RecordKind,
+        actor: str,
+        subject: str = "",
+        detail: Optional[Dict] = None,
+        source_context: Optional[SecurityContext] = None,
+        target_context: Optional[SecurityContext] = None,
+    ) -> AuditRecord:
+        """Append one record, extending the hash chain.
+
+        In buffered mode the chain extension is deferred; see
+        :meth:`flush`.
+        """
+        record = AuditRecord(
+            seq=self._base_seq + len(self._records),
+            timestamp=self._clock(),
+            kind=kind,
+            actor=actor,
+            subject=subject,
+            detail=dict(detail or {}),
+            source_context=source_context,
+            target_context=target_context,
+        )
+        self._records.append(record)
+        self._pending_canonicals.append(record.canonical())
+        if self.buffer_size <= 0 or self.pending >= self.buffer_size:
+            self.flush()
+        return record
+
+    def flush(self) -> int:
+        """Fold all pending records into the hash chain, in one chunk.
+
+        Returns the number of records whose digests were computed.
+        Idempotent; a no-op on an unbuffered or already-flushed log.
+        The chain is built from the canonical serialisations captured at
+        append time, not from the records' current in-memory state.
+        """
+        pending = self._pending_canonicals
+        if not pending:
+            return 0
+        digests = self._digests
+        digest = digests[-1] if digests else self._base_digest
+        for canonical in pending:
+            digest = chain_digest(digest, canonical)
+            digests.append(digest)
+        flushed = len(pending)
+        pending.clear()
+        return flushed
+
+    def verify(self) -> bool:
+        """Recompute the whole chain; True iff untampered.
+
+        Raises nothing — audit tooling wants a boolean; use
+        :meth:`verify_strict` to get the failing position.
+        """
+        try:
+            self.verify_strict()
+            return True
+        except IntegrityViolation:
+            return False
+
+    def verify_strict(self) -> None:
+        """Recompute the chain, raising on the first mismatch."""
+        self.flush()
+        digest = self._base_digest
+        for i, record in enumerate(self._records):
+            digest = chain_digest(digest, record.canonical())
+            if digest != self._digests[i]:
+                raise IntegrityViolation(
+                    f"audit chain broken at seq {record.seq}"
+                )
 
     # -- query & maintenance -------------------------------------------------
 

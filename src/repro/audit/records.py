@@ -40,6 +40,7 @@ class RecordKind(str, Enum):
     WIRE_HANDSHAKE = "wire-handshake"
     TABLE_SYNC = "table-sync"
     MISDELIVERY = "misdelivery"
+    CHECKPOINT = "checkpoint"
     CUSTOM = "custom"
 
 

@@ -1,0 +1,686 @@
+"""The audit spine: audit emission off the delivery path (§8.3, Fig. 1).
+
+The paper requires every flow decision, policy firing and
+reconfiguration to be audited into a tamper-evident log, but a
+synchronous hash-chain append (canonical JSON + SHA-256 per record)
+inside every enforcement site puts that cost on the message delivery
+path.  The :class:`AuditSpine` is the per-machine remedy:
+
+* **Staging** — enforcement sites emit records through cheap per-source
+  handles (:class:`SpineEmitter`); :meth:`AuditSpine.emit` only
+  constructs the record and appends it to a staged ring.  No
+  serialisation, no hashing, no chaining on the delivery path.
+* **Deferred draining** — :meth:`AuditSpine.drain` folds staged records
+  into per-source hash-chain *segments* (one shard per emitting site:
+  ``bus``, ``kernel``, ``substrate``, ...).  Draining runs off the
+  delivery path: when the staged ring reaches capacity, on simulated
+  clock ticks (:meth:`attach_clock`), or on an explicit ``drain()`` —
+  and implicitly before anything *observes* the chain.
+* **Checkpoints** — periodically (every ``checkpoint_every`` fruitful
+  drains, and on demand) the spine appends a :class:`CHECKPOINT
+  <repro.audit.records.RecordKind>` record to its own checkpoint chain,
+  folding every segment's ``(position, head digest)`` into one
+  cross-segment chain.  The checkpoint chain is what binds independent
+  segments together: truncating any one segment below a checkpointed
+  position is detected by :meth:`verify`, and
+  :attr:`head_digest` — the checkpoint chain's head — authenticates the
+  whole spine for offload receipts (``repro.audit.distributed``).
+
+Tamper-evidence window: records become tamper-evident when drained into
+their segment, so the drain cadence (ring capacity / clock ticks) bounds
+the window in which an in-memory mutation would be chained as mutated.
+This is the deliberate trade the spine makes for taking hashing off the
+delivery path; a plain unbuffered :class:`~repro.audit.log.AuditLog`
+keeps the append-time guarantee where that matters more than
+throughput.
+
+The spine is read-compatible with :class:`~repro.audit.log.AuditLog`
+(``records()`` / ``denials()`` / iteration / ``verify()`` /
+``export()`` / ``prune_before()`` / ``head_digest``), so provenance,
+compliance and distributed-audit tooling consume either.  Checkpoint
+records live on their own chain and never appear in the record stream —
+a spine and a plain log fed the same events yield order-identical
+streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.audit.log import GENESIS_DIGEST, RecorderMixin, chain_digest
+from repro.audit.records import AuditRecord, RecordKind
+from repro.errors import IntegrityViolation
+from repro.ifc.labels import SecurityContext
+
+#: Source name used by :meth:`AuditSpine.append` (the AuditLog-compatible
+#: direct writer) when the caller has not bound a per-source emitter.
+DEFAULT_SOURCE = "main"
+
+
+def _segment_genesis(spine_name: str, source: str) -> str:
+    """Domain-separated genesis digest for one segment's chain."""
+    return hashlib.sha256(
+        f"repro-audit-segment|{spine_name}|{source}".encode()
+    ).hexdigest()
+
+
+class AuditSegment:
+    """One source's hash-chain shard inside a spine.
+
+    Records are chained exactly as in :class:`~repro.audit.log.AuditLog`
+    (``digest = sha256(prev + canonical)``), but the chain base is
+    domain-separated by spine and source name so segments from different
+    sources can never be spliced into one another.  ``base_count`` is
+    the absolute position of the first retained record — pruning a
+    prefix promotes the last pruned digest to ``base_digest``, keeping
+    the retained suffix verifiable, exactly like ``AuditLog.prune_before``.
+    """
+
+    __slots__ = ("source", "records", "digests", "base_digest", "base_count")
+
+    def __init__(self, source: str, genesis: str):
+        self.source = source
+        self.records: List[AuditRecord] = []
+        self.digests: List[str] = []
+        self.base_digest = genesis
+        self.base_count = 0
+
+    @property
+    def head(self) -> str:
+        """Digest of the last chained record (base digest when empty)."""
+        return self.digests[-1] if self.digests else self.base_digest
+
+    @property
+    def total(self) -> int:
+        """Absolute chain position of the head (pruned + retained)."""
+        return self.base_count + len(self.records)
+
+    def chain(self, record: AuditRecord) -> str:
+        """Fold one record into this segment's chain."""
+        digest = chain_digest(self.head, record.canonical())
+        self.records.append(record)
+        self.digests.append(digest)
+        return digest
+
+    def digest_at(self, position: int) -> Optional[str]:
+        """Chain digest at absolute ``position``, or None if pruned away.
+
+        Position ``k`` is the head digest after ``k`` records; position
+        ``base_count`` is the (real, computed) base digest itself.
+        """
+        if position < self.base_count:
+            return None
+        if position == self.base_count:
+            return self.base_digest
+        return self.digests[position - self.base_count - 1]
+
+    def verify(self) -> None:
+        """Recompute the whole retained chain, raising on mismatch."""
+        digest = self.base_digest
+        for record, stored in zip(self.records, self.digests):
+            digest = chain_digest(digest, record.canonical())
+            if digest != stored:
+                raise IntegrityViolation(
+                    f"segment {self.source!r} chain broken at seq {record.seq}"
+                )
+
+    def prune_prefix(self, keep_from: int) -> int:
+        """Drop the first ``keep_from`` retained records, rebasing the
+        chain on the last pruned digest.  Returns the number pruned."""
+        if keep_from <= 0:
+            return 0
+        self.base_digest = self.digests[keep_from - 1]
+        self.base_count += keep_from
+        self.records = self.records[keep_from:]
+        self.digests = self.digests[keep_from:]
+        return keep_from
+
+
+class SpineEmitter(RecorderMixin):
+    """A per-source write handle onto an :class:`AuditSpine`.
+
+    Enforcement sites hold one of these instead of an ``AuditLog``:
+    writes stage into the spine under this emitter's source (the
+    segment shard), reads and maintenance delegate to the whole spine —
+    so an emitter is a drop-in for the ``AuditLog`` API everywhere one
+    is consumed.
+    """
+
+    __slots__ = ("spine", "source")
+
+    def __init__(self, spine: "AuditSpine", source: str):
+        self.spine = spine
+        self.source = source
+
+    def __repr__(self) -> str:
+        return f"<SpineEmitter {self.source!r} -> {self.spine.name}>"
+
+    # -- writes (staged under this source) ---------------------------------
+
+    def append(
+        self,
+        kind: RecordKind,
+        actor: str,
+        subject: str = "",
+        detail: Optional[Dict] = None,
+        source_context: Optional[SecurityContext] = None,
+        target_context: Optional[SecurityContext] = None,
+    ) -> AuditRecord:
+        """Stage one record; chaining is deferred to the spine's drain."""
+        return self.spine.emit(
+            self.source, kind, actor, subject, detail,
+            source_context, target_context,
+        )
+
+    # -- reads / maintenance (whole-spine view) ----------------------------
+
+    def __len__(self) -> int:
+        return len(self.spine)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self.spine)
+
+    def flush(self) -> int:
+        """Drain the spine (AuditLog-compatible spelling)."""
+        return self.spine.drain()
+
+    @property
+    def pending(self) -> int:
+        return self.spine.pending
+
+    @property
+    def head_digest(self) -> str:
+        return self.spine.head_digest
+
+    def records(self, *args, **kwargs) -> List[AuditRecord]:
+        return self.spine.records(*args, **kwargs)
+
+    def denials(self) -> List[AuditRecord]:
+        return self.spine.denials()
+
+    def sources(self) -> List[str]:
+        return self.spine.sources()
+
+    def segment_heads(self) -> Dict[str, Tuple[int, str]]:
+        return self.spine.segment_heads()
+
+    def known_actors(self) -> Set[str]:
+        return self.spine.known_actors()
+
+    def checkpoint(self) -> Optional[AuditRecord]:
+        return self.spine.checkpoint()
+
+    def verify(self) -> bool:
+        return self.spine.verify()
+
+    def verify_strict(self) -> None:
+        self.spine.verify_strict()
+
+    def export(self) -> List[Dict]:
+        return self.spine.export()
+
+    def prune_before(self, timestamp: float) -> int:
+        return self.spine.prune_before(timestamp)
+
+
+def bind_source(audit, source: str):
+    """Adapt whatever audit sink a component was given to a per-source one.
+
+    * ``None`` stays ``None`` (auditing disabled);
+    * an :class:`AuditSpine` yields a :class:`SpineEmitter` for
+      ``source`` — the staged, off-delivery-path write handle;
+    * a :class:`SpineEmitter` is re-bound to ``source`` on its spine
+      (components compose: a bus hands its sink to its channels, each
+      layer claiming its own segment);
+    * anything else (a plain :class:`~repro.audit.log.AuditLog`) is
+      returned unchanged — the owner chose synchronous semantics.
+
+    This is the only audit-plumbing call enforcement sites make; none of
+    them construct chain digests or choose chaining policy themselves.
+    """
+    if audit is None:
+        return None
+    if isinstance(audit, AuditSpine):
+        return audit.emitter(source)
+    if isinstance(audit, SpineEmitter):
+        return audit.spine.emitter(source)
+    return audit
+
+
+class AuditSpine(RecorderMixin):
+    """Per-machine staged audit: ring buffer → per-source segments →
+    checkpointed cross-segment chain.
+
+    Example::
+
+        spine = AuditSpine(clock=sim.now, name="audit@host")
+        bus_audit = spine.emitter("bus")        # cheap staged writes
+        bus_audit.flow_allowed("sensor", "analyser", ctx, ctx)
+        spine.drain()                            # off the delivery path
+        assert spine.verify()
+
+    ``ring_capacity`` bounds staged memory: reaching it forces an inline
+    drain (amortised, never per-record).  ``checkpoint_every`` sets how
+    many fruitful drains pass between automatic checkpoints; anything
+    that needs the cross-segment head (``head_digest``, offload) forces
+    one.  Staged records are immediately visible to ``records()`` /
+    iteration, exactly like buffered ``AuditLog`` appends.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        name: str = "audit-spine",
+        ring_capacity: int = 1024,
+        checkpoint_every: int = 4,
+    ):
+        self.name = name
+        self._clock = clock or (lambda: 0.0)
+        self.ring_capacity = max(1, ring_capacity)
+        self.checkpoint_every = max(1, checkpoint_every)
+        self._staged: List[Tuple[str, AuditRecord]] = []
+        self._segments: Dict[str, AuditSegment] = {}
+        self._emitters: Dict[str, SpineEmitter] = {}
+        self._seq = 0
+        # The checkpoint chain is itself an AuditSegment — same chain,
+        # rebase-on-prune and verify machinery as the record shards.
+        self._ckpt = AuditSegment(
+            "__checkpoints__", _segment_genesis(name, "__checkpoints__")
+        )
+        self._drains_since_checkpoint = 0
+        self._chained_at_last_checkpoint = 0
+        self._chained_records = 0
+        # Every actor ever drained — survives pruning, so distributed
+        # gap detection can tell "pruned" from "never reported".
+        self._actors: Set[str] = set()
+        self.stats_drains = 0
+        self.stats_checkpoints = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<AuditSpine {self.name} segments={len(self._segments)} "
+            f"records={len(self)} staged={len(self._staged)}>"
+        )
+
+    # -- emission (the delivery-path side) ---------------------------------
+
+    def emitter(self, source: str) -> SpineEmitter:
+        """The per-source write handle (one shared instance per source)."""
+        emitter = self._emitters.get(source)
+        if emitter is None:
+            emitter = self._emitters[source] = SpineEmitter(self, source)
+        return emitter
+
+    def emit(
+        self,
+        source: str,
+        kind: RecordKind,
+        actor: str,
+        subject: str = "",
+        detail: Optional[Dict] = None,
+        source_context: Optional[SecurityContext] = None,
+        target_context: Optional[SecurityContext] = None,
+    ) -> AuditRecord:
+        """Stage one record under ``source``.  The delivery-path cost is
+        record construction plus a list append — no serialisation, no
+        hashing; those happen at :meth:`drain`."""
+        record = AuditRecord(
+            seq=self._seq,
+            timestamp=self._clock(),
+            kind=kind,
+            actor=actor,
+            subject=subject,
+            detail=dict(detail or {}),
+            source_context=source_context,
+            target_context=target_context,
+        )
+        self._seq += 1
+        staged = self._staged
+        staged.append((source, record))
+        if len(staged) >= self.ring_capacity:
+            self.drain()
+        return record
+
+    def append(
+        self,
+        kind: RecordKind,
+        actor: str,
+        subject: str = "",
+        detail: Optional[Dict] = None,
+        source_context: Optional[SecurityContext] = None,
+        target_context: Optional[SecurityContext] = None,
+    ) -> AuditRecord:
+        """AuditLog-compatible direct write, staged under
+        :data:`DEFAULT_SOURCE`."""
+        return self.emit(
+            DEFAULT_SOURCE, kind, actor, subject, detail,
+            source_context, target_context,
+        )
+
+    # -- draining & checkpoints --------------------------------------------
+
+    def segment(self, source: str) -> AuditSegment:
+        """The segment for ``source`` (created on first use)."""
+        seg = self._segments.get(source)
+        if seg is None:
+            seg = self._segments[source] = AuditSegment(
+                source, _segment_genesis(self.name, source)
+            )
+        return seg
+
+    @property
+    def pending(self) -> int:
+        """Records staged but not yet chained into their segment."""
+        return len(self._staged)
+
+    def drain(self) -> int:
+        """Fold every staged record into its source's segment chain.
+
+        Returns the number of records drained.  Idempotent — draining an
+        empty ring is a no-op and does not advance the checkpoint
+        cadence.
+        """
+        staged = self._staged
+        if not staged:
+            return 0
+        segments = self._segments
+        actors = self._actors
+        for source, record in staged:
+            seg = segments.get(source)
+            if seg is None:
+                seg = self.segment(source)
+            seg.chain(record)
+            actors.add(record.actor)
+        drained = len(staged)
+        staged.clear()
+        self._chained_records += drained
+        self.stats_drains += 1
+        self._drains_since_checkpoint += 1
+        if self._drains_since_checkpoint >= self.checkpoint_every:
+            self.checkpoint()
+        return drained
+
+    def flush(self) -> int:
+        """AuditLog-compatible alias for :meth:`drain`."""
+        return self.drain()
+
+    def attach_clock(self, clock) -> None:
+        """Drain on every simulated-clock advance (background draining).
+
+        ``clock`` is a :class:`repro.sim.clock.Clock` (anything exposing
+        ``on_advance``); each tick moves staged records into their
+        segments so the tamper-evidence window tracks simulated time,
+        not traffic volume.
+        """
+        clock.on_advance(self._on_tick)
+
+    def detach_clock(self, clock) -> bool:
+        """Stop draining on ``clock``'s ticks (the decommission path —
+        without this the clock keeps the spine alive and ticking
+        forever).  Returns whether the spine was attached."""
+        return clock.off_advance(self._on_tick)
+
+    def _on_tick(self, now: float) -> None:
+        if self._staged:
+            self.drain()
+
+    def checkpoint(self) -> Optional[AuditRecord]:
+        """Fold every segment head into the cross-segment checkpoint chain.
+
+        Drains first.  Returns the new CHECKPOINT record, or None when
+        nothing changed since the last checkpoint (no-op, so repeated
+        observers do not inflate the chain).  Checkpoint records carry,
+        per source, the segment's absolute head position and head digest
+        — :meth:`verify` later holds every retained segment to them.
+        """
+        self.drain()
+        if not self._segments:
+            # A spine that never recorded anything has nothing to pin —
+            # head_digest stays at the genesis digest, like an empty log.
+            return None
+        if (
+            self._chained_records == self._chained_at_last_checkpoint
+            and self._ckpt.total
+        ):
+            return None
+        heads = {}
+        counts = {}
+        for source in sorted(self._segments):
+            seg = self._segments[source]
+            heads[source] = seg.head
+            counts[source] = seg.total
+        # Checkpoints number their own chain: record seqs must track the
+        # event stream exactly (a spine and a plain log fed the same
+        # events stay seq-identical).
+        record = AuditRecord(
+            seq=self._ckpt.total,
+            timestamp=self._clock(),
+            kind=RecordKind.CHECKPOINT,
+            actor=self.name,
+            subject="",
+            detail={"heads": heads, "counts": counts},
+        )
+        self._ckpt.chain(record)
+        self._chained_at_last_checkpoint = self._chained_records
+        self._drains_since_checkpoint = 0
+        self.stats_checkpoints += 1
+        return record
+
+    @property
+    def head_digest(self) -> str:
+        """Head of the checkpoint chain — the one digest that
+        authenticates every segment (checkpoints on demand)."""
+        self.checkpoint()
+        if self._ckpt.total:
+            return self._ckpt.head
+        return GENESIS_DIGEST
+
+    # -- reading (AuditLog-compatible) -------------------------------------
+
+    def _merged(self) -> List[AuditRecord]:
+        # Each segment's records are seq-ascending, and everything
+        # staged was emitted after everything drained — a k-way merge
+        # rebuilds the stream in O(n), no sort.
+        streams = [seg.records for seg in self._segments.values() if seg.records]
+        if self._staged:
+            streams.append([record for __, record in self._staged])
+        if len(streams) == 1:
+            return list(streams[0])
+        return list(heapq.merge(*streams, key=lambda r: r.seq))
+
+    def __len__(self) -> int:
+        return sum(len(s.records) for s in self._segments.values()) + len(
+            self._staged
+        )
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self._merged())
+
+    def records(
+        self,
+        kind: Optional[RecordKind] = None,
+        actor: Optional[str] = None,
+        subject: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> List[AuditRecord]:
+        """Filter records by kind / actor / subject / time window.
+
+        Staged records are included (they are already part of the
+        stream, just not yet tamper-evident); checkpoint records are
+        not — they live on their own chain.
+        """
+        result = []
+        for r in self._merged():
+            if kind is not None and r.kind != kind:
+                continue
+            if actor is not None and r.actor != actor:
+                continue
+            if subject is not None and r.subject != subject:
+                continue
+            if since is not None and r.timestamp < since:
+                continue
+            if until is not None and r.timestamp > until:
+                continue
+            result.append(r)
+        return result
+
+    def denials(self) -> List[AuditRecord]:
+        """All denied flows/accesses — the compliance hot list."""
+        return [r for r in self._merged() if r.is_denial]
+
+    def sources(self) -> List[str]:
+        """Every source that has a segment, sorted."""
+        return sorted(self._segments)
+
+    def segment_heads(self) -> Dict[str, Tuple[int, str]]:
+        """Per-source ``(absolute position, head digest)`` — the offload
+        receipt material (drains first so heads are current)."""
+        self.drain()
+        return {
+            source: (seg.total, seg.head)
+            for source, seg in sorted(self._segments.items())
+        }
+
+    def known_actors(self) -> Set[str]:
+        """Every actor that ever emitted here, surviving pruning.
+
+        Distributed gap detection uses this to avoid flagging a
+        component as silent when its records were merely pruned."""
+        return self._actors | {r.actor for __, r in self._staged}
+
+    def checkpoints(self) -> List[AuditRecord]:
+        """The retained checkpoint records (oldest first)."""
+        return list(self._ckpt.records)
+
+    # -- verification -------------------------------------------------------
+
+    def verify(self) -> bool:
+        """True iff every segment chain, the checkpoint chain, and every
+        retained checkpoint's segment-head bindings hold."""
+        try:
+            self.verify_strict()
+            return True
+        except IntegrityViolation:
+            return False
+
+    def verify_strict(self) -> None:
+        """Recompute everything, raising on the first mismatch.
+
+        Drains first (staged records must be chained to be checkable).
+        Beyond per-segment chain verification, every retained checkpoint
+        pins each segment: a segment truncated below a checkpointed
+        position — or whose digest at that position changed — fails
+        here, which is the cross-segment guarantee a single shared chain
+        used to give for free.
+        """
+        self.drain()
+        for seg in self._segments.values():
+            seg.verify()
+        self._ckpt.verify()
+        for record in self._ckpt.records:
+            heads = record.detail.get("heads", {})
+            counts = record.detail.get("counts", {})
+            for source, head in heads.items():
+                seg = self._segments.get(source)
+                if seg is None:
+                    raise IntegrityViolation(
+                        f"segment {source!r} vanished after checkpoint "
+                        f"seq {record.seq}"
+                    )
+                position = counts.get(source, 0)
+                if position > seg.total:
+                    raise IntegrityViolation(
+                        f"segment {source!r} truncated below checkpointed "
+                        f"position {position} (holds {seg.total})"
+                    )
+                expected = seg.digest_at(position)
+                if expected is not None and expected != head:
+                    raise IntegrityViolation(
+                        f"segment {source!r} head at position {position} "
+                        f"does not match checkpoint seq {record.seq}"
+                    )
+
+    # -- maintenance ---------------------------------------------------------
+
+    def prune_before(self, timestamp: float) -> int:
+        """Discard records older than ``timestamp`` from every segment.
+
+        Each segment rebases its chain on the last pruned digest
+        (as ``AuditLog.prune_before`` does), and checkpoint records
+        older than ``timestamp`` are pruned from the checkpoint chain
+        the same way.  Returns the number of *records* pruned
+        (checkpoints are chain metadata, not stream records).
+        """
+        self.drain()
+        pruned = 0
+        for seg in self._segments.values():
+            keep_from = 0
+            records = seg.records
+            while (
+                keep_from < len(records)
+                and records[keep_from].timestamp < timestamp
+            ):
+                keep_from += 1
+            pruned += seg.prune_prefix(keep_from)
+        keep_from = 0
+        checkpoints = self._ckpt.records
+        while (
+            keep_from < len(checkpoints)
+            and checkpoints[keep_from].timestamp < timestamp
+        ):
+            keep_from += 1
+        self._ckpt.prune_prefix(keep_from)
+        return pruned
+
+    def prune_segment(self, source: str, before: Optional[float] = None) -> int:
+        """Prune one segment (wholly, or records before ``before``).
+
+        Per-source retention: a chatty kernel segment can be cut without
+        touching the bus's.  The segment object (base digest, absolute
+        position, actor memory) survives, so later checkpoints and gap
+        detection still account for what was pruned.
+        """
+        self.drain()
+        seg = self._segments.get(source)
+        if seg is None:
+            return 0
+        if before is None:
+            keep_from = len(seg.records)
+        else:
+            keep_from = 0
+            while (
+                keep_from < len(seg.records)
+                and seg.records[keep_from].timestamp < before
+            ):
+                keep_from += 1
+        return seg.prune_prefix(keep_from)
+
+    def export(self) -> List[Dict]:
+        """Serialise records with digests and segment attribution, in
+        stream order, for offload to another party (Challenge 6)."""
+        self.drain()
+        entries = []
+        for source, seg in self._segments.items():
+            for record, digest in zip(seg.records, seg.digests):
+                entries.append(
+                    {
+                        "record": record.canonical(),
+                        "digest": digest,
+                        "segment": source,
+                        "seq": record.seq,
+                    }
+                )
+        entries.sort(key=lambda e: e["seq"])
+        for entry in entries:
+            del entry["seq"]
+        return entries
+
+    def export_checkpoints(self) -> List[Dict]:
+        """Serialise the checkpoint chain (records + digests)."""
+        return [
+            {"record": r.canonical(), "digest": d}
+            for r, d in zip(self._ckpt.records, self._ckpt.digests)
+        ]

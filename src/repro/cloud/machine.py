@@ -5,14 +5,27 @@ above a CamFlow-LSM kernel, a CamFlow-Messaging substrate process for
 external transfers, and a TPM rooting trust in the platform.  A
 :class:`Machine` assembles those pieces; the messaging substrate itself
 lives in :mod:`repro.middleware.substrate` and binds to a machine.
+
+Since the audit-spine refactor a machine also owns the two per-machine
+planes the enforcement column shares:
+
+* :attr:`audit` — an :class:`~repro.audit.spine.AuditSpine`: enforcement
+  sites stage records through per-source emitters (``kernel``,
+  ``substrate``, ...) and hashing/chaining happens off the delivery
+  path, at drain/checkpoint time (``docs/audit_plane.md``);
+* :attr:`shard` — the machine's :class:`~repro.ifc.decisions.DecisionShard`
+  behind a :class:`~repro.ifc.decisions.DecisionPlaneRouter`: kernel LSM
+  and substrate share one memoized decision cache, and multi-machine
+  deployments get one shard per machine instead of anything
+  process-global.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.audit.log import AuditLog
+from repro.audit.spine import AuditSpine
 from repro.cloud.kernel import (
     IFCSecurityModule,
     Kernel,
@@ -22,6 +35,7 @@ from repro.cloud.kernel import (
 )
 from repro.crypto.attestation import TPM, AttestationVerifier
 from repro.errors import AttestationError
+from repro.ifc.decisions import DecisionPlaneRouter, DecisionShard
 from repro.ifc.labels import SecurityContext
 from repro.ifc.privileges import PrivilegeSet
 
@@ -43,17 +57,27 @@ class MachineConfig:
         boot_chain: measurement digests extended into the boot PCR;
             defaults to the approved chain — pass something else to model
             a tampered platform that attestation must reject.
+        audit_ring_capacity / audit_checkpoint_every: the machine
+            spine's staging and checkpoint cadence.
     """
 
     enforce_ifc: bool = True
     boot_chain: Optional[List[str]] = None
+    audit_ring_capacity: int = 1024
+    audit_checkpoint_every: int = 4
 
 
 class Machine:
-    """One platform: hostname, kernel with LSM, TPM, audit log.
+    """One platform: hostname, kernel with LSM, TPM, audit spine.
 
-    The audit log is per-machine, as in CamFlow — cross-domain audit is
-    assembled by :class:`repro.audit.distributed.AuditCollector`.
+    The audit spine is per-machine, as in CamFlow — cross-domain audit
+    is assembled by :class:`repro.audit.distributed.AuditCollector`,
+    which receipts the spine's segment heads.
+
+    ``clock`` may be a plain ``() -> float`` callable (timestamps only)
+    or a :class:`repro.sim.clock.Clock`, in which case the spine also
+    drains on every simulated tick — deferred audit work rides the
+    simulation's own notion of "background".
     """
 
     def __init__(
@@ -61,18 +85,43 @@ class Machine:
         hostname: str,
         config: Optional[MachineConfig] = None,
         clock=None,
+        router: Optional[DecisionPlaneRouter] = None,
     ):
         self.hostname = hostname
         self.config = config or MachineConfig()
-        self.audit = AuditLog(clock=clock, name=f"audit@{hostname}")
+        tick_source = None
+        if clock is not None and hasattr(clock, "on_advance"):
+            tick_source = clock
+            clock = clock.now
+        self.audit = AuditSpine(
+            clock=clock,
+            name=f"audit@{hostname}",
+            ring_capacity=self.config.audit_ring_capacity,
+            checkpoint_every=self.config.audit_checkpoint_every,
+        )
+        self._tick_source = tick_source
+        if tick_source is not None:
+            self.audit.attach_clock(tick_source)
+        self.router = router if router is not None else DecisionPlaneRouter()
+        self.shard: DecisionShard = self.router.shard(hostname)
         if self.config.enforce_ifc:
-            module: SecurityModule = IFCSecurityModule(self.audit)
+            # The module binds its own "kernel" segment (bind_source);
+            # context_cache (not cache) keeps the private-vocabulary
+            # guard on this context-form site.
+            module: SecurityModule = IFCSecurityModule(
+                self.audit, cache=self.shard.context_cache
+            )
         else:
             module = NullSecurityModule()
         self.kernel = Kernel(hostname, module)
         self.tpm = TPM(hostname)
         for measurement in self.config.boot_chain or APPROVED_BOOT_CHAIN:
             self.tpm.extend(BOOT_PCR, measurement)
+
+    @property
+    def spine(self) -> AuditSpine:
+        """The machine's audit spine (alias of :attr:`audit`)."""
+        return self.audit
 
     def launch(
         self,
@@ -88,9 +137,29 @@ class Machine:
         """
         return self.kernel.spawn(name, security, privileges)
 
+    def grant(self, pid: int, privileges: PrivilegeSet) -> None:
+        """Grant privileges to a process, invalidating the machine's
+        decision shard (the belt-and-braces bulk-change rule — see
+        ``DecisionPlaneRouter.invalidate``)."""
+        self.kernel.grant(pid, privileges)
+        self.router.invalidate(self.hostname)
+
     def attest_to(self, verifier: AttestationVerifier) -> bool:
         """Run remote attestation of this platform against a verifier."""
         return verifier.attest(self.tpm, [BOOT_PCR])
+
+    def decommission(self) -> None:
+        """Retire the machine from the simulation.
+
+        Drains and checkpoints the spine one last time (the audit trail
+        must survive the platform) and detaches it from the simulated
+        clock — a churned machine must not stay pinned in the clock's
+        tick hooks forever.  Idempotent.
+        """
+        self.audit.checkpoint()
+        if self._tick_source is not None:
+            self.audit.detach_clock(self._tick_source)
+            self._tick_source = None
 
 
 def trusted_verifier(machines: List[Machine]) -> AttestationVerifier:

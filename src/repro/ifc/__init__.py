@@ -44,6 +44,8 @@ from repro.ifc.wire import (
 from repro.ifc.decisions import (
     DecisionCache,
     DecisionPlane,
+    DecisionPlaneRouter,
+    DecisionShard,
     DecisionStats,
 )
 from repro.ifc.privileges import (
@@ -101,6 +103,8 @@ __all__ = [
     "FlowDecision",
     "DecisionCache",
     "DecisionPlane",
+    "DecisionPlaneRouter",
+    "DecisionShard",
     "DecisionStats",
     "TagInterner",
     "global_interner",

@@ -28,7 +28,21 @@ declassification or endorsement necessarily produces a *new* context
 whose masks differ, hence a different key — a stale grant can never be
 served after a label change.  Explicit :meth:`DecisionPlane.invalidate`
 exists to bound memory (and for belt-and-braces after bulk policy
-changes), not for correctness.
+changes, e.g. privilege grants/revocations fanned out by the
+:class:`DecisionPlaneRouter`), not for correctness.
+
+Sharding (multi-worker machines)
+--------------------------------
+A :class:`DecisionShard` is one machine's (or worker's) slice of the
+decision plane: its own :class:`DecisionCache` plus the
+:class:`~repro.ifc.interner.TagInterner` its masks are numbered in.
+Shards live behind a :class:`DecisionPlaneRouter`; the enforcement
+sites of one machine (kernel LSM, substrate, bus workers) share that
+machine's shard, and *cross*-shard evaluations remap masks through the
+wire plane's :class:`~repro.ifc.wire.MaskTranslator` vocabulary — the
+same append-only table exchange substrates use on the wire — instead of
+reaching into any process-global interner (see ``docs/decision_plane.md``
+and ``docs/audit_plane.md``).
 """
 
 from __future__ import annotations
@@ -37,8 +51,9 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.errors import FlowError
-from repro.ifc.flow import FlowDecision, flow_decision
-from repro.ifc.labels import SecurityContext
+from repro.ifc.flow import _ALLOWED, FlowDecision, flow_decision
+from repro.ifc.interner import TagInterner, global_interner
+from repro.ifc.labels import Label, SecurityContext
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (audit ↔ ifc)
     from repro.audit.log import AuditLog
@@ -75,7 +90,9 @@ class DecisionCache:
     enforced flow in the whole system.
     """
 
-    __slots__ = ("_table", "max_entries", "hits", "misses", "evictions")
+    __slots__ = (
+        "_table", "max_entries", "hits", "misses", "evictions", "_vocab"
+    )
 
     def __init__(self, max_entries: int = 65536):
         self._table: Dict[Tuple[int, int, int, int], FlowDecision] = {}
@@ -83,6 +100,9 @@ class DecisionCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # The interner vocabulary mask-level keys are numbered in,
+        # pinned on first evaluate_masks call: one cache, one numbering.
+        self._vocab: Optional[TagInterner] = None
 
     def __len__(self) -> int:
         return len(self._table)
@@ -111,9 +131,78 @@ class DecisionCache:
         self._table[key] = decision
         return decision
 
+    def evaluate_masks(
+        self,
+        src_secrecy: int,
+        src_integrity: int,
+        dst_secrecy: int,
+        dst_integrity: int,
+        interner: Optional[TagInterner] = None,
+    ) -> FlowDecision:
+        """The memoized flow rule over raw bitsets.
+
+        This is the sharded/cross-machine entry point: masks already in
+        *this cache's* numbering (remapped from a peer's through a
+        :class:`~repro.ifc.wire.MaskTranslator` if they crossed shards)
+        are evaluated without materialising context objects.  Keys are
+        shared with :meth:`evaluate` — the same pair costs one miss no
+        matter which form asked first.  ``interner`` names the
+        vocabulary the masks use, for denial diagnostics; it defaults to
+        the process-global one and is pinned per cache: feeding one
+        cache masks from two numberings would let a hit serve denial
+        labels from the wrong vocabulary, so that raises instead.
+        """
+        vocab = interner if interner is not None else global_interner()
+        if self._vocab is None:
+            self._vocab = vocab
+        elif self._vocab is not vocab:
+            raise ValueError(
+                "decision cache already keyed in another interner's "
+                "numbering; one cache serves one vocabulary"
+            )
+        key = (src_secrecy, src_integrity, dst_secrecy, dst_integrity)
+        decision = self._table.get(key)
+        if decision is not None:
+            self.hits += 1
+            return decision
+        self.misses += 1
+        missing_s = src_secrecy & ~dst_secrecy
+        missing_i = dst_integrity & ~src_integrity
+        if not missing_s and not missing_i:
+            # The same shared instance flow_decision() returns, so the
+            # mask and context forms stay identity-consistent.
+            decision = _ALLOWED
+        else:
+            decision = FlowDecision(
+                False,
+                not missing_s,
+                not missing_i,
+                _label_in(vocab, missing_s),
+                _label_in(vocab, missing_i),
+            )
+        if len(self._table) >= self.max_entries:
+            self._table.clear()
+            self.evictions += 1
+        self._table[key] = decision
+        return decision
+
     def clear(self) -> None:
         """Drop every memoized decision (counters are preserved)."""
         self._table.clear()
+
+
+def _label_in(interner: TagInterner, mask: int) -> Label:
+    """A :class:`Label` naming ``mask``'s tags in ``interner``'s vocabulary.
+
+    For the process-global interner the mask is wrapped directly; for a
+    shard-private interner the tags are named and re-interned so the
+    label renders correctly in diagnostics regardless of numbering.
+    """
+    if not mask:
+        return Label.empty()
+    if interner is global_interner():
+        return Label.from_mask(mask)
+    return Label(t.qualified for t in interner.tags_of(mask))
 
 
 class DecisionPlane:
@@ -214,3 +303,221 @@ class DecisionPlane:
     def misses(self) -> int:
         """Memo-table misses (each one evaluated the rule directly)."""
         return self.cache.misses
+
+
+# -- sharding: per-machine decision planes ----------------------------------
+
+
+class DecisionShard:
+    """One machine's (or worker's) slice of the decision plane.
+
+    A shard owns a private :class:`DecisionCache` and names the
+    :class:`~repro.ifc.interner.TagInterner` its mask keys are numbered
+    in (the process-global one for in-process machines; a private one
+    when simulating fully isolated workers).  Every enforcement site on
+    the same machine — kernel LSM, substrate, bus workers — shares the
+    shard's cache through per-site :class:`DecisionPlane` views, so a
+    pair memoized by one site is a hit for all of them, while distinct
+    machines stay fully independent: no shared table, no shared
+    counters, no cross-worker invalidation stampede.
+    """
+
+    __slots__ = ("shard_id", "interner", "cache", "_inbound")
+
+    def __init__(
+        self,
+        shard_id: str,
+        interner: Optional[TagInterner] = None,
+        max_entries: int = 65536,
+    ):
+        self.shard_id = shard_id
+        self.interner = interner if interner is not None else global_interner()
+        self.cache = DecisionCache(max_entries)
+        # Peer shard id -> MaskTranslator from that peer's numbering
+        # into ours (the wire-plane vocabulary, reused in-process).
+        self._inbound: Dict[str, "MaskTranslator"] = {}
+
+    def __repr__(self) -> str:
+        return f"<DecisionShard {self.shard_id} entries={len(self.cache)}>"
+
+    def plane(self, audit=None) -> DecisionPlane:
+        """A :class:`DecisionPlane` view over this shard's cache.
+
+        Each enforcement site gets its own view (carrying its own audit
+        emitter) while sharing the shard's memo table.  Context-form
+        views only exist for global-vocabulary shards (see
+        :meth:`evaluate`).
+        """
+        self._require_global_vocabulary()
+        return DecisionPlane(audit=audit, cache=self.cache)
+
+    @property
+    def context_cache(self) -> DecisionCache:
+        """The shard's cache, for sites that build their own
+        context-form :class:`DecisionPlane` around it (kernel LSM,
+        substrate, bus workers).  Carries the same guard as
+        :meth:`plane`: private-vocabulary shards must not mix
+        global-numbered context keys into their mask-keyed table.
+        """
+        self._require_global_vocabulary()
+        return self.cache
+
+    def _require_global_vocabulary(self) -> None:
+        # Context objects carry masks in the process-global interner's
+        # numbering; caching them alongside private-interner mask keys
+        # could collide two different tag sets onto one entry (wrong
+        # denial diagnostics).  Private-vocabulary shards are mask-level
+        # only.
+        if self.interner is not global_interner():
+            raise ValueError(
+                f"shard {self.shard_id!r} uses a private interner: "
+                "evaluate contexts via evaluate_masks in its own numbering"
+            )
+
+    def evaluate(self, source: SecurityContext, target: SecurityContext) -> FlowDecision:
+        """The memoized flow rule on this shard (global-vocabulary
+        shards only — see :meth:`plane`)."""
+        self._require_global_vocabulary()
+        return self.cache.evaluate(source, target)
+
+    def evaluate_masks(
+        self, src_secrecy: int, src_integrity: int,
+        dst_secrecy: int, dst_integrity: int,
+    ) -> FlowDecision:
+        """Mask-level flow rule in this shard's own numbering."""
+        return self.cache.evaluate_masks(
+            src_secrecy, src_integrity, dst_secrecy, dst_integrity,
+            interner=self.interner,
+        )
+
+    def invalidate(self) -> None:
+        """Drop this shard's memoized decisions."""
+        self.cache.clear()
+
+    @property
+    def stats(self) -> DecisionStats:
+        return self.cache.stats
+
+
+class DecisionPlaneRouter:
+    """Per-machine decision shards plus cross-shard mask translation.
+
+    The router replaces the implicit "one process-global decision cache"
+    topology with explicit shards: ``router.shard(hostname)`` is a
+    machine's slice, and cross-machine evaluations go through
+    :meth:`evaluate_inbound`, which remaps the foreign context's masks
+    through the peers' exchanged tag-table vocabulary
+    (:class:`~repro.ifc.wire.MaskTranslator` — the same append-only
+    tables the wire plane ships) before consulting the *local* shard's
+    cache.  Nothing on this path touches a process-global interner.
+
+    Bulk policy changes that sidestep the value-keyed invalidation rule
+    (privilege grants/revocations, ontology swaps) fan out through
+    :meth:`invalidate` so every worker's shard re-evaluates — the
+    sharded plane then answers exactly as a single unsharded plane
+    would (see ``tests/ifc/test_router.py``).
+    """
+
+    def __init__(self):
+        self._shards: Dict[str, DecisionShard] = {}
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shards
+
+    def shard(
+        self,
+        shard_id: str,
+        interner: Optional[TagInterner] = None,
+        max_entries: int = 65536,
+    ) -> DecisionShard:
+        """Get or create the shard for ``shard_id``."""
+        shard = self._shards.get(shard_id)
+        if shard is None:
+            shard = self._shards[shard_id] = DecisionShard(
+                shard_id, interner=interner, max_entries=max_entries
+            )
+        return shard
+
+    def shards(self) -> Dict[str, DecisionShard]:
+        """A snapshot of every registered shard."""
+        return dict(self._shards)
+
+    def plane(self, shard_id: str, audit=None) -> DecisionPlane:
+        """A per-site plane view over ``shard_id``'s cache."""
+        return self.shard(shard_id).plane(audit=audit)
+
+    # -- cross-shard translation -------------------------------------------
+
+    def translator(self, local_id: str, peer_id: str) -> "MaskTranslator":
+        """The translator mapping ``peer_id``'s masks into ``local_id``'s
+        numbering, synced to the peer interner's current length.
+
+        Interners are append-only, so syncing is a pure extension — a
+        translation learned once is valid forever (the wire-plane
+        invariant, reused here between in-process workers).
+        """
+        from repro.ifc.wire import MaskTranslator  # local: avoid import cycle
+
+        local = self.shard(local_id)
+        peer = self.shard(peer_id)
+        translator = local._inbound.get(peer_id)
+        if translator is None:
+            translator = local._inbound[peer_id] = MaskTranslator(local.interner)
+        have = translator.version
+        if len(peer.interner) > have:
+            translator.extend(peer.interner.export_table(start=have))
+        return translator
+
+    def evaluate_inbound(
+        self,
+        local_id: str,
+        peer_id: str,
+        src_masks: Tuple[int, int],
+        dst_masks: Tuple[int, int],
+    ) -> FlowDecision:
+        """Evaluate a flow whose *source* context arrived from another
+        shard.
+
+        ``src_masks`` is ``(secrecy, integrity)`` in ``peer_id``'s
+        numbering; ``dst_masks`` is the local target's pair in
+        ``local_id``'s numbering.  The source is remapped through the
+        peers' shared vocabulary, then the local shard's memo table
+        answers — repeated pairs cost two dict hits, same as
+        intra-shard traffic.
+        """
+        translator = self.translator(local_id, peer_id)
+        local = self._shards[local_id]
+        return local.evaluate_masks(
+            translator.to_local_mask(src_masks[0]),
+            translator.to_local_mask(src_masks[1]),
+            dst_masks[0],
+            dst_masks[1],
+        )
+
+    # -- maintenance ---------------------------------------------------------
+
+    def invalidate(self, shard_id: Optional[str] = None) -> None:
+        """Drop memoized decisions on one shard, or on all of them.
+
+        This is the privilege-change / bulk-policy-swap fan-out: after
+        it, every worker re-evaluates from the rule, so sharded and
+        unsharded planes answer identically.
+        """
+        if shard_id is not None:
+            self._shards[shard_id].invalidate()
+            return
+        for shard in self._shards.values():
+            shard.invalidate()
+
+    @property
+    def stats(self) -> DecisionStats:
+        """Aggregated hit/miss/eviction counters across all shards."""
+        total = DecisionStats()
+        for shard in self._shards.values():
+            total.hits += shard.cache.hits
+            total.misses += shard.cache.misses
+            total.evictions += shard.cache.evictions
+        return total

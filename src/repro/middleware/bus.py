@@ -16,8 +16,9 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.accesscontrol.pep import EnforcementMode
 from repro.audit.log import AuditLog
 from repro.audit.records import RecordKind
+from repro.audit.spine import bind_source
 from repro.errors import AccessDenied, DiscoveryError, FlowError, SchemaError
-from repro.ifc.decisions import DecisionPlane
+from repro.ifc.decisions import DecisionPlane, DecisionShard
 from repro.ifc.labels import SecurityContext
 from repro.middleware.channel import Channel
 from repro.middleware.component import Component, Endpoint, EndpointKind
@@ -67,8 +68,12 @@ class MessageBus:
         mode: EnforcementMode = EnforcementMode.AC_AND_IFC,
         authoriser: ConnectAuthoriser = default_authoriser,
         clock: Optional[Callable[[], float]] = None,
+        shard: Optional[DecisionShard] = None,
     ):
-        self.audit = audit
+        # Given an AuditSpine (or an emitter onto one), deliveries stage
+        # records under the "bus" segment and chaining happens off the
+        # delivery path; a plain AuditLog keeps synchronous semantics.
+        self.audit = bind_source(audit, "bus")
         self.mode = mode
         self.authoriser = authoriser
         self._clock = clock or (lambda: 0.0)
@@ -82,7 +87,12 @@ class MessageBus:
         self._compact_pending = False
         #: The bus-wide decision plane: every IFC evaluation this bus (and
         #: its channels) performs is memoized and audited through here.
-        self.plane = DecisionPlane(audit=audit)
+        #: ``shard`` shares a machine's decision shard across bus workers
+        #: (see DecisionPlaneRouter); by default the bus gets its own cache.
+        self.plane = DecisionPlane(
+            audit=self.audit,
+            cache=shard.context_cache if shard is not None else None,
+        )
 
     # -- registry -----------------------------------------------------------------
 

@@ -21,6 +21,7 @@ from typing import Callable, List, Optional
 
 from repro.audit.log import AuditLog
 from repro.audit.records import RecordKind
+from repro.audit.spine import bind_source
 from repro.errors import FlowError, SchemaError
 from repro.ifc.decisions import DecisionPlane
 from repro.ifc.entities import Entity
@@ -69,10 +70,12 @@ class Channel:
         self.source_endpoint = source_endpoint
         self.sink = sink
         self.sink_endpoint = sink_endpoint
-        self.audit = audit
+        # Lifecycle records (suspend/resume/teardown) stage under the
+        # spine's "channel" segment when the bus runs on a spine.
+        self.audit = bind_source(audit, "channel")
         # The bus shares its decision plane with every channel it opens;
         # a directly constructed channel gets a private plane.
-        self.plane = plane or DecisionPlane(audit=audit)
+        self.plane = plane or DecisionPlane(audit=self.audit)
         self.state = ChannelState.ACTIVE
         self.messages_carried = 0
         self.on_teardown: List[Callable[["Channel", str], None]] = []

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.audit.log import AuditLog
 from repro.audit.records import RecordKind
+from repro.audit.spine import bind_source
 from repro.errors import (
     AccessDenied,
     FlowError,
@@ -109,7 +110,11 @@ class Reconfigurator:
         privilege_authority: Optional[PrivilegeAuthority] = None,
     ):
         self.bus = bus
-        self.audit = audit if audit is not None else bus.audit
+        # Reconfiguration records stage under their own spine segment
+        # when the bus runs on an audit spine.
+        self.audit = bind_source(
+            audit if audit is not None else bus.audit, "reconfig"
+        )
         self.privilege_authority = privilege_authority
         self.outcomes: List[CommandOutcome] = []
 

@@ -33,6 +33,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.audit.log import AuditLog
 from repro.audit.records import RecordKind
+from repro.audit.spine import bind_source
 from repro.cloud.kernel import Process
 from repro.cloud.machine import Machine
 from repro.crypto.attestation import AttestationVerifier
@@ -191,8 +192,15 @@ class MessagingSubstrate:
         self.enforce = enforce
         self.verifier = verifier
         self.wire_masks = wire_masks
-        self.audit: AuditLog = machine.audit
-        self.plane = DecisionPlane(audit=self.audit)
+        # Audit stages into the machine spine's "substrate" segment —
+        # nothing on the send/receive path chains digests synchronously.
+        self.audit = bind_source(machine.audit, "substrate")
+        # The machine's decision shard is shared with the kernel LSM:
+        # one memo table per machine, not one per enforcement site
+        # (context_cache keeps the private-vocabulary guard).
+        self.plane = DecisionPlane(
+            audit=self.audit, cache=machine.shard.context_cache
+        )
         self.stats = SubstrateStats()
         self.wire = WireCodec()
         self._local: Dict[str, Tuple[Process, SubstrateHandler]] = {}

@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.audit.log import AuditLog
 from repro.audit.records import RecordKind
+from repro.audit.spine import bind_source
 from repro.errors import AuthorityError, PolicyError
 from repro.middleware.reconfig import CommandOutcome, ControlMessage, Reconfigurator
 from repro.policy.authority import AuthorityModel
@@ -81,7 +82,9 @@ class PolicyEngine:
         # Note: ContextStore is a Mapping, so an *empty* store is falsy —
         # an identity check is required here, not ``or``.
         self.context = context if context is not None else ContextStore()
-        self.audit = audit
+        # Rule firings and conflicts stage under a per-engine spine
+        # segment when the engine shares a machine's audit spine.
+        self.audit = bind_source(audit, f"policy:{name}")
         self.strategy = strategy
         self.authority = authority
         self.rules: List[Rule] = []

@@ -7,22 +7,58 @@ milliseconds and tests remain deterministic.
 
 from __future__ import annotations
 
+from typing import Callable, List
+
+#: A tick hook: called with the new simulated time after every advance.
+TickHook = Callable[[float], None]
+
 
 class Clock:
-    """A monotonically advancing simulated clock (seconds as float)."""
+    """A monotonically advancing simulated clock (seconds as float).
+
+    Components that do deferred background work — the audit spine's
+    drain, cache janitors — register :meth:`on_advance` hooks; every
+    advance is a tick that lets them run off the hot path, which is how
+    "background" work happens inside a deterministic simulation.
+    """
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
+        self._tick_hooks: List[TickHook] = []
 
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    def on_advance(self, hook: TickHook) -> None:
+        """Register a hook invoked (with the new time) after every
+        advance.  Hooks must not advance the clock themselves."""
+        self._tick_hooks.append(hook)
+
+    def off_advance(self, hook: TickHook) -> bool:
+        """Unregister a tick hook; returns whether it was registered.
+
+        Components discarded mid-simulation (a decommissioned machine's
+        audit spine) must detach, or the clock pins them alive and pays
+        their hook on every tick forever.
+        """
+        try:
+            self._tick_hooks.remove(hook)
+            return True
+        except ValueError:
+            return False
+
+    def _tick(self) -> None:
+        now = self._now
+        for hook in self._tick_hooks:
+            hook(now)
 
     def advance(self, seconds: float) -> float:
         """Move time forward; negative advances are rejected."""
         if seconds < 0:
             raise ValueError("clock cannot move backwards")
         self._now += seconds
+        self._tick()
         return self._now
 
     def advance_to(self, timestamp: float) -> float:
@@ -32,6 +68,7 @@ class Clock:
                 f"cannot move clock back from {self._now} to {timestamp}"
             )
         self._now = float(timestamp)
+        self._tick()
         return self._now
 
 

@@ -56,6 +56,28 @@ class TestBufferedAppend:
         with pytest.raises(IntegrityViolation):
             log.verify_strict()
 
+    def test_mutation_before_first_flush_is_detected(self):
+        """Regression: digest material is snapshotted at append time, so
+        a pending record mutated before its first flush is chained as
+        appended — and the mutation breaks verification — instead of
+        being silently chained as mutated."""
+        log = AuditLog(buffer_size=100)
+        record = log.append(RecordKind.FLOW_ALLOWED, "alice", "bob")
+        assert log.pending == 1
+        object.__setattr__(record, "actor", "mallory")
+        log.flush()
+        assert not log.verify()
+        with pytest.raises(IntegrityViolation):
+            log.verify_strict()
+
+    def test_detail_mutation_before_first_flush_is_detected(self):
+        log = AuditLog(buffer_size=100)
+        record = log.append(
+            RecordKind.FLOW_ALLOWED, "alice", "bob", {"rows": 1}
+        )
+        record.detail["rows"] = 999  # detail dicts are reachable-mutable
+        assert not log.verify()
+
 
 class TestPruneBufferInterleave:
     """Regression: prune_before on a log with pending buffered appends
