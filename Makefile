@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test bench bench-wire bench-audit bench-all
+.PHONY: verify test bench bench-wire bench-audit bench-federation bench-all
 
 # Tier-1 verification: the whole suite, fail-fast.  The bench smoke
 # list (decision-plane + wire-plane scale benches, with their ratio
@@ -27,6 +27,12 @@ bench-wire:
 # appends across 1/4/16 sources; regenerates BENCH_audit_plane.json.
 bench-audit:
 	$(PYTHON) -m pytest benchmarks/test_scale_audit.py -q -s
+
+# Federation-plane bench: gossip convergence rounds/bytes vs pairwise
+# handshakes, table compression, post-convergence throughput, and the
+# cross-domain pinboard scenario; regenerates BENCH_federation.json.
+bench-federation:
+	$(PYTHON) -m pytest benchmarks/test_scale_federation.py -q -s
 
 # The full figure/scale benchmark suite.
 bench-all:

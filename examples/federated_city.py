@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Federated city: gossiped vocabularies and cross-pinned audit heads.
+
+Three district authorities and a city hub each run their own machine and
+messaging substrate.  Instead of N(N-1)/2 pairwise tag-table handshakes,
+a gossip mesh spreads every domain's wire vocabulary transitively
+(anti-entropy rounds on the simulation's event queue), discovery answers
+piggyback vocabulary offers, and every domain cross-pins its peers'
+audit-spine checkpoints — so when one district later presents a
+"censored" replay of its own audit history, every other domain's
+pinboard catches it, even though the forgery verifies locally.
+
+Run:  python examples/federated_city.py
+"""
+
+from repro.apps import FederatedSmartCity, censored_replay
+from repro.iot import IoTWorld
+
+
+def main() -> None:
+    world = IoTWorld(seed=7)
+    city = FederatedSmartCity(world, district_count=3, mesh_interval=60.0)
+    city.run(hours=2)
+
+    mesh = city.mesh
+    print("=== federation plane ===")
+    print(f"  members: {', '.join(n.host for n in mesh.nodes())}")
+    print(f"  gossip rounds: {mesh.stats.rounds}, "
+          f"control bytes: {mesh.control_bytes()}")
+    print(f"  vocabulary converged (every pair masking): {mesh.converged()}")
+
+    print("\n=== cross-substrate traffic ===")
+    print(f"  district reports collected at city-hq: {len(city.collected)}")
+    for district in city.districts.values():
+        stats = district.substrate.stats
+        print(f"  {district.name}: sent={stats.sent} "
+              f"masked={stats.sent_masked} tagset-fallback={stats.sent_tagset}")
+
+    print("\n=== checkpoint cross-pinning ===")
+    verdicts = city.verify_federation()
+    print(f"  city-hq pinboard verdicts: {verdicts['city-hq']}")
+
+    # district-1 goes rogue: it presents a re-chained replay of its spine
+    # with every denial record censored.  The forgery verifies locally...
+    victim = mesh.node("district-1-hub")
+    forged = censored_replay(victim.spine)
+    assert forged.verify(), "the forgery is locally consistent"
+    victim.spine = forged
+    # ...but every peer pinned the real history's checkpoints.
+    verdicts = city.verify_federation()
+    print("  district-1 presents a censored replay of its audit spine...")
+    for host, view in sorted(verdicts.items()):
+        if host == "district-1-hub":
+            continue
+        print(f"  {host} verdict on district-1-hub: "
+              f"{view['district-1-hub']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,7 +10,14 @@ from repro.apps.home_monitoring import (
     analyser_context,
     patient_context,
 )
-from repro.apps.smart_city import Household, SmartCitySystem
+from repro.apps.smart_city import (
+    DISTRICT_REPORT,
+    District,
+    FederatedSmartCity,
+    Household,
+    SmartCitySystem,
+    censored_replay,
+)
 from repro.apps.assisted_living import RESIDENT, AssistedLivingSystem
 
 __all__ = [
@@ -22,8 +29,12 @@ __all__ = [
     "StatisticsGenerator",
     "analyser_context",
     "patient_context",
+    "DISTRICT_REPORT",
+    "District",
+    "FederatedSmartCity",
     "Household",
     "SmartCitySystem",
+    "censored_replay",
     "RESIDENT",
     "AssistedLivingSystem",
 ]

@@ -17,6 +17,10 @@ from typing import Dict, List, Optional
 
 from repro.accesscontrol.pep import EnforcementMode
 from repro.audit.compliance import ComplianceAuditor
+from repro.audit.records import RecordKind
+from repro.audit.spine import DEFAULT_SOURCE, AuditSpine
+from repro.cloud.machine import Machine
+from repro.federation import GossipMesh, MeshNode
 from repro.ifc.labels import SecurityContext
 from repro.ifc.privileges import PrivilegeSet
 from repro.iot.device import DeviceClass, DeviceProfile
@@ -24,7 +28,9 @@ from repro.iot.domain import AdministrativeDomain, DomainGateway
 from repro.iot.things import READING, App, Sensor, Thing
 from repro.iot.workloads import energy_usage, traffic_flow
 from repro.iot.world import IoTWorld
-from repro.middleware.message import Message
+from repro.middleware.discovery import ResourceDiscovery
+from repro.middleware.message import Message, MessageType
+from repro.middleware.substrate import MessagingSubstrate
 from repro.policy.legal import geo_fence_obligation
 
 
@@ -167,3 +173,197 @@ class SmartCitySystem:
     def run(self, hours: float) -> None:
         """Advance the simulated city."""
         self.world.run(hours=hours)
+
+
+# -- the federated, multi-substrate city (docs/federation_plane.md) -------------
+
+
+#: Cross-substrate report message: a district hub summarising its readings.
+DISTRICT_REPORT = MessageType.simple("district-report", district=str, total=float)
+
+
+@dataclass
+class District:
+    """One district: its own domain, machine, substrate and gateway."""
+
+    name: str
+    domain: AdministrativeDomain
+    machine: Machine
+    substrate: MessagingSubstrate
+    node: MeshNode
+    sensor: Sensor
+    gateway: DomainGateway
+    reporter: object  # the district hub's kernel process
+    reports_sent: int = 0
+
+
+class FederatedSmartCity:
+    """N district authorities federate with a city hub — the paper's
+    "federated domains of administration" at the substrate level.
+
+    Each district runs its own machine (audit spine included) and
+    messaging substrate; a :class:`~repro.federation.GossipMesh` spreads
+    tag-table deltas transitively (no pairwise handshakes) and
+    cross-pins every domain's audit-spine checkpoints, and a federation
+    directory piggybacks vocabulary offers on discovery answers.
+    District hubs periodically report their aggregate reading to the
+    city hub over the substrate — masked envelopes once the mesh has
+    converged.
+    """
+
+    def __init__(
+        self,
+        world: IoTWorld,
+        district_count: int = 3,
+        sample_interval: float = 600.0,
+        report_interval: float = 1800.0,
+        mesh_interval: float = 60.0,
+        seed: int = 0,
+    ):
+        self.world = world
+        sim = world.sim
+        self.mesh = GossipMesh(
+            world.network, sim, interval=mesh_interval, name="city-mesh"
+        )
+        self.city = world.create_domain("city")
+        self.city_machine = Machine("city-hq", clock=sim.clock)
+        self.city_substrate = MessagingSubstrate(
+            self.city_machine, world.network
+        )
+        self.city_node = self.mesh.join_substrate(self.city_substrate)
+        # The federation directory lives with the city but is mesh-aware:
+        # a find() by a federated querier introduces it to the hosts that
+        # serve the results (vocabulary offer piggybacked on discovery).
+        self.directory = ResourceDiscovery(audit=self.city_machine.audit)
+        self.directory.attach_federation(self.mesh)
+
+        self.collector = self.city_machine.launch(
+            "city-collector",
+            SecurityContext.of(
+                ["city", *[f"district-{i}" for i in range(district_count)]], []
+            ),
+        )
+        self.collected: List[Message] = []
+        self.city_substrate.register(
+            self.collector, lambda addr, msg: self.collected.append(msg)
+        )
+
+        self.districts: Dict[str, District] = {}
+        for i in range(district_count):
+            self._build_district(i, sample_interval, report_interval, seed)
+        self.mesh.start()
+
+    def _build_district(
+        self, index: int, interval: float, report_interval: float, seed: int
+    ) -> None:
+        name = f"district-{index}"
+        sim = self.world.sim
+        domain = self.world.create_domain(name)
+        machine = Machine(f"{name}-hub", clock=sim.clock)
+        substrate = MessagingSubstrate(machine, self.world.network)
+        node = self.mesh.join_substrate(substrate)
+
+        ctx = SecurityContext.of(["city", name], ["metered"])
+        sensor = Sensor(
+            f"{name}-meter",
+            source=traffic_flow(seed=seed + index),
+            interval=interval,
+            unit="veh/h",
+            context=ctx,
+            owner=name,
+            profile=DeviceProfile(DeviceClass.CONSTRAINED),
+        )
+        domain.adopt(sensor)
+
+        gateway = DomainGateway(
+            f"{name}-gateway",
+            inner=domain,
+            outer=self.city,
+            message_type=READING,
+            context=ctx,
+            owner=name,
+        )
+        # The gateway joins the federation: its directory entry carries
+        # the district hub's host, so discovering it introduces the
+        # discoverer to this district's vocabulary.
+        gateway.join_mesh(node, directory=self.directory)
+        domain.bus.connect(name, sensor, "out", gateway, "ingress")
+        sensor.start(sim, domain.bus)
+
+        reporter = machine.launch(f"{name}-reporter", ctx)
+        district = District(
+            name, domain, machine, substrate, node, sensor, gateway, reporter
+        )
+        substrate.register(reporter, lambda addr, msg: None)
+
+        def report() -> None:
+            total = float(gateway.forwarded)
+            district.reports_sent += 1
+            substrate.send(
+                reporter,
+                self.city_substrate,
+                "city-collector",
+                Message(
+                    DISTRICT_REPORT,
+                    {"district": name, "total": total},
+                    context=ctx,
+                ),
+            )
+
+        sim.schedule_every(report_interval, report, label=f"{name}:report")
+        self.districts[name] = district
+
+    # -- observation ------------------------------------------------------
+
+    def run(self, hours: float) -> None:
+        """Advance the simulated federation."""
+        self.world.run(hours=hours)
+
+    def spines(self) -> Dict[str, AuditSpine]:
+        """Every federated domain's live audit spine, by host."""
+        spines = {"city-hq": self.city_machine.audit}
+        for district in self.districts.values():
+            spines[district.machine.hostname] = district.machine.audit
+        return spines
+
+    def verify_federation(self) -> Dict[str, Dict[str, str]]:
+        """Every member pinboard's verdict on every other member's spine."""
+        return self.mesh.verify_federation()
+
+
+def censored_replay(
+    spine: AuditSpine, drop_kind: RecordKind = RecordKind.FLOW_DENIED
+) -> AuditSpine:
+    """What a tampering domain would present: a re-chained replay of its
+    spine with every ``drop_kind`` record censored, padded to the same
+    checkpoint-chain position so truncation alone does not give it away.
+
+    The forgery is *locally* consistent — ``verify()`` passes, because
+    every digest is freshly computed — which is exactly why intra-domain
+    verification cannot catch it and cross-domain pinning
+    (:class:`~repro.audit.distributed.FederationPinboard`) is needed:
+    the digest at any position its peers pinned has changed.
+    """
+    target = spine.checkpoint_position
+    forged = AuditSpine(name=spine.name, checkpoint_every=10**9)
+    kept = [r for r in spine if r.kind != drop_kind]
+    chunks = max(1, target)
+    for index in range(chunks):
+        lo = index * len(kept) // chunks
+        hi = (index + 1) * len(kept) // chunks
+        for record in kept[lo:hi]:
+            forged.emit(
+                DEFAULT_SOURCE,
+                record.kind,
+                record.actor,
+                record.subject,
+                record.detail,
+                record.source_context,
+                record.target_context,
+            )
+        if hi == lo:
+            # Pad a fruitless stretch so this chunk still cuts a
+            # checkpoint — the forger must match the pinned position.
+            forged.emit(DEFAULT_SOURCE, RecordKind.CUSTOM, spine.name, "", {})
+        forged.checkpoint()
+    return forged

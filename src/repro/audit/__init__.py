@@ -31,7 +31,10 @@ from repro.audit.visualise import (
 from repro.audit.distributed import (
     AuditCollector,
     AuditGap,
+    CheckpointClaim,
+    FederationPinboard,
     OffloadReceipt,
+    PinConflict,
 )
 
 __all__ = [
@@ -58,7 +61,10 @@ __all__ = [
     "no_flows_to",
     "AuditCollector",
     "AuditGap",
+    "CheckpointClaim",
+    "FederationPinboard",
     "OffloadReceipt",
+    "PinConflict",
     "to_dot",
     "to_text_tree",
 ]

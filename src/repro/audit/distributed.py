@@ -13,7 +13,13 @@ This module provides:
 * gap detection — find windows where a component was known active (it
   appears in neighbours' logs) but contributed no records of its own;
 * offload receipts — a log owner can hand a signed-digest receipt to a
-  collector before pruning locally, preserving accountability.
+  collector before pruning locally, preserving accountability;
+* checkpoint cross-pinning — federated domains gossip
+  :class:`CheckpointClaim`\\ s (their audit spine's checkpoint-chain
+  head and position) and each domain's :class:`FederationPinboard`
+  pins its peers' claims, so no domain can silently rewrite or truncate
+  even *pruned* history: the pinned digest at a pinned position must
+  hold forever.
 """
 
 from __future__ import annotations
@@ -82,6 +88,179 @@ class OffloadReceipt:
             tuple(self.segment_heads), collector_key,
         )
         return hashlib.sha256(body.encode()).hexdigest() == self.collector_signature
+
+
+@dataclass(frozen=True)
+class CheckpointClaim:
+    """One domain's assertion about its own audit spine's head.
+
+    Attributes:
+        domain: the claiming administrative domain (spine owner).
+        position: absolute checkpoint-chain position of the head
+            (:attr:`~repro.audit.spine.AuditSpine.checkpoint_position`).
+        head_digest: the checkpoint-chain digest at that position.
+        issued_at: simulated time the claim was cut.
+
+    Claims are what the federation plane gossips between domains —
+    small, append-only facts a remote pinboard can hold a domain to.
+    """
+
+    domain: str
+    position: int
+    head_digest: str
+    issued_at: float = 0.0
+
+    @staticmethod
+    def of(domain: str, spine, issued_at: float = 0.0) -> "CheckpointClaim":
+        """Cut a claim from a spine (forces a checkpoint so the head is
+        current).  ``spine`` is anything exposing the checkpoint-chain
+        surface (an :class:`~repro.audit.spine.AuditSpine` or one of its
+        emitters).  The head is taken from the chain itself
+        (``checkpoint_digest_at(position)``) so a claim compares equal
+        to what :meth:`FederationPinboard.verify` will read back —
+        including the position-0 case, where the chain's domain-
+        separated base digest stands in for a head."""
+        spine.head_digest  # property read: forces a checkpoint first
+        position = spine.checkpoint_position
+        return CheckpointClaim(
+            domain=domain,
+            position=position,
+            head_digest=spine.checkpoint_digest_at(position),
+            issued_at=issued_at,
+        )
+
+
+@dataclass(frozen=True)
+class PinConflict:
+    """Two claims for the same (domain, position) with different digests
+    — a domain showing different histories to different peers."""
+
+    domain: str
+    position: int
+    pinned_digest: str
+    claimed_digest: str
+
+
+class FederationPinboard:
+    """Cross-pins of remote domains' checkpoint heads (Challenge 6).
+
+    Each federated domain runs one pinboard; gossiped
+    :class:`CheckpointClaim`\\ s accumulate here, per claiming domain and
+    per checkpoint position.  The spine's checkpoint chain is
+    append-only, so a pinned ``(position, digest)`` pair is a permanent
+    commitment: :meth:`pin` rejects a contradictory claim for an
+    already-pinned position (equivocation), and :meth:`verify` later
+    holds the domain's *live* spine to every pin — a rewrite changes the
+    digest at a pinned position, a truncation (e.g. the spine quietly
+    replaced with a shorter replay) drops below a pinned position.
+    Either way the domain cannot shed history its peers pinned.
+    """
+
+    def __init__(self, owner: str):
+        self.owner = owner
+        self._pins: Dict[str, Dict[int, CheckpointClaim]] = {}
+        self.conflicts: List[PinConflict] = []
+
+    def __len__(self) -> int:
+        return sum(len(by_pos) for by_pos in self._pins.values())
+
+    def pin(self, claim: CheckpointClaim) -> bool:
+        """Record a claim.  Returns False — and records a
+        :class:`PinConflict` — when it contradicts the digest already
+        pinned for the same (domain, position); re-pinning an identical
+        claim is an accepted no-op.  Claims about the owner itself are
+        ignored (a domain does not pin its own history)."""
+        if claim.domain == self.owner:
+            return True
+        by_pos = self._pins.setdefault(claim.domain, {})
+        held = by_pos.get(claim.position)
+        if held is not None:
+            if held.head_digest != claim.head_digest:
+                self.conflicts.append(
+                    PinConflict(
+                        claim.domain,
+                        claim.position,
+                        held.head_digest,
+                        claim.head_digest,
+                    )
+                )
+                return False
+            return True
+        by_pos[claim.position] = claim
+        return True
+
+    def domains(self) -> List[str]:
+        """Every domain this board holds pins for, sorted."""
+        return sorted(self._pins)
+
+    def pinned(self, domain: str) -> Optional[CheckpointClaim]:
+        """The freshest (highest-position) pin for ``domain``."""
+        by_pos = self._pins.get(domain)
+        if not by_pos:
+            return None
+        return by_pos[max(by_pos)]
+
+    def claims(self, domain: str) -> List[CheckpointClaim]:
+        """All pins held for ``domain``, position-ascending."""
+        by_pos = self._pins.get(domain, {})
+        return [by_pos[p] for p in sorted(by_pos)]
+
+    def verify(self, spines) -> Dict[str, str]:
+        """Hold each domain's live spine to every pinned position.
+
+        ``spines`` maps domain → spine-like (``checkpoint_position`` /
+        ``checkpoint_digest_at``).  Returns domain → verdict:
+
+        * ``"ok"`` — at least one pinned position was re-checked against
+          the live chain and every checkable one holds (*older*
+          positions the domain pruned locally stay vouched for by their
+          pins);
+        * ``"truncated"`` — the spine's checkpoint chain is shorter than
+          a pinned position (history shed wholesale);
+        * ``"tampered"`` — the digest at a pinned position changed (a
+          rewritten, re-chained history);
+        * ``"unverifiable"`` — every pinned position has been pruned
+          from the presented chain, so nothing could be re-checked.  A
+          domain that rewrote history and then pruned past every pin
+          lands here rather than ``"ok"`` — from digests alone that is
+          indistinguishable from an aggressive honest prune, so the
+          verdict withholds endorsement instead of granting it (the
+          offload-receipt machinery is the recourse for pruned bytes);
+        * ``"unpinned"`` — this board holds no claim for the domain.
+
+        Claims are gossiped every round, so honest domains are pinned
+        close to their head and normally keep that position checkable.
+        """
+        verdicts: Dict[str, str] = {}
+        for domain, spine in spines.items():
+            if domain == self.owner:
+                continue
+            by_pos = self._pins.get(domain)
+            if not by_pos:
+                verdicts[domain] = "unpinned"
+                continue
+            # head_digest (a property read) forces the live spine to
+            # checkpoint anything still staged, so the comparison is
+            # against its *current* committed history.
+            getattr(spine, "head_digest", None)
+            verdict = None
+            checked = 0
+            for position in sorted(by_pos):
+                claim = by_pos[position]
+                if spine.checkpoint_position < position:
+                    verdict = "truncated"
+                    break
+                digest = spine.checkpoint_digest_at(position)
+                if digest is None:
+                    continue  # pruned locally; the pin still vouches
+                checked += 1
+                if digest != claim.head_digest:
+                    verdict = "tampered"
+                    break
+            if verdict is None:
+                verdict = "ok" if checked else "unverifiable"
+            verdicts[domain] = verdict
+        return verdicts
 
 
 @dataclass

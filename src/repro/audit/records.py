@@ -41,6 +41,8 @@ class RecordKind(str, Enum):
     TABLE_SYNC = "table-sync"
     MISDELIVERY = "misdelivery"
     CHECKPOINT = "checkpoint"
+    DISCOVERY = "discovery"
+    FEDERATION_PIN = "federation-pin"
     CUSTOM = "custom"
 
 

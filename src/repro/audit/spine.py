@@ -194,6 +194,13 @@ class SpineEmitter(RecorderMixin):
     def head_digest(self) -> str:
         return self.spine.head_digest
 
+    @property
+    def checkpoint_position(self) -> int:
+        return self.spine.checkpoint_position
+
+    def checkpoint_digest_at(self, position: int) -> Optional[str]:
+        return self.spine.checkpoint_digest_at(position)
+
     def records(self, *args, **kwargs) -> List[AuditRecord]:
         return self.spine.records(*args, **kwargs)
 
@@ -476,6 +483,27 @@ class AuditSpine(RecorderMixin):
         if self._ckpt.total:
             return self._ckpt.head
         return GENESIS_DIGEST
+
+    @property
+    def checkpoint_position(self) -> int:
+        """Absolute checkpoint-chain position (pruned + retained).
+
+        Together with :meth:`checkpoint_digest_at` this is what a remote
+        :class:`~repro.audit.distributed.FederationPinboard` pins: the
+        chain is append-only, so the digest at a given position must
+        never change for the life of the spine.
+        """
+        return self._ckpt.total
+
+    def checkpoint_digest_at(self, position: int) -> Optional[str]:
+        """Checkpoint-chain digest at absolute ``position``.
+
+        ``None`` when the position was pruned away locally (the pin
+        holder still vouches for it); position semantics match
+        :meth:`AuditSegment.digest_at` — ``k`` is the head after ``k``
+        checkpoint records.
+        """
+        return self._ckpt.digest_at(position)
 
     # -- reading (AuditLog-compatible) -------------------------------------
 

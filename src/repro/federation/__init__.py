@@ -1,0 +1,41 @@
+"""The federation plane: gossiped wire vocabularies and cross-domain
+checkpoint pinning (``docs/federation_plane.md``).
+
+Public API::
+
+    from repro.federation import (
+        GossipMesh, MeshNode, MeshStats, NodeStats,
+        GossipControl, GossipDigest, GossipReply, GossipDelta,
+        CheckpointClaim, FederationPinboard, PinConflict,
+    )
+"""
+
+from repro.audit.distributed import (
+    CheckpointClaim,
+    FederationPinboard,
+    PinConflict,
+)
+from repro.federation.gossip import (
+    GossipControl,
+    GossipDelta,
+    GossipDigest,
+    GossipMesh,
+    GossipReply,
+    MeshNode,
+    MeshStats,
+    NodeStats,
+)
+
+__all__ = [
+    "CheckpointClaim",
+    "FederationPinboard",
+    "PinConflict",
+    "GossipControl",
+    "GossipDelta",
+    "GossipDigest",
+    "GossipMesh",
+    "GossipReply",
+    "MeshNode",
+    "MeshStats",
+    "NodeStats",
+]

@@ -37,9 +37,12 @@ from repro.ifc.wire import (
     MaskTranslator,
     TableAck,
     TableUpdate,
+    TagBlock,
     TagTable,
     WireCodec,
     WireControl,
+    control_wire_size,
+    raw_table_size,
 )
 from repro.ifc.decisions import (
     DecisionCache,
@@ -108,7 +111,10 @@ __all__ = [
     "DecisionStats",
     "TagInterner",
     "global_interner",
+    "TagBlock",
     "TagTable",
+    "control_wire_size",
+    "raw_table_size",
     "MaskTranslator",
     "WireCodec",
     "WireControl",

@@ -37,7 +37,9 @@ control payloads and consult the codec to encode/decode masks.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ifc.interner import TagInterner, global_interner, remap_mask
@@ -45,6 +47,118 @@ from repro.ifc.labels import Label, SecurityContext
 
 #: Re-offer a lost HELLO / TableUpdate after this many fallback sends.
 REOFFER_INTERVAL = 64
+
+#: Minimum length of a numeric-suffix run worth a range token.
+_MIN_RUN = 3
+
+_NUMERIC_SUFFIX = re.compile(r"^(.*?)(\d+)$")
+
+
+def _lcp(a: str, b: str) -> int:
+    """Length of the longest common prefix of two strings."""
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return i
+
+
+def raw_table_size(tags: Sequence[str]) -> int:
+    """Wire bytes of the *uncompressed* tag-table encoding.
+
+    The seed's format: each qualified name length-prefixed (2 bytes),
+    plus a 4-byte count header.  This is the baseline every compression
+    claim is measured against.
+    """
+    return 4 + sum(len(t) + 2 for t in tags)
+
+
+@dataclass(frozen=True)
+class TagBlock:
+    """Delta + prefix/range compressed encoding of a tag-table slice.
+
+    Real deployments intern thousands of machine-generated tags
+    (``city:sensor-0``, ``city:sensor-1``, ...); shipping each as a raw
+    string makes a 10k-tag vocabulary offer cost hundreds of kilobytes
+    per peer.  A block encodes the slice ``base..base+count`` of an
+    origin's table as a token stream:
+
+    * literal token ``("t", lcp, suffix)`` — the tag is the previous
+      tag's first ``lcp`` characters plus ``suffix`` (front coding);
+    * range token ``("r", lcp, stem, start, n)`` — ``n`` consecutive
+      tags ``prefix + stem + str(start+i)``, the machine-generated-run
+      case, stored once regardless of ``n``.
+
+    Blocks are order-preserving (positions are the whole point of a tag
+    table) and self-contained: :meth:`tags` reproduces the exact slice.
+    """
+
+    base: int
+    count: int
+    tokens: Tuple[Tuple, ...]
+
+    @staticmethod
+    def compress(tags: Sequence[str], base: int = 0) -> "TagBlock":
+        """Encode ``tags`` (the slice starting at position ``base``)."""
+        tokens: List[Tuple] = []
+        prev = ""
+        i = 0
+        n = len(tags)
+        while i < n:
+            tag = tags[i]
+            match = _NUMERIC_SUFFIX.match(tag)
+            if match is not None:
+                stem, digits = match.group(1), match.group(2)
+                start = int(digits)
+                run = 1
+                # Canonical decimal only: "07" would not survive
+                # str(int(...)) round-tripping.
+                if digits == str(start):
+                    while (
+                        i + run < n
+                        and tags[i + run] == f"{stem}{start + run}"
+                    ):
+                        run += 1
+                if run >= _MIN_RUN:
+                    lcp = _lcp(prev, stem)
+                    tokens.append(("r", lcp, stem[lcp:], start, run))
+                    prev = f"{stem}{start + run - 1}"
+                    i += run
+                    continue
+            lcp = _lcp(prev, tag)
+            tokens.append(("t", lcp, tag[lcp:]))
+            prev = tag
+            i += 1
+        return TagBlock(base=base, count=n, tokens=tuple(tokens))
+
+    def tags(self) -> Tuple[str, ...]:
+        """Decode the block back into the exact tag slice."""
+        out: List[str] = []
+        prev = ""
+        for token in self.tokens:
+            if token[0] == "t":
+                __, lcp, suffix = token
+                prev = prev[:lcp] + suffix
+                out.append(prev)
+            else:
+                __, lcp, stem_suffix, start, run = token
+                stem = prev[:lcp] + stem_suffix
+                for k in range(start, start + run):
+                    out.append(f"{stem}{k}")
+                prev = out[-1]
+        return tuple(out)
+
+    @property
+    def wire_size(self) -> int:
+        """Estimated serialised bytes: 8-byte header (base, count) plus
+        per-token cost (tag/op byte + lcp byte + payload)."""
+        size = 8
+        for token in self.tokens:
+            if token[0] == "t":
+                size += 3 + len(token[2])
+            else:
+                size += 3 + len(token[2]) + 8  # stem + start/run varints
+        return size
 
 
 @dataclass(frozen=True)
@@ -55,6 +169,10 @@ class TagTable:
     bit position ``i``.  The version of a table is simply its length:
     interners are append-only, so a longer table from the same peer is
     always a strict extension of a shorter one.
+
+    In memory the table is the decoded tuple; on the (simulated) wire a
+    table travels as its compressed :attr:`block` — handshake offers and
+    gossip deltas are sized by the compressed form.
     """
 
     tags: Tuple[str, ...]
@@ -62,6 +180,15 @@ class TagTable:
     @property
     def version(self) -> int:
         return len(self.tags)
+
+    @cached_property
+    def block(self) -> TagBlock:
+        """The compressed wire encoding of this table."""
+        return TagBlock.compress(self.tags)
+
+    @property
+    def wire_size(self) -> int:
+        return self.block.wire_size
 
 
 # -- control payloads -----------------------------------------------------------
@@ -107,6 +234,28 @@ class TableAck(WireControl):
     """Delta applied: I now hold ``acked_version`` of your tags."""
 
     acked_version: int
+
+
+def control_wire_size(payload: WireControl) -> int:
+    """Estimated serialised bytes of a handshake control payload.
+
+    Table-bearing payloads are sized by their compressed encoding
+    (:class:`TagBlock`); bare acks are a fixed few bytes.  Gossip
+    payloads (``repro.federation``) size themselves via a ``wire_size``
+    property, which this helper also honours — one sizing convention
+    across the whole control plane.
+    """
+    if isinstance(payload, (HandshakeHello, HandshakeAck)):
+        size = payload.table.wire_size
+        if isinstance(payload, HandshakeAck):
+            size += 4
+        return size
+    if isinstance(payload, TableUpdate):
+        return TagBlock.compress(payload.tags, base=payload.base).wire_size
+    if isinstance(payload, (HandshakeFin, TableAck)):
+        return 4
+    size = getattr(payload, "wire_size", None)
+    return size if isinstance(size, int) else 0
 
 
 # -- receive-side translation ----------------------------------------------------
@@ -266,6 +415,41 @@ class WireCodec:
         have = state.translator.version
         if table.version > have:
             state.translator.extend(table.tags[have:])
+
+    # -- out-of-band learning (the federation gossip path) -----------------
+
+    def learn_table(self, host: str, base: int, tags: Sequence[str]) -> int:
+        """Extend our translator for ``host`` with tags learned
+        out-of-band — a gossip delta relayed by a third substrate rather
+        than a handshake datagram from ``host`` itself.
+
+        ``base`` is the absolute position of ``tags[0]`` in the origin's
+        numbering.  Overlap with what we already hold is skipped; a gap
+        (``base`` beyond our version) leaves state unchanged so the
+        caller can re-pull from what we actually hold.  Returns the
+        version held afterwards.
+        """
+        state = self.peer(host)
+        if state.translator is None:
+            state.translator = MaskTranslator(self.interner)
+        have = state.translator.version
+        if base > have:
+            return have
+        new = tags[have - base :]
+        if new:
+            state.translator.extend(new)
+        return state.translator.version
+
+    def note_confirmed(self, host: str, version: int) -> None:
+        """Record that ``host`` holds ``version`` of OUR table, learned
+        out-of-band (a gossip digest claiming the holding) — unlocks
+        mask sends exactly like a handshake ack."""
+        self.peer(host).confirm(version)
+
+    def peer_version(self, host: str) -> int:
+        """How many of ``host``'s positions we can currently translate."""
+        translator = self.peer(host).translator
+        return 0 if translator is None else translator.version
 
     def handle_control(
         self, host: str, payload: WireControl

@@ -58,7 +58,9 @@ class AdministrativeDomain:
             audit=self.audit,
             authority=self.authority,
         )
-        self.discovery = ResourceDiscovery()
+        # Registration-plane events (re-registrations especially) are
+        # audit-visible like every other enforcement-relevant action.
+        self.discovery = ResourceDiscovery(audit=self.audit)
         self.things: Dict[str, Thing] = {}
 
     def adopt(self, thing: Thing, owner: Optional[str] = None) -> Thing:
@@ -151,3 +153,25 @@ class DomainGateway(Thing):
             return
         self.forwarded += 1
         self.outer.bus.route(self, "egress", outgoing)
+
+    def join_mesh(self, node, directory=None, visibility=None):
+        """Enrol the gateway in a federation (``docs/federation_plane.md``).
+
+        ``node`` is the :class:`~repro.federation.MeshNode` of the
+        substrate serving this gateway's domain.  The gateway records
+        its serving host, and — when a federation-wide ``directory``
+        (a mesh-attached :class:`~repro.middleware.discovery.
+        ResourceDiscovery`) is given — registers there with that host,
+        so any federated party *discovering* the gateway gets the
+        domain's vocabulary offer piggybacked on the discovery answer
+        instead of paying a pairwise handshake round-trip.
+        """
+        self.metadata["host"] = node.host
+        if directory is not None:
+            directory.register(
+                self,
+                {"kind": "gateway", "domain": self.inner.name},
+                visibility=visibility,
+                host=node.host,
+            )
+        return node

@@ -39,6 +39,7 @@ from repro.middleware.composer import (
     RelaySpec,
 )
 from repro.middleware.discovery import (
+    DiscoveryStats,
     Registration,
     ResourceDiscovery,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "ChainComposer",
     "Composition",
     "RelaySpec",
+    "DiscoveryStats",
     "Registration",
     "ResourceDiscovery",
 ]

@@ -40,7 +40,7 @@ from repro.crypto.attestation import AttestationVerifier
 from repro.errors import AttestationError, FlowError, NetworkError
 from repro.ifc.decisions import DecisionPlane
 from repro.ifc.labels import SecurityContext
-from repro.ifc.wire import WireCodec, WireControl
+from repro.ifc.wire import WireCodec, WireControl, control_wire_size
 from repro.middleware.message import Message, MessageType
 from repro.net.network import Datagram, Network
 
@@ -205,6 +205,9 @@ class MessagingSubstrate:
         self.wire = WireCodec()
         self._local: Dict[str, Tuple[Process, SubstrateHandler]] = {}
         self._attested_hosts: Dict[str, bool] = {}
+        # Federation: a mesh node receiving kind="gossip" datagrams
+        # (repro.federation.GossipMesh.join_substrate sets this).
+        self._gossip_node = None
         network.add_host(machine.hostname, self._receive)
         # Fig. 9: the substrate is itself a process on the machine.
         self.process = machine.kernel.spawn(f"substrate@{machine.hostname}")
@@ -223,6 +226,15 @@ class MessagingSubstrate:
     def deregister(self, process: Process) -> None:
         """Detach an application process."""
         self._local.pop(process.name, None)
+
+    def attach_gossip(self, node) -> None:
+        """Route federation gossip datagrams to a mesh node.
+
+        The substrate stays the machine's single network receiver;
+        gossip traffic is recognised by its datagram ``kind`` so the
+        substrate needs no dependency on the federation plane.
+        """
+        self._gossip_node = node
 
     # -- attestation ----------------------------------------------------------------
 
@@ -316,7 +328,10 @@ class MessagingSubstrate:
         if self.wire_masks:
             hello = self.wire.greet(peer_host)
             if hello is not None:
-                self.network.send(host, peer_host, hello, kind="handshake")
+                self.network.send(
+                    host, peer_host, hello, kind="handshake",
+                    size=control_wire_size(hello),
+                )
             masks = self.wire.encode_masks(
                 peer_host,
                 message.context.secrecy.mask,
@@ -352,7 +367,10 @@ class MessagingSubstrate:
             update = self.wire.resync(peer_host)
             if update is not None:
                 self.stats.table_syncs += 1
-                self.network.send(host, peer_host, update, kind="handshake")
+                self.network.send(
+                    host, peer_host, update, kind="handshake",
+                    size=control_wire_size(update),
+                )
                 if self.audit is not None:
                     self.audit.append(
                         RecordKind.TABLE_SYNC,
@@ -389,7 +407,8 @@ class MessagingSubstrate:
         reply, event = self.wire.handle_control(source_host, payload)
         if reply is not None:
             self.network.send(
-                self.machine.hostname, source_host, reply, kind="handshake"
+                self.machine.hostname, source_host, reply, kind="handshake",
+                size=control_wire_size(reply),
             )
         if event is not None and self.audit is not None:
             step = event.get("step", "")
@@ -472,6 +491,10 @@ class MessagingSubstrate:
         return None
 
     def _receive(self, datagram: Datagram) -> None:
+        if datagram.kind == "gossip":
+            if self._gossip_node is not None:
+                self._gossip_node.receive(datagram)
+            return
         if isinstance(datagram.payload, WireControl):
             self._handle_control(datagram.source, datagram.payload)
             return

@@ -29,7 +29,12 @@ class Datagram:
             message or control message).
         kind: coarse traffic class — ``"data"`` for application
             envelopes, ``"handshake"`` for wire-plane control traffic
-            (tag-table negotiation, §8.2.2 substrate dealings).
+            (tag-table negotiation, §8.2.2 substrate dealings),
+            ``"gossip"`` for federation anti-entropy rounds.
+        size: estimated serialised bytes of the payload (0 when the
+            sender did not size it) — the federation benchmarks compare
+            control-plane byte budgets, so control senders size what
+            they ship.
         sent_at / delivered_at: simulated timestamps.
     """
 
@@ -39,6 +44,7 @@ class Datagram:
     sent_at: float = 0.0
     delivered_at: Optional[float] = None
     kind: str = "data"
+    size: int = 0
 
 
 @dataclass
@@ -68,6 +74,17 @@ class NetworkStats:
     dropped: int = 0
     blocked_partition: int = 0
     handshake_sent: int = 0
+    gossip_sent: int = 0
+    #: Estimated bytes sent per traffic kind (only for sized sends).
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def note_send(self, kind: str, size: int) -> None:
+        if kind == "handshake":
+            self.handshake_sent += 1
+        elif kind == "gossip":
+            self.gossip_sent += 1
+        if size:
+            self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + size
 
 
 class Network:
@@ -146,7 +163,12 @@ class Network:
     # -- transfer ----------------------------------------------------------------
 
     def send(
-        self, source: str, destination: str, payload: object, kind: str = "data"
+        self,
+        source: str,
+        destination: str,
+        payload: object,
+        kind: str = "data",
+        size: int = 0,
     ) -> Datagram:
         """Send a datagram; delivery is scheduled on the simulator.
 
@@ -157,11 +179,11 @@ class Network:
         self.host(source)
         dest = self.host(destination)
         datagram = Datagram(
-            source, destination, payload, sent_at=self.sim.now(), kind=kind
+            source, destination, payload, sent_at=self.sim.now(), kind=kind,
+            size=size,
         )
         self.stats.sent += 1
-        if kind == "handshake":
-            self.stats.handshake_sent += 1
+        self.stats.note_send(kind, size)
 
         if self._partitioned(source, destination):
             self.stats.blocked_partition += 1

@@ -63,3 +63,59 @@ class TestLeakExperiment:
         domains_with_records = {d for d, __ in collector.merged()}
         assert "city" in domains_with_records
         assert any(d.startswith("home-") for d in domains_with_records)
+
+
+def build_federated(districts=3, hours=2.0):
+    from repro.apps import FederatedSmartCity
+
+    world = IoTWorld(seed=11)
+    city = FederatedSmartCity(world, district_count=districts,
+                              sample_interval=600.0, report_interval=1800.0,
+                              mesh_interval=60.0)
+    city.run(hours=hours)
+    return city
+
+
+class TestFederatedSmartCity:
+    def test_mesh_converges_and_reports_are_masked(self):
+        city = build_federated()
+        assert city.mesh.converged()
+        assert len(city.collected) == 3 * 3  # 3 districts, 3 reports in 2h
+        for district in city.districts.values():
+            stats = district.substrate.stats
+            assert stats.sent == district.reports_sent
+            assert stats.sent_masked == stats.sent  # never a tag-set send
+            assert stats.sent_tagset == 0
+
+    def test_no_pairwise_handshake_traffic(self):
+        city = build_federated()
+        # The 3-step HELLO/ACK/FIN never runs: gossip carried the tables.
+        assert city.world.network.stats.handshake_sent == 0
+        assert city.world.network.stats.gossip_sent > 0
+
+    def test_gateways_are_discoverable_with_their_hosts(self):
+        city = build_federated()
+        gateways = city.directory.find(querier_host="city-hq", kind="gateway")
+        assert len(gateways) == 3
+        for name in city.districts:
+            assert city.directory.entry(f"{name}-gateway").host == f"{name}-hub"
+
+    def test_every_pinboard_vouches_for_every_peer(self):
+        city = build_federated()
+        for host, view in city.verify_federation().items():
+            assert view and all(v == "ok" for v in view.values()), (host, view)
+
+    def test_censored_replay_detected_by_all_peers(self):
+        from repro.apps import censored_replay
+
+        city = build_federated()
+        victim = city.mesh.node("district-2-hub")
+        forged = censored_replay(victim.spine)
+        assert forged.verify()  # the forgery is locally consistent
+        assert forged.checkpoint_position == city.districts[
+            "district-2"].machine.audit.checkpoint_position
+        victim.spine = forged
+        for host, view in city.verify_federation().items():
+            if host == "district-2-hub":
+                continue
+            assert view["district-2-hub"] == "tampered", (host, view)

@@ -1,0 +1,236 @@
+"""Federation plane: gossip mesh convergence, piggybacking, pinning."""
+
+import math
+
+import pytest
+
+from repro.audit.spine import AuditSpine
+from repro.federation import GossipDigest, GossipMesh
+from repro.ifc import SecurityContext, TagInterner, WireCodec
+from repro.middleware import Message, MessageType, MessagingSubstrate
+from repro.middleware.discovery import ResourceDiscovery
+from repro.net import Network
+from repro.sim import Simulator
+
+
+def build_mesh(n, tags_per_node=6, interval=0.5, latency=0.001, seed=1):
+    """N codec-only members over private interners with disjoint tags."""
+    sim = Simulator(seed=seed)
+    net = Network(sim, default_latency=latency)
+    mesh = GossipMesh(net, sim, interval=interval)
+    for i in range(n):
+        interner = TagInterner()
+        for t in range(tags_per_node):
+            interner.intern(f"d{i}:tag{t}")
+        mesh.join(f"host-{i:02d}", WireCodec(interner))
+    return mesh, sim, net
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+    def test_converges_within_log_bound(self, n):
+        mesh, sim, net = build_mesh(n)
+        rounds = mesh.run_until_converged(max_rounds=32)
+        assert mesh.converged()
+        assert rounds <= math.ceil(math.log2(n)) + 2
+
+    def test_all_vocabularies_identical_after_convergence(self):
+        mesh, sim, net = build_mesh(4)
+        mesh.run_until_converged()
+        # Every node holds every origin's full brought table, and the
+        # interner tag *sets* are identical federation-wide.
+        vocabularies = [
+            {t.qualified for t in node.codec.interner.tags_of(
+                (1 << len(node.codec.interner)) - 1)}
+            for node in mesh.nodes()
+        ]
+        assert all(v == vocabularies[0] for v in vocabularies[1:])
+        for node in mesh.nodes():
+            for other in mesh.nodes():
+                if node is other:
+                    continue
+                assert node.version_of(other.host) >= other.baseline
+
+    def test_every_ordered_pair_masks_and_round_trips(self):
+        mesh, sim, net = build_mesh(3)
+        mesh.run_until_converged()
+        for node in mesh.nodes():
+            mask = (1 << node.baseline) - 1  # everything this node brought
+            for other in mesh.nodes():
+                if node is other:
+                    continue
+                encoded = node.codec.encode_masks(other.host, mask)
+                assert encoded is not None, "pair must be masking"
+                decoded = other.codec.decode_mask(node.host, encoded[0])
+                assert {
+                    t.qualified for t in other.codec.interner.tags_of(decoded)
+                } == {t.qualified for t in node.codec.interner.tags_of(mask)}
+
+    def test_gossip_traffic_is_counted_by_kind(self):
+        mesh, sim, net = build_mesh(3)
+        mesh.run_until_converged()
+        assert net.stats.gossip_sent > 0
+        assert net.stats.bytes_by_kind["gossip"] == mesh.control_bytes()
+
+    def test_scheduled_rounds_converge_in_background(self):
+        mesh, sim, net = build_mesh(4, interval=1.0)
+        mesh.start()
+        sim.run_for(10.0)
+        assert mesh.converged()
+        mesh.stop()
+        rounds = mesh.stats.rounds
+        sim.run_for(5.0)
+        assert mesh.stats.rounds == rounds  # stop() really stops
+
+    def test_late_joiner_catches_up(self):
+        mesh, sim, net = build_mesh(3)
+        mesh.run_until_converged()
+        interner = TagInterner()
+        for t in range(4):
+            interner.intern(f"late:tag{t}")
+        mesh.join("host-99", WireCodec(interner))
+        assert not mesh.converged()
+        mesh.run_until_converged(max_rounds=16)
+        late = mesh.node("host-99")
+        assert late.version_of("host-00") >= mesh.node("host-00").baseline
+
+
+class TestDeltaRobustness:
+    def test_gapped_delta_is_dropped_not_guessed(self):
+        mesh, sim, net = build_mesh(2)
+        a, b = mesh.nodes()
+        from repro.ifc.wire import TagBlock
+
+        block = TagBlock.compress(("d9:x", "d9:y"), base=10)  # gap: holds 0
+        from repro.federation import GossipDelta
+
+        b.handle_delta(GossipDelta("host-09", {}, {"host-09": block}))
+        assert b.version_of("host-09") == 0
+        assert b.stats.delta_gaps == 1
+
+    def test_duplicate_delta_is_idempotent(self):
+        mesh, sim, net = build_mesh(2)
+        a, b = mesh.nodes()
+        from repro.federation import GossipDelta
+        from repro.ifc.wire import TagBlock
+
+        block = TagBlock.compress(a.tags_known(a.host), base=0)
+        delta = GossipDelta(a.host, {}, {a.host: block})
+        b.handle_delta(delta)
+        version = b.version_of(a.host)
+        b.handle_delta(delta)
+        assert b.version_of(a.host) == version
+
+
+class TestDiscoveryPiggyback:
+    def test_find_introduces_querier_to_result_hosts(self, reading_type):
+        from tests.conftest import make_component
+
+        mesh, sim, net = build_mesh(3)
+        rdc = ResourceDiscovery()
+        rdc.attach_federation(mesh)
+        remote = make_component("remote-svc", SecurityContext.public(), reading_type)
+        rdc.register(remote, {"kind": "svc"}, host="host-01")
+        assert mesh.stats.introductions == 0
+        found = rdc.find(querier_host="host-00", kind="svc")
+        assert [c.name for c in found] == ["remote-svc"]
+        assert mesh.stats.introductions == 1
+        sim.drain()
+        # One discovery-triggered exchange, no scheduled rounds: the
+        # querier and the discovered host have already synced.
+        a, b = mesh.node("host-00"), mesh.node("host-01")
+        assert a.version_of("host-01") >= b.baseline
+        assert b.version_of("host-00") >= a.baseline
+        assert a.codec.peer("host-01").masking
+        assert rdc.stats.introductions == 1
+
+    def test_find_without_querier_host_introduces_nothing(self, reading_type):
+        from tests.conftest import make_component
+
+        mesh, sim, net = build_mesh(2)
+        rdc = ResourceDiscovery()
+        rdc.attach_federation(mesh)
+        remote = make_component("remote-svc", SecurityContext.public(), reading_type)
+        rdc.register(remote, {"kind": "svc"}, host="host-01")
+        rdc.find(kind="svc")
+        assert mesh.stats.introductions == 0
+
+
+class TestSubstrateIntegration:
+    def _substrate_mesh(self, n, interval=0.5):
+        from repro.cloud import Machine
+
+        sim = Simulator(seed=3)
+        net = Network(sim, default_latency=0.001)
+        mesh = GossipMesh(net, sim, interval=interval)
+        subs = []
+        for i in range(n):
+            machine = Machine(f"fed-sub{i}", clock=sim.now)
+            substrate = MessagingSubstrate(machine, net)
+            mesh.join_substrate(substrate)
+            subs.append(substrate)
+        return mesh, sim, net, subs
+
+    def test_first_data_message_masks_without_any_handshake(self):
+        mesh, sim, net, subs = self._substrate_mesh(3)
+        ctx = SecurityContext.of(["fed:a", "fed:b"], [])
+        mesh.run_until_converged(max_rounds=16)
+        src, dst = subs[0], subs[2]
+        p_src = src.machine.launch("tx", ctx)
+        p_dst = dst.machine.launch("rx", ctx)
+        got = []
+        src.register(p_src, lambda a, m: None)
+        dst.register(p_dst, lambda a, m: got.append(m))
+        mtype = MessageType.simple("fed-ping", value=float)
+        assert src.send(p_src, dst, "rx", Message(mtype, {"value": 1.0}, context=ctx))
+        sim.drain()
+        assert src.stats.sent_masked == 1
+        assert src.stats.sent_tagset == 0
+        assert net.stats.handshake_sent == 0  # gossip replaced the 3-step
+        assert len(got) == 1
+        assert {t.qualified for t in got[0].context.secrecy.tags} == {
+            "fed:a", "fed:b",
+        }
+
+    def test_checkpoint_claims_cross_pin_through_gossip(self):
+        from repro.audit.records import RecordKind
+
+        mesh, sim, net, subs = self._substrate_mesh(3)
+        # Give each spine some history before gossiping.
+        for substrate in subs:
+            substrate.audit.append(
+                RecordKind.CUSTOM, substrate.machine.hostname, "", {"warm": True}
+            )
+        mesh.run_until_converged(max_rounds=16)
+        boards = mesh.pinboards()
+        hosts = sorted(boards)
+        for host, board in boards.items():
+            assert set(board.domains()) == set(hosts) - {host}
+        verdicts = mesh.verify_federation()
+        for host, view in verdicts.items():
+            assert all(v == "ok" for v in view.values()), (host, view)
+
+    def test_tampered_spine_detected_federation_wide(self):
+        from repro.apps import censored_replay
+        from repro.audit.records import RecordKind
+
+        mesh, sim, net, subs = self._substrate_mesh(3)
+        for substrate in subs:
+            for i in range(8):
+                substrate.audit.append(
+                    RecordKind.FLOW_DENIED if i % 4 == 0 else RecordKind.CUSTOM,
+                    substrate.machine.hostname,
+                    "peer",
+                    {"i": i},
+                )
+            substrate.machine.audit.checkpoint()
+        mesh.run_until_converged(max_rounds=16)
+        victim = mesh.node(subs[1].machine.hostname)
+        forged = censored_replay(victim.spine)
+        assert forged.verify()  # locally consistent...
+        victim.spine = forged
+        verdicts = mesh.verify_federation()
+        for host, view in verdicts.items():
+            if host == subs[1].machine.hostname:
+                continue
+            assert view[subs[1].machine.hostname] == "tampered"

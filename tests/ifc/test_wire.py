@@ -21,10 +21,13 @@ from repro.ifc import (
     SecurityContext,
     TableAck,
     TableUpdate,
+    TagBlock,
     TagInterner,
     TagTable,
     WireCodec,
+    control_wire_size,
     global_interner,
+    raw_table_size,
 )
 
 TAG_POOL = [f"ns{i % 3}:tag{i}" for i in range(24)]
@@ -177,6 +180,84 @@ class TestTranslatorAndTable:
         assert ctx1 is ctx2
         assert isinstance(ctx1, SecurityContext)
         assert {t.qualified for t in ctx1.secrecy.tags} == {"wire:s1", "wire:s2"}
+
+
+class TestTagBlockCompression:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        tags=st.lists(
+            st.one_of(
+                st.sampled_from(TAG_POOL),
+                st.builds(
+                    lambda stem, n: f"{stem}{n}",
+                    st.sampled_from(["run:sensor-", "run:meter", "x:"]),
+                    st.integers(min_value=0, max_value=5000),
+                ),
+            ),
+            unique=True,
+            max_size=40,
+        ),
+        base=st.integers(min_value=0, max_value=100),
+    )
+    def test_compress_round_trips_exactly(self, tags, base):
+        block = TagBlock.compress(tags, base=base)
+        assert block.tags() == tuple(tags)
+        assert block.base == base and block.count == len(tags)
+
+    def test_generated_runs_compress_massively(self):
+        tags = tuple(f"city:sensor-{i}" for i in range(10_000))
+        block = TagBlock.compress(tags)
+        assert block.tags() == tags
+        assert block.wire_size * 100 < raw_table_size(tags)
+
+    def test_non_canonical_decimals_stay_literal(self):
+        tags = ("pad:07", "pad:08", "pad:09", "pad:10")
+        assert TagBlock.compress(tags).tags() == tags
+
+    def test_table_wire_size_is_the_compressed_size(self):
+        table = TagTable(tuple(f"a:t{i}" for i in range(100)))
+        assert table.wire_size == table.block.wire_size
+        assert table.wire_size < raw_table_size(table.tags)
+
+    def test_control_payload_sizing(self):
+        table = TagTable(tuple(f"a:t{i}" for i in range(50)))
+        assert control_wire_size(HandshakeHello(table)) == table.wire_size
+        assert control_wire_size(HandshakeAck(table, 3)) == table.wire_size + 4
+        assert control_wire_size(HandshakeFin(7)) == 4
+        assert control_wire_size(TableAck(7)) == 4
+        update = TableUpdate(base=10, tags=("a:t50", "a:t51"))
+        assert control_wire_size(update) == TagBlock.compress(
+            update.tags, base=10
+        ).wire_size
+
+
+class TestOutOfBandLearning:
+    def test_learn_table_builds_translator_without_handshake(self):
+        codec = WireCodec(TagInterner())
+        assert codec.learn_table("peer", 0, ("p:a", "p:b")) == 2
+        assert codec.peer_version("peer") == 2
+        assert codec.can_decode("peer", 0b11)
+
+    def test_learn_table_skips_overlap_and_refuses_gaps(self):
+        codec = WireCodec(TagInterner())
+        codec.learn_table("peer", 0, ("p:a", "p:b"))
+        # Overlapping delta: only the new suffix extends.
+        assert codec.learn_table("peer", 1, ("p:b", "p:c")) == 3
+        # Gap: state unchanged, caller re-pulls from the returned version.
+        assert codec.learn_table("peer", 10, ("p:z",)) == 3
+        assert codec.peer_version("peer") == 3
+
+    def test_note_confirmed_unlocks_masking(self):
+        interner = TagInterner()
+        interner.intern("me:a")
+        codec = WireCodec(interner)
+        assert codec.encode_masks("peer", 0b1) is None
+        codec.note_confirmed("peer", 1)
+        assert codec.peer("peer").masking
+        assert codec.encode_masks("peer", 0b1) == (0b1,)
+        # A claim never lowers what a newer one established.
+        codec.note_confirmed("peer", 0)
+        assert codec.encode_masks("peer", 0b1) == (0b1,)
 
 
 class TestControlRobustness:

@@ -54,6 +54,9 @@ class TestHandshake:
         assert len(got) == 2
         assert got[0].context == ctx and got[1].context == ctx
         assert net.stats.handshake_sent >= 3  # HELLO, ACK, FIN
+        # Handshake datagrams are sized (compressed tables), so the
+        # control-plane byte budget is observable per traffic kind.
+        assert net.stats.bytes_by_kind["handshake"] > 0
         assert any(r.kind == RecordKind.WIRE_HANDSHAKE for r in m1.audit)
         assert any(r.kind == RecordKind.WIRE_HANDSHAKE for r in m2.audit)
 
