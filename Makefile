@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test bench bench-wire bench-audit bench-federation bench-all
+.PHONY: verify test lint bench bench-wire bench-audit bench-federation bench-all
 
 # Tier-1 verification: the whole suite, fail-fast.  The bench smoke
 # list (decision-plane + wire-plane scale benches, with their ratio
@@ -12,6 +12,16 @@ verify:
 # Unit tests only (fast inner loop; skips the benchmark figures).
 test:
 	$(PYTHON) -m pytest tests/ -x -q
+
+# Lint floor: bytecode-compile everything, then ruff's deterministic
+# error set (see ruff.toml).  ruff is optional locally; CI installs it.
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; compileall-only lint"; \
+	fi
 
 # Quick bench: the decision-plane microbenchmarks, with the report rows
 # printed and BENCH_decision_plane.json regenerated.

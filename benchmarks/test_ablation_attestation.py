@@ -8,30 +8,24 @@ a fresh attestation costs.
 
 import pytest
 
-from repro.cloud import Machine, trusted_verifier
+from repro.deploy import Deployment
 from repro.ifc import SecurityContext
-from repro.middleware import Message, MessageType, MessagingSubstrate
-from repro.net import Network
-from repro.sim import Simulator
+from repro.middleware import Message, MessageType
 
 READING = MessageType.simple("reading", value=float)
 N_MESSAGES = 200
 
 
 def build(verify: bool, cache: bool):
-    sim = Simulator(seed=4)
-    net = Network(sim, default_latency=0.0001)
-    m1 = Machine("h1", clock=sim.now)
-    m2 = Machine("h2", clock=sim.now)
-    verifier = trusted_verifier([m1, m2]) if verify else None
-    s1 = MessagingSubstrate(m1, net, verifier=verifier)
-    s2 = MessagingSubstrate(m2, net)
+    deploy = Deployment(
+        seed=4, name="a4", default_latency=0.0001, tick_drain=False
+    )
+    n1 = deploy.node("h1").with_substrate(attested=verify)
+    n2 = deploy.node("h2")
     ctx = SecurityContext.of(["s"], [])
-    p1 = m1.launch("a", ctx)
-    p2 = m2.launch("b", ctx)
-    s1.register(p1, lambda a, m: None)
-    s2.register(p2, lambda a, m: None)
-    return sim, s1, s2, p1, ctx, cache
+    p1 = n1.launch("a", ctx, handler=lambda a, m: None)
+    n2.launch("b", ctx, handler=lambda a, m: None)
+    return deploy.sim, n1.substrate, n2.substrate, p1, ctx, cache
 
 
 @pytest.mark.parametrize(

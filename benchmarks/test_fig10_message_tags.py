@@ -8,16 +8,13 @@ the delivered/quenched split for mixed-clearance receivers.
 
 import pytest
 
-from repro.cloud import Machine
+from repro.deploy import Deployment
 from repro.ifc import SecurityContext, as_tags
 from repro.middleware import (
     AttributeSpec,
     Message,
     MessageType,
-    MessagingSubstrate,
 )
-from repro.net import Network
-from repro.sim import Simulator
 
 
 def typed_schema(n_attributes: int, tagged_fraction: float) -> MessageType:
@@ -48,30 +45,29 @@ def test_fig10_cross_machine_quenching(report, benchmark):
     message-level tag C is quenched for the analyser lacking C."""
 
     def round():
-        sim = Simulator(seed=2)
-        net = Network(sim, default_latency=0.001)
-        m1 = Machine("vm1", clock=sim.now)
-        m2 = Machine("vm2", clock=sim.now)
-        s1 = MessagingSubstrate(m1, net)
-        s2 = MessagingSubstrate(m2, net)
+        deploy = Deployment(
+            seed=2, name="f10", default_latency=0.001, tick_drain=False
+        )
+        vm1 = deploy.node("vm1")
+        vm2 = deploy.node("vm2")
         schema = MessageType("person", [
             AttributeSpec("name", str, extra_secrecy=as_tags(["C"])),
             AttributeSpec("country", str),
         ])
         base = SecurityContext.of(["A", "B"], [])
-        app = m1.launch("app", base)
-        analyser = m2.launch("analyser", SecurityContext.of(["A", "B"], []))
-        cleared = m2.launch("cleared", SecurityContext.of(["A", "B", "C"], []))
-        s1.register(app, lambda a, m: None)
+        app = vm1.launch("app", base, handler=lambda a, m: None)
         plain, full = [], []
-        s2.register(analyser, lambda a, m: plain.append(m))
-        s2.register(cleared, lambda a, m: full.append(m))
+        vm2.launch("analyser", SecurityContext.of(["A", "B"], []),
+                   handler=lambda a, m: plain.append(m))
+        vm2.launch("cleared", SecurityContext.of(["A", "B", "C"], []),
+                   handler=lambda a, m: full.append(m))
+        s1, s2 = vm1.substrate, vm2.substrate
         for i in range(50):
             msg = Message(schema, {"name": f"n{i}", "country": "UK"}, context=base)
             s1.send(app, s2, "analyser", msg)
             msg2 = Message(schema, {"name": f"n{i}", "country": "UK"}, context=base)
             s1.send(app, s2, "cleared", msg2)
-        sim.drain()
+        deploy.sim.drain()
         return s2, plain, full
 
     substrate, plain, full = benchmark(round)

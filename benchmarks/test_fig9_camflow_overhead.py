@@ -10,10 +10,9 @@ magnitude, IFC slightly slower (it also writes the audit trail).
 import pytest
 
 from repro.cloud import Machine, MachineConfig, ObjectKind
+from repro.deploy import Deployment
 from repro.ifc import SecurityContext
-from repro.middleware import Message, MessageType, MessagingSubstrate
-from repro.net import Network
-from repro.sim import Simulator
+from repro.middleware import Message, MessageType
 
 READING = MessageType.simple("reading", value=float)
 
@@ -56,21 +55,19 @@ def test_fig9_kernel_syscall_overhead(report, benchmark, enforce):
                          ids=["substrate-off", "substrate-ifc"])
 def test_fig9_cross_machine_overhead(report, benchmark, enforce):
     def round():
-        sim = Simulator(seed=1)
-        net = Network(sim, default_latency=0.001)
-        m1 = Machine("h1", clock=sim.now)
-        m2 = Machine("h2", clock=sim.now)
-        s1 = MessagingSubstrate(m1, net, enforce=enforce)
-        s2 = MessagingSubstrate(m2, net, enforce=enforce)
+        deploy = Deployment(
+            seed=1, name="f9", default_latency=0.001, tick_drain=False
+        )
+        n1 = deploy.node("h1").with_substrate(enforce=enforce)
+        n2 = deploy.node("h2").with_substrate(enforce=enforce)
         ctx = SecurityContext.of(["s"], [])
-        p1 = m1.launch("a", ctx)
-        p2 = m2.launch("b", ctx)
-        s1.register(p1, lambda addr, msg: None)
+        p1 = n1.launch("a", ctx, handler=lambda addr, msg: None)
         delivered = []
-        s2.register(p2, lambda addr, msg: delivered.append(msg))
+        n2.launch("b", ctx, handler=lambda addr, msg: delivered.append(msg))
+        s1, s2 = n1.substrate, n2.substrate
         for i in range(100):
             s1.send(p1, s2, "b", Message(READING, {"value": float(i)}, context=ctx))
-        sim.drain()
+        deploy.sim.drain()
         return s2
 
     substrate = benchmark(round)

@@ -23,11 +23,9 @@ from pathlib import Path
 
 import pytest
 
-from repro.cloud import Machine
+from repro.deploy import Deployment
 from repro.ifc import SecurityContext, TagInterner, WireCodec
-from repro.middleware import Message, MessageType, MessagingSubstrate
-from repro.net import Network
-from repro.sim import Simulator
+from repro.middleware import Message, MessageType
 
 _SUMMARY = Path(__file__).resolve().parent.parent / "BENCH_wire_masks.json"
 _results = {}
@@ -96,24 +94,26 @@ def test_swm_codec_repeated_pair(report, n_tags):
 
 
 def _pairwise_run(n_machines, n_msgs, wire_masks, enforce=True):
-    """Machines paired off (0→1, 2→3, …); each source sends ``n_msgs``
-    to its sink over the simulated network.  Returns (msgs/s, stats of
-    the first sender, the network)."""
-    sim = Simulator(seed=11)
-    net = Network(sim, default_latency=0.0001)
+    """Machines paired off (0→1, 2→3, …) through the deployment façade;
+    each source sends ``n_msgs`` to its sink over the simulated network.
+    Returns (msgs/s, stats of the first sender, the network)."""
+    deploy = Deployment(
+        seed=11, name="swm", default_latency=0.0001, tick_drain=False
+    )
+    sim, net = deploy.sim, deploy.network
     tags = [f"swm-e2e{i}" for i in range(16)]
     ctx = SecurityContext.of(tags, tags[:8])
     pairs = []
     for i in range(0, n_machines, 2):
-        src_m = Machine(f"swm-h{i}", clock=sim.now)
-        dst_m = Machine(f"swm-h{i+1}", clock=sim.now)
-        src = MessagingSubstrate(src_m, net, enforce=enforce, wire_masks=wire_masks)
-        dst = MessagingSubstrate(dst_m, net, enforce=enforce, wire_masks=wire_masks)
-        p_src = src_m.launch("tx", ctx)
-        p_dst = dst_m.launch("rx", ctx)
-        src.register(p_src, lambda a, m: None)
-        dst.register(p_dst, lambda a, m: None)
-        pairs.append((src, p_src, dst))
+        src_node = deploy.node(f"swm-h{i}").with_substrate(
+            enforce=enforce, wire_masks=wire_masks
+        )
+        dst_node = deploy.node(f"swm-h{i+1}").with_substrate(
+            enforce=enforce, wire_masks=wire_masks
+        )
+        p_src = src_node.launch("tx", ctx, handler=lambda a, m: None)
+        dst_node.launch("rx", ctx, handler=lambda a, m: None)
+        pairs.append((src_node.substrate, p_src, dst_node.substrate))
     # Warm: one message per pair completes the handshakes.
     for src, p_src, dst in pairs:
         src.send(p_src, dst, "rx", Message(READING, {"value": 0.0}, context=ctx))

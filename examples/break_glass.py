@@ -13,11 +13,11 @@ Run:  python examples/break_glass.py
 
 from repro.apps import AssistedLivingSystem
 from repro.audit import RecordKind
-from repro.iot import IoTWorld
+from repro.deploy import Deployment
 
 
 def main() -> None:
-    world = IoTWorld(seed=11)
+    world = Deployment(seed=11)
     system = AssistedLivingSystem(world)
 
     print("normal operation: emergency-team channels =",

@@ -1,33 +1,38 @@
 #!/usr/bin/env python3
-"""Federated city: gossiped vocabularies and cross-pinned audit heads.
+"""Federated city: one declarative deployment, gossiped vocabularies,
+cross-pinned audit heads.
 
 Three district authorities and a city hub each run their own machine and
-messaging substrate.  Instead of N(N-1)/2 pairwise tag-table handshakes,
-a gossip mesh spreads every domain's wire vocabulary transitively
-(anti-entropy rounds on the simulation's event queue), discovery answers
-piggyback vocabulary offers, and every domain cross-pins its peers'
-audit-spine checkpoints — so when one district later presents a
-"censored" replay of its own audit history, every other domain's
-pinboard catches it, even though the forgery verifies locally.
+messaging substrate — but nobody hand-wires them: the scenario is built
+through ``repro.deploy`` (each node is one fluent line; the façade
+cross-wires machine, substrate, spine-backed domain, mesh membership and
+pinboard with the correct defaults).  A gossip mesh spreads every
+domain's wire vocabulary transitively, discovery answers piggyback
+vocabulary offers, and every domain cross-pins its peers' audit-spine
+checkpoints — so when one district later presents a "censored" replay of
+its own audit history, ``deploy.verify()``'s federation-wide verdict
+matrix shows every other domain catching it, even though the forgery
+verifies locally.
 
 Run:  python examples/federated_city.py
 """
 
 from repro.apps import FederatedSmartCity, censored_replay
-from repro.iot import IoTWorld
+from repro.deploy import Deployment
 
 
 def main() -> None:
-    world = IoTWorld(seed=7)
-    city = FederatedSmartCity(world, district_count=3, mesh_interval=60.0)
+    deploy = Deployment(seed=7, name="city", mesh_interval=60.0)
+    city = FederatedSmartCity(deploy, district_count=3)
     city.run(hours=2)
 
-    mesh = city.mesh
-    print("=== federation plane ===")
-    print(f"  members: {', '.join(n.host for n in mesh.nodes())}")
-    print(f"  gossip rounds: {mesh.stats.rounds}, "
-          f"control bytes: {mesh.control_bytes()}")
-    print(f"  vocabulary converged (every pair masking): {mesh.converged()}")
+    rollup = deploy.stats()
+    print("=== federation plane (deploy.stats()) ===")
+    print(f"  members: {', '.join(n.host for n in deploy.mesh.nodes())}")
+    print(f"  gossip rounds: {rollup['federation']['rounds']}, "
+          f"control bytes: {rollup['federation']['control_bytes']}")
+    print(f"  vocabulary converged (every pair masking): "
+          f"{rollup['federation']['converged']}")
 
     print("\n=== cross-substrate traffic ===")
     print(f"  district reports collected at city-hq: {len(city.collected)}")
@@ -35,19 +40,22 @@ def main() -> None:
         stats = district.substrate.stats
         print(f"  {district.name}: sent={stats.sent} "
               f"masked={stats.sent_masked} tagset-fallback={stats.sent_tagset}")
+    print(f"  audit plane: {rollup['audit']['records']} records in "
+          f"{rollup['audit']['segments']} segments across "
+          f"{rollup['federation']['members']} spines")
 
-    print("\n=== checkpoint cross-pinning ===")
-    verdicts = city.verify_federation()
+    print("\n=== checkpoint cross-pinning (deploy.verify()) ===")
+    verdicts = deploy.verify()
     print(f"  city-hq pinboard verdicts: {verdicts['city-hq']}")
 
     # district-1 goes rogue: it presents a re-chained replay of its spine
     # with every denial record censored.  The forgery verifies locally...
-    victim = mesh.node("district-1-hub")
+    victim = deploy.mesh.node("district-1-hub")
     forged = censored_replay(victim.spine)
     assert forged.verify(), "the forgery is locally consistent"
     victim.spine = forged
     # ...but every peer pinned the real history's checkpoints.
-    verdicts = city.verify_federation()
+    verdicts = deploy.verify()
     print("  district-1 presents a censored replay of its audit spine...")
     for host, view in sorted(verdicts.items()):
         if host == "district-1-hub":

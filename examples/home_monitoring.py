@@ -17,11 +17,12 @@ from repro.audit import (
     denial_rate_below,
     graph_from_log,
 )
-from repro.iot import IoTWorld, PatientProfile
+from repro.deploy import Deployment
+from repro.iot import PatientProfile
 
 
 def main() -> None:
-    world = IoTWorld(seed=42)
+    world = Deployment(seed=42)
     patients = [
         PatientProfile("ann", device_standard=True,
                        emergency_at=4 * 3600.0, emergency_duration=1800.0),

@@ -14,12 +14,12 @@ Run:  python examples/smart_city.py
 
 from repro.accesscontrol import EnforcementMode
 from repro.apps import SmartCitySystem
-from repro.iot import IoTWorld
+from repro.deploy import Deployment
 
 
 def run_city(mode: EnforcementMode) -> None:
-    world = IoTWorld(seed=7, mode=mode)
-    city = SmartCitySystem(world, household_count=4, sample_interval=600.0)
+    deploy = Deployment(seed=7, mode=mode)
+    city = SmartCitySystem(deploy, household_count=4, sample_interval=600.0)
     city.run(hours=2)
     leak = city.attempt_raw_leak()
 

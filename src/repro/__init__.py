@@ -14,6 +14,9 @@ Subpackages:
 * :mod:`repro.policy` — ECA engines, conflicts, authority, legal packs;
 * :mod:`repro.audit` — hash-chained logs, provenance, compliance (§8.3);
 * :mod:`repro.iot` — things, domains, gateways, workloads (§2);
+* :mod:`repro.deploy` — the declarative deployment façade: build
+  federated deployments (machines, substrates, spine-backed domains,
+  gossip mesh, pinboards) from fluent one-liners or specs;
 * :mod:`repro.apps` — the paper's scenarios (home monitoring, smart
   city, assisted living).
 """

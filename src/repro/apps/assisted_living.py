@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.deploy import Deployment
 from repro.ifc.labels import SecurityContext
 from repro.ifc.privileges import PrivilegeSet
 from repro.iot.device import DeviceClass, DeviceProfile
@@ -42,8 +43,10 @@ class AssistedLivingSystem:
     """One resident, one home domain, break-glass policy installed."""
 
     def __init__(self, world: IoTWorld, seed: int = 0):
-        self.world = world
-        self.home = world.create_domain("ada-home")
+        # ``world`` may be a bare IoTWorld or a repro.deploy.Deployment.
+        self.deploy = Deployment.of(world, name="assisted-living")
+        self.world = self.deploy.world
+        self.home = self.deploy.domain("ada-home")
         domain = self.home
 
         self.resident_ctx = SecurityContext.of(

@@ -18,6 +18,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.deploy import Deployment
 from repro.ifc.labels import SecurityContext
 from repro.ifc.privileges import PrivilegeSet
 from repro.iot.device import DeviceClass, DeviceProfile
@@ -220,8 +221,10 @@ class HomeMonitoringSystem:
         seed: int = 0,
         dp_epsilon: Optional[float] = None,
     ):
-        self.world = world
-        self.hospital = world.create_domain("hospital")
+        # ``world`` may be a bare IoTWorld or a repro.deploy.Deployment.
+        self.deploy = Deployment.of(world, name="home-monitoring")
+        self.world = self.deploy.world
+        self.hospital = self.deploy.domain("hospital")
         self.patients: Dict[str, PatientDeployment] = {}
         self.alerts: List[tuple] = []
         self.emergencies_detected: List[str] = []
@@ -398,7 +401,7 @@ class HomeMonitoringSystem:
 
     def run(self, hours: float) -> None:
         """Advance the world, processing sensor samples and policy."""
-        self.world.run(hours=hours)
+        self.deploy.run(hours=hours)
         self.handle_alerts()
 
     def summary(self) -> Dict[str, object]:

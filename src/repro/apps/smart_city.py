@@ -15,20 +15,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.accesscontrol.pep import EnforcementMode
 from repro.audit.compliance import ComplianceAuditor
 from repro.audit.records import RecordKind
 from repro.audit.spine import DEFAULT_SOURCE, AuditSpine
 from repro.cloud.machine import Machine
-from repro.federation import GossipMesh, MeshNode
+from repro.deploy import Deployment
+from repro.federation import MeshNode
 from repro.ifc.labels import SecurityContext
-from repro.ifc.privileges import PrivilegeSet
 from repro.iot.device import DeviceClass, DeviceProfile
 from repro.iot.domain import AdministrativeDomain, DomainGateway
-from repro.iot.things import READING, App, Sensor, Thing
+from repro.iot.things import READING, App, Sensor
 from repro.iot.workloads import energy_usage, traffic_flow
 from repro.iot.world import IoTWorld
-from repro.middleware.discovery import ResourceDiscovery
 from repro.middleware.message import Message, MessageType
 from repro.middleware.substrate import MessagingSubstrate
 from repro.policy.legal import geo_fence_obligation
@@ -65,9 +63,12 @@ class SmartCitySystem:
         sample_interval: float = 900.0,
         seed: int = 0,
     ):
-        self.world = world
-        self.city = world.create_domain("city")
-        self.analytics = world.create_domain("analytics-corp")
+        # ``world`` may be a bare IoTWorld or a repro.deploy.Deployment;
+        # either way the façade owns the wiring from here.
+        self.deploy = Deployment.of(world, name="smart-city")
+        self.world = self.deploy.world
+        self.city = self.deploy.domain("city")
+        self.analytics = self.deploy.domain("analytics-corp")
         self.households: Dict[str, Household] = {}
 
         home_tags = [f"home-{i}" for i in range(household_count)]
@@ -96,7 +97,7 @@ class SmartCitySystem:
 
     def _build_household(self, index: int, interval: float, seed: int) -> None:
         name = f"home-{index}"
-        domain = self.world.create_domain(name)
+        domain = self.deploy.domain(name)
         ctx = SecurityContext.of(["home", name], ["metered"])
         sensor = Sensor(
             f"{name}-meter",
@@ -172,7 +173,7 @@ class SmartCitySystem:
 
     def run(self, hours: float) -> None:
         """Advance the simulated city."""
-        self.world.run(hours=hours)
+        self.deploy.run(hours=hours)
 
 
 # -- the federated, multi-substrate city (docs/federation_plane.md) -------------
@@ -209,6 +210,14 @@ class FederatedSmartCity:
     District hubs periodically report their aggregate reading to the
     city hub over the substrate — masked envelopes once the mesh has
     converged.
+
+    The whole federation is assembled through the
+    :class:`~repro.deploy.Deployment` façade (``docs/deploy_api.md``):
+    each hub is one fluent ``node(...).with_domain().with_mesh()
+    .with_pinboard()`` line, districts' domains run spine-backed (their
+    bus/policy/discovery audit shares the hub machine's tamper-evident
+    chain), and ``verify_federation()`` is the deployment's verdict
+    matrix.
     """
 
     def __init__(
@@ -217,51 +226,71 @@ class FederatedSmartCity:
         district_count: int = 3,
         sample_interval: float = 600.0,
         report_interval: float = 1800.0,
-        mesh_interval: float = 60.0,
+        mesh_interval: Optional[float] = None,
         seed: int = 0,
+        pin_retain_every: Optional[int] = None,
     ):
-        self.world = world
-        sim = world.sim
-        self.mesh = GossipMesh(
-            world.network, sim, interval=mesh_interval, name="city-mesh"
+        # ``world`` may be a bare IoTWorld or a repro.deploy.Deployment.
+        # The façade builds and cross-wires every per-node plane; this
+        # class only describes the scenario.  ``mesh_interval=None``
+        # defers to the deployment's cadence; an explicit value is
+        # applied (and raises if the mesh already runs differently —
+        # silently ignoring a requested cadence would be worse).
+        self.deploy = Deployment.of(
+            world, name="city",
+            mesh_interval=mesh_interval if mesh_interval is not None else 60.0,
         )
-        self.city = world.create_domain("city")
-        self.city_machine = Machine("city-hq", clock=sim.clock)
-        self.city_substrate = MessagingSubstrate(
-            self.city_machine, world.network
-        )
-        self.city_node = self.mesh.join_substrate(self.city_substrate)
+        if (
+            mesh_interval is not None
+            and self.deploy.mesh_interval != mesh_interval
+        ):
+            self.deploy.configure_mesh(mesh_interval)
+        self.world = self.deploy.world
+        self.pin_retain_every = pin_retain_every
+
+        city_node = self.deploy.node("city", hostname="city-hq")
+        city_node.with_domain("city").with_mesh().with_discovery()
+        self.city = city_node.domain
+        self.city_machine = city_node.machine
+        self.city_substrate = city_node.substrate
+        self.city_node = city_node.mesh_node
         # The federation directory lives with the city but is mesh-aware:
         # a find() by a federated querier introduces it to the hosts that
         # serve the results (vocabulary offer piggybacked on discovery).
-        self.directory = ResourceDiscovery(audit=self.city_machine.audit)
-        self.directory.attach_federation(self.mesh)
+        self.directory = self.deploy.directory(city_node)
 
-        self.collector = self.city_machine.launch(
+        self.collected: List[Message] = []
+        self.collector = city_node.launch(
             "city-collector",
             SecurityContext.of(
                 ["city", *[f"district-{i}" for i in range(district_count)]], []
             ),
-        )
-        self.collected: List[Message] = []
-        self.city_substrate.register(
-            self.collector, lambda addr, msg: self.collected.append(msg)
+            handler=lambda addr, msg: self.collected.append(msg),
         )
 
         self.districts: Dict[str, District] = {}
         for i in range(district_count):
             self._build_district(i, sample_interval, report_interval, seed)
-        self.mesh.start()
+        self.deploy.start()
+
+    @property
+    def mesh(self):
+        """The deployment's gossip mesh."""
+        return self.deploy.mesh
 
     def _build_district(
         self, index: int, interval: float, report_interval: float, seed: int
     ) -> None:
         name = f"district-{index}"
         sim = self.world.sim
-        domain = self.world.create_domain(name)
-        machine = Machine(f"{name}-hub", clock=sim.clock)
-        substrate = MessagingSubstrate(machine, self.world.network)
-        node = self.mesh.join_substrate(substrate)
+        hub = self.deploy.node(name, hostname=f"{name}-hub")
+        hub.with_domain(name).with_mesh().with_pinboard(
+            retain_every=self.pin_retain_every
+        )
+        domain = hub.domain
+        machine = hub.machine
+        substrate = hub.substrate
+        node = hub.mesh_node
 
         ctx = SecurityContext.of(["city", name], ["metered"])
         sensor = Sensor(
@@ -290,11 +319,12 @@ class FederatedSmartCity:
         domain.bus.connect(name, sensor, "out", gateway, "ingress")
         sensor.start(sim, domain.bus)
 
-        reporter = machine.launch(f"{name}-reporter", ctx)
+        reporter = hub.launch(
+            f"{name}-reporter", ctx, handler=lambda addr, msg: None
+        )
         district = District(
             name, domain, machine, substrate, node, sensor, gateway, reporter
         )
-        substrate.register(reporter, lambda addr, msg: None)
 
         def report() -> None:
             total = float(gateway.forwarded)
@@ -317,18 +347,17 @@ class FederatedSmartCity:
 
     def run(self, hours: float) -> None:
         """Advance the simulated federation."""
-        self.world.run(hours=hours)
+        self.deploy.run(hours=hours)
 
     def spines(self) -> Dict[str, AuditSpine]:
         """Every federated domain's live audit spine, by host."""
-        spines = {"city-hq": self.city_machine.audit}
-        for district in self.districts.values():
-            spines[district.machine.hostname] = district.machine.audit
-        return spines
+        return self.deploy.spines()
 
     def verify_federation(self) -> Dict[str, Dict[str, str]]:
-        """Every member pinboard's verdict on every other member's spine."""
-        return self.mesh.verify_federation()
+        """The deployment-wide verdict matrix: every member pinboard's
+        verdict on every peer's spine, plus each member's local chain
+        verification on the diagonal."""
+        return self.deploy.verify()
 
 
 def censored_replay(

@@ -8,6 +8,7 @@ from repro.audit.spine import (
     SpineEmitter,
     bind_source,
 )
+from repro.audit.sink import AuditSink
 from repro.audit.provenance import (
     EdgeKind,
     NodeKind,
@@ -44,6 +45,7 @@ __all__ = [
     "AuditLog",
     "RecorderMixin",
     "AuditSegment",
+    "AuditSink",
     "AuditSpine",
     "SpineEmitter",
     "bind_source",

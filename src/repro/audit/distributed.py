@@ -154,12 +154,25 @@ class FederationPinboard:
     digest at a pinned position, a truncation (e.g. the spine quietly
     replaced with a shorter replay) drops below a pinned position.
     Either way the domain cannot shed history its peers pinned.
+
+    ``retain_every`` bounds per-domain pin memory (the ROADMAP's pin
+    retention policy): when set to ``k``, only claims at checkpoint
+    positions divisible by ``k`` — plus the newest claim — are kept.
+    Retired positions stop being re-checkable (and a late conflicting
+    claim for one can no longer be flagged), which is the documented
+    trade: coverage granularity for bounded state in long-lived
+    federations.  ``None`` (the default) keeps every pin.
     """
 
-    def __init__(self, owner: str):
+    def __init__(self, owner: str, retain_every: Optional[int] = None):
+        if retain_every is not None and retain_every < 1:
+            raise ValueError("retain_every must be >= 1")
         self.owner = owner
+        self.retain_every = retain_every
         self._pins: Dict[str, Dict[int, CheckpointClaim]] = {}
         self.conflicts: List[PinConflict] = []
+        #: Pins dropped by the retention policy (never by conflict).
+        self.stats_retired = 0
 
     def __len__(self) -> int:
         return sum(len(by_pos) for by_pos in self._pins.values())
@@ -187,7 +200,20 @@ class FederationPinboard:
                 return False
             return True
         by_pos[claim.position] = claim
+        self._apply_retention(by_pos)
         return True
+
+    def _apply_retention(self, by_pos: Dict[int, CheckpointClaim]) -> None:
+        """Drop pins the retention policy no longer keeps: every ``k``-th
+        checkpoint position survives, and so does the newest pin."""
+        k = self.retain_every
+        if k is None or len(by_pos) < 2:
+            return
+        newest = max(by_pos)
+        retire = [p for p in by_pos if p != newest and p % k != 0]
+        for position in retire:
+            del by_pos[position]
+        self.stats_retired += len(retire)
 
     def domains(self) -> List[str]:
         """Every domain this board holds pins for, sorted."""

@@ -157,6 +157,11 @@ class SpineEmitter(RecorderMixin):
     def __repr__(self) -> str:
         return f"<SpineEmitter {self.source!r} -> {self.spine.name}>"
 
+    @property
+    def name(self) -> str:
+        """The backing spine's name (AuditSink-compatible identity)."""
+        return self.spine.name
+
     # -- writes (staged under this source) ---------------------------------
 
     def append(

@@ -1,0 +1,131 @@
+"""Declarative deployment specifications.
+
+A :class:`DeploymentSpec` is the whole federation on paper: the world
+parameters (seed, enforcement mode, network latency, mesh cadence) plus
+one :class:`NodeSpec` per member.  Specs are plain data — build them in
+config code, generate them in benchmarks, or let the fluent
+:class:`~repro.deploy.builder.Deployment` API accumulate them — and
+hand them to :meth:`Deployment.from_spec
+<repro.deploy.builder.Deployment.from_spec>` to get a running, fully
+cross-wired deployment.
+
+The defaults encode the paper's intended stack: IFC enforcement on,
+masked wire envelopes on, one audit spine per node with every plane
+writing its own segment, and (where a mesh is requested) gossip rounds
+on the simulation's own event queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.accesscontrol.pep import EnforcementMode
+from repro.cloud.machine import MachineConfig
+
+
+@dataclass
+class NodeSpec:
+    """One deployment member, declaratively.
+
+    Attributes:
+        name: the node's deployment-unique name.
+        hostname: the network hostname (defaults to ``name``); this is
+            what the machine, substrate and mesh membership key on.
+        machine: build a :class:`~repro.cloud.machine.Machine` (kernel +
+            TPM + audit spine + decision shard) for this node.  Off, the
+            node is bus-only (just a domain).
+        machine_config: optional :class:`~repro.cloud.machine.
+            MachineConfig` (enforcement, boot chain, spine cadence).
+        substrate: bind a :class:`~repro.middleware.substrate.
+            MessagingSubstrate` to the machine (requires ``machine``).
+        enforce: substrate-level IFC enforcement (off for baseline
+            benchmarking, mirroring ``MessagingSubstrate(enforce=)``).
+        wire_masks: masked wire envelopes after vocabulary agreement
+            (off pins the substrate to the tag-set format).
+        attested: run remote attestation against the deployment's
+            shared verifier before first contact with each peer.
+        domain: name of the :class:`~repro.iot.domain.
+            AdministrativeDomain` this node operates (``None`` for
+            machine-only nodes, e.g. pure relays or benches).
+        domain_mode: enforcement mode override for the domain (defaults
+            to the world's mode).
+        spine_backed: when the node has both a machine and a domain,
+            route the domain's whole audit stack into the machine's
+            spine (one tamper-evident chain per node).  Off keeps the
+            historical detached per-domain ``AuditLog``.
+        mesh: enrol the node's substrate in the deployment's
+            :class:`~repro.federation.GossipMesh`.
+        pinboard_retain_every: pin-retention policy for the node's
+            :class:`~repro.audit.distributed.FederationPinboard`
+            (``None`` keeps every pin; implies ``mesh``).
+        directory: serve the deployment's federation directory (a
+            mesh-attached :class:`~repro.middleware.discovery.
+            ResourceDiscovery`) from this node.
+    """
+
+    name: str
+    hostname: str = ""
+    machine: bool = True
+    machine_config: Optional[MachineConfig] = None
+    substrate: bool = True
+    enforce: bool = True
+    wire_masks: bool = True
+    attested: bool = False
+    domain: Optional[str] = None
+    domain_mode: Optional[EnforcementMode] = None
+    spine_backed: bool = True
+    mesh: bool = False
+    pinboard_retain_every: Optional[int] = None
+    directory: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.hostname:
+            self.hostname = self.name
+        if self.pinboard_retain_every is not None:
+            self.mesh = True
+        if self.mesh:
+            self.substrate = True
+        if not self.machine:
+            # An explicit bus-only override: a substrate cannot exist
+            # without a machine, so machine=False turns the (default-on)
+            # substrate off — unless the spec explicitly asked for mesh
+            # membership, which implies the full machine stack.
+            if self.mesh:
+                self.machine = True
+            else:
+                self.substrate = False
+        if self.substrate:
+            self.machine = True
+        if not self.machine and self.domain is None:
+            # A spec that builds nothing is a latent bug in config code.
+            self.domain = self.name
+
+
+@dataclass
+class DeploymentSpec:
+    """A whole federation, declaratively.
+
+    Attributes:
+        name: deployment name (prefixes the mesh name).
+        seed: simulation seed (ignored when a world is supplied).
+        mode: world-wide enforcement mode.
+        default_latency: network latency (``None`` = the network's own
+            default).
+        mesh_interval: seconds between scheduled gossip rounds.
+        nodes: the member :class:`NodeSpec`\\ s.
+    """
+
+    name: str = "deployment"
+    seed: int = 0
+    mode: EnforcementMode = EnforcementMode.AC_AND_IFC
+    default_latency: Optional[float] = None
+    mesh_interval: float = 60.0
+    nodes: List[NodeSpec] = field(default_factory=list)
+
+    def node(self, name: str, **overrides) -> NodeSpec:
+        """Append a :class:`NodeSpec` (declarative counterpart of the
+        fluent ``Deployment.node``)."""
+        spec = NodeSpec(name=name, **overrides)
+        self.nodes.append(spec)
+        return spec

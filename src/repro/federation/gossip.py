@@ -168,13 +168,14 @@ class MeshNode:
         spine=None,
         mesh: Optional["GossipMesh"] = None,
         audit=None,
+        pin_retain_every: Optional[int] = None,
     ):
         self.host = host
         self.codec = codec
         self.spine = spine
         self.mesh = mesh
         self.audit = audit if audit is not None else bind_source(spine, "federation")
-        self.pinboard = FederationPinboard(host)
+        self.pinboard = FederationPinboard(host, retain_every=pin_retain_every)
         self.stats = NodeStats()
         #: The vocabulary this member *brought* to the federation (its
         #: interner length at join).  Convergence is defined over
@@ -468,21 +469,33 @@ class GossipMesh:
         return self._nodes[host]
 
     def join(
-        self, host: str, codec: WireCodec, spine=None, register_host: bool = True
+        self,
+        host: str,
+        codec: WireCodec,
+        spine=None,
+        register_host: bool = True,
+        pin_retain_every: Optional[int] = None,
     ) -> MeshNode:
         """Add a member.  ``register_host`` adds a network host whose
         receiver is the node itself (codec-only members, e.g. benches);
         substrates instead route ``kind="gossip"`` datagrams to the node
-        from their own receiver (:meth:`join_substrate`)."""
+        from their own receiver (:meth:`join_substrate`).
+        ``pin_retain_every`` sets the member pinboard's retention policy
+        (see :class:`~repro.audit.distributed.FederationPinboard`)."""
         if host in self._nodes:
             return self._nodes[host]
-        node = MeshNode(host, codec, spine=spine, mesh=self)
+        node = MeshNode(
+            host, codec, spine=spine, mesh=self,
+            pin_retain_every=pin_retain_every,
+        )
         self._nodes[host] = node
         if register_host:
             self.network.add_host(host, node.receive)
         return node
 
-    def join_substrate(self, substrate) -> MeshNode:
+    def join_substrate(
+        self, substrate, pin_retain_every: Optional[int] = None
+    ) -> MeshNode:
         """Enrol a :class:`~repro.middleware.substrate.MessagingSubstrate`:
         its codec becomes the node's origin table, its machine's audit
         spine is claimed/pinned, and the substrate forwards gossip
@@ -492,6 +505,7 @@ class GossipMesh:
             substrate.wire,
             spine=substrate.machine.audit,
             register_host=False,
+            pin_retain_every=pin_retain_every,
         )
         substrate.attach_gossip(node)
         return node

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.accesscontrol.pep import EnforcementMode
 from repro.audit.log import AuditLog
+from repro.audit.spine import bind_source
 from repro.errors import DiscoveryError
 from repro.ifc.labels import SecurityContext
 from repro.ifc.privileges import PrivilegeSet
@@ -34,9 +35,18 @@ from repro.policy.engine import PolicyEngine
 class AdministrativeDomain:
     """One authority's slice of the IoT.
 
-    Construction wires the standard stack: audit log → bus →
+    Construction wires the standard stack: audit sink → bus →
     reconfigurator → context store → policy engine, all sharing the
     domain clock.  Things register through :meth:`adopt`.
+
+    ``audit`` is any :class:`~repro.audit.sink.AuditSink`.  When omitted
+    the domain constructs a detached :class:`~repro.audit.log.AuditLog`
+    — the historical (pre-``repro.deploy``) behaviour, kept as the thin
+    shim standalone domains rely on.  Inside a deployment the owning
+    machine's :class:`~repro.audit.spine.AuditSpine` is passed instead,
+    so the domain's bus, engine, reconfigurator and discovery all write
+    per-source segments of one tamper-evident chain per node
+    (``docs/deploy_api.md``).
     """
 
     def __init__(
@@ -44,9 +54,15 @@ class AdministrativeDomain:
         name: str,
         clock: Optional[Callable[[], float]] = None,
         mode: EnforcementMode = EnforcementMode.AC_AND_IFC,
+        audit=None,
     ):
         self.name = name
-        self.audit = AuditLog(clock=clock, name=f"audit@{name}")
+        if audit is None:
+            audit = AuditLog(clock=clock, name=f"audit@{name}")
+        # The domain's own records (adoption context changes) go to a
+        # "domain" segment when the sink is segmented; each wired
+        # component below claims its own segment via bind_source.
+        self.audit = bind_source(audit, "domain")
         self.bus = MessageBus(audit=self.audit, mode=mode, clock=clock)
         self.reconfigurator = Reconfigurator(self.bus, audit=self.audit)
         self.context = ContextStore(clock=clock)

@@ -38,18 +38,36 @@ class IoTWorld:
         self,
         seed: int = 0,
         mode: EnforcementMode = EnforcementMode.AC_AND_IFC,
+        default_latency: Optional[float] = None,
     ):
         self.sim = Simulator(seed=seed)
-        self.network = Network(self.sim)
+        if default_latency is None:
+            self.network = Network(self.sim)
+        else:
+            self.network = Network(self.sim, default_latency=default_latency)
         self.registry = TagRegistry()
         self.mode = mode
         self.domains: Dict[str, AdministrativeDomain] = {}
 
-    def create_domain(self, name: str) -> AdministrativeDomain:
-        """Add an administrative domain sharing the world clock."""
+    def create_domain(
+        self,
+        name: str,
+        audit=None,
+        mode: Optional[EnforcementMode] = None,
+    ) -> AdministrativeDomain:
+        """Add an administrative domain sharing the world clock.
+
+        ``audit`` is an optional :class:`~repro.audit.sink.AuditSink`
+        for the domain's whole stack (a machine spine, inside a
+        :class:`~repro.deploy.Deployment`); omitted, the domain builds
+        its own detached :class:`~repro.audit.log.AuditLog`.  ``mode``
+        overrides the world's enforcement mode for this domain.
+        """
         if name in self.domains:
             raise DiscoveryError(f"domain already exists: {name}")
-        domain = AdministrativeDomain(name, clock=self.sim.now, mode=self.mode)
+        domain = AdministrativeDomain(
+            name, clock=self.sim.now, mode=mode or self.mode, audit=audit
+        )
         self.domains[name] = domain
         return domain
 

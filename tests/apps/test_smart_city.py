@@ -119,3 +119,22 @@ class TestFederatedSmartCity:
             if host == "district-2-hub":
                 continue
             assert view["district-2-hub"] == "tampered", (host, view)
+
+
+def test_federated_city_mesh_interval_respected_on_existing_deployment():
+    """An explicit mesh_interval must apply (or raise), never be
+    silently discarded, when a pre-built Deployment is passed."""
+    import pytest
+    from repro.deploy import Deployment
+
+    deploy = Deployment(seed=1, mesh_interval=30.0)
+    from repro.apps import FederatedSmartCity
+
+    city = FederatedSmartCity(deploy, district_count=2, mesh_interval=15.0)
+    assert deploy.mesh.interval == 15.0
+
+    started = Deployment(seed=2, mesh_interval=30.0)
+    started.node("seed-node").with_mesh().build()
+    started.mesh  # materialise the mesh at 30s
+    with pytest.raises(RuntimeError):
+        FederatedSmartCity(started, district_count=2, mesh_interval=15.0)

@@ -154,3 +154,75 @@ class TestVerification:
         evader.prune_before(float("inf"))
         assert evader.verify()  # locally consistent
         assert board.verify({"dom": evader}) == {"dom": "unverifiable"}
+
+
+class TestPinRetention:
+    """The pin-retention policy: keep every k-th position plus the newest."""
+
+    def claim(self, position, digest="aa"):
+        return CheckpointClaim("dom", position, digest * 32)
+
+    def test_retention_keeps_every_kth_and_the_newest(self):
+        board = FederationPinboard("peer", retain_every=3)
+        for position in range(1, 9):  # 1..8, newest is 8
+            assert board.pin(self.claim(position))
+        kept = [c.position for c in board.claims("dom")]
+        assert kept == [3, 6, 8]  # multiples of 3, plus the newest
+        assert board.stats_retired == 5
+
+    def test_newest_pin_always_survives_between_multiples(self):
+        board = FederationPinboard("peer", retain_every=4)
+        board.pin(self.claim(4))
+        board.pin(self.claim(5))
+        assert [c.position for c in board.claims("dom")] == [4, 5]
+        board.pin(self.claim(6))
+        # 5 was only retained for being newest; 6 displaces it.
+        assert [c.position for c in board.claims("dom")] == [4, 6]
+
+    def test_retention_is_per_domain(self):
+        board = FederationPinboard("peer", retain_every=2)
+        board.pin(self.claim(1))
+        board.pin(CheckpointClaim("other", 1, "cc" * 32))
+        assert [c.position for c in board.claims("dom")] == [1]
+        assert [c.position for c in board.claims("other")] == [1]
+
+    def test_retained_pins_still_catch_tampering(self):
+        spine = spine_with(n_records=10, checkpoint_every=1)
+        board = FederationPinboard("peer", retain_every=2)
+        tracked = AuditSpine(name="audit@dom", checkpoint_every=1)
+        for i in range(10):
+            tracked.append(RecordKind.CUSTOM, "actor", "", {"i": i})
+            tracked.drain()
+            tracked.checkpoint()
+            board.pin(CheckpointClaim.of("dom", tracked))
+        assert board.verify({"dom": tracked}) == {"dom": "ok"}
+        # A re-chained replay changes the digest at every retained pin.
+        forged = AuditSpine(name="audit@dom", checkpoint_every=1)
+        for i in range(tracked.checkpoint_position):
+            forged.append(RecordKind.CUSTOM, "actor", "", {"i": i, "x": 1})
+            forged.drain()
+            forged.checkpoint()
+        assert board.verify({"dom": forged}) == {"dom": "tampered"}
+
+    def test_conflict_at_a_retired_position_goes_undetected_by_design(self):
+        # The documented trade: a retired pin can no longer contradict a
+        # late conflicting claim; the position simply re-pins.
+        board = FederationPinboard("peer", retain_every=3)
+        for position in (1, 2, 3, 4):
+            board.pin(self.claim(position))
+        assert board.pin(self.claim(2, digest="bb"))  # 2 was retired
+        assert board.conflicts == []
+        # ...whereas a retained position still conflicts.
+        assert not board.pin(self.claim(3, digest="bb"))
+        assert len(board.conflicts) == 1
+
+    def test_retain_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FederationPinboard("peer", retain_every=0)
+
+    def test_default_keeps_everything(self):
+        board = FederationPinboard("peer")
+        for position in range(1, 20):
+            board.pin(self.claim(position))
+        assert len(board.claims("dom")) == 19
+        assert board.stats_retired == 0
