@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test lint bench bench-wire bench-audit bench-federation bench-all
+.PHONY: verify test lint bench bench-wire bench-audit bench-federation \
+	bench-workers bench-all test-concurrency
 
 # Tier-1 verification: the whole suite, fail-fast.  The bench smoke
 # list (decision-plane + wire-plane scale benches, with their ratio
@@ -43,6 +44,17 @@ bench-audit:
 # cross-domain pinboard scenario; regenerates BENCH_federation.json.
 bench-federation:
 	$(PYTHON) -m pytest benchmarks/test_scale_federation.py -q -s
+
+# Worker-plane bench: enforcing-publish throughput and decision-cache
+# hit rate at 1/4/16 real worker threads on shared vs. disjoint tag
+# working sets; regenerates BENCH_worker_scaling.json.
+bench-workers:
+	$(PYTHON) -m pytest benchmarks/test_scale_workers.py -q -s
+
+# The real-thread stress tests of the contention-proofed planes
+# (decision cache snapshot/epoch protocol, audit-spine ring drains).
+test-concurrency:
+	$(PYTHON) -m pytest -m concurrency -q
 
 # The full figure/scale benchmark suite.
 bench-all:

@@ -47,6 +47,8 @@ from __future__ import annotations
 
 import hashlib
 import heapq
+import itertools
+import threading
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.audit.log import GENESIS_DIGEST, RecorderMixin, chain_digest
@@ -273,12 +275,24 @@ class AuditSpine(RecorderMixin):
         spine.drain()                            # off the delivery path
         assert spine.verify()
 
-    ``ring_capacity`` bounds staged memory: reaching it forces an inline
-    drain (amortised, never per-record).  ``checkpoint_every`` sets how
-    many fruitful drains pass between automatic checkpoints; anything
-    that needs the cross-segment head (``head_digest``, offload) forces
-    one.  Staged records are immediately visible to ``records()`` /
-    iteration, exactly like buffered ``AuditLog`` appends.
+    ``ring_capacity`` bounds staged memory *per source*: a ring reaching
+    it forces an inline drain (amortised, never per-record).
+    ``checkpoint_every`` sets how many fruitful drains pass between
+    automatic checkpoints; anything that needs the cross-segment head
+    (``head_digest``, offload) forces one.  Staged records are
+    immediately visible to ``records()`` / iteration, exactly like
+    buffered ``AuditLog`` appends.
+
+    Concurrency (``docs/worker_plane.md``): emission and maintenance
+    may race.  Each source stages into its *own* ring (per-worker
+    ``SpineEmitter`` sources are the whole point of the staged design:
+    one writer per ring, list appends are atomic), sequence numbers come
+    from an atomic counter, and :meth:`drain` snapshots each ring's
+    cursor — it chains exactly the records staged when it looked,
+    removes exactly that prefix, and leaves anything a racing emitter
+    appended meanwhile for the next drain.  Nothing is ever lost or
+    double-chained.  Drain, checkpoint, verify, prune and export
+    serialise on one maintenance lock; emission never takes it.
     """
 
     def __init__(
@@ -292,10 +306,15 @@ class AuditSpine(RecorderMixin):
         self._clock = clock or (lambda: 0.0)
         self.ring_capacity = max(1, ring_capacity)
         self.checkpoint_every = max(1, checkpoint_every)
-        self._staged: List[Tuple[str, AuditRecord]] = []
+        #: Per-source staging rings: one writer (worker) per ring keeps
+        #: emission contention-free; drains snapshot ring cursors.
+        self._staged: Dict[str, List[AuditRecord]] = {}
         self._segments: Dict[str, AuditSegment] = {}
         self._emitters: Dict[str, SpineEmitter] = {}
-        self._seq = 0
+        self._seq = itertools.count()
+        # Reentrant: checkpoint() drains, verify drains, drain may
+        # checkpoint — all off the emission path.
+        self._maint = threading.RLock()
         # The checkpoint chain is itself an AuditSegment — same chain,
         # rebase-on-prune and verify machinery as the record shards.
         self._ckpt = AuditSegment(
@@ -309,11 +328,14 @@ class AuditSpine(RecorderMixin):
         self._actors: Set[str] = set()
         self.stats_drains = 0
         self.stats_checkpoints = 0
+        #: Drains forced inline by a ring reaching capacity — the
+        #: back-pressure signal the per-worker rollup reports.
+        self.stats_ring_overflows = 0
 
     def __repr__(self) -> str:
         return (
             f"<AuditSpine {self.name} segments={len(self._segments)} "
-            f"records={len(self)} staged={len(self._staged)}>"
+            f"records={len(self)} staged={self.pending}>"
         )
 
     # -- emission (the delivery-path side) ---------------------------------
@@ -336,10 +358,13 @@ class AuditSpine(RecorderMixin):
         target_context: Optional[SecurityContext] = None,
     ) -> AuditRecord:
         """Stage one record under ``source``.  The delivery-path cost is
-        record construction plus a list append — no serialisation, no
-        hashing; those happen at :meth:`drain`."""
+        record construction plus a list append onto the source's own
+        ring — no serialisation, no hashing, no lock; those happen at
+        :meth:`drain`.  Sources are single-writer: each concurrent
+        worker binds its own emitter source, so a ring's append order is
+        its emission order."""
         record = AuditRecord(
-            seq=self._seq,
+            seq=next(self._seq),
             timestamp=self._clock(),
             kind=kind,
             actor=actor,
@@ -348,12 +373,24 @@ class AuditSpine(RecorderMixin):
             source_context=source_context,
             target_context=target_context,
         )
-        self._seq += 1
-        staged = self._staged
-        staged.append((source, record))
-        if len(staged) >= self.ring_capacity:
+        ring = self._staged.get(source)
+        if ring is None:
+            ring = self._ring(source)
+        ring.append(record)
+        if len(ring) >= self.ring_capacity:
+            self.stats_ring_overflows += 1
             self.drain()
         return record
+
+    def _ring(self, source: str) -> List[AuditRecord]:
+        """Create (or fetch) the staging ring for ``source``.
+
+        Ring creation is the one emission-path step that must
+        coordinate (two sources appearing at once), so it takes the
+        maintenance lock — once, per source, ever.
+        """
+        with self._maint:
+            return self._staged.setdefault(source, [])
 
     def append(
         self,
@@ -385,34 +422,50 @@ class AuditSpine(RecorderMixin):
     @property
     def pending(self) -> int:
         """Records staged but not yet chained into their segment."""
-        return len(self._staged)
+        return sum(len(ring) for ring in list(self._staged.values()))
 
     def drain(self) -> int:
         """Fold every staged record into its source's segment chain.
 
-        Returns the number of records drained.  Idempotent — draining an
-        empty ring is a no-op and does not advance the checkpoint
+        Returns the number of records drained.  Idempotent — draining
+        empty rings is a no-op and does not advance the checkpoint
         cadence.
+
+        Safe while emitters append: per ring, the drain snapshots the
+        cursor (the ring's length at the moment it looks), chains
+        exactly that prefix, and truncates exactly that prefix — a
+        record a racing worker staged mid-drain stays in the ring for
+        the next drain rather than being dropped by a wholesale
+        ``clear()``.
         """
-        staged = self._staged
-        if not staged:
-            return 0
-        segments = self._segments
-        actors = self._actors
-        for source, record in staged:
-            seg = segments.get(source)
-            if seg is None:
-                seg = self.segment(source)
-            seg.chain(record)
-            actors.add(record.actor)
-        drained = len(staged)
-        staged.clear()
-        self._chained_records += drained
-        self.stats_drains += 1
-        self._drains_since_checkpoint += 1
-        if self._drains_since_checkpoint >= self.checkpoint_every:
-            self.checkpoint()
-        return drained
+        with self._maint:
+            drained = 0
+            segments = self._segments
+            actors = self._actors
+            for source, ring in list(self._staged.items()):
+                # Cursor snapshot: appends past `n` belong to the next
+                # drain.  ring[:n] copies the prefix; `del ring[:n]` is
+                # one atomic list op, so a concurrent append can only
+                # land beyond the deleted slice.
+                n = len(ring)
+                if not n:
+                    continue
+                seg = segments.get(source)
+                if seg is None:
+                    seg = self.segment(source)
+                for record in ring[:n]:
+                    seg.chain(record)
+                    actors.add(record.actor)
+                del ring[:n]
+                drained += n
+            if not drained:
+                return 0
+            self._chained_records += drained
+            self.stats_drains += 1
+            self._drains_since_checkpoint += 1
+            if self._drains_since_checkpoint >= self.checkpoint_every:
+                self.checkpoint()
+            return drained
 
     def flush(self) -> int:
         """AuditLog-compatible alias for :meth:`drain`."""
@@ -435,7 +488,7 @@ class AuditSpine(RecorderMixin):
         return clock.off_advance(self._on_tick)
 
     def _on_tick(self, now: float) -> None:
-        if self._staged:
+        if any(self._staged.values()):
             self.drain()
 
     def checkpoint(self) -> Optional[AuditRecord]:
@@ -446,39 +499,42 @@ class AuditSpine(RecorderMixin):
         observers do not inflate the chain).  Checkpoint records carry,
         per source, the segment's absolute head position and head digest
         — :meth:`verify` later holds every retained segment to them.
+        Safe to call while emitters append (maintenance lock; the heads
+        it pins are the post-drain heads of the records it could see).
         """
-        self.drain()
-        if not self._segments:
-            # A spine that never recorded anything has nothing to pin —
-            # head_digest stays at the genesis digest, like an empty log.
-            return None
-        if (
-            self._chained_records == self._chained_at_last_checkpoint
-            and self._ckpt.total
-        ):
-            return None
-        heads = {}
-        counts = {}
-        for source in sorted(self._segments):
-            seg = self._segments[source]
-            heads[source] = seg.head
-            counts[source] = seg.total
-        # Checkpoints number their own chain: record seqs must track the
-        # event stream exactly (a spine and a plain log fed the same
-        # events stay seq-identical).
-        record = AuditRecord(
-            seq=self._ckpt.total,
-            timestamp=self._clock(),
-            kind=RecordKind.CHECKPOINT,
-            actor=self.name,
-            subject="",
-            detail={"heads": heads, "counts": counts},
-        )
-        self._ckpt.chain(record)
-        self._chained_at_last_checkpoint = self._chained_records
-        self._drains_since_checkpoint = 0
-        self.stats_checkpoints += 1
-        return record
+        with self._maint:
+            self.drain()
+            if not self._segments:
+                # A spine that never recorded anything has nothing to
+                # pin — head_digest stays at genesis, like an empty log.
+                return None
+            if (
+                self._chained_records == self._chained_at_last_checkpoint
+                and self._ckpt.total
+            ):
+                return None
+            heads = {}
+            counts = {}
+            for source in sorted(self._segments):
+                seg = self._segments[source]
+                heads[source] = seg.head
+                counts[source] = seg.total
+            # Checkpoints number their own chain: record seqs must track
+            # the event stream exactly (a spine and a plain log fed the
+            # same events stay seq-identical).
+            record = AuditRecord(
+                seq=self._ckpt.total,
+                timestamp=self._clock(),
+                kind=RecordKind.CHECKPOINT,
+                actor=self.name,
+                subject="",
+                detail={"heads": heads, "counts": counts},
+            )
+            self._ckpt.chain(record)
+            self._chained_at_last_checkpoint = self._chained_records
+            self._drains_since_checkpoint = 0
+            self.stats_checkpoints += 1
+            return record
 
     @property
     def head_digest(self) -> str:
@@ -513,20 +569,32 @@ class AuditSpine(RecorderMixin):
     # -- reading (AuditLog-compatible) -------------------------------------
 
     def _merged(self) -> List[AuditRecord]:
-        # Each segment's records are seq-ascending, and everything
-        # staged was emitted after everything drained — a k-way merge
-        # rebuilds the stream in O(n), no sort.
-        streams = [seg.records for seg in self._segments.values() if seg.records]
-        if self._staged:
-            streams.append([record for __, record in self._staged])
+        # Each segment's records are seq-ascending (single-writer
+        # sources), and everything staged was emitted after everything
+        # drained in its own source — a k-way merge rebuilds the stream
+        # in O(n), no sort.  Lists are snapshotted so racing
+        # appends/drains cannot shift them mid-merge.
+        streams = [
+            list(seg.records)
+            for seg in list(self._segments.values())
+            if seg.records
+        ]
+        staged = [
+            record
+            for ring in list(self._staged.values())
+            for record in list(ring)
+        ]
+        if staged:
+            staged.sort(key=lambda r: r.seq)
+            streams.append(staged)
         if len(streams) == 1:
             return list(streams[0])
         return list(heapq.merge(*streams, key=lambda r: r.seq))
 
     def __len__(self) -> int:
-        return sum(len(s.records) for s in self._segments.values()) + len(
-            self._staged
-        )
+        return sum(
+            len(s.records) for s in list(self._segments.values())
+        ) + self.pending
 
     def __iter__(self) -> Iterator[AuditRecord]:
         return iter(self._merged())
@@ -571,18 +639,24 @@ class AuditSpine(RecorderMixin):
     def segment_heads(self) -> Dict[str, Tuple[int, str]]:
         """Per-source ``(absolute position, head digest)`` — the offload
         receipt material (drains first so heads are current)."""
-        self.drain()
-        return {
-            source: (seg.total, seg.head)
-            for source, seg in sorted(self._segments.items())
-        }
+        with self._maint:
+            self.drain()
+            return {
+                source: (seg.total, seg.head)
+                for source, seg in sorted(self._segments.items())
+            }
 
     def known_actors(self) -> Set[str]:
         """Every actor that ever emitted here, surviving pruning.
 
         Distributed gap detection uses this to avoid flagging a
         component as silent when its records were merely pruned."""
-        return self._actors | {r.actor for __, r in self._staged}
+        staged = {
+            record.actor
+            for ring in list(self._staged.values())
+            for record in list(ring)
+        }
+        return self._actors | staged
 
     def checkpoints(self) -> List[AuditRecord]:
         """The retained checkpoint records (oldest first)."""
@@ -607,8 +681,15 @@ class AuditSpine(RecorderMixin):
         pins each segment: a segment truncated below a checkpointed
         position — or whose digest at that position changed — fails
         here, which is the cross-segment guarantee a single shared chain
-        used to give for free.
+        used to give for free.  Runs under the maintenance lock, so a
+        concurrent drain cannot move segment heads mid-verification —
+        records emitters stage *during* the verify simply aren't part of
+        the history being checked yet.
         """
+        with self._maint:
+            self._verify_locked()
+
+    def _verify_locked(self) -> None:
         self.drain()
         for seg in self._segments.values():
             seg.verify()
@@ -647,26 +728,27 @@ class AuditSpine(RecorderMixin):
         the same way.  Returns the number of *records* pruned
         (checkpoints are chain metadata, not stream records).
         """
-        self.drain()
-        pruned = 0
-        for seg in self._segments.values():
+        with self._maint:
+            self.drain()
+            pruned = 0
+            for seg in self._segments.values():
+                keep_from = 0
+                records = seg.records
+                while (
+                    keep_from < len(records)
+                    and records[keep_from].timestamp < timestamp
+                ):
+                    keep_from += 1
+                pruned += seg.prune_prefix(keep_from)
             keep_from = 0
-            records = seg.records
+            checkpoints = self._ckpt.records
             while (
-                keep_from < len(records)
-                and records[keep_from].timestamp < timestamp
+                keep_from < len(checkpoints)
+                and checkpoints[keep_from].timestamp < timestamp
             ):
                 keep_from += 1
-            pruned += seg.prune_prefix(keep_from)
-        keep_from = 0
-        checkpoints = self._ckpt.records
-        while (
-            keep_from < len(checkpoints)
-            and checkpoints[keep_from].timestamp < timestamp
-        ):
-            keep_from += 1
-        self._ckpt.prune_prefix(keep_from)
-        return pruned
+            self._ckpt.prune_prefix(keep_from)
+            return pruned
 
     def prune_segment(self, source: str, before: Optional[float] = None) -> int:
         """Prune one segment (wholly, or records before ``before``).
@@ -676,44 +758,47 @@ class AuditSpine(RecorderMixin):
         position, actor memory) survives, so later checkpoints and gap
         detection still account for what was pruned.
         """
-        self.drain()
-        seg = self._segments.get(source)
-        if seg is None:
-            return 0
-        if before is None:
-            keep_from = len(seg.records)
-        else:
-            keep_from = 0
-            while (
-                keep_from < len(seg.records)
-                and seg.records[keep_from].timestamp < before
-            ):
-                keep_from += 1
-        return seg.prune_prefix(keep_from)
+        with self._maint:
+            self.drain()
+            seg = self._segments.get(source)
+            if seg is None:
+                return 0
+            if before is None:
+                keep_from = len(seg.records)
+            else:
+                keep_from = 0
+                while (
+                    keep_from < len(seg.records)
+                    and seg.records[keep_from].timestamp < before
+                ):
+                    keep_from += 1
+            return seg.prune_prefix(keep_from)
 
     def export(self) -> List[Dict]:
         """Serialise records with digests and segment attribution, in
         stream order, for offload to another party (Challenge 6)."""
-        self.drain()
-        entries = []
-        for source, seg in self._segments.items():
-            for record, digest in zip(seg.records, seg.digests):
-                entries.append(
-                    {
-                        "record": record.canonical(),
-                        "digest": digest,
-                        "segment": source,
-                        "seq": record.seq,
-                    }
-                )
-        entries.sort(key=lambda e: e["seq"])
-        for entry in entries:
-            del entry["seq"]
-        return entries
+        with self._maint:
+            self.drain()
+            entries = []
+            for source, seg in self._segments.items():
+                for record, digest in zip(seg.records, seg.digests):
+                    entries.append(
+                        {
+                            "record": record.canonical(),
+                            "digest": digest,
+                            "segment": source,
+                            "seq": record.seq,
+                        }
+                    )
+            entries.sort(key=lambda e: e["seq"])
+            for entry in entries:
+                del entry["seq"]
+            return entries
 
     def export_checkpoints(self) -> List[Dict]:
         """Serialise the checkpoint chain (records + digests)."""
-        return [
-            {"record": r.canonical(), "digest": d}
-            for r, d in zip(self._ckpt.records, self._ckpt.digests)
-        ]
+        with self._maint:
+            return [
+                {"record": r.canonical(), "digest": d}
+                for r, d in zip(self._ckpt.records, self._ckpt.digests)
+            ]

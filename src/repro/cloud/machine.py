@@ -140,7 +140,14 @@ class Machine:
     def grant(self, pid: int, privileges: PrivilegeSet) -> None:
         """Grant privileges to a process, invalidating the machine's
         decision shard (the belt-and-braces bulk-change rule — see
-        ``DecisionPlaneRouter.invalidate``)."""
+        ``DecisionPlaneRouter.invalidate``).
+
+        The fan-out is epoch-based: invalidation bumps the shard
+        cache's epoch, so a worker thread whose miss was in flight
+        across the grant fails the epoch check at publish time and its
+        verdict is discarded — a racing worker can never install a
+        stale decision after the grant (``docs/worker_plane.md``).
+        """
         self.kernel.grant(pid, privileges)
         self.router.invalidate(self.hostname)
 

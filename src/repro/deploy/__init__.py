@@ -15,10 +15,13 @@ cross-wired from a fluent builder or a declarative spec
 
 from repro.deploy.builder import Deployment, DeploymentNode
 from repro.deploy.spec import DeploymentSpec, NodeSpec
+from repro.deploy.workers import BusWorker, WorkerPool
 
 __all__ = [
     "Deployment",
     "DeploymentNode",
     "DeploymentSpec",
     "NodeSpec",
+    "BusWorker",
+    "WorkerPool",
 ]

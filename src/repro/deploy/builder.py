@@ -48,6 +48,7 @@ from repro.cloud.machine import (
 )
 from repro.crypto.attestation import AttestationVerifier
 from repro.deploy.spec import DeploymentSpec, NodeSpec
+from repro.deploy.workers import WorkerPool
 from repro.errors import DiscoveryError
 from repro.federation import GossipMesh, MeshNode
 from repro.ifc.labels import SecurityContext
@@ -56,6 +57,7 @@ from repro.iot.domain import AdministrativeDomain
 from repro.iot.world import IoTWorld
 from repro.middleware.discovery import ResourceDiscovery
 from repro.middleware.substrate import MessagingSubstrate, SubstrateHandler
+from repro.sim.executor import WorkerExecutor
 
 
 class DeploymentNode:
@@ -74,6 +76,7 @@ class DeploymentNode:
         self._substrate: Optional[MessagingSubstrate] = None
         self._mesh_node: Optional[MeshNode] = None
         self._domain: Optional[AdministrativeDomain] = None
+        self._workers: Optional[WorkerPool] = None
         self._built = False
 
     def __repr__(self) -> str:
@@ -157,6 +160,24 @@ class DeploymentNode:
         self._mutable().directory = True
         return self
 
+    def with_workers(self, n: int) -> "DeploymentNode":
+        """Give the node ``n`` bus workers (implies a machine).
+
+        Each worker gets its own :class:`~repro.middleware.bus.
+        MessageBus` bound to its own audit-spine source (``bus.w<i>``)
+        while sharing the machine's decision shard and spine — one
+        policy, one trail, many executors (``docs/worker_plane.md``).
+        Run them on real threads with ``deploy.run(...,
+        concurrency="threads")``.
+        """
+        if n < 0:
+            raise ValueError(f"workers must be >= 0, got {n}")
+        spec = self._mutable()
+        spec.workers = n
+        if n:
+            spec.machine = True
+        return self
+
     # -- build -------------------------------------------------------------
 
     def build(self) -> "DeploymentNode":
@@ -195,6 +216,14 @@ class DeploymentNode:
                 deployment._spine_backed_domains.add(spec.domain)
             self._domain = world.create_domain(
                 spec.domain, audit=audit, mode=spec.domain_mode
+            )
+        if spec.workers:
+            self._workers = WorkerPool(
+                spec.name,
+                self._machine,
+                world.sim.now,
+                deployment.world.mode,
+                spec.workers,
             )
         if spec.directory:
             deployment.directory(self)
@@ -235,6 +264,16 @@ class DeploymentNode:
                 f"node {self.spec.name!r} has no domain; add .with_domain()"
             )
         return self._domain
+
+    @property
+    def workers(self) -> WorkerPool:
+        """The node's worker pool (builds on first access)."""
+        self.build()
+        if self._workers is None:
+            raise DiscoveryError(
+                f"node {self.spec.name!r} has no workers; add .with_workers(n)"
+            )
+        return self._workers
 
     @property
     def pinboard(self):
@@ -520,11 +559,59 @@ class Deployment:
             self._mesh_started = True
         return self
 
-    def run(self, hours: float = 0.0, seconds: float = 0.0) -> int:
+    def run(
+        self,
+        hours: float = 0.0,
+        seconds: float = 0.0,
+        concurrency: str = "sim",
+        duration: Optional[float] = None,
+    ) -> int:
         """Start (if needed) and advance simulated time; returns the
-        number of events processed."""
+        number of events processed.
+
+        ``concurrency="sim"`` (the default) is the classic
+        single-threaded run.  ``concurrency="threads"`` first executes
+        every assigned worker loop (:meth:`DeploymentNode.with_workers`)
+        on real threads via :class:`~repro.sim.executor.WorkerExecutor`
+        — the simulator keeps pumping underneath them, so tick-driven
+        spine drains and queued events interleave with worker traffic —
+        then advances the remaining ``hours``/``seconds`` normally.
+        ``duration`` (real seconds) bounds open-ended worker loops.
+        """
+        if concurrency not in ("sim", "threads"):
+            raise ValueError(
+                f"concurrency must be 'sim' or 'threads', got {concurrency!r}"
+            )
         self.start()
+        if concurrency == "threads":
+            self.run_workers(duration=duration)
         return self.world.run(seconds=seconds, hours=hours)
+
+    def run_workers(self, duration: Optional[float] = None, tick: float = 0.05):
+        """Run every assigned worker loop to completion on real threads.
+
+        Returns the per-worker :class:`~repro.sim.executor.WorkerStats`
+        (also retained on each worker for the :meth:`stats` rollup).
+        Workerless deployments return an empty list — ``run(...,
+        concurrency="threads")`` is then just the classic run.
+        """
+        self.build()
+        executor = WorkerExecutor(
+            clock=self.world.sim, tick=tick, name=self.name
+        )
+        assigned = []
+        for handle in self._nodes.values():
+            if handle._workers is None:
+                continue
+            for worker in handle._workers.loops():
+                executor.add(worker.loop(), name=worker.name)
+                assigned.append(worker)
+        if not assigned:
+            return []
+        stats = executor.run(duration=duration)
+        for worker, worker_stats in zip(assigned, stats):
+            worker.last_stats = worker_stats
+        return stats
 
     def converge(self, max_rounds: int = 64) -> int:
         """Drive gossip rounds synchronously until the federation
@@ -599,16 +686,17 @@ class Deployment:
             for key in substrate:
                 substrate[key] += getattr(sub.stats, key)
 
-        decisions = {"hits": 0, "misses": 0}
+        decisions = {"hits": 0, "misses": 0, "lock_waits": 0}
         for machine in machines:
             shard_stats = machine.router.stats
             decisions["hits"] += shard_stats.hits
             decisions["misses"] += shard_stats.misses
+            decisions["lock_waits"] += shard_stats.lock_waits
         total = decisions["hits"] + decisions["misses"]
         decisions["hit_rate"] = decisions["hits"] / total if total else 0.0
 
         audit = {"records": 0, "pending": 0, "drains": 0,
-                 "checkpoints": 0, "segments": 0}
+                 "checkpoints": 0, "segments": 0, "ring_overflows": 0}
         for machine in machines:
             spine = machine.audit
             audit["records"] += len(spine)
@@ -616,6 +704,7 @@ class Deployment:
             audit["drains"] += spine.stats_drains
             audit["checkpoints"] += spine.stats_checkpoints
             audit["segments"] += len(spine.sources())
+            audit["ring_overflows"] += spine.stats_ring_overflows
 
         federation: Dict[str, object] = {"members": 0}
         if self._mesh is not None:
@@ -629,6 +718,23 @@ class Deployment:
                 "pins": sum(len(n.pinboard) for n in nodes),
                 "pin_conflicts": sum(len(n.pinboard.conflicts) for n in nodes),
                 "pins_retired": sum(n.pinboard.stats_retired for n in nodes),
+            }
+
+        workers: Dict[str, object] = {"count": 0, "ops": 0, "throughput": 0.0}
+        pools = {
+            h.spec.name: h._workers
+            for h in self._nodes.values()
+            if h._workers is not None
+        }
+        if pools:
+            per_node = {name: pool.stats() for name, pool in pools.items()}
+            workers = {
+                "count": sum(s["count"] for s in per_node.values()),
+                "ops": sum(s["ops"] for s in per_node.values()),
+                "throughput": round(
+                    sum(s["throughput"] for s in per_node.values()), 1
+                ),
+                "per_node": per_node,
             }
 
         net = self.world.network.stats
@@ -648,6 +754,7 @@ class Deployment:
             "audit": audit,
             "federation": federation,
             "network": network,
+            "workers": workers,
         }
 
     def collect_audit(self, key: str = "deployment-collector") -> AuditCollector:

@@ -62,6 +62,11 @@ class NodeSpec:
         directory: serve the deployment's federation directory (a
             mesh-attached :class:`~repro.middleware.discovery.
             ResourceDiscovery`) from this node.
+        workers: number of bus workers (``repro.deploy.workers``) to
+            build for the node — each gets its own
+            :class:`~repro.middleware.bus.MessageBus` and audit-spine
+            source while sharing the machine's decision shard and spine
+            (implies ``machine``).  0 keeps the classic single-bus node.
     """
 
     name: str
@@ -78,10 +83,15 @@ class NodeSpec:
     mesh: bool = False
     pinboard_retain_every: Optional[int] = None
     directory: bool = False
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if not self.hostname:
             self.hostname = self.name
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.workers:
+            self.machine = True
         if self.pinboard_retain_every is not None:
             self.mesh = True
         if self.mesh:

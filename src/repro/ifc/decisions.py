@@ -43,12 +43,34 @@ wire plane's :class:`~repro.ifc.wire.MaskTranslator` vocabulary — the
 same append-only table exchange substrates use on the wire — instead of
 reaching into any process-global interner (see ``docs/decision_plane.md``
 and ``docs/audit_plane.md``).
+
+Concurrency (``docs/worker_plane.md``)
+--------------------------------------
+Since real thread-backed workers (``repro.sim.executor``) share one
+machine shard, the cache follows a snapshot + epoch protocol:
+
+* **reads are lock-free** — the hit path probes two atomically-swapped
+  maps (an immutable snapshot plus a small copy-on-write delta overlay)
+  and never takes the lock;
+* **misses publish under a lock** — new entries land in the delta
+  overlay, which is periodically folded into a *fresh* snapshot map
+  that replaces the old one wholesale (readers keep whatever map
+  reference they already loaded);
+* **invalidation is epoch-based** — :meth:`DecisionCache.clear` bumps
+  the cache epoch and swaps in empty maps.  A worker whose miss was in
+  flight across a :meth:`Machine.grant <repro.cloud.machine.Machine>`
+  fan-out invalidation fails the epoch check at publish time and its
+  (potentially stale) verdict is discarded instead of cached;
+* **counters are per-worker** — hit/miss tallies go to per-thread cells
+  aggregated on read (:class:`DecisionStats`), so stats under threads
+  never under-count the way racy ``self.hits += 1`` increments would.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import FlowError
 from repro.ifc.flow import _ALLOWED, FlowDecision, flow_decision
@@ -61,11 +83,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (audit ↔ ifc)
 
 @dataclass
 class DecisionStats:
-    """Hit/miss/eviction counters for one decision cache."""
+    """Hit/miss/eviction counters for one decision cache.
+
+    Snapshots are aggregated from per-worker counter cells at read time
+    (see :class:`_WorkerCounters`), so they are exact even when many
+    threads share the cache; ``lock_waits`` counts publish-path lock
+    acquisitions that found the lock held — the contention signal the
+    worker-scaling bench watches.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    lock_waits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -77,6 +107,32 @@ class DecisionStats:
         return self.hits / total if total else 0.0
 
 
+class _WorkerCounters:
+    """One thread's private tally for one cache.
+
+    Bare-int increments on a shared cache object lose updates under
+    threads (read-modify-write races); each worker thread instead owns a
+    cell created on first use, and readers sum the cells.  A cell is
+    only ever written by its owning thread, so the increments need no
+    lock and cost what the old bare ints did.
+    """
+
+    __slots__ = ("hits", "misses", "evictions", "lock_waits")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.lock_waits = 0
+
+
+#: Delta overlays are folded into a fresh snapshot once they hold this
+#: many entries (and at least 1/8 of the snapshot's size) — the
+#: copy-on-write amortisation budget: promotion copies the snapshot, so
+#: gating on relative size keeps the per-miss cost O(1) amortised.
+_PROMOTE_FLOOR = 64
+
+
 class DecisionCache:
     """Memo table from context-pair label values to flow decisions.
 
@@ -84,51 +140,161 @@ class DecisionCache:
     src.integrity, dst.secrecy, dst.integrity)`` masks.  Entries
     are immutable :class:`~repro.ifc.flow.FlowDecision` objects, safe to
     share between callers.  The table is bounded: when ``max_entries`` is
-    reached it is cleared wholesale (the workloads this serves re-warm in
-    one round, and wholesale clearing avoids per-hit LRU bookkeeping on
-    the fast path).  Counters are bare ints — this method runs once per
-    enforced flow in the whole system.
+    reached it is swapped for an empty one wholesale (the workloads this
+    serves re-warm in one round, and wholesale replacement avoids
+    per-hit LRU bookkeeping on the fast path).
+
+    Thread safety (the multi-worker contract): the read path is
+    lock-free — a hit is two map probes against references loaded
+    atomically, with no lock, no waiting, and no writes.  Misses compute
+    the decision outside the lock and publish it under the lock into a
+    small delta overlay, folded periodically into a fresh snapshot map
+    swapped in atomically (copy-on-write).  :meth:`clear` — the
+    ``Machine.grant`` fan-out — bumps the cache *epoch* and swaps in
+    empty maps; a publish whose miss began before the bump is discarded,
+    so a racing worker can never install a verdict evaluated under
+    pre-invalidation policy.  Counters live in per-thread cells
+    aggregated on read.
     """
 
     __slots__ = (
-        "_table", "max_entries", "hits", "misses", "evictions", "_vocab"
+        "_snapshot", "_delta", "max_entries", "_vocab", "_lock",
+        "_epoch", "_tls", "_cells",
     )
 
     def __init__(self, max_entries: int = 65536):
-        self._table: Dict[Tuple[int, int, int, int], FlowDecision] = {}
+        # _snapshot is treated as immutable once published; _delta is a
+        # small overlay that only ever gains keys between promotions.
+        # Readers probe both without the lock (reference loads and dict
+        # gets are atomic); every structural swap happens under _lock.
+        self._snapshot: Dict[Tuple[int, int, int, int], FlowDecision] = {}
+        self._delta: Dict[Tuple[int, int, int, int], FlowDecision] = {}
         self.max_entries = max_entries
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
         # The interner vocabulary mask-level keys are numbered in,
         # pinned on first evaluate_masks call: one cache, one numbering.
         self._vocab: Optional[TagInterner] = None
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self._tls = threading.local()
+        self._cells: List[_WorkerCounters] = []
 
     def __len__(self) -> int:
-        return len(self._table)
+        return len(self._snapshot) + len(self._delta)
+
+    # -- per-worker counters -----------------------------------------------
+
+    def _cell(self) -> _WorkerCounters:
+        """This thread's counter cell (registered on first use)."""
+        cell = _WorkerCounters()
+        with self._lock:
+            self._cells.append(cell)
+        self._tls.cell = cell
+        return cell
+
+    def _sum(self, field: str) -> int:
+        # Snapshot the cell list under the lock (a worker thread may be
+        # registering concurrently), then sum without it: cells are only
+        # incremented, so the total is a consistent lower bound.
+        with self._lock:
+            cells = list(self._cells)
+        return sum(getattr(cell, field) for cell in cells)
+
+    @property
+    def hits(self) -> int:
+        return self._sum("hits")
+
+    @property
+    def misses(self) -> int:
+        return self._sum("misses")
+
+    @property
+    def evictions(self) -> int:
+        return self._sum("evictions")
+
+    @property
+    def lock_waits(self) -> int:
+        return self._sum("lock_waits")
+
+    @property
+    def epoch(self) -> int:
+        """Invalidation epoch — bumped by every :meth:`clear`."""
+        return self._epoch
 
     @property
     def stats(self) -> DecisionStats:
-        return DecisionStats(self.hits, self.misses, self.evictions)
+        return DecisionStats(
+            self.hits, self.misses, self.evictions, self.lock_waits
+        )
+
+    # -- publication (the write side of the snapshot protocol) -------------
+
+    def _publish(
+        self,
+        key: Tuple[int, int, int, int],
+        decision: FlowDecision,
+        epoch: int,
+        cell: _WorkerCounters,
+    ) -> None:
+        """Install a freshly evaluated decision, unless ``epoch`` moved.
+
+        The epoch check is what makes ``Machine.grant`` fan-out safe
+        under threads: an evaluation that began before an invalidation
+        must not survive it.  The caller's decision object is still
+        *returned* to the caller (it was correct when evaluated under
+        the old epoch, exactly as a pre-invalidation hit would have
+        been); it just never enters the post-invalidation table.
+        """
+        lock = self._lock
+        if not lock.acquire(False):
+            cell.lock_waits += 1
+            lock.acquire()
+        try:
+            if self._epoch != epoch:
+                return
+            snapshot, delta = self._snapshot, self._delta
+            if len(snapshot) + len(delta) >= self.max_entries:
+                self._snapshot = {}
+                self._delta = {key: decision}
+                cell.evictions += 1
+                return
+            delta[key] = decision
+            if (
+                len(delta) >= _PROMOTE_FLOOR
+                and len(delta) * 8 >= len(snapshot)
+            ):
+                merged = dict(snapshot)
+                merged.update(delta)
+                # Publish the fold atomically: swap the snapshot first,
+                # then retire the overlay (readers between the two swaps
+                # see entries twice, never not at all).
+                self._snapshot = merged
+                self._delta = {}
+        finally:
+            lock.release()
 
     def evaluate(self, source: SecurityContext, target: SecurityContext) -> FlowDecision:
-        """The memoized flow rule."""
+        """The memoized flow rule (lock-free on hits)."""
         key = (
             source.secrecy._mask,
             source.integrity._mask,
             target.secrecy._mask,
             target.integrity._mask,
         )
-        decision = self._table.get(key)
+        decision = self._snapshot.get(key)
+        if decision is None:
+            decision = self._delta.get(key)
+        tls = self._tls
+        try:
+            cell = tls.cell
+        except AttributeError:
+            cell = self._cell()
         if decision is not None:
-            self.hits += 1
+            cell.hits += 1
             return decision
-        self.misses += 1
+        cell.misses += 1
+        epoch = self._epoch
         decision = flow_decision(source, target)
-        if len(self._table) >= self.max_entries:
-            self._table.clear()
-            self.evictions += 1
-        self._table[key] = decision
+        self._publish(key, decision, epoch, cell)
         return decision
 
     def evaluate_masks(
@@ -153,19 +319,22 @@ class DecisionCache:
         labels from the wrong vocabulary, so that raises instead.
         """
         vocab = interner if interner is not None else global_interner()
-        if self._vocab is None:
-            self._vocab = vocab
-        elif self._vocab is not vocab:
-            raise ValueError(
-                "decision cache already keyed in another interner's "
-                "numbering; one cache serves one vocabulary"
-            )
+        if self._vocab is not vocab:
+            self._pin_vocab(vocab)
         key = (src_secrecy, src_integrity, dst_secrecy, dst_integrity)
-        decision = self._table.get(key)
+        decision = self._snapshot.get(key)
+        if decision is None:
+            decision = self._delta.get(key)
+        tls = self._tls
+        try:
+            cell = tls.cell
+        except AttributeError:
+            cell = self._cell()
         if decision is not None:
-            self.hits += 1
+            cell.hits += 1
             return decision
-        self.misses += 1
+        cell.misses += 1
+        epoch = self._epoch
         missing_s = src_secrecy & ~dst_secrecy
         missing_i = dst_integrity & ~src_integrity
         if not missing_s and not missing_i:
@@ -180,15 +349,30 @@ class DecisionCache:
                 _label_in(vocab, missing_s),
                 _label_in(vocab, missing_i),
             )
-        if len(self._table) >= self.max_entries:
-            self._table.clear()
-            self.evictions += 1
-        self._table[key] = decision
+        self._publish(key, decision, epoch, cell)
         return decision
 
+    def _pin_vocab(self, vocab: TagInterner) -> None:
+        with self._lock:
+            if self._vocab is None:
+                self._vocab = vocab
+            elif self._vocab is not vocab:
+                raise ValueError(
+                    "decision cache already keyed in another interner's "
+                    "numbering; one cache serves one vocabulary"
+                )
+
     def clear(self) -> None:
-        """Drop every memoized decision (counters are preserved)."""
-        self._table.clear()
+        """Drop every memoized decision (counters are preserved).
+
+        Epoch-based: the bump invalidates in-flight misses begun under
+        the old epoch, so their publishes are discarded — the
+        ``Machine.grant`` fan-out rule under concurrent workers.
+        """
+        with self._lock:
+            self._epoch += 1
+            self._snapshot = {}
+            self._delta = {}
 
 
 def _label_in(interner: TagInterner, mask: int) -> Label:
@@ -520,4 +704,5 @@ class DecisionPlaneRouter:
             total.hits += shard.cache.hits
             total.misses += shard.cache.misses
             total.evictions += shard.cache.evictions
+            total.lock_waits += shard.cache.lock_waits
         return total

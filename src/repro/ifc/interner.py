@@ -54,10 +54,25 @@ class TagInterner:
     def __init__(self) -> None:
         self._positions: Dict[Tag, int] = {}
         self._tags: List[Tag] = []
-        self._lock = threading.Lock()
+        # Reentrant: wire-plane decode memos (MaskTranslator) extend
+        # their tables under this same lock while interning the peer's
+        # tags, so intern() must be acquirable by the holder.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._tags)
+
+    @property
+    def lock(self) -> "threading.RLock":
+        """The interner's mutation lock.
+
+        The wire plane shares it: a :class:`~repro.ifc.wire.
+        MaskTranslator`'s position table and decode memos are extensions
+        of this interner's numbering, so guarding both under one lock
+        means a translator can never observe (or publish) a mapping
+        mid-extension.
+        """
+        return self._lock
 
     def __contains__(self, tag: "Tag | str") -> bool:
         return as_tag(tag) in self._positions

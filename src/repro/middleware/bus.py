@@ -46,6 +46,63 @@ class DeliveryReport:
     quenched_attributes: int = 0
 
 
+class _PlanEntry:
+    """One fan-out target in a :class:`_BatchPlan`.
+
+    Everything that is constant across a batch for a (message-context,
+    sink-context) pair is hoisted here: the base flow decision and the
+    set of schema attributes quenching would drop for this sink.  The
+    entry stays valid only while ``sink.context`` is the identical
+    object captured at plan time — the batch loop checks that per
+    message and falls back to the unhoisted path when it moves.
+    """
+
+    __slots__ = ("channel", "sink", "sink_ep_name", "sink_ctx", "decision", "drop")
+
+    def __init__(self, channel, decision, drop):
+        self.channel = channel
+        self.sink = channel.sink
+        self.sink_ep_name = channel.sink_endpoint.name
+        self.sink_ctx = channel.sink.context
+        self.decision = decision  # None in AC_ONLY mode
+        self.drop = drop  # frozenset of schema attrs quenched for this sink
+
+
+class _BatchPlan:
+    """Hoisted per-(sender, endpoint) state for one publish_batch run.
+
+    ``risky`` is the set of schema attributes carrying extra secrecy —
+    only those can ever be quenched or widen the effective context, so
+    messages touching none of them take a label-math-free fast path.
+    ``eff_cache`` memoizes effective contexts by the frozenset of risky
+    attributes actually kept (they depend on the message context and the
+    schema, not the sink).
+    """
+
+    __slots__ = ("version", "src_ctx", "msg_ctx", "msg_type", "risky",
+                 "entries", "eff_cache")
+
+    def __init__(self, version, src_ctx, msg_ctx, msg_type, risky, entries):
+        self.version = version
+        self.src_ctx = src_ctx
+        self.msg_ctx = msg_ctx
+        self.msg_type = msg_type
+        self.risky = risky
+        self.entries = entries
+        self.eff_cache: Dict[frozenset, SecurityContext] = {}
+
+    def effective(self, kept_risky: frozenset) -> SecurityContext:
+        """Effective context of a delivery keeping ``kept_risky``."""
+        ctx = self.eff_cache.get(kept_risky)
+        if ctx is None:
+            secrecy = self.msg_ctx.secrecy
+            for name in kept_risky:
+                secrecy = secrecy | self.msg_type.attribute_secrecy(name)
+            ctx = SecurityContext(secrecy, self.msg_ctx.integrity)
+            self.eff_cache[kept_risky] = ctx
+        return ctx
+
+
 class MessageBus:
     """The middleware bus for co-located (intra-domain) components.
 
@@ -69,11 +126,15 @@ class MessageBus:
         authoriser: ConnectAuthoriser = default_authoriser,
         clock: Optional[Callable[[], float]] = None,
         shard: Optional[DecisionShard] = None,
+        audit_source: str = "bus",
     ):
         # Given an AuditSpine (or an emitter onto one), deliveries stage
-        # records under the "bus" segment and chaining happens off the
-        # delivery path; a plain AuditLog keeps synchronous semantics.
-        self.audit = bind_source(audit, "bus")
+        # records under the `audit_source` segment and chaining happens
+        # off the delivery path; a plain AuditLog keeps synchronous
+        # semantics.  Worker pools give each per-worker bus its own
+        # source ("bus.w0", "bus.w1", ...) so emission stays
+        # contention-free — one writer per staging ring.
+        self.audit = bind_source(audit, audit_source)
         self.mode = mode
         self.authoriser = authoriser
         self._clock = clock or (lambda: 0.0)
@@ -85,6 +146,11 @@ class MessageBus:
         # iterating (handlers may tear down channels mid-delivery).
         self._route_depth = 0
         self._compact_pending = False
+        # Bumped whenever the channel list changes membership; batch
+        # fan-out plans pin the version they were built against and
+        # rebuild when it moves (a handler connecting mid-batch must see
+        # its new channel serve the rest of the batch).
+        self._channels_version = 0
         #: The bus-wide decision plane: every IFC evaluation this bus (and
         #: its channels) performs is memoized and audited through here.
         #: ``shard`` shares a machine's decision shard across bus workers
@@ -183,6 +249,7 @@ class MessageBus:
         )
         channel.on_teardown.append(self._channel_torn_down)
         self.channels.append(channel)
+        self._channels_version += 1
         if self.audit is not None:
             self.audit.append(
                 RecordKind.CHANNEL_ESTABLISHED,
@@ -209,6 +276,7 @@ class MessageBus:
         those compact once the outermost route() finishes instead, so a
         long-running bus never accumulates dead channels either way.
         """
+        self._channels_version += 1
         if self._route_depth:
             self._compact_pending = True
             return
@@ -241,25 +309,172 @@ class MessageBus:
         context pairs hit the decision cache, and audit appends are
         chain-hashed in one chunk at the end (see ``AuditLog.flush``).
 
+        Beyond audit batching, the per-message fixed costs are hoisted
+        into a :class:`_BatchPlan` built once per (sender, sink-set):
+        the creation context, the base flow decision per sink, and the
+        per-sink quench set are computed once and reused for every
+        message whose contexts are unchanged.  Handlers may still
+        suspend, resume, connect or tear down channels (or relabel
+        components, or advance the clock) mid-batch — the loop checks
+        ``channel.active`` and context identity per delivery and the
+        channel-list version per message, rebuilding the plan or falling
+        back to the unhoisted path, so batching never changes which
+        messages handlers see or how messages are stamped.
+
         ``batch`` is a list of attribute-value mappings, one per message,
         as would be passed to :meth:`publish` as keyword arguments.
         Returns one aggregated :class:`DeliveryReport`.
         """
         report = DeliveryReport()
-        for values in batch:
-            # Delegate each message to route(): handlers may suspend,
-            # resume, connect or tear down channels (or advance the
-            # clock) mid-batch, and batching must not change which
-            # messages they see or how messages are stamped.
-            message = source.make_message(endpoint_name, **values)
-            message.sent_at = self._clock()
-            sub = self.route(source, endpoint_name, message)
-            report.sent += sub.sent
-            report.delivered += sub.delivered
-            report.denied += sub.denied
-            report.quenched_attributes += sub.quenched_attributes
+        src_ep = source.endpoint(endpoint_name)
+        plan = self._batch_plan(source, src_ep)
+        clock = self._clock
+        self._route_depth += 1
+        try:
+            for values in batch:
+                if (
+                    plan.version != self._channels_version
+                    or source.context is not plan.src_ctx
+                ):
+                    plan = self._batch_plan(source, src_ep)
+                # Inline make_message with the hoisted creation context;
+                # Message.__post_init__ still validates every payload.
+                message = Message(
+                    type=plan.msg_type, values=values, context=plan.msg_ctx
+                )
+                message.sent_at = clock()
+                sub = DeliveryReport()
+                for entry in plan.entries:
+                    channel = entry.channel
+                    if not channel.active:
+                        continue
+                    sub.sent += 1
+                    if entry.sink.context is not entry.sink_ctx:
+                        # Sink relabelled mid-batch: this entry's hoisted
+                        # decision is stale — take the per-message path.
+                        self._deliver_on(channel, message, sub)
+                        continue
+                    self._deliver_planned(plan, entry, message, sub)
+                self._accumulate(sub)
+                report.sent += sub.sent
+                report.delivered += sub.delivered
+                report.denied += sub.denied
+                report.quenched_attributes += sub.quenched_attributes
+        finally:
+            self._route_depth -= 1
+            if not self._route_depth and self._compact_pending:
+                self._compact_pending = False
+                self.channels = [c for c in self.channels if c.alive]
         self.plane.flush()
         return report
+
+    def _batch_plan(self, source: Component, src_ep: Endpoint) -> _BatchPlan:
+        """Build the hoisted fan-out plan for a batch from ``src_ep``.
+
+        Captures the channel-list version and the source context object
+        so the batch loop can detect staleness by identity, never by
+        (costly) label comparison.
+        """
+        src_ctx = source.context
+        msg_ctx = src_ctx.creation_context()
+        msg_type = src_ep.message_type
+        risky = frozenset(
+            spec.name
+            for spec in msg_type.attributes.values()
+            if spec.extra_secrecy
+        )
+        evaluate = self.plane.evaluate
+        ac_only = self.mode == EnforcementMode.AC_ONLY
+        entries = []
+        for channel in self.channels:
+            if not channel.alive:
+                continue
+            if channel.source is not source or channel.source_endpoint is not src_ep:
+                continue
+            sink_ctx = channel.sink.context
+            decision = None if ac_only else evaluate(msg_ctx, sink_ctx)
+            drop = frozenset(
+                name
+                for name in risky
+                if not (
+                    msg_ctx.secrecy | msg_type.attribute_secrecy(name)
+                    <= sink_ctx.secrecy
+                )
+            )
+            entries.append(_PlanEntry(channel, decision, drop))
+        return _BatchPlan(
+            self._channels_version, src_ctx, msg_ctx, msg_type, risky, entries
+        )
+
+    def _deliver_planned(
+        self,
+        plan: _BatchPlan,
+        entry: _PlanEntry,
+        message: Message,
+        report: DeliveryReport,
+    ) -> None:
+        """The hoisted twin of :meth:`_deliver_on`: identical decisions,
+        quenching and audit records, with the per-message label algebra
+        replaced by plan lookups."""
+        channel = entry.channel
+        sink = entry.sink
+        if entry.decision is None:  # AC_ONLY
+            channel.messages_carried += 1
+            self.plane.audit_allowed(
+                channel.source.name, sink.name,
+                message.context, entry.sink_ctx,
+                {"msg_id": message.msg_id, "mode": "ac-only"},
+            )
+            sink.deliver(entry.sink_ep_name, message)
+            report.delivered += 1
+            return
+
+        if not entry.decision.allowed:
+            report.denied += 1
+            self.plane.audit_denied(
+                channel.source.name,
+                sink.name,
+                entry.decision.reason,
+                message.context,
+                entry.sink_ctx,
+            )
+            return
+
+        outgoing = message
+        dropped: List[str] = []
+        kept_risky: frozenset = plan.risky
+        if plan.risky:
+            present_risky = plan.risky.intersection(message.values)
+            if present_risky:
+                dropped = sorted(present_risky & entry.drop)
+                kept_risky = present_risky - entry.drop
+            else:
+                kept_risky = present_risky
+        if dropped:
+            kept = {
+                k: v for k, v in message.values.items() if k not in entry.drop
+            }
+            outgoing = Message.__new__(Message)
+            outgoing.type = message.type
+            outgoing.values = kept
+            outgoing.context = message.context
+            outgoing.msg_id = message.msg_id
+            outgoing.sent_at = message.sent_at
+            report.quenched_attributes += len(dropped)
+        if self.plane.audit is not None:
+            detail = {"msg_id": message.msg_id, "type": message.type.name}
+            if dropped:
+                detail["quenched"] = dropped
+            effective = (
+                plan.effective(kept_risky) if kept_risky else message.context
+            )
+            self.plane.audit_allowed(
+                channel.source.name, sink.name,
+                effective, entry.sink_ctx, detail,
+            )
+        channel.messages_carried += 1
+        sink.deliver(entry.sink_ep_name, outgoing)
+        report.delivered += 1
 
     def route(
         self, source: Component, endpoint_name: str, message: Message

@@ -9,6 +9,7 @@ tests and benchmarks are deterministic.
 
 from repro.sim.clock import Clock, ManualClock
 from repro.sim.events import EventQueue, ScheduledEvent, Simulator
+from repro.sim.executor import WorkerContext, WorkerExecutor, WorkerStats
 
 __all__ = [
     "Clock",
@@ -16,4 +17,7 @@ __all__ = [
     "EventQueue",
     "ScheduledEvent",
     "Simulator",
+    "WorkerContext",
+    "WorkerExecutor",
+    "WorkerStats",
 ]

@@ -1,0 +1,199 @@
+"""Thread-backed worker execution, interoperable with the sim clock.
+
+The simulator is single-threaded by design — determinism is what makes
+the tests and benchmarks meaningful.  But the contention-proofing work
+on the decision and audit planes (``docs/worker_plane.md``) only means
+something when *real* threads hammer them, so the
+:class:`WorkerExecutor` bridges the two worlds: worker loops run on
+real OS threads while the executor's main thread keeps pumping the
+simulated :class:`~repro.sim.clock.Clock`, so tick-driven background
+work (audit-spine drains, mesh rounds already queued) continues to run
+alongside the workers exactly as it would in a pure-sim run.
+
+Determinism caveat, stated rather than hidden: interleavings across
+worker threads are scheduler-dependent.  The planes the workers share
+are built so that *outcomes* are deterministic (same decisions, no lost
+audit records, chains verify) even though *orderings* are not — that
+property is what ``tests/audit/test_spine_concurrent.py`` and
+``tests/ifc/test_decisions_concurrent.py`` pin down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.sim.clock import Clock
+
+
+@dataclass
+class WorkerStats:
+    """What one worker did during a :meth:`WorkerExecutor.run`.
+
+    Attributes:
+        name: the worker's label.
+        ops: operations the loop reported via :meth:`WorkerContext.count`.
+        errors: exceptions the loop raised (0 or 1 per run — a raise
+            ends the loop).
+        elapsed_s: real (wall-clock) seconds the loop ran for.
+        throughput: ``ops / elapsed_s`` (0.0 for an instant loop).
+    """
+
+    name: str
+    ops: int
+    errors: int
+    elapsed_s: float
+    throughput: float
+
+
+class WorkerContext:
+    """Handed to each worker loop: identity, op counting, stop signal.
+
+    A loop should poll :attr:`running` if it is open-ended (the executor
+    flips it after ``duration`` real seconds) and call :meth:`count` per
+    unit of work so throughput lands in :class:`WorkerStats`.
+    """
+
+    __slots__ = ("name", "index", "ops", "error", "_stop")
+
+    def __init__(self, name: str, index: int):
+        self.name = name
+        self.index = index
+        self.ops = 0
+        self.error: Optional[BaseException] = None
+        self._stop = False
+
+    @property
+    def running(self) -> bool:
+        """False once the executor has asked workers to wind down."""
+        return not self._stop
+
+    def count(self, n: int = 1) -> None:
+        """Record ``n`` completed operations."""
+        self.ops += n
+
+
+#: A worker body: runs to completion (or until ``ctx.running`` goes
+#: False) on its own thread.
+WorkerLoop = Callable[[WorkerContext], None]
+
+
+class WorkerExecutor:
+    """Runs worker loops on real threads while pumping a sim clock.
+
+    Example::
+
+        executor = WorkerExecutor(clock=world.sim.clock)
+        for i, worker in enumerate(pool):
+            executor.add(worker.loop(), name=worker.name)
+        stats = executor.run()
+
+    ``clock`` is optional — without one the executor is a plain thread
+    pool with per-worker timing.  Pass a :class:`~repro.sim.clock.Clock`
+    and the main thread advances it by ``tick`` simulated seconds per
+    pump iteration for as long as any worker is alive, so clock-hooked
+    maintenance (spine drains) runs concurrently with emission — which
+    is precisely the regime the contention-proofed planes must survive.
+    Pass a :class:`~repro.sim.events.Simulator` instead and each pump
+    runs ``sim.run_for(tick)``, so *queued* events (mesh rounds,
+    sensors) also fire while workers run — never advance a simulator's
+    raw clock directly, or events left in its queue would be stranded
+    in the past.
+    """
+
+    def __init__(
+        self,
+        clock: "Optional[Clock | object]" = None,
+        tick: float = 0.05,
+        name: str = "workers",
+    ):
+        self.clock = clock
+        self.tick = tick
+        self.name = name
+        self._loops: List[WorkerLoop] = []
+        self._contexts: List[WorkerContext] = []
+
+    def _pump(self) -> None:
+        run_for = getattr(self.clock, "run_for", None)
+        if run_for is not None:  # a Simulator: fire due events too
+            run_for(self.tick)
+        else:
+            self.clock.advance(self.tick)
+
+    def add(self, loop: WorkerLoop, name: Optional[str] = None) -> WorkerContext:
+        """Register a worker loop; returns its context."""
+        index = len(self._loops)
+        ctx = WorkerContext(name or f"{self.name}.w{index}", index)
+        self._loops.append(loop)
+        self._contexts.append(ctx)
+        return ctx
+
+    def __len__(self) -> int:
+        return len(self._loops)
+
+    def run(
+        self,
+        duration: Optional[float] = None,
+        raise_errors: bool = True,
+    ) -> List[WorkerStats]:
+        """Run every registered loop to completion; returns per-worker stats.
+
+        ``duration`` (real seconds) flips each context's stop flag after
+        that long — open-ended loops polling ``ctx.running`` wind down;
+        loops with their own termination ignore it.  Worker exceptions
+        are captured per worker and re-raised (the first one) after all
+        threads have joined unless ``raise_errors=False``.
+        """
+        elapsed = [0.0] * len(self._loops)
+
+        def body(loop: WorkerLoop, ctx: WorkerContext, slot: int) -> None:
+            start = time.perf_counter()
+            try:
+                loop(ctx)
+            except BaseException as exc:  # noqa: BLE001 — reported to caller
+                ctx.error = exc
+            finally:
+                elapsed[slot] = time.perf_counter() - start
+
+        threads = [
+            threading.Thread(
+                target=body, args=(loop, ctx, i),
+                name=ctx.name, daemon=True,
+            )
+            for i, (loop, ctx) in enumerate(zip(self._loops, self._contexts))
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        # Pump the sim clock while workers run: short real sleeps keep
+        # the GIL moving, each pump advancing simulated time one tick so
+        # on_advance hooks (spine drains) interleave with emission.
+        deadline = None if duration is None else started + duration
+        while any(t.is_alive() for t in threads):
+            if deadline is not None and time.perf_counter() >= deadline:
+                deadline = None
+                for ctx in self._contexts:
+                    ctx._stop = True
+            if self.clock is not None:
+                self._pump()
+            time.sleep(0.001)
+        for thread in threads:
+            thread.join()
+
+        stats = [
+            WorkerStats(
+                name=ctx.name,
+                ops=ctx.ops,
+                errors=0 if ctx.error is None else 1,
+                elapsed_s=elapsed[i],
+                throughput=ctx.ops / elapsed[i] if elapsed[i] > 0 else 0.0,
+            )
+            for i, ctx in enumerate(self._contexts)
+        ]
+        if raise_errors:
+            for ctx in self._contexts:
+                if ctx.error is not None:
+                    raise ctx.error
+        return stats
