@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test lint bench bench-wire bench-audit bench-federation \
-	bench-workers bench-all test-concurrency
+	bench-workers bench-query bench-all test-concurrency
 
 # Tier-1 verification: the whole suite, fail-fast.  The bench smoke
 # list (decision-plane + wire-plane scale benches, with their ratio
@@ -50,6 +50,13 @@ bench-federation:
 # working sets; regenerates BENCH_worker_scaling.json.
 bench-workers:
 	$(PYTHON) -m pytest benchmarks/test_scale_workers.py -q -s
+
+# Query-plane bench: tiered (spill) append throughput vs all-in-memory,
+# index-probe selectivity, cold verification and cross-tier identity at
+# 10^6 records; regenerates BENCH_audit_query.json.  Scale down with
+# QUERY_BENCH_RECORDS=20000 for a smoke run.
+bench-query:
+	$(PYTHON) -m pytest benchmarks/test_scale_query.py -q -s -p no:randomly
 
 # The real-thread stress tests of the contention-proofed planes
 # (decision cache snapshot/epoch protocol, audit-spine ring drains).

@@ -1,7 +1,12 @@
 """Audit, provenance and compliance (§8.3, Challenge 6, Fig. 11)."""
 
-from repro.audit.records import AuditRecord, RecordKind
+from repro.audit.records import AuditRecord, RecordKind, record_matches, record_tags
 from repro.audit.log import GENESIS_DIGEST, AuditLog, RecorderMixin
+from repro.audit.storage import (
+    SealedSegment,
+    SegmentIndex,
+    SegmentStore,
+)
 from repro.audit.spine import (
     AuditSegment,
     AuditSpine,
@@ -9,6 +14,7 @@ from repro.audit.spine import (
     bind_source,
 )
 from repro.audit.sink import AuditSink
+from repro.audit.query import AuditQuery, QueryStats
 from repro.audit.provenance import (
     EdgeKind,
     NodeKind,
@@ -41,12 +47,19 @@ from repro.audit.distributed import (
 __all__ = [
     "AuditRecord",
     "RecordKind",
+    "record_matches",
+    "record_tags",
     "GENESIS_DIGEST",
     "AuditLog",
     "RecorderMixin",
     "AuditSegment",
     "AuditSink",
     "AuditSpine",
+    "AuditQuery",
+    "QueryStats",
+    "SealedSegment",
+    "SegmentIndex",
+    "SegmentStore",
     "SpineEmitter",
     "bind_source",
     "EdgeKind",

@@ -3,9 +3,15 @@
 Fig. 1's feedback loop: audit "verifies & influences" policy, and the
 infrastructure must "demonstrate compliance with regulation, and indicate
 whether policy correctly captures legal responsibilities".  This module
-turns an audit log into evidence: obligation checkers scan the log (and
-optionally the provenance graph) and produce a structured
-:class:`ComplianceReport` suitable for a regulator or DPO.
+turns an audit trail into evidence: obligation checkers scan any
+:class:`~repro.audit.sink.AuditSink` — a plain
+:class:`~repro.audit.log.AuditLog`, a whole
+:class:`~repro.audit.spine.AuditSpine` (tiered or not), or a bound
+emitter — and produce a structured :class:`ComplianceReport` suitable
+for a regulator or DPO.  Checkers pull records through the sink's
+``query()`` surface where it exists, so over a tiered spine they ride
+the per-segment indexes (``docs/audit_storage.md``) instead of
+iterating the full chain; the reports are identical either way.
 """
 
 from __future__ import annotations
@@ -13,10 +19,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
-from repro.audit.log import AuditLog
 from repro.audit.provenance import ProvenanceGraph, graph_from_log
 from repro.audit.records import AuditRecord, RecordKind
+from repro.audit.sink import AuditSink
 from repro.ifc.tags import Tag, as_tag
+
+
+def _query(sink: AuditSink, **filters) -> List[AuditRecord]:
+    """Pull records from any sink, index-backed when it supports it."""
+    query = getattr(sink, "query", None)
+    if callable(query):
+        return query(**filters)
+    return sink.records(**filters)
 
 
 @dataclass
@@ -65,8 +79,8 @@ class ComplianceReport:
         return "\n".join(lines)
 
 
-#: An obligation checker inspects the log/graph and returns a Finding.
-ObligationChecker = Callable[[AuditLog, ProvenanceGraph], Finding]
+#: An obligation checker inspects the sink/graph and returns a Finding.
+ObligationChecker = Callable[[AuditSink, ProvenanceGraph], Finding]
 
 
 class ComplianceAuditor:
@@ -86,8 +100,13 @@ class ComplianceAuditor:
         """Add an obligation checker to the audit battery."""
         self._checkers.append(checker)
 
-    def run(self, log: AuditLog) -> ComplianceReport:
-        """Execute all checkers; verifies log integrity first."""
+    def run(self, log: AuditSink) -> ComplianceReport:
+        """Execute all checkers; verifies sink integrity first.
+
+        ``log`` is any :class:`~repro.audit.sink.AuditSink` — for a
+        tiered spine, integrity verification spans the hot/cold
+        boundary and checkers ride the segment indexes.
+        """
         graph = graph_from_log(log)
         report = ComplianceReport(log_verified=log.verify())
         for checker in self._checkers:
@@ -109,14 +128,14 @@ def no_flows_to(
     ``no_flows_to(non_eu_nodes, personal_data_nodes, "EU residency")``.
     """
 
-    def check(log: AuditLog, graph: ProvenanceGraph) -> Finding:
+    def check(log: AuditSink, graph: ProvenanceGraph) -> Finding:
         violations: List[int] = []
         reached: List[str] = []
         for source in data_sources:
             tainted = graph.descendants(source)
             for sink in tainted & forbidden_sinks:
                 reached.append(f"{source} -> {sink}")
-        for record in log.records(kind=RecordKind.FLOW_ALLOWED):
+        for record in _query(log, kind=RecordKind.FLOW_ALLOWED):
             if record.subject in forbidden_sinks and record.actor in data_sources:
                 violations.append(record.seq)
         ok = not reached
@@ -141,13 +160,13 @@ def declassification_precedes_flows(
     *after* a declassification by the declassifier (Fig. 6: the ward
     manager may only receive data the generator declassified)."""
 
-    def check(log: AuditLog, graph: ProvenanceGraph) -> Finding:
+    def check(log: AuditSink, graph: ProvenanceGraph) -> Finding:
         declass_times = [
             r.timestamp
-            for r in log.records(kind=RecordKind.DECLASSIFICATION, actor=declassifier)
+            for r in _query(log, kind=RecordKind.DECLASSIFICATION, actor=declassifier)
         ]
         bad: List[int] = []
-        for record in log.records(kind=RecordKind.FLOW_ALLOWED, actor=declassifier):
+        for record in _query(log, kind=RecordKind.FLOW_ALLOWED, actor=declassifier):
             if record.subject != sink:
                 continue
             if not any(t <= record.timestamp for t in declass_times):
@@ -174,9 +193,9 @@ def denial_rate_below(threshold: float, obligation: str) -> ObligationChecker:
     authors ("indicate whether policy correctly captures legal
     responsibilities")."""
 
-    def check(log: AuditLog, graph: ProvenanceGraph) -> Finding:
-        flows = log.records(kind=RecordKind.FLOW_ALLOWED)
-        denials = log.records(kind=RecordKind.FLOW_DENIED)
+    def check(log: AuditSink, graph: ProvenanceGraph) -> Finding:
+        flows = _query(log, kind=RecordKind.FLOW_ALLOWED)
+        denials = _query(log, kind=RecordKind.FLOW_DENIED)
         total = len(flows) + len(denials)
         rate = (len(denials) / total) if total else 0.0
         ok = rate <= threshold
@@ -199,9 +218,9 @@ def all_accesses_consented(
 
     tag = as_tag(consent_tag)
 
-    def check(log: AuditLog, graph: ProvenanceGraph) -> Finding:
+    def check(log: AuditSink, graph: ProvenanceGraph) -> Finding:
         bad: List[int] = []
-        for record in log.records(kind=RecordKind.FLOW_ALLOWED):
+        for record in _query(log, kind=RecordKind.FLOW_ALLOWED):
             src = record.source_context
             if src is None:
                 continue

@@ -28,8 +28,8 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.audit.log import AuditLog
 from repro.audit.records import AuditRecord, RecordKind
+from repro.audit.sink import AuditSink
 
 
 @dataclass
@@ -47,6 +47,10 @@ class OffloadReceipt:
             ``(source, head digest)`` pairs the receipt covers, so a
             domain pruning one segment can still point at the receipt
             that attested it.
+        cold_segments: how many of the contributing sink's sealed
+            segments were in the cold (spilled) tier at submission —
+            the receipt attests that verification crossed the tier
+            boundary, not just hot memory.
     """
 
     domain: str
@@ -54,6 +58,7 @@ class OffloadReceipt:
     record_count: int
     collector_signature: str
     segment_heads: Tuple[Tuple[str, str], ...] = ()
+    cold_segments: int = 0
 
     @staticmethod
     def sign(
@@ -62,13 +67,19 @@ class OffloadReceipt:
         count: int,
         collector_key: str,
         segment_heads: Tuple[Tuple[str, str], ...] = (),
+        cold_segments: int = 0,
     ) -> "OffloadReceipt":
         """Create a receipt; the 'signature' is an HMAC-style digest over
-        the receipt body (including any segment heads) with the
-        collector's key (simulated crypto)."""
-        body = OffloadReceipt._body(domain, head_digest, count, segment_heads, collector_key)
+        the receipt body (including any segment heads and the tier
+        accounting) with the collector's key (simulated crypto)."""
+        body = OffloadReceipt._body(
+            domain, head_digest, count, segment_heads, cold_segments,
+            collector_key,
+        )
         sig = hashlib.sha256(body.encode()).hexdigest()
-        return OffloadReceipt(domain, head_digest, count, sig, segment_heads)
+        return OffloadReceipt(
+            domain, head_digest, count, sig, segment_heads, cold_segments
+        )
 
     @staticmethod
     def _body(
@@ -76,16 +87,20 @@ class OffloadReceipt:
         head_digest: str,
         count: int,
         segment_heads: Tuple[Tuple[str, str], ...],
+        cold_segments: int,
         collector_key: str,
     ) -> str:
         segments = ";".join(f"{s}={d}" for s, d in segment_heads)
-        return f"{domain}|{head_digest}|{count}|{segments}|{collector_key}"
+        return (
+            f"{domain}|{head_digest}|{count}|{segments}|cold={cold_segments}"
+            f"|{collector_key}"
+        )
 
     def verify(self, collector_key: str) -> bool:
         """Check the receipt was issued by the holder of ``collector_key``."""
         body = OffloadReceipt._body(
             self.domain, self.head_digest, self.record_count,
-            tuple(self.segment_heads), collector_key,
+            tuple(self.segment_heads), self.cold_segments, collector_key,
         )
         return hashlib.sha256(body.encode()).hexdigest() == self.collector_signature
 
@@ -330,7 +345,7 @@ class AuditCollector:
         """Domains whose submitted log failed chain verification."""
         return set(self._rejected)
 
-    def submit(self, domain: str, log: AuditLog) -> Optional[OffloadReceipt]:
+    def submit(self, domain: str, log: AuditSink) -> Optional[OffloadReceipt]:
         """Accept a domain's log if its chain verifies.
 
         Returns a receipt on acceptance, None on rejection.  Repeated
@@ -356,11 +371,18 @@ class AuditCollector:
         actors_fn = getattr(log, "known_actors", None)
         if callable(actors_fn):
             self._known_reporters.update(actors_fn())
+        # Tier-aware: a tiered spine's verify() above already replayed
+        # cold spill files; the receipt records how many it crossed.
+        cold_segments = 0
+        tier_fn = getattr(log, "tier_stats", None)
+        if callable(tier_fn):
+            cold_segments = tier_fn().get("cold_segments", 0)
         records = list(log)
         self._segments.setdefault(domain, []).extend(records)
         receipt = OffloadReceipt.sign(
             domain, log.head_digest, len(records), self._key,
             segment_heads=segment_heads,
+            cold_segments=cold_segments,
         )
         self._receipts.append(receipt)
         return receipt

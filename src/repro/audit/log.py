@@ -16,7 +16,7 @@ from __future__ import annotations
 import hashlib
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
-from repro.audit.records import AuditRecord, RecordKind
+from repro.audit.records import AuditRecord, RecordKind, record_matches
 from repro.errors import IntegrityViolation
 from repro.ifc.labels import SecurityContext
 
@@ -263,6 +263,38 @@ class AuditLog(RecorderMixin):
     def denials(self) -> List[AuditRecord]:
         """All denied flows/accesses — the compliance hot list."""
         return [r for r in self._records if r.is_denial]
+
+    def query(
+        self,
+        kind: Optional[RecordKind] = None,
+        actor: Optional[str] = None,
+        subject: Optional[str] = None,
+        entity: Optional[str] = None,
+        tag: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        stats=None,
+    ) -> List[AuditRecord]:
+        """Filtered query with the full audit-plane vocabulary.
+
+        The flat-scan implementation of the :class:`~repro.audit.sink.
+        AuditSink` ``query()`` surface: same
+        :func:`~repro.audit.records.record_matches` predicate — and
+        therefore the same results — as a tiered spine's index-backed
+        query, minus the index short-circuit (a plain log has no sealed
+        segments to skip).  ``entity`` matches actor or subject;
+        ``tag`` is a qualified ``"namespace:name"`` string matched
+        against either recorded context.
+        """
+        matched = []
+        for record in self._records:
+            if stats is not None:
+                stats.records_scanned += 1
+            if record_matches(
+                record, kind, actor, subject, entity, tag, since, until
+            ):
+                matched.append(record)
+        return matched
 
     def prune_before(self, timestamp: float) -> int:
         """Discard records older than ``timestamp`` (Challenge 6).

@@ -13,7 +13,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Optional
+from functools import lru_cache
+from typing import Any, Dict, FrozenSet, Optional, Set
 
 from repro.ifc.labels import SecurityContext
 
@@ -46,13 +47,44 @@ class RecordKind(str, Enum):
     CUSTOM = "custom"
 
 
-def _context_dict(ctx: Optional[SecurityContext]) -> Optional[Dict[str, list]]:
-    if ctx is None:
-        return None
+@lru_cache(maxsize=1024)
+def _context_payload(ctx: SecurityContext) -> Dict[str, list]:
+    # Shared across records (contexts are immutable interned values and
+    # canonical() only ever reads it) — one tag walk per distinct
+    # context, not per record.
     return {
         "secrecy": sorted(t.qualified for t in ctx.secrecy),
         "integrity": sorted(t.qualified for t in ctx.integrity),
     }
+
+
+def _context_dict(ctx: Optional[SecurityContext]) -> Optional[Dict[str, list]]:
+    if ctx is None:
+        return None
+    return _context_payload(ctx)
+
+
+def _context_from_dict(body: Optional[Dict]) -> Optional[SecurityContext]:
+    if body is None:
+        return None
+    return SecurityContext.of(body.get("secrecy", ()), body.get("integrity", ()))
+
+
+@lru_cache(maxsize=1024)
+def _context_tags(ctx: SecurityContext) -> FrozenSet[str]:
+    """Qualified tags of one context, memoised.
+
+    Contexts are immutable interned-mask values and enforcement reuses a
+    handful of them across millions of records, so the per-record tag
+    walks in :func:`record_tags` (segment-index builds, tag queries)
+    collapse to one dict hit.
+    """
+    tags = set()
+    for tag in ctx.secrecy:
+        tags.add(tag.qualified)
+    for tag in ctx.integrity:
+        tags.add(tag.qualified)
+    return frozenset(tags)
 
 
 @dataclass(frozen=True)
@@ -99,3 +131,72 @@ class AuditRecord:
     def is_denial(self) -> bool:
         """Whether this record denotes a denied action."""
         return self.kind in (RecordKind.FLOW_DENIED, RecordKind.ACCESS_DENIED)
+
+    @classmethod
+    def from_canonical(cls, canonical: str) -> "AuditRecord":
+        """Rebuild a record from its :meth:`canonical` serialisation.
+
+        The round trip is byte-stable (``canonical()`` sorts keys and
+        qualified tags), which is what lets cold audit segments store
+        only the digest material and reconstruct record objects on
+        demand (``repro.audit.storage``).
+        """
+        body = json.loads(canonical)
+        return cls(
+            seq=body["seq"],
+            timestamp=body["timestamp"],
+            kind=RecordKind(body["kind"]),
+            actor=body["actor"],
+            subject=body.get("subject", ""),
+            detail=body.get("detail") or {},
+            source_context=_context_from_dict(body.get("source_context")),
+            target_context=_context_from_dict(body.get("target_context")),
+        )
+
+
+def record_tags(record: AuditRecord) -> Set[str]:
+    """Every qualified tag carried by the record's contexts.
+
+    The tag vocabulary the audit-query plane indexes sealed segments by
+    ("every flow that touched ``medical:ann``").
+    """
+    tags: Set[str] = set()
+    for ctx in (record.source_context, record.target_context):
+        if ctx is not None:
+            tags.update(_context_tags(ctx))
+    return tags
+
+
+def record_matches(
+    record: AuditRecord,
+    kind: Optional[RecordKind] = None,
+    actor: Optional[str] = None,
+    subject: Optional[str] = None,
+    entity: Optional[str] = None,
+    tag: Optional[str] = None,
+    since: Optional[float] = None,
+    until: Optional[float] = None,
+) -> bool:
+    """The one filter predicate every audit sink's ``query()`` applies.
+
+    ``entity`` matches actor *or* subject; ``tag`` is a qualified
+    ``"namespace:name"`` string matched against either context.  Both
+    tiered (index-probing) and flat (full-scan) query paths funnel
+    through this predicate, which is what makes their results
+    comparable record-for-record.
+    """
+    if kind is not None and record.kind != kind:
+        return False
+    if actor is not None and record.actor != actor:
+        return False
+    if subject is not None and record.subject != subject:
+        return False
+    if entity is not None and record.actor != entity and record.subject != entity:
+        return False
+    if since is not None and record.timestamp < since:
+        return False
+    if until is not None and record.timestamp > until:
+        return False
+    if tag is not None and tag not in record_tags(record):
+        return False
+    return True

@@ -82,6 +82,29 @@ class AuditSink(Protocol):
         """Filter records by kind / actor / subject / time window."""
         ...
 
+    def query(
+        self,
+        kind: Optional[RecordKind] = None,
+        actor: Optional[str] = None,
+        subject: Optional[str] = None,
+        entity: Optional[str] = None,
+        tag: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        stats=None,
+    ) -> List[AuditRecord]:
+        """Filtered query with the full audit-plane vocabulary.
+
+        Superset of :meth:`records`: adds ``entity`` (actor *or*
+        subject) and ``tag`` (qualified ``"namespace:name"``) filters.
+        A tiered :class:`~repro.audit.spine.AuditSpine` answers from
+        per-segment indexes (``docs/audit_storage.md``); a plain
+        :class:`~repro.audit.log.AuditLog` flat-scans — results are
+        identical either way.  ``stats`` optionally receives a
+        :class:`~repro.audit.query.QueryStats` to fill.
+        """
+        ...
+
     def denials(self) -> List[AuditRecord]:
         """All denied flows/accesses — the compliance hot list."""
         ...

@@ -45,99 +45,24 @@ streams.
 
 from __future__ import annotations
 
-import hashlib
 import heapq
 import itertools
 import threading
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.audit.log import GENESIS_DIGEST, RecorderMixin, chain_digest
-from repro.audit.records import AuditRecord, RecordKind
+from repro.audit.log import GENESIS_DIGEST, RecorderMixin
+from repro.audit.records import AuditRecord, RecordKind, record_matches
+from repro.audit.storage import (  # noqa: F401  (AuditSegment re-exported)
+    AuditSegment,
+    SegmentStore,
+    _segment_genesis,
+)
 from repro.errors import IntegrityViolation
 from repro.ifc.labels import SecurityContext
 
 #: Source name used by :meth:`AuditSpine.append` (the AuditLog-compatible
 #: direct writer) when the caller has not bound a per-source emitter.
 DEFAULT_SOURCE = "main"
-
-
-def _segment_genesis(spine_name: str, source: str) -> str:
-    """Domain-separated genesis digest for one segment's chain."""
-    return hashlib.sha256(
-        f"repro-audit-segment|{spine_name}|{source}".encode()
-    ).hexdigest()
-
-
-class AuditSegment:
-    """One source's hash-chain shard inside a spine.
-
-    Records are chained exactly as in :class:`~repro.audit.log.AuditLog`
-    (``digest = sha256(prev + canonical)``), but the chain base is
-    domain-separated by spine and source name so segments from different
-    sources can never be spliced into one another.  ``base_count`` is
-    the absolute position of the first retained record — pruning a
-    prefix promotes the last pruned digest to ``base_digest``, keeping
-    the retained suffix verifiable, exactly like ``AuditLog.prune_before``.
-    """
-
-    __slots__ = ("source", "records", "digests", "base_digest", "base_count")
-
-    def __init__(self, source: str, genesis: str):
-        self.source = source
-        self.records: List[AuditRecord] = []
-        self.digests: List[str] = []
-        self.base_digest = genesis
-        self.base_count = 0
-
-    @property
-    def head(self) -> str:
-        """Digest of the last chained record (base digest when empty)."""
-        return self.digests[-1] if self.digests else self.base_digest
-
-    @property
-    def total(self) -> int:
-        """Absolute chain position of the head (pruned + retained)."""
-        return self.base_count + len(self.records)
-
-    def chain(self, record: AuditRecord) -> str:
-        """Fold one record into this segment's chain."""
-        digest = chain_digest(self.head, record.canonical())
-        self.records.append(record)
-        self.digests.append(digest)
-        return digest
-
-    def digest_at(self, position: int) -> Optional[str]:
-        """Chain digest at absolute ``position``, or None if pruned away.
-
-        Position ``k`` is the head digest after ``k`` records; position
-        ``base_count`` is the (real, computed) base digest itself.
-        """
-        if position < self.base_count:
-            return None
-        if position == self.base_count:
-            return self.base_digest
-        return self.digests[position - self.base_count - 1]
-
-    def verify(self) -> None:
-        """Recompute the whole retained chain, raising on mismatch."""
-        digest = self.base_digest
-        for record, stored in zip(self.records, self.digests):
-            digest = chain_digest(digest, record.canonical())
-            if digest != stored:
-                raise IntegrityViolation(
-                    f"segment {self.source!r} chain broken at seq {record.seq}"
-                )
-
-    def prune_prefix(self, keep_from: int) -> int:
-        """Drop the first ``keep_from`` retained records, rebasing the
-        chain on the last pruned digest.  Returns the number pruned."""
-        if keep_from <= 0:
-            return 0
-        self.base_digest = self.digests[keep_from - 1]
-        self.base_count += keep_from
-        self.records = self.records[keep_from:]
-        self.digests = self.digests[keep_from:]
-        return keep_from
 
 
 class SpineEmitter(RecorderMixin):
@@ -211,6 +136,9 @@ class SpineEmitter(RecorderMixin):
     def records(self, *args, **kwargs) -> List[AuditRecord]:
         return self.spine.records(*args, **kwargs)
 
+    def query(self, *args, **kwargs) -> List[AuditRecord]:
+        return self.spine.query(*args, **kwargs)
+
     def denials(self) -> List[AuditRecord]:
         return self.spine.denials()
 
@@ -237,6 +165,12 @@ class SpineEmitter(RecorderMixin):
 
     def prune_before(self, timestamp: float) -> int:
         return self.spine.prune_before(timestamp)
+
+    def demote_before(self, timestamp: float) -> int:
+        return self.spine.demote_before(timestamp)
+
+    def tier_stats(self) -> Dict:
+        return self.spine.tier_stats()
 
 
 def bind_source(audit, source: str):
@@ -309,7 +243,12 @@ class AuditSpine(RecorderMixin):
         #: Per-source staging rings: one writer (worker) per ring keeps
         #: emission contention-free; drains snapshot ring cursors.
         self._staged: Dict[str, List[AuditRecord]] = {}
-        self._segments: Dict[str, AuditSegment] = {}
+        #: The storage layer: per-source open tails plus (when spill is
+        #: configured) sealed/indexed/demotable segments — see
+        #: ``repro.audit.storage`` and ``docs/audit_storage.md``.
+        self._store = SegmentStore(
+            genesis=lambda source: _segment_genesis(name, source)
+        )
         self._emitters: Dict[str, SpineEmitter] = {}
         self._seq = itertools.count()
         # Reentrant: checkpoint() drains, verify drains, drain may
@@ -334,9 +273,20 @@ class AuditSpine(RecorderMixin):
 
     def __repr__(self) -> str:
         return (
-            f"<AuditSpine {self.name} segments={len(self._segments)} "
+            f"<AuditSpine {self.name} segments={len(self._store.tails)} "
             f"records={len(self)} staged={self.pending}>"
         )
+
+    @property
+    def _segments(self) -> Dict[str, AuditSegment]:
+        """Back-compat view: source → open tail segment.
+
+        Pre-tiering code (and tests) reached into ``spine._segments``;
+        the authoritative layout now lives in :attr:`_store`.  With no
+        spill configured every record is in the tail, so this view is
+        complete; with tiering on it shows only the un-sealed suffix.
+        """
+        return dict(self._store.tails)
 
     # -- emission (the delivery-path side) ---------------------------------
 
@@ -411,13 +361,31 @@ class AuditSpine(RecorderMixin):
     # -- draining & checkpoints --------------------------------------------
 
     def segment(self, source: str) -> AuditSegment:
-        """The segment for ``source`` (created on first use)."""
-        seg = self._segments.get(source)
-        if seg is None:
-            seg = self._segments[source] = AuditSegment(
-                source, _segment_genesis(self.name, source)
+        """The open tail segment for ``source`` (created on first use).
+
+        With tiering configured, sealed/cold history lives behind the
+        :class:`~repro.audit.storage.SegmentStore`; the tail is where
+        new records chain.
+        """
+        return self._store.tail(source)
+
+    def configure_spill(
+        self,
+        path,
+        hot_segments: int = 2,
+        seal_every: int = 1024,
+    ) -> None:
+        """Enable tiered storage: seal the tail every ``seal_every``
+        records, keep the ``hot_segments`` newest sealed segments in
+        memory, spill the rest to ``path`` (``docs/audit_storage.md``).
+
+        Chains, digests, checkpoints, receipts and pinboard verdicts are
+        unaffected — only where record bytes live changes.
+        """
+        with self._maint:
+            self._store.configure_spill(
+                path, hot_segments=hot_segments, seal_every=seal_every
             )
-        return seg
 
     @property
     def pending(self) -> int:
@@ -440,7 +408,7 @@ class AuditSpine(RecorderMixin):
         """
         with self._maint:
             drained = 0
-            segments = self._segments
+            store = self._store
             actors = self._actors
             for source, ring in list(self._staged.items()):
                 # Cursor snapshot: appends past `n` belong to the next
@@ -450,14 +418,15 @@ class AuditSpine(RecorderMixin):
                 n = len(ring)
                 if not n:
                     continue
-                seg = segments.get(source)
-                if seg is None:
-                    seg = self.segment(source)
+                seg = store.tail(source)
                 for record in ring[:n]:
                     seg.chain(record)
                     actors.add(record.actor)
                 del ring[:n]
                 drained += n
+                # Seal/demote off the emission path, while we hold the
+                # maintenance lock and the tail is fresh in cache.
+                store.maybe_seal(source)
             if not drained:
                 return 0
             self._chained_records += drained
@@ -504,7 +473,7 @@ class AuditSpine(RecorderMixin):
         """
         with self._maint:
             self.drain()
-            if not self._segments:
+            if not self._store.tails:
                 # A spine that never recorded anything has nothing to
                 # pin — head_digest stays at genesis, like an empty log.
                 return None
@@ -515,10 +484,9 @@ class AuditSpine(RecorderMixin):
                 return None
             heads = {}
             counts = {}
-            for source in sorted(self._segments):
-                seg = self._segments[source]
-                heads[source] = seg.head
-                counts[source] = seg.total
+            for source in self._store.sources():
+                heads[source] = self._store.head(source)
+                counts[source] = self._store.total(source)
             # Checkpoints number their own chain: record seqs must track
             # the event stream exactly (a spine and a plain log fed the
             # same events stay seq-identical).
@@ -569,15 +537,20 @@ class AuditSpine(RecorderMixin):
     # -- reading (AuditLog-compatible) -------------------------------------
 
     def _merged(self) -> List[AuditRecord]:
-        # Each segment's records are seq-ascending (single-writer
+        # Each source's records are seq-ascending (single-writer
         # sources), and everything staged was emitted after everything
         # drained in its own source — a k-way merge rebuilds the stream
         # in O(n), no sort.  Lists are snapshotted so racing
-        # appends/drains cannot shift them mid-merge.
+        # appends/drains cannot shift them mid-merge.  Cold segments are
+        # loaded on demand here: full iteration is the one read that
+        # genuinely needs every record (query() is the tier-aware path).
         streams = [
-            list(seg.records)
-            for seg in list(self._segments.values())
-            if seg.records
+            records
+            for records in (
+                self._store.records_of(source)
+                for source in self._store.sources()
+            )
+            if records
         ]
         staged = [
             record
@@ -592,9 +565,7 @@ class AuditSpine(RecorderMixin):
         return list(heapq.merge(*streams, key=lambda r: r.seq))
 
     def __len__(self) -> int:
-        return sum(
-            len(s.records) for s in list(self._segments.values())
-        ) + self.pending
+        return self._store.total_retained() + self.pending
 
     def __iter__(self) -> Iterator[AuditRecord]:
         return iter(self._merged())
@@ -628,13 +599,79 @@ class AuditSpine(RecorderMixin):
             result.append(r)
         return result
 
+    def query(
+        self,
+        kind: Optional[RecordKind] = None,
+        actor: Optional[str] = None,
+        subject: Optional[str] = None,
+        entity: Optional[str] = None,
+        tag: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        stats=None,
+    ) -> List[AuditRecord]:
+        """Index-backed record query across hot and cold tiers.
+
+        Unlike :meth:`records` (a full merged scan), ``query`` probes
+        each sealed segment's :class:`~repro.audit.storage.SegmentIndex`
+        first and scans only segments that *could* match — on a
+        million-record chain a tag or actor query touches a handful of
+        segments, and cold ones are loaded only when their index says
+        they matter.  ``entity`` matches actor or subject; ``tag`` is a
+        qualified ``"namespace:name"`` string matched against either
+        recorded context.  Results are seq-ordered and identical to
+        filtering the flat record stream (the property the test suite
+        pins).  Pass a :class:`~repro.audit.query.QueryStats` as
+        ``stats`` to observe the probe/scan accounting.
+        """
+        with self._maint:
+            self.drain()  # staged records are part of the stream
+            kind_value = kind.value if kind is not None else None
+            matched: List[AuditRecord] = []
+            store = self._store
+            for source in store.sources():
+                for chunk in store.sealed.get(source, ()):
+                    if stats is not None:
+                        stats.segments_total += 1
+                    if not chunk.index.may_match(
+                        kind_value, actor, subject, entity, tag, since, until
+                    ):
+                        if stats is not None:
+                            stats.segments_skipped += 1
+                        continue
+                    if stats is not None:
+                        stats.segments_scanned += 1
+                    if chunk.is_cold:
+                        store.stats_cold_loads += 1
+                        if stats is not None:
+                            stats.cold_loads += 1
+                    for record in chunk.records():
+                        if stats is not None:
+                            stats.records_scanned += 1
+                        if record_matches(
+                            record, kind, actor, subject, entity, tag,
+                            since, until,
+                        ):
+                            matched.append(record)
+                # The open tail has no index yet — always scanned.
+                for record in list(store.tails[source].records):
+                    if stats is not None:
+                        stats.records_scanned += 1
+                    if record_matches(
+                        record, kind, actor, subject, entity, tag,
+                        since, until,
+                    ):
+                        matched.append(record)
+            matched.sort(key=lambda r: r.seq)
+            return matched
+
     def denials(self) -> List[AuditRecord]:
         """All denied flows/accesses — the compliance hot list."""
         return [r for r in self._merged() if r.is_denial]
 
     def sources(self) -> List[str]:
         """Every source that has a segment, sorted."""
-        return sorted(self._segments)
+        return self._store.sources()
 
     def segment_heads(self) -> Dict[str, Tuple[int, str]]:
         """Per-source ``(absolute position, head digest)`` — the offload
@@ -642,8 +679,8 @@ class AuditSpine(RecorderMixin):
         with self._maint:
             self.drain()
             return {
-                source: (seg.total, seg.head)
-                for source, seg in sorted(self._segments.items())
+                source: (self._store.total(source), self._store.head(source))
+                for source in self._store.sources()
             }
 
     def known_actors(self) -> Set[str]:
@@ -691,26 +728,27 @@ class AuditSpine(RecorderMixin):
 
     def _verify_locked(self) -> None:
         self.drain()
-        for seg in self._segments.values():
-            seg.verify()
+        # Every source's full chain — hot tail, hot sealed, cold spilled
+        # — including the continuity joins at segment boundaries.
+        self._store.verify()
         self._ckpt.verify()
         for record in self._ckpt.records:
             heads = record.detail.get("heads", {})
             counts = record.detail.get("counts", {})
             for source, head in heads.items():
-                seg = self._segments.get(source)
-                if seg is None:
+                if source not in self._store.tails:
                     raise IntegrityViolation(
                         f"segment {source!r} vanished after checkpoint "
                         f"seq {record.seq}"
                     )
                 position = counts.get(source, 0)
-                if position > seg.total:
+                total = self._store.total(source)
+                if position > total:
                     raise IntegrityViolation(
                         f"segment {source!r} truncated below checkpointed "
-                        f"position {position} (holds {seg.total})"
+                        f"position {position} (holds {total})"
                     )
-                expected = seg.digest_at(position)
+                expected = self._store.digest_at(source, position)
                 if expected is not None and expected != head:
                     raise IntegrityViolation(
                         f"segment {source!r} head at position {position} "
@@ -730,16 +768,7 @@ class AuditSpine(RecorderMixin):
         """
         with self._maint:
             self.drain()
-            pruned = 0
-            for seg in self._segments.values():
-                keep_from = 0
-                records = seg.records
-                while (
-                    keep_from < len(records)
-                    and records[keep_from].timestamp < timestamp
-                ):
-                    keep_from += 1
-                pruned += seg.prune_prefix(keep_from)
+            pruned = self._store.prune_before(timestamp)
             keep_from = 0
             checkpoints = self._ckpt.records
             while (
@@ -749,6 +778,26 @@ class AuditSpine(RecorderMixin):
                 keep_from += 1
             self._ckpt.prune_prefix(keep_from)
             return pruned
+
+    def demote_before(self, timestamp: float) -> int:
+        """Move records older than ``timestamp`` to the cold tier.
+
+        The non-destructive counterpart of :meth:`prune_before` — the
+        default action legal retention obligations take
+        (``repro.policy.legal``): the records leave hot memory but stay
+        on disk, fully chained, verifiable and queryable.  Returns the
+        number of records demoted; 0 when no spill tier is configured
+        (call :meth:`configure_spill` first).
+        """
+        with self._maint:
+            self.drain()
+            return self._store.demote_before(timestamp)
+
+    def tier_stats(self) -> Dict:
+        """Hot/cold tier rollup (record counts, segment counts, spill
+        bytes, seal/demotion/cold-load counters, hot-window bounds)."""
+        with self._maint:
+            return self._store.tier_stats()
 
     def prune_segment(self, source: str, before: Optional[float] = None) -> int:
         """Prune one segment (wholly, or records before ``before``).
@@ -760,40 +809,14 @@ class AuditSpine(RecorderMixin):
         """
         with self._maint:
             self.drain()
-            seg = self._segments.get(source)
-            if seg is None:
-                return 0
-            if before is None:
-                keep_from = len(seg.records)
-            else:
-                keep_from = 0
-                while (
-                    keep_from < len(seg.records)
-                    and seg.records[keep_from].timestamp < before
-                ):
-                    keep_from += 1
-            return seg.prune_prefix(keep_from)
+            return self._store.prune_source(source, before)
 
     def export(self) -> List[Dict]:
         """Serialise records with digests and segment attribution, in
         stream order, for offload to another party (Challenge 6)."""
         with self._maint:
             self.drain()
-            entries = []
-            for source, seg in self._segments.items():
-                for record, digest in zip(seg.records, seg.digests):
-                    entries.append(
-                        {
-                            "record": record.canonical(),
-                            "digest": digest,
-                            "segment": source,
-                            "seq": record.seq,
-                        }
-                    )
-            entries.sort(key=lambda e: e["seq"])
-            for entry in entries:
-                del entry["seq"]
-            return entries
+            return self._store.export_entries()
 
     def export_checkpoints(self) -> List[Dict]:
         """Serialise the checkpoint chain (records + digests)."""

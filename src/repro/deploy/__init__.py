@@ -14,7 +14,7 @@ cross-wired from a fluent builder or a declarative spec
 """
 
 from repro.deploy.builder import Deployment, DeploymentNode
-from repro.deploy.spec import DeploymentSpec, NodeSpec
+from repro.deploy.spec import DeploymentSpec, NodeSpec, SpillSpec
 from repro.deploy.workers import BusWorker, WorkerPool
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "DeploymentNode",
     "DeploymentSpec",
     "NodeSpec",
+    "SpillSpec",
     "BusWorker",
     "WorkerPool",
 ]

@@ -34,6 +34,7 @@ declaratively via :meth:`Deployment.from_spec`.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.accesscontrol.pep import EnforcementMode
@@ -47,7 +48,7 @@ from repro.cloud.machine import (
     trusted_verifier,
 )
 from repro.crypto.attestation import AttestationVerifier
-from repro.deploy.spec import DeploymentSpec, NodeSpec
+from repro.deploy.spec import DeploymentSpec, NodeSpec, SpillSpec
 from repro.deploy.workers import WorkerPool
 from repro.errors import DiscoveryError
 from repro.federation import GossipMesh, MeshNode
@@ -178,6 +179,30 @@ class DeploymentNode:
             spec.machine = True
         return self
 
+    def with_spill(
+        self,
+        path,
+        hot_segments: int = 2,
+        seal_every: int = 1024,
+    ) -> "DeploymentNode":
+        """Give the node's audit spine a tiered cold store (implies a
+        machine; ``docs/audit_storage.md``).
+
+        The spine seals a segment every ``seal_every`` records, keeps
+        the ``hot_segments`` newest sealed segments per source in
+        memory, and spills older ones to ``<path>/<hostname>`` in the
+        fixed-stride, mmap-able record format — chains, checkpoints,
+        receipts and pinboard verdicts are identical to the in-memory
+        spine, and :class:`~repro.audit.query.AuditQuery` answers from
+        the per-segment indexes across both tiers.
+        """
+        spec = self._mutable()
+        spec.machine = True
+        spec.spill = SpillSpec(
+            path=str(path), hot_segments=hot_segments, seal_every=seal_every
+        )
+        return self
+
     # -- build -------------------------------------------------------------
 
     def build(self) -> "DeploymentNode":
@@ -196,6 +221,14 @@ class DeploymentNode:
                 else world.sim.now,
             )
             deployment._register_machine(self._machine)
+            if spec.spill is not None:
+                # Per-node spill directory: co-deployed nodes must not
+                # share segment files.
+                self._machine.audit.configure_spill(
+                    Path(spec.spill.path) / spec.hostname,
+                    hot_segments=spec.spill.hot_segments,
+                    seal_every=spec.spill.seal_every,
+                )
         if spec.substrate:
             self._substrate = MessagingSubstrate(
                 self._machine,
@@ -696,7 +729,9 @@ class Deployment:
         decisions["hit_rate"] = decisions["hits"] / total if total else 0.0
 
         audit = {"records": 0, "pending": 0, "drains": 0,
-                 "checkpoints": 0, "segments": 0, "ring_overflows": 0}
+                 "checkpoints": 0, "segments": 0, "ring_overflows": 0,
+                 "hot_records": 0, "cold_records": 0,
+                 "cold_segments": 0, "spill_bytes": 0}
         for machine in machines:
             spine = machine.audit
             audit["records"] += len(spine)
@@ -705,6 +740,13 @@ class Deployment:
             audit["checkpoints"] += spine.stats_checkpoints
             audit["segments"] += len(spine.sources())
             audit["ring_overflows"] += spine.stats_ring_overflows
+            tier_fn = getattr(spine, "tier_stats", None)
+            if callable(tier_fn):
+                tier = tier_fn()
+                audit["hot_records"] += tier["hot_records"]
+                audit["cold_records"] += tier["cold_records"]
+                audit["cold_segments"] += tier["cold_segments"]
+                audit["spill_bytes"] += tier["spill_bytes"]
 
         federation: Dict[str, object] = {"members": 0}
         if self._mesh is not None:
@@ -759,7 +801,13 @@ class Deployment:
 
     def collect_audit(self, key: str = "deployment-collector") -> AuditCollector:
         """Submit every node spine (by hostname) and every detached
-        domain log (by domain name) to a fresh collector."""
+        domain log (by domain name) to a fresh collector.
+
+        Tier-aware: submission verifies each spine across its hot/cold
+        boundary (cold spill files are replayed against the committed
+        digests), and each :class:`~repro.audit.distributed.
+        OffloadReceipt` records how many cold segments the verification
+        crossed."""
         self.build()
         collector = AuditCollector(key=key)
         for handle in self._nodes.values():

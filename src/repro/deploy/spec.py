@@ -25,6 +25,37 @@ from repro.cloud.machine import MachineConfig
 
 
 @dataclass
+class SpillSpec:
+    """Tiered audit storage for one node's spine (``docs/audit_storage.md``).
+
+    Attributes:
+        path: base spill directory; each node spills into
+            ``<path>/<hostname>`` so co-deployed nodes never share
+            segment files.
+        hot_segments: sealed segments kept in memory per source before
+            older ones demote to disk.
+        seal_every: records per sealed segment (the seal cadence — also
+            the granularity of the per-segment query indexes).
+    """
+
+    path: str
+    hot_segments: int = 2
+    seal_every: int = 1024
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("spill path must be non-empty")
+        if self.seal_every < 1:
+            raise ValueError(
+                f"seal_every must be >= 1, got {self.seal_every}"
+            )
+        if self.hot_segments < 0:
+            raise ValueError(
+                f"hot_segments must be >= 0, got {self.hot_segments}"
+            )
+
+
+@dataclass
 class NodeSpec:
     """One deployment member, declaratively.
 
@@ -67,6 +98,10 @@ class NodeSpec:
             :class:`~repro.middleware.bus.MessageBus` and audit-spine
             source while sharing the machine's decision shard and spine
             (implies ``machine``).  0 keeps the classic single-bus node.
+        spill: tiered audit storage (:class:`SpillSpec`): seal the
+            machine spine's segments on a cadence and demote old ones
+            to disk under ``spill.path/<hostname>`` (implies
+            ``machine``).  ``None`` keeps the all-in-memory spine.
     """
 
     name: str
@@ -84,6 +119,7 @@ class NodeSpec:
     pinboard_retain_every: Optional[int] = None
     directory: bool = False
     workers: int = 0
+    spill: Optional[SpillSpec] = None
 
     def __post_init__(self) -> None:
         if not self.hostname:
@@ -91,6 +127,8 @@ class NodeSpec:
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
         if self.workers:
+            self.machine = True
+        if self.spill is not None:
             self.machine = True
         if self.pinboard_retain_every is not None:
             self.mesh = True

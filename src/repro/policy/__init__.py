@@ -41,9 +41,11 @@ from repro.policy.engine import (
 from repro.policy.legal import (
     LegalObligation,
     ObligationRegister,
+    ObligationRemedy,
     anonymisation_obligation,
     break_glass_obligation,
     consent_obligation,
+    enforce_retention,
     geo_fence_obligation,
     retention_obligation,
 )
@@ -100,6 +102,8 @@ __all__ = [
     "consent_obligation",
     "geo_fence_obligation",
     "retention_obligation",
+    "ObligationRemedy",
+    "enforce_retention",
     "parse_rules",
     "AbsenceDetector",
     "Detector",

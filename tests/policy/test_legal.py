@@ -136,3 +136,76 @@ class TestRegister:
         register.register(break_glass_obligation([rule]))
         assert len(register.all_checkers()) == 2
         assert register.all_rules() == [rule]
+
+
+class TestTieredRetention:
+    """Retention over a tiered sink: demote-to-cold is the default
+    remedy; destruction needs the explicit opt-in (docs/audit_storage.md)."""
+
+    def _tiered_spine(self, tmp_path, span=10_000.0, n=20):
+        from repro.audit import AuditSpine
+
+        sim = Simulator()
+        spine = AuditSpine(clock=sim.now, name="audit@legal")
+        spine.configure_spill(tmp_path, hot_segments=100, seal_every=2)
+        emitter = spine.emitter("bus")
+        for __ in range(n):
+            emitter.flow_allowed("a", "b")
+            sim.clock.advance(span / n)
+        spine.drain()
+        return sim, spine
+
+    def test_hot_overage_flagged_with_demote_wording(self, tmp_path):
+        sim, spine = self._tiered_spine(tmp_path)
+        spine.prune_segment("bus")  # start clean
+        emitter = spine.emitter("bus")
+        emitter.flow_allowed("a", "b")
+        sim.clock.advance(9_000.0)
+        emitter.flow_allowed("c", "d")
+        spine.drain()
+        report = run_checkers(retention_obligation(3600.0), spine)
+        assert not report.compliant
+        assert "demote to cold" in report.failures()[0].explanation
+
+    def test_cold_records_do_not_count_against_the_limit(self, tmp_path):
+        sim, spine = self._tiered_spine(tmp_path)
+        from repro.policy import enforce_retention
+
+        demoted = enforce_retention(spine, 3600.0, sim.now())
+        assert demoted > 0
+        report = run_checkers(retention_obligation(3600.0), spine)
+        assert report.compliant
+        assert "archived cold" in report.findings[0].explanation
+        # Nothing was destroyed: the full history is still there.
+        assert len(spine) == 20
+        assert spine.verify()
+
+    def test_register_remedy_demotes_by_default(self, tmp_path):
+        sim, spine = self._tiered_spine(tmp_path)
+        register = ObligationRegister()
+        register.register(retention_obligation(3600.0))
+        affected = register.apply_remedies(spine, sim.now())
+        assert affected > 0
+        assert len(spine) == 20  # demoted, not destroyed
+        assert run_checkers(retention_obligation(3600.0), spine).compliant
+
+    def test_destroy_opt_in_prunes(self, tmp_path):
+        sim, spine = self._tiered_spine(tmp_path)
+        register = ObligationRegister()
+        register.register(retention_obligation(3600.0, destroy=True))
+        affected = register.apply_remedies(spine, sim.now())
+        assert affected > 0
+        assert len(spine) < 20  # bytes actually gone
+        assert spine.verify()
+
+    def test_flat_log_without_destroy_demotes_nothing(self):
+        from repro.policy import enforce_retention
+
+        sim = Simulator()
+        log = AuditLog(clock=sim.now)
+        log.flow_allowed("a", "b")
+        sim.clock.advance(10_000.0)
+        log.flow_allowed("c", "d")
+        assert enforce_retention(log, 3600.0, sim.now()) == 0
+        assert len(log.records()) == 2
+        assert enforce_retention(log, 3600.0, sim.now(), destroy=True) > 0
