@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test lint bench bench-wire bench-audit bench-federation \
-	bench-workers bench-query bench-all test-concurrency
+	bench-workers bench-query bench-transport bench-all test-concurrency
 
 # Tier-1 verification: the whole suite, fail-fast.  The bench smoke
 # list (decision-plane + wire-plane scale benches, with their ratio
@@ -57,6 +57,14 @@ bench-workers:
 # QUERY_BENCH_RECORDS=20000 for a smoke run.
 bench-query:
 	$(PYTHON) -m pytest benchmarks/test_scale_query.py -q -s -p no:randomly
+
+# Transport-plane bench: coalesced vs per-datagram delivery A/B — e2e
+# enforcing ring publish at 2/8/16 machines and mesh convergence under
+# streaming load at 16/32 substrates; regenerates BENCH_transport.json.
+# Scale down with TRANSPORT_BENCH_MSGS / TRANSPORT_BENCH_LOAD and
+# demote the wall-clock gates with TRANSPORT_BENCH_STRICT=0 for smoke.
+bench-transport:
+	$(PYTHON) -m pytest benchmarks/test_scale_transport.py -q -s
 
 # The real-thread stress tests of the contention-proofed planes
 # (decision cache snapshot/epoch protocol, audit-spine ring drains).

@@ -98,6 +98,10 @@ def test_sfed_convergence(report, n_substrates):
 
     gossip_bytes = mesh.control_bytes()
     pairwise_bytes = _pairwise_handshake_bytes(mesh)
+    # Delivered bytes, not attempted: a lossless mesh delivers every
+    # gossip byte it accounts for, and the delivered ledger is the one
+    # that stays honest once loss/partition benches reuse this helper.
+    assert net.stats.bytes_delivered_by_kind["gossip"] == gossip_bytes
     assert net.stats.bytes_by_kind["gossip"] == gossip_bytes
     totals = mesh.stats.merge_nodes(mesh.nodes())
     _results[f"convergence_{n_substrates}s"] = {

@@ -64,6 +64,23 @@ def _context_dict(ctx: Optional[SecurityContext]) -> Optional[Dict[str, list]]:
     return _context_payload(ctx)
 
 
+@lru_cache(maxsize=4096)
+def _str_json(text: str) -> str:
+    # Actors, subjects and kind values repeat across records (entity
+    # names, a fixed enum) — cache their JSON-escaped forms.
+    return json.dumps(text)
+
+
+@lru_cache(maxsize=1024)
+def _context_json(ctx: SecurityContext) -> str:
+    # The serialised form of _context_payload, cached with the same
+    # lifetime: contexts repeat across millions of records and their
+    # tag lists dominate canonical()'s json.dumps time.
+    return json.dumps(
+        _context_payload(ctx), sort_keys=True, separators=(",", ":")
+    )
+
+
 def _context_from_dict(body: Optional[Dict]) -> Optional[SecurityContext]:
     if body is None:
         return None
@@ -114,18 +131,33 @@ class AuditRecord:
     target_context: Optional[SecurityContext] = None
 
     def canonical(self) -> str:
-        """Deterministic JSON serialisation used for hash chaining."""
-        body = {
-            "seq": self.seq,
-            "timestamp": self.timestamp,
-            "kind": self.kind.value,
-            "actor": self.actor,
-            "subject": self.subject,
-            "detail": self.detail,
-            "source_context": _context_dict(self.source_context),
-            "target_context": _context_dict(self.target_context),
-        }
-        return json.dumps(body, sort_keys=True, separators=(",", ":"))
+        """Deterministic JSON serialisation used for hash chaining.
+
+        Assembled from per-field dumps with the context fragments
+        memoised (:func:`_context_json`) — byte-identical to
+        ``json.dumps(body, sort_keys=True, separators=(",", ":"))``
+        over the same eight keys, which the tier-1 suite pins
+        (``test_canonical_matches_reference_encoding``).
+        """
+        detail = self.detail
+        src = self.source_context
+        tgt = self.target_context
+        return (
+            '{"actor":%s,"detail":%s,"kind":%s,"seq":%d,"source_context":%s,'
+            '"subject":%s,"target_context":%s,"timestamp":%s}'
+            % (
+                _str_json(self.actor),
+                json.dumps(detail, sort_keys=True, separators=(",", ":"))
+                if detail
+                else "{}",
+                _str_json(self.kind.value),
+                self.seq,
+                "null" if src is None else _context_json(src),
+                _str_json(self.subject),
+                "null" if tgt is None else _context_json(tgt),
+                json.dumps(self.timestamp),
+            )
+        )
 
     @property
     def is_denial(self) -> bool:

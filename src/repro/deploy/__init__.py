@@ -14,7 +14,7 @@ cross-wired from a fluent builder or a declarative spec
 """
 
 from repro.deploy.builder import Deployment, DeploymentNode
-from repro.deploy.spec import DeploymentSpec, NodeSpec, SpillSpec
+from repro.deploy.spec import DeploymentSpec, NodeSpec, SpillSpec, TransportSpec
 from repro.deploy.workers import BusWorker, WorkerPool
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "DeploymentSpec",
     "NodeSpec",
     "SpillSpec",
+    "TransportSpec",
     "BusWorker",
     "WorkerPool",
 ]

@@ -48,7 +48,7 @@ from repro.cloud.machine import (
     trusted_verifier,
 )
 from repro.crypto.attestation import AttestationVerifier
-from repro.deploy.spec import DeploymentSpec, NodeSpec, SpillSpec
+from repro.deploy.spec import DeploymentSpec, NodeSpec, SpillSpec, TransportSpec
 from repro.deploy.workers import WorkerPool
 from repro.errors import DiscoveryError
 from repro.federation import GossipMesh, MeshNode
@@ -203,6 +203,30 @@ class DeploymentNode:
         )
         return self
 
+    def with_transport(
+        self,
+        coalesce_window: float = 0.0,
+        max_batch: int = 64,
+    ) -> "DeploymentNode":
+        """Enable the coalescing transport for this node's sends
+        (implies a machine; ``docs/transport_plane.md``).
+
+        Datagrams this node sends to one ``(destination, kind)`` within
+        ``coalesce_window`` simulated seconds share one scheduled
+        batch-delivery event (up to ``max_batch`` datagrams); send-time
+        semantics — partition blocks, link drops, the per-datagram loss
+        roll, ``sent_at`` stamps — are per datagram and identical to the
+        uncoalesced path.  A window of 0.0 coalesces same-instant sends
+        at exactly the uncoalesced delivery time.  The rollup appears
+        under ``stats()["transport"]``.
+        """
+        spec = self._mutable()
+        spec.machine = True
+        spec.transport = TransportSpec(
+            coalesce_window=coalesce_window, max_batch=max_batch
+        )
+        return self
+
     # -- build -------------------------------------------------------------
 
     def build(self) -> "DeploymentNode":
@@ -229,6 +253,12 @@ class DeploymentNode:
                     hot_segments=spec.spill.hot_segments,
                     seal_every=spec.spill.seal_every,
                 )
+        if spec.transport is not None:
+            world.network.configure_transport(
+                coalesce_window=spec.transport.coalesce_window,
+                max_batch=spec.transport.max_batch,
+                host=spec.hostname,
+            )
         if spec.substrate:
             self._substrate = MessagingSubstrate(
                 self._machine,
@@ -712,6 +742,7 @@ class Deployment:
         substrate = {
             "sent": 0, "delivered": 0, "denied_local": 0,
             "denied_remote": 0, "sent_masked": 0, "sent_tagset": 0,
+            "sent_batches": 0,
             "dropped_unroutable": 0, "dropped_undecodable": 0,
             "quenched_attributes": 0, "table_syncs": 0,
         }
@@ -788,7 +819,9 @@ class Deployment:
             "handshake_sent": net.handshake_sent,
             "gossip_sent": net.gossip_sent,
             "bytes_by_kind": dict(net.bytes_by_kind),
+            "bytes_delivered_by_kind": dict(net.bytes_delivered_by_kind),
         }
+        transport = self.world.network.transport_stats.snapshot()
         return {
             "flows": flows,
             "substrate": substrate,
@@ -796,6 +829,7 @@ class Deployment:
             "audit": audit,
             "federation": federation,
             "network": network,
+            "transport": transport,
             "workers": workers,
         }
 

@@ -56,6 +56,31 @@ class SpillSpec:
 
 
 @dataclass
+class TransportSpec:
+    """Coalescing transport for one node's sends (``docs/transport_plane.md``).
+
+    Attributes:
+        coalesce_window: simulated seconds an outbox stays open for
+            joiners after its first datagram (0.0 still coalesces
+            same-instant sends at exactly the uncoalesced delivery
+            time).
+        max_batch: datagrams per batch before the outbox closes to
+            joiners.
+    """
+
+    coalesce_window: float = 0.0
+    max_batch: int = 64
+
+    def __post_init__(self) -> None:
+        if self.coalesce_window < 0:
+            raise ValueError(
+                f"coalesce_window must be >= 0, got {self.coalesce_window}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+
+
+@dataclass
 class NodeSpec:
     """One deployment member, declaratively.
 
@@ -102,6 +127,11 @@ class NodeSpec:
             machine spine's segments on a cadence and demote old ones
             to disk under ``spill.path/<hostname>`` (implies
             ``machine``).  ``None`` keeps the all-in-memory spine.
+        transport: coalescing transport (:class:`TransportSpec`) for
+            this node's network sends — datagrams to one ``(destination,
+            kind)`` inside the flight window share one scheduled
+            delivery batch (implies ``machine``).  ``None`` keeps
+            per-datagram scheduling.
     """
 
     name: str
@@ -120,6 +150,7 @@ class NodeSpec:
     directory: bool = False
     workers: int = 0
     spill: Optional[SpillSpec] = None
+    transport: Optional[TransportSpec] = None
 
     def __post_init__(self) -> None:
         if not self.hostname:
@@ -129,6 +160,8 @@ class NodeSpec:
         if self.workers:
             self.machine = True
         if self.spill is not None:
+            self.machine = True
+        if self.transport is not None:
             self.machine = True
         if self.pinboard_retain_every is not None:
             self.mesh = True

@@ -24,6 +24,14 @@ What gossips (all monotone, so max-merge is sound):
   other domain's :class:`~repro.audit.distributed.FederationPinboard`
   so no domain can silently rewrite or truncate pruned history.
 
+All three legs of an exchange ride the network as ``kind="gossip"``
+datagrams, so when a member host has the coalescing transport enabled
+(``Network.configure_transport`` / :meth:`GossipMesh.configure_transport`;
+``docs/transport_plane.md``) its DIGEST/REPLY/DELTA traffic flows
+through the same per-``(source, destination, kind)`` outbox as data —
+anti-entropy rounds then cost one scheduled delivery event per
+``(peer, window)`` instead of one per datagram.
+
 One round, per node pair ``(A, B)`` selected by dimension exchange
 (round ``r`` partners each node with the one ``2^(r-1 mod ⌈log₂N⌉)``
 positions around the sorted host ring):
@@ -509,6 +517,21 @@ class GossipMesh:
         )
         substrate.attach_gossip(node)
         return node
+
+    def configure_transport(
+        self, coalesce_window: float = 0.0, max_batch: int = 64
+    ) -> None:
+        """Enable the network's coalescing outbox for every current
+        member host, so gossip DIGEST/REPLY/DELTA datagrams (and the
+        member's data traffic) batch per ``(source, destination, kind)``
+        flight window.  ``coalesce_window`` should stay well below the
+        round ``interval`` — a window approaching the interval delays a
+        round's replies into the next round.
+        """
+        for host in self._nodes:
+            self.network.configure_transport(
+                coalesce_window, max_batch, host=host
+            )
 
     # -- rounds ------------------------------------------------------------
 

@@ -49,11 +49,17 @@ def remap_mask(wire_mask: int, local_bits: "Sequence[int]") -> int:
 class TagInterner:
     """Assigns each tag a stable bit position; converts tag sets ↔ masks."""
 
-    __slots__ = ("_positions", "_tags", "_lock")
+    __slots__ = ("_positions", "_tags", "_by_name", "_lock")
 
     def __init__(self) -> None:
         self._positions: Dict[Tag, int] = {}
         self._tags: List[Tag] = []
+        # Qualified-name → position, so string-keyed callers (wire-plane
+        # table merges, which re-see the same qualified names once per
+        # federation peer) skip Tag.parse and its validation regexes on
+        # repeats.  Only populated through intern(), so a hit is always
+        # a tag that passed validation once.
+        self._by_name: Dict[str, int] = {}
         # Reentrant: wire-plane decode memos (MaskTranslator) extend
         # their tables under this same lock while interning the peer's
         # tags, so intern() must be acquirable by the holder.
@@ -79,18 +85,30 @@ class TagInterner:
 
     def intern(self, tag: "Tag | str") -> int:
         """Return the bit position of ``tag``, assigning one if new."""
-        t = tag if isinstance(tag, Tag) else as_tag(tag)
+        raw = None
+        if isinstance(tag, str):
+            position = self._by_name.get(tag)
+            if position is not None:
+                return position
+            raw = tag
+            t = as_tag(tag)
+        else:
+            t = tag
         position = self._positions.get(t)
-        if position is not None:
-            return position
-        with self._lock:
-            # Re-check under the lock: another thread may have interned it.
-            position = self._positions.get(t)
-            if position is None:
-                position = len(self._tags)
-                self._tags.append(t)
-                self._positions[t] = position
-            return position
+        if position is None:
+            with self._lock:
+                # Re-check under the lock: another thread may have
+                # interned it.
+                position = self._positions.get(t)
+                if position is None:
+                    position = len(self._tags)
+                    self._tags.append(t)
+                    self._positions[t] = position
+        self._by_name.setdefault(t.qualified, position)
+        if raw is not None and raw != t.qualified:
+            # Un-normalised spellings ("bare" → "local:bare") hit too.
+            self._by_name.setdefault(raw, position)
+        return position
 
     def bit(self, tag: "Tag | str") -> int:
         """The single-bit mask for ``tag`` (interning it if needed)."""

@@ -27,6 +27,7 @@ from repro.middleware.reconfig import (
     Reconfigurator,
 )
 from repro.middleware.substrate import (
+    MaskBatchEnvelope,
     MaskEnvelope,
     MessagingSubstrate,
     SubstrateEnvelope,
@@ -62,6 +63,7 @@ __all__ = [
     "ControlMessage",
     "Reconfigurator",
     "MessagingSubstrate",
+    "MaskBatchEnvelope",
     "MaskEnvelope",
     "SubstrateEnvelope",
     "SubstrateStats",

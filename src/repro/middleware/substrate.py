@@ -29,7 +29,7 @@ either way, so the receive-side re-check is identical for both formats.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.audit.log import AuditLog
 from repro.audit.records import RecordKind
@@ -126,6 +126,39 @@ class MaskEnvelope:
 
 
 @dataclass
+class MaskBatchEnvelope:
+    """Post-handshake batched wire format: one datagram, many messages.
+
+    :meth:`MessagingSubstrate.send_batch` groups messages by destination
+    host and ships one of these per ``(host, message-context)`` group —
+    the fields every message shares (routing header, the four context
+    masks, the table version) are encoded once, and each message
+    contributes only a *row*: ``(dest_process, values, msg_id,
+    sent_at)``.  The receiver decodes the shared header once and runs
+    the ordinary per-message receive protocol (decision, quenching,
+    audit) over the rows with the fixed costs hoisted.
+
+    This is a substrate wire-format choice exactly like
+    :class:`MaskEnvelope` was: one batch envelope is one datagram, so
+    network-level loss drops the whole batch (the transparent
+    network-outbox coalescing in ``repro.net`` keeps strict per-datagram
+    loss instead; see ``docs/transport_plane.md``).
+    """
+
+    source_host: str
+    source_process: str
+    dest_host: str
+    type: MessageType
+    msg_secrecy_mask: int
+    msg_integrity_mask: int
+    src_secrecy_mask: int
+    src_integrity_mask: int
+    table_version: int
+    #: One entry per message: (dest_process, values, msg_id, sent_at).
+    rows: Tuple[Tuple[str, Dict, int, float], ...]
+
+
+@dataclass
 class SubstrateStats:
     """Counters for the cross-machine benchmarks (F9/F10)."""
 
@@ -138,6 +171,8 @@ class SubstrateStats:
     #: Envelopes shipped as int masks vs the tag-set fallback.
     sent_masked: int = 0
     sent_tagset: int = 0
+    #: Coalesced batch envelopes shipped by send_batch.
+    sent_batches: int = 0
     #: Envelopes addressed to a process this substrate does not serve.
     dropped_unroutable: int = 0
     #: Mask envelopes whose bits exceeded our translation table
@@ -314,6 +349,165 @@ class MessagingSubstrate:
         self._ship(process, peer, peer_process_name, message)
         return True
 
+    def send_batch(
+        self,
+        process: Process,
+        sinks: Sequence[Tuple["MessagingSubstrate", str]],
+        messages: Sequence[Message],
+    ) -> int:
+        """Send every message to every sink, amortising the per-message
+        fixed costs — the substrate twin of
+        :meth:`~repro.middleware.bus.MessageBus.publish_batch`.
+
+        Hoisted per batch: the attestation check per peer host, the
+        local flow decision per distinct message context (identity-
+        keyed, exactly the staleness rule the bus plan uses), the wire
+        handshake drive and the :class:`MaskBatchEnvelope` header per
+        ``(host, context)`` group.  Per (message, sink) the counters,
+        denial audits and delivery semantics are identical to a
+        :meth:`send` loop; per-host delivery order is the send-loop
+        order.  Sinks whose peer cannot take masks yet fall back to
+        per-message tag-set envelopes, exactly as :meth:`send` would.
+
+        Returns how many (message, sink) transfers were handed to the
+        network (denials and attestation failures are excluded, as in
+        :meth:`send`).
+        """
+        if process.name not in self._local:
+            raise NetworkError(
+                f"{process.name} is not registered with this substrate"
+            )
+        if not sinks or not messages:
+            return 0
+        host = self.machine.hostname
+        src_sec = process.security
+        enforce = self.enforce
+        evaluate = self.plane.evaluate
+        # decision per message-context, by identity (contexts are shared
+        # objects on the hot path; an unshared equal context just costs
+        # one extra memoized evaluate).
+        decisions: Dict[int, object] = {}
+        # (peer_host, id(ctx), id(type)) → (masks-or-None, ctx, type):
+        # the hoisted envelope header; plus the rows accumulating on it.
+        group_meta: Dict[Tuple[str, int, int], Tuple] = {}
+        groups: Dict[Tuple[str, int, int], List] = {}
+        greeted: set = set()
+        src_tags: Optional[Tuple] = None  # lazy: fallback sends only
+        accepted = 0
+
+        trusted: Dict[str, bool] = {}
+        for peer, __ in sinks:
+            peer_host = peer.machine.hostname
+            if peer_host not in trusted:
+                trusted[peer_host] = (not enforce) or self._peer_trusted(peer)
+
+        for message in messages:
+            ctx = message.context
+            ctx_key = id(ctx)
+            decision = None
+            if enforce:
+                decision = decisions.get(ctx_key)
+                if decision is None:
+                    decision = evaluate(src_sec, ctx)
+                    decisions[ctx_key] = decision
+            for peer, peer_process_name in sinks:
+                peer_host = peer.machine.hostname
+                self.stats.sent += 1
+                if enforce:
+                    if not trusted[peer_host]:
+                        self.stats.attestation_failures += 1
+                        continue
+                    if not decision.allowed:
+                        self.stats.denied_local += 1
+                        self.plane.audit_denied(
+                            process.name,
+                            f"{peer_host}/{peer_process_name}",
+                            "message labelled below its producer: "
+                            f"{decision.reason}",
+                            src_sec,
+                            ctx,
+                        )
+                        continue
+                accepted += 1
+                if self.wire_masks:
+                    if peer_host not in greeted:
+                        greeted.add(peer_host)
+                        hello = self.wire.greet(peer_host)
+                        if hello is not None:
+                            self.network.send(
+                                host, peer_host, hello, kind="handshake",
+                                size=control_wire_size(hello),
+                            )
+                    group_key = (peer_host, ctx_key, id(message.type))
+                    meta = group_meta.get(group_key)
+                    if meta is None:
+                        masks = self.wire.encode_masks(
+                            peer_host,
+                            ctx.secrecy.mask,
+                            ctx.integrity.mask,
+                            src_sec.secrecy.mask,
+                            src_sec.integrity.mask,
+                        )
+                        if masks is None:
+                            # Handshaked but behind: ship the table
+                            # delta once (resync self-suppresses while
+                            # one is in flight), fall back below.
+                            update = self.wire.resync(peer_host)
+                            if update is not None:
+                                self.stats.table_syncs += 1
+                                self.network.send(
+                                    host, peer_host, update, kind="handshake",
+                                    size=control_wire_size(update),
+                                )
+                                if self.audit is not None:
+                                    self.audit.append(
+                                        RecordKind.TABLE_SYNC,
+                                        host,
+                                        peer_host,
+                                        {"base": update.base,
+                                         "tags": len(update.tags)},
+                                    )
+                        meta = (masks, message.type)
+                        group_meta[group_key] = meta
+                    if meta[0] is not None:
+                        groups.setdefault(group_key, []).append(
+                            (peer_process_name, message.values,
+                             message.msg_id, message.sent_at)
+                        )
+                        continue
+                # Fallback (wire_masks off, or the peer cannot take
+                # masks yet): per-message tag-set envelope, as send()
+                # would ship.
+                if src_tags is None:
+                    src_tags = _context_wire_tags(src_sec)
+                self._ship_tagset(
+                    process.name, src_tags[0], src_tags[1],
+                    peer_host, peer_process_name, message,
+                )
+
+        for group_key, rows in groups.items():
+            peer_host = group_key[0]
+            masks, msg_type = group_meta[group_key]
+            self.stats.sent_masked += len(rows)
+            self.stats.sent_batches += 1
+            self.network.send(
+                host,
+                peer_host,
+                MaskBatchEnvelope(
+                    source_host=host,
+                    source_process=process.name,
+                    dest_host=peer_host,
+                    type=msg_type,
+                    msg_secrecy_mask=masks[0],
+                    msg_integrity_mask=masks[1],
+                    src_secrecy_mask=masks[2],
+                    src_integrity_mask=masks[3],
+                    table_version=self.wire.peer(peer_host).confirmed,
+                    rows=tuple(rows),
+                ),
+            )
+        return accepted
+
     def _ship(
         self,
         process: Process,
@@ -379,15 +573,30 @@ class MessagingSubstrate:
                         {"base": update.base, "tags": len(update.tags)},
                     )
 
+        src_secrecy, src_integrity = _context_wire_tags(process.security)
+        self._ship_tagset(
+            process.name, src_secrecy, src_integrity,
+            peer_host, peer_process_name, message,
+        )
+
+    def _ship_tagset(
+        self,
+        process_name: str,
+        src_secrecy: Tuple[str, ...],
+        src_integrity: Tuple[str, ...],
+        peer_host: str,
+        peer_process_name: str,
+        message: Message,
+    ) -> None:
+        """Ship one message in the tag-set fallback format."""
         self.stats.sent_tagset += 1
         msg_secrecy, msg_integrity = _context_wire_tags(message.context)
-        src_secrecy, src_integrity = _context_wire_tags(process.security)
         self.network.send(
-            host,
+            self.machine.hostname,
             peer_host,
             TagSetEnvelope(
-                source_host=host,
-                source_process=process.name,
+                source_host=self.machine.hostname,
+                source_process=process_name,
                 dest_host=peer_host,
                 dest_process=peer_process_name,
                 type=message.type,
@@ -498,6 +707,9 @@ class MessagingSubstrate:
         if isinstance(datagram.payload, WireControl):
             self._handle_control(datagram.source, datagram.payload)
             return
+        if isinstance(datagram.payload, MaskBatchEnvelope):
+            self._receive_mask_batch(datagram)
+            return
         envelope = self._decode(datagram)
         if envelope is None:
             return
@@ -549,3 +761,132 @@ class MessagingSubstrate:
 
         self.stats.delivered += 1
         handler(source_addr, message)
+
+    def _receive_mask_batch(self, datagram: Datagram) -> None:
+        """Deliver a :class:`MaskBatchEnvelope`: decode the shared
+        header once, then run the ordinary per-row receive protocol.
+
+        Per row the decisions, quenching, counters and audit records are
+        identical to per-message delivery; the batch only hoists what is
+        constant — the mask translation, the flow decision and quench
+        set per destination process, and the effective-context algebra
+        per kept-attribute set (the :class:`~repro.middleware.bus.
+        _BatchPlan` memo, receive-side).  Registry entries are re-read
+        per row by identity, so a handler deregistering a process
+        mid-batch turns the remaining rows unroutable, exactly as
+        per-datagram delivery would.
+        """
+        payload = datagram.payload
+        host = datagram.source
+        rows = payload.rows
+        if not self.wire.can_decode(
+            host,
+            payload.msg_secrecy_mask,
+            payload.msg_integrity_mask,
+            payload.src_secrecy_mask,
+            payload.src_integrity_mask,
+        ):
+            self.stats.dropped_undecodable += len(rows)
+            if self.audit is not None:
+                self.audit.append(
+                    RecordKind.TABLE_SYNC,
+                    self.machine.hostname,
+                    host,
+                    {"step": "undecodable", "rows": len(rows),
+                     "table_version": payload.table_version},
+                )
+            return
+        msg_ctx = self.wire.decode_context(
+            host, payload.msg_secrecy_mask, payload.msg_integrity_mask
+        )
+        source_addr = f"{payload.source_host}/{payload.source_process}"
+        mtype = payload.type
+        enforce = self.enforce
+        local = self._local
+        stats = self.stats
+        plane = self.plane
+        risky = frozenset(
+            spec.name
+            for spec in mtype.attributes.values()
+            if spec.extra_secrecy
+        )
+        # dest_process → (process, handler, decision, drop) hoisted plan;
+        # effective contexts memoized by kept risky attrs (sink-free).
+        plans: Dict[str, Tuple] = {}
+        eff_cache: Dict[frozenset, SecurityContext] = {}
+
+        for dest_process, values, msg_id, sent_at in rows:
+            entry = local.get(dest_process)
+            if entry is None:
+                stats.dropped_unroutable += 1
+                if self.audit is not None:
+                    self.audit.append(
+                        RecordKind.MISDELIVERY,
+                        source_addr,
+                        f"{self.machine.hostname}/{dest_process}",
+                        {"msg_id": msg_id,
+                         "reason": "no such process on this substrate"},
+                    )
+                continue
+            process, handler = entry
+            if not enforce:
+                stats.delivered += 1
+                handler(
+                    source_addr,
+                    _rebuild_message(mtype, values, msg_ctx, msg_id, sent_at),
+                )
+                continue
+            plan = plans.get(dest_process)
+            if plan is None or plan[0] is not process:
+                decision = plane.evaluate(msg_ctx, process.security)
+                drop = frozenset(
+                    name
+                    for name in risky
+                    if not (
+                        msg_ctx.secrecy | mtype.attribute_secrecy(name)
+                        <= process.security.secrecy
+                    )
+                )
+                plan = (process, handler, decision, drop)
+                plans[dest_process] = plan
+            decision, drop = plan[2], plan[3]
+            if not decision.allowed:
+                stats.denied_remote += 1
+                plane.audit_denied(
+                    source_addr, process.name, decision.reason,
+                    msg_ctx, process.security,
+                )
+                continue
+            message = _rebuild_message(mtype, values, msg_ctx, msg_id, sent_at)
+            dropped: List[str] = []
+            kept_risky: frozenset = frozenset()
+            if risky:
+                present_risky = risky.intersection(values)
+                if present_risky:
+                    dropped = sorted(present_risky & drop)
+                    kept_risky = present_risky - drop
+            if dropped:
+                kept = {k: v for k, v in values.items() if k not in drop}
+                message = _rebuild_message(mtype, kept, msg_ctx, msg_id, sent_at)
+                stats.quenched_attributes += len(dropped)
+            if kept_risky:
+                effective = eff_cache.get(kept_risky)
+                if effective is None:
+                    secrecy = msg_ctx.secrecy
+                    for name in kept_risky:
+                        secrecy = secrecy | mtype.attribute_secrecy(name)
+                    effective = SecurityContext(secrecy, msg_ctx.integrity)
+                    eff_cache[kept_risky] = effective
+            else:
+                effective = msg_ctx
+            plane.audit_allowed(
+                source_addr,
+                process.name,
+                effective,
+                process.security,
+                {"msg_id": msg_id, "quenched": dropped}
+                if dropped
+                else {"msg_id": msg_id},
+            )
+            stats.delivered += 1
+            handler(source_addr, message)

@@ -6,6 +6,16 @@ from repro.net.network import (
     Link,
     Network,
     NetworkStats,
+    TransportConfig,
+    TransportStats,
 )
 
-__all__ = ["Datagram", "Host", "Link", "Network", "NetworkStats"]
+__all__ = [
+    "Datagram",
+    "Host",
+    "Link",
+    "Network",
+    "NetworkStats",
+    "TransportConfig",
+    "TransportStats",
+]

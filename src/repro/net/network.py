@@ -5,6 +5,18 @@ This network is deliberately simple — named hosts, point-to-point links
 with latency and loss probability, administrative partitions — but it is
 the layer where "intermittently connected or mobile" behaviour
 (Challenge 6) is injected for the distributed-audit experiments.
+
+Coalescing transport (``docs/transport_plane.md``): a host may opt into
+a per-``(source, destination, kind)`` *outbox* that collects datagrams
+sent inside a configurable flight window into one scheduled
+batch-delivery event — one heap push and one slotted callback per batch
+instead of per datagram.  Per-datagram semantics are preserved exactly:
+every send-time check (partition, link down, the per-datagram loss RNG
+roll) runs at send time in send order, so the RNG sequence and the
+``sent`` / ``dropped`` / ``blocked_partition`` counters are identical to
+the uncoalesced path; delivery-time checks (offline host, detached
+receiver) and the ``delivered_at`` stamp run per datagram inside the
+batch flush.
 """
 
 from __future__ import annotations
@@ -75,8 +87,14 @@ class NetworkStats:
     blocked_partition: int = 0
     handshake_sent: int = 0
     gossip_sent: int = 0
-    #: Estimated bytes sent per traffic kind (only for sized sends).
+    #: Estimated bytes *attempted* per traffic kind (only sized sends):
+    #: credited at send time, before the partition/link-down/loss
+    #: checks, so blocked and dropped traffic is included — what a
+    #: sender's NIC counter would show.
     bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Estimated bytes actually *delivered* per traffic kind — the
+    #: counter byte-budget benchmarks should assert on.
+    bytes_delivered_by_kind: Dict[str, int] = field(default_factory=dict)
 
     def note_send(self, kind: str, size: int) -> None:
         if kind == "handshake":
@@ -85,6 +103,119 @@ class NetworkStats:
             self.gossip_sent += 1
         if size:
             self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + size
+
+    def note_delivered(self, kind: str, size: int) -> None:
+        if size:
+            self.bytes_delivered_by_kind[kind] = (
+                self.bytes_delivered_by_kind.get(kind, 0) + size
+            )
+
+
+@dataclass
+class TransportConfig:
+    """Coalescing parameters for one sending host (or the default).
+
+    Attributes:
+        coalesce_window: how long (simulated seconds) an outbox stays
+            open for joiners after its first datagram.  ``0.0`` still
+            coalesces — every datagram sent to the same ``(source,
+            destination, kind)`` within one simulated instant shares a
+            batch — and delivers at exactly the uncoalesced time.
+        max_batch: datagrams per batch before the outbox closes to
+            joiners (the next send opens a fresh batch; the closed one
+            still flushes at its own deadline, never early).
+    """
+
+    coalesce_window: float = 0.0
+    max_batch: int = 64
+
+    def __post_init__(self) -> None:
+        if self.coalesce_window < 0:
+            raise ValueError(
+                f"coalesce_window must be >= 0, got {self.coalesce_window}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+
+
+@dataclass
+class TransportStats:
+    """Counters for the coalescing transport (``stats()["transport"]``)."""
+
+    batches: int = 0
+    batched_datagrams: int = 0
+    batched_bytes: int = 0
+    #: Flush causes: the batch's join window lapsed vs. it filled to
+    #: ``max_batch`` first (it still flushes at its window deadline).
+    flush_window: int = 0
+    flush_size: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_datagrams / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "batches": self.batches,
+            "datagrams": self.batched_datagrams,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "bytes": self.batched_bytes,
+            "flush_window": self.flush_window,
+            "flush_size": self.flush_size,
+        }
+
+
+class _OutboxBatch:
+    """One in-flight delivery batch: the slotted flush callback.
+
+    Datagrams appended here already passed every send-time check; the
+    flush replays the delivery-time protocol per datagram (offline /
+    receiver checks, ``delivered_at`` stamp, delivered counters) in
+    append order — a receiver knocking the destination offline mid-batch
+    drops the remaining datagrams, exactly as per-datagram events would.
+    """
+
+    __slots__ = ("network", "key", "dest", "datagrams", "join_until", "closed")
+
+    def __init__(
+        self,
+        network: "Network",
+        key: Tuple[str, str, str],
+        dest: Host,
+        join_until: float,
+    ):
+        self.network = network
+        self.key = key
+        self.dest = dest
+        self.datagrams: List[Datagram] = []
+        self.join_until = join_until
+        self.closed = False
+
+    def __call__(self) -> None:
+        network = self.network
+        # Retire from the outbox table first: a receiver sending to the
+        # same key mid-flush must open a fresh batch, never re-enter a
+        # firing one.
+        if network._outboxes.get(self.key) is self:
+            del network._outboxes[self.key]
+        tstats = network.transport_stats
+        tstats.batches += 1
+        tstats.batched_datagrams += len(self.datagrams)
+        if self.closed:
+            tstats.flush_size += 1
+        else:
+            tstats.flush_window += 1
+        stats = network.stats
+        dest = self.dest
+        now = network.sim.now()
+        for datagram in self.datagrams:
+            if not dest.online or dest.receiver is None:
+                stats.dropped += 1
+                continue
+            datagram.delivered_at = now
+            stats.delivered += 1
+            stats.note_delivered(datagram.kind, datagram.size)
+            dest.receiver(datagram)
 
 
 class Network:
@@ -103,6 +234,13 @@ class Network:
         self._links: Dict[Tuple[str, str], Link] = {}
         self._partitions: List[Tuple[Set[str], Set[str]]] = []
         self.stats = NetworkStats()
+        self.transport_stats = TransportStats()
+        # Coalescing transport: per-sending-host config (plus an
+        # optional default for every host), and the live outboxes —
+        # (source, destination, kind) → open batch.
+        self._transport_default: Optional[TransportConfig] = None
+        self._transport_by_host: Dict[str, TransportConfig] = {}
+        self._outboxes: Dict[Tuple[str, str, str], _OutboxBatch] = {}
 
     # -- topology -------------------------------------------------------------
 
@@ -141,6 +279,32 @@ class Network:
 
     def _link_for(self, source: str, destination: str) -> Link:
         return self._links.get((source, destination), Link(self.default_latency))
+
+    # -- transport ----------------------------------------------------------
+
+    def configure_transport(
+        self,
+        coalesce_window: float = 0.0,
+        max_batch: int = 64,
+        host: Optional[str] = None,
+    ) -> TransportConfig:
+        """Enable the coalescing outbox for ``host`` (or, with no host,
+        for every sender without its own config).  Returns the config.
+
+        See ``docs/transport_plane.md`` for the outbox/window/flush
+        protocol and the exact parity guarantees.
+        """
+        config = TransportConfig(coalesce_window, max_batch)
+        if host is None:
+            self._transport_default = config
+        else:
+            self._transport_by_host[host] = config
+        return config
+
+    def transport_for(self, source: str) -> Optional[TransportConfig]:
+        """The coalescing config governing ``source``'s sends, if any."""
+        config = self._transport_by_host.get(source)
+        return config if config is not None else self._transport_default
 
     # -- partitions ------------------------------------------------------------
 
@@ -197,13 +361,53 @@ class Network:
             self.stats.dropped += 1
             return datagram
 
+        transport = self._transport_by_host.get(source) or self._transport_default
+        if transport is not None:
+            self._enqueue(transport, source, destination, kind, dest, link, datagram)
+            return datagram
+
         def deliver() -> None:
             if not dest.online or dest.receiver is None:
                 self.stats.dropped += 1
                 return
             datagram.delivered_at = self.sim.now()
             self.stats.delivered += 1
+            self.stats.note_delivered(datagram.kind, datagram.size)
             dest.receiver(datagram)
 
         self.sim.schedule_in(link.latency, deliver, label=f"net:{source}->{destination}")
         return datagram
+
+    def _enqueue(
+        self,
+        transport: TransportConfig,
+        source: str,
+        destination: str,
+        kind: str,
+        dest: Host,
+        link: Link,
+        datagram: Datagram,
+    ) -> None:
+        """Append a send-time-cleared datagram to its outbox batch.
+
+        A batch opened at ``t0`` flushes at ``t0 + window + latency`` and
+        admits joiners until ``t0 + window`` (so no datagram ever
+        delivers *earlier* than its uncoalesced time, and at most
+        ``window`` later).  Batches for one key flush in open order —
+        deadlines are monotone in open time — so per-key FIFO holds.
+        """
+        key = (source, destination, kind)
+        batch = self._outboxes.get(key)
+        now = self.sim.now()
+        if batch is None or batch.closed or now > batch.join_until:
+            batch = _OutboxBatch(self, key, dest, now + transport.coalesce_window)
+            self._outboxes[key] = batch
+            self.sim.schedule_bucket(
+                transport.coalesce_window + link.latency,
+                batch,
+                label=f"net:batch:{source}->{destination}",
+            )
+        batch.datagrams.append(datagram)
+        self.transport_stats.batched_bytes += datagram.size
+        if len(batch.datagrams) >= transport.max_batch:
+            batch.closed = True

@@ -130,3 +130,48 @@ class TestPruneAndExport:
         exported = audit.export()
         assert len(exported) == 2
         assert exported[1]["digest"] == audit.head_digest
+
+
+class TestCanonicalEncoding:
+    """canonical() assembles from memoised fragments; it must stay
+    byte-identical to the reference sorted-keys json.dumps form, since
+    chain digests and cold spill files store exactly those bytes."""
+
+    def _reference(self, record):
+        import json
+
+        from repro.audit.records import _context_dict
+
+        body = {
+            "seq": record.seq,
+            "timestamp": record.timestamp,
+            "kind": record.kind.value,
+            "actor": record.actor,
+            "subject": record.subject,
+            "detail": record.detail,
+            "source_context": _context_dict(record.source_context),
+            "target_context": _context_dict(record.target_context),
+        }
+        return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+    def test_canonical_matches_reference_encoding(self, audit):
+        ctx = SecurityContext.of(["medical", "home:tv"], ["vendor"])
+        records = [
+            audit.flow_allowed("a", "b", ctx, ctx),
+            audit.flow_denied("ünïcode", "d", "no — denied", ctx, None),
+            audit.append(
+                RecordKind.CUSTOM,
+                "actor",
+                detail={"z": [1, 2.5], "a": {"nested": None, "ok": True}},
+            ),
+        ]
+        for record in records:
+            assert record.canonical() == self._reference(record)
+
+    def test_canonical_round_trips(self, audit):
+        from repro.audit.records import AuditRecord
+
+        ctx = SecurityContext.of(["s1", "s2"], ["i1"])
+        record = audit.flow_allowed("a", "b", ctx, ctx)
+        rebuilt = AuditRecord.from_canonical(record.canonical())
+        assert rebuilt.canonical() == record.canonical()

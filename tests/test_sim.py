@@ -127,3 +127,97 @@ class TestSimulator:
         a = Simulator(seed=99).rng.random()
         b = Simulator(seed=99).rng.random()
         assert a == b
+
+    def test_recurring_no_drift_when_callback_advances_clock(self, sim):
+        # Regression: re-arming from clock.now() after the callback let
+        # a clock-advancing callback (worker pump, nested drain) stretch
+        # every period.  The recurrence must stay on the k*interval grid.
+        fired = []
+
+        def pump():
+            fired.append(sim.now())
+            sim.clock.advance(0.6)
+
+        sim.schedule_every(1.0, pump)
+        sim.run_until(4.5)
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_recurring_skips_missed_periods_to_grid(self, sim):
+        fired = []
+
+        def slow():
+            fired.append(sim.now())
+            sim.clock.advance(2.5)  # overruns two whole periods
+
+        sim.schedule_every(1.0, slow)
+        sim.run_until(4.5)
+        # Missed grid points are skipped, not replayed; the next firing
+        # is the first grid point strictly after the overrun.
+        assert fired == [1.0, 4.0]
+
+
+class TestEventQueueLiveCount:
+    def test_len_tracks_cancellation(self):
+        queue = EventQueue()
+        events = [queue.push(float(i + 1), lambda: None) for i in range(5)]
+        assert len(queue) == 5
+        events[2].cancel()
+        events[2].cancel()  # idempotent: must not double-decrement
+        assert len(queue) == 4
+        assert queue.pop() is events[0]
+        assert len(queue) == 3
+
+
+class TestEventBuckets:
+    def test_bucket_shares_one_heap_entry(self):
+        queue = EventQueue()
+        order = []
+        first = queue.push_bucket(1.0, lambda: order.append("a"))
+        second = queue.push_bucket(1.0, lambda: order.append("b"))
+        assert first is second
+        assert len(queue) == 1
+        event = queue.pop()
+        event.callback()
+        assert order == ["a", "b"]
+
+    def test_bucket_orders_against_plain_events_by_creation(self, sim):
+        log = []
+        sim.schedule_in(1.0, lambda: log.append("before"))
+        sim.schedule_bucket(1.0, lambda: log.append("b1"))
+        sim.schedule_bucket(1.0, lambda: log.append("b2"))
+        sim.schedule_in(1.0, lambda: log.append("after"))
+        sim.run_for(2.0)
+        # The bucket holds the heap position of its first callback; later
+        # joiners ride along ahead of later individual pushes.
+        assert log == ["before", "b1", "b2", "after"]
+
+    def test_append_during_fire_runs_same_step(self, sim):
+        log = []
+
+        def first():
+            log.append("first")
+            sim.schedule_bucket(0.0, lambda: log.append("late"))
+
+        sim.schedule_bucket(1.0, first)
+        sim.run_for(2.0)
+        assert log == ["first", "late"]
+
+    def test_cancel_cancels_whole_bucket(self, sim):
+        log = []
+        event = sim.schedule_bucket(1.0, lambda: log.append("a"))
+        sim.schedule_bucket(1.0, lambda: log.append("b"))
+        event.cancel()
+        sim.run_for(2.0)
+        assert log == []
+        # A post-cancel schedule at the same deadline opens a fresh bucket.
+        sim.schedule_bucket(0.5, lambda: log.append("fresh"))
+        sim.run_for(1.0)
+        assert log == ["fresh"]
+
+    def test_spent_deadline_reopens_fresh_bucket(self, sim):
+        log = []
+        sim.schedule_bucket(1.0, lambda: log.append("one"))
+        sim.run_for(1.0)
+        sim.schedule_bucket(1.0, lambda: log.append("two"))
+        sim.run_for(1.0)
+        assert log == ["one", "two"]

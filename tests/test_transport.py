@@ -1,0 +1,218 @@
+"""Coalescing transport: outbox batching with per-datagram semantics.
+
+The contract under test (``docs/transport_plane.md``): coalescing may
+only change *when* a cleared datagram is delivered (by at most the
+flight window, never early) — every per-datagram outcome (loss roll,
+partition block, offline drop, counters, stamps) must match the
+uncoalesced path exactly.
+"""
+
+import pytest
+
+from repro.net import Network, TransportConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, default_latency=0.5)
+
+
+def wired_pair(net, window=0.0, max_batch=64):
+    """Hosts a → b with a's sends coalescing; returns the b inbox."""
+    received = []
+    net.add_host("a")
+    net.add_host("b", receiver=lambda d: received.append(d))
+    net.configure_transport(window, max_batch, host="a")
+    return received
+
+
+class TestCoalescing:
+    def test_same_instant_sends_share_one_batch(self, sim, net):
+        received = wired_pair(net)
+        for i in range(5):
+            net.send("a", "b", i)
+        sim.run_for(1.0)
+        assert [d.payload for d in received] == [0, 1, 2, 3, 4]
+        assert net.transport_stats.batches == 1
+        assert net.transport_stats.batched_datagrams == 5
+        assert net.transport_stats.mean_batch_size == 5.0
+
+    def test_window_zero_delivers_at_uncoalesced_time(self, sim, net):
+        received = wired_pair(net, window=0.0)
+        net.send("a", "b", "x")
+        sim.run_for(1.0)
+        assert received[0].delivered_at == 0.5  # exactly send + latency
+
+    def test_window_admits_joiners_and_flushes_once(self, sim, net):
+        received = wired_pair(net, window=0.2)
+        net.send("a", "b", "first")
+        sim.run_for(0.1)
+        net.send("a", "b", "joiner")  # inside the window
+        sim.run_for(2.0)
+        assert [d.payload for d in received] == ["first", "joiner"]
+        # Both share the opener's deadline: t0 + window + latency.
+        assert received[0].delivered_at == received[1].delivered_at == 0.7
+        assert net.transport_stats.batches == 1
+        assert net.transport_stats.flush_window == 1
+
+    def test_send_after_window_opens_new_batch(self, sim, net):
+        received = wired_pair(net, window=0.2)
+        net.send("a", "b", "first")
+        sim.run_for(0.3)  # window lapsed (batch still in flight)
+        net.send("a", "b", "late")
+        sim.run_for(2.0)
+        assert net.transport_stats.batches == 2
+        assert [d.payload for d in received] == ["first", "late"]
+        assert received[0].delivered_at == 0.7
+        assert received[1].delivered_at == pytest.approx(1.0)
+
+    def test_never_early_and_per_key_fifo(self, sim, net):
+        received = wired_pair(net, window=0.2)
+        for offset in (0.0, 0.05, 0.25):
+            sim.run_until(offset)
+            net.send("a", "b", offset)
+        sim.run_for(2.0)
+        assert [d.payload for d in received] == [0.0, 0.05, 0.25]
+        for d in received:
+            # No datagram beats its uncoalesced delivery time...
+            assert d.delivered_at >= d.sent_at + 0.5
+            # ...and pays at most the window on top.
+            assert d.delivered_at <= d.sent_at + 0.5 + 0.2
+
+    def test_max_batch_closes_but_flushes_at_deadline(self, sim, net):
+        received = wired_pair(net, window=0.2, max_batch=2)
+        for i in range(3):
+            net.send("a", "b", i)
+        sim.run_for(1.0)
+        assert [d.payload for d in received] == [0, 1, 2]
+        # The full batch closed to joiners (third opened a fresh one)
+        # but still delivered at its own window deadline, never early.
+        assert received[0].delivered_at == received[2].delivered_at == 0.7
+        assert net.transport_stats.batches == 2
+        assert net.transport_stats.flush_size == 1
+        assert net.transport_stats.flush_window == 1
+
+    def test_distinct_kinds_do_not_share_batches(self, sim, net):
+        received = wired_pair(net)
+        net.send("a", "b", "d", kind="data")
+        net.send("a", "b", "g", kind="gossip")
+        sim.run_for(1.0)
+        assert net.transport_stats.batches == 2
+
+    def test_unconfigured_host_keeps_per_datagram_path(self, sim, net):
+        received = wired_pair(net)
+        net.send("b", "a", "reverse")  # b has no transport config
+        sim.run_for(1.0)
+        assert net.transport_stats.batches == 0
+        assert net.stats.delivered == 0  # a has no receiver → dropped
+        assert net.stats.dropped == 1
+
+    def test_default_config_covers_every_host(self, sim, net):
+        received = wired_pair(net)
+        net.configure_transport(0.1, 8)  # host=None → default
+        assert net.transport_for("b").coalesce_window == 0.1
+        # An explicit per-host config wins over the default.
+        assert net.transport_for("a").coalesce_window == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TransportConfig(coalesce_window=-0.1)
+        with pytest.raises(ValueError):
+            TransportConfig(max_batch=0)
+
+
+class TestPerDatagramSemantics:
+    def test_loss_rolls_match_uncoalesced_exactly(self):
+        """Same seed, same send sequence → identical per-datagram fate."""
+        outcomes = []
+        for coalesce in (False, True):
+            sim = Simulator(seed=1234)
+            net = Network(sim, default_latency=0.5)
+            received = []
+            net.add_host("a")
+            net.add_host("b", receiver=lambda d: received.append(d))
+            net.link("a", "b", loss_probability=0.4)
+            if coalesce:
+                net.configure_transport(0.2, 16, host="a")
+            for i in range(50):
+                net.send("a", "b", i)
+                sim.run_for(0.01)
+            sim.run_for(5.0)
+            outcomes.append(
+                (
+                    [d.payload for d in received],
+                    net.stats.sent,
+                    net.stats.dropped,
+                    net.stats.delivered,
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+        assert 0 < outcomes[0][2] < 50  # the loss roll actually bit
+
+    def test_partition_mid_window_blocks_only_later_sends(self, sim, net):
+        received = wired_pair(net, window=0.3)
+        net.send("a", "b", "pre")
+        sim.run_for(0.1)
+        net.partition({"a"}, {"b"})
+        net.send("a", "b", "post")  # blocked at send time
+        sim.run_for(2.0)
+        # The pre-partition datagram was already cleared and in flight;
+        # only the post-partition send is blocked.
+        assert [d.payload for d in received] == ["pre"]
+        assert net.stats.blocked_partition == 1
+        assert net.stats.delivered == 1
+
+    def test_host_offline_mid_batch_drops_remainder(self, sim, net):
+        received = wired_pair(net, window=0.0)
+
+        def receive_then_die(d):
+            received.append(d)
+            net.host("b").online = False
+
+        net.set_receiver("b", receive_then_die)
+        for i in range(4):
+            net.send("a", "b", i)
+        sim.run_for(1.0)
+        # First delivery knocks the host offline; the rest of the batch
+        # drops per datagram, exactly as individual events would.
+        assert [d.payload for d in received] == [0]
+        assert net.stats.delivered == 1
+        assert net.stats.dropped == 3
+
+    def test_offline_before_flush_drops_whole_batch(self, sim, net):
+        received = wired_pair(net, window=0.2)
+        net.send("a", "b", "x")
+        net.send("a", "b", "y")
+        net.host("b").online = False
+        sim.run_for(1.0)
+        assert received == []
+        assert net.stats.dropped == 2
+        assert net.transport_stats.batches == 1  # flush still accounted
+
+    def test_send_during_flush_opens_fresh_batch(self, sim, net):
+        """A receiver replying to the same key mid-flush must not append
+        to the firing batch (its deadline already passed)."""
+        received = wired_pair(net, window=0.1)
+        net.add_host("c", receiver=lambda d: received.append(d))
+        net.configure_transport(0.1, 64, host="b")
+        replies = []
+        net.set_receiver(
+            "b",
+            lambda d: (received.append(d), net.send("b", "a", f"re:{d.payload}")),
+        )
+        net.set_receiver("a", lambda d: replies.append(d.payload))
+        net.send("a", "b", "ping")
+        sim.run_for(3.0)
+        assert [d.payload for d in received] == ["ping"]
+        assert replies == ["re:ping"]
+
+    def test_delivered_bytes_ledger_counts_only_deliveries(self, sim, net):
+        received = wired_pair(net, window=0.0)
+        net.link("a", "b", loss_probability=1.0, symmetric=False)
+        net.send("a", "b", "lost", kind="gossip", size=100)
+        net.link("a", "b", loss_probability=0.0, symmetric=False)
+        net.send("a", "b", "kept", kind="gossip", size=40)
+        sim.run_for(1.0)
+        assert net.stats.bytes_by_kind["gossip"] == 140  # attempted
+        assert net.stats.bytes_delivered_by_kind["gossip"] == 40

@@ -1,0 +1,110 @@
+"""Property: coalescing is invisible except for delivery timing.
+
+For any scripted send sequence under random flight windows, batch caps,
+loss probabilities and partitions, the coalesced transport must produce
+record-for-record the same outcome as the per-datagram path: identical
+per-``(source, destination, kind)`` delivery sequences and identical
+network counters (the loss RNG rolls at send time in send order, so the
+two arms consume the same random sequence).  Only ``delivered_at`` may
+differ — by at most the window, never early (asserted in
+``tests/test_transport.py``).
+
+Delivery-time state (hosts going offline) is deliberately outside the
+property: shifting a delivery by up to the window across an offline
+transition legitimately changes its fate, which is the documented
+semantic boundary (``docs/transport_plane.md``), covered by the
+deterministic edge tests instead.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Network
+from repro.sim import Simulator
+
+HOSTS = ("h0", "h1", "h2")
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("send"),
+            st.integers(0, 2),
+            st.integers(0, 2),
+            st.sampled_from(["data", "gossip"]),
+            st.integers(0, 50),
+        ),
+        # Centiseconds: quantized so both arms replay identical floats.
+        st.tuples(st.just("advance"), st.integers(0, 60)),
+        st.tuples(st.just("partition")),
+        st.tuples(st.just("heal")),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _run(script, window_cs, max_batch, loss, seed, coalesce):
+    sim = Simulator(seed=seed)
+    net = Network(sim, default_latency=0.25)
+    inbox = {}
+
+    def receiver(datagram):
+        key = (datagram.source, datagram.destination, datagram.kind)
+        inbox.setdefault(key, []).append(datagram.payload)
+
+    for host in HOSTS:
+        net.add_host(host, receiver=receiver)
+    for a in HOSTS:
+        for b in HOSTS:
+            if a != b:
+                net.link(a, b, loss_probability=loss, symmetric=False)
+    if coalesce:
+        net.configure_transport(window_cs / 100.0, max_batch)
+
+    payload = 0
+    for op in script:
+        if op[0] == "send":
+            _, src, dst, kind, size = op
+            if src == dst:
+                continue
+            net.send(HOSTS[src], HOSTS[dst], payload, kind=kind, size=size)
+            payload += 1
+        elif op[0] == "advance":
+            sim.run_for(op[1] / 100.0)
+        elif op[0] == "partition":
+            net.partition({"h0"}, {"h1"})
+        else:
+            net.heal_partitions()
+    sim.run_for(10.0)
+
+    stats = net.stats
+    return inbox, (
+        stats.sent,
+        stats.delivered,
+        stats.dropped,
+        stats.blocked_partition,
+        stats.gossip_sent,
+        dict(stats.bytes_by_kind),
+        dict(stats.bytes_delivered_by_kind),
+    )
+
+
+@given(
+    script=ops,
+    window_cs=st.integers(0, 30),
+    max_batch=st.integers(1, 8),
+    loss=st.sampled_from([0.0, 0.3, 0.6]),
+    seed=st.integers(0, 999),
+)
+@settings(max_examples=60, deadline=None)
+def test_coalesced_delivery_is_record_identical(
+    script, window_cs, max_batch, loss, seed
+):
+    plain_inbox, plain_stats = _run(
+        script, window_cs, max_batch, loss, seed, coalesce=False
+    )
+    coalesced_inbox, coalesced_stats = _run(
+        script, window_cs, max_batch, loss, seed, coalesce=True
+    )
+    assert coalesced_inbox == plain_inbox
+    assert coalesced_stats == plain_stats
