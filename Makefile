@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test lint bench bench-wire bench-audit bench-federation \
-	bench-workers bench-query bench-transport bench-all test-concurrency
+	bench-workers bench-query bench-transport bench-verify bench-all \
+	test-concurrency
 
 # Tier-1 verification: the whole suite, fail-fast.  The bench smoke
 # list (decision-plane + wire-plane scale benches, with their ratio
@@ -65,6 +66,15 @@ bench-query:
 # demote the wall-clock gates with TRANSPORT_BENCH_STRICT=0 for smoke.
 bench-transport:
 	$(PYTHON) -m pytest benchmarks/test_scale_transport.py -q -s
+
+# Verification-plane bench: parallel deep verify vs serial, and
+# steady-state incremental (watermark-cursor) verify vs full recompute
+# at 10^6 records; regenerates BENCH_audit_verify.json.  Scale down
+# with VERIFY_BENCH_RECORDS=20000 and demote the wall-clock gates with
+# VERIFY_BENCH_STRICT=0 for smoke (the parallel gate also self-demotes
+# below 4 CPUs).
+bench-verify:
+	$(PYTHON) -m pytest benchmarks/test_scale_verify.py -q -s -p no:randomly
 
 # The real-thread stress tests of the contention-proofed planes
 # (decision cache snapshot/epoch protocol, audit-spine ring drains).

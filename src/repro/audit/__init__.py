@@ -15,6 +15,7 @@ from repro.audit.spine import (
 )
 from repro.audit.sink import AuditSink
 from repro.audit.query import AuditQuery, QueryStats
+from repro.audit.verify import VerifyStats
 from repro.audit.provenance import (
     EdgeKind,
     NodeKind,
@@ -57,6 +58,7 @@ __all__ = [
     "AuditSpine",
     "AuditQuery",
     "QueryStats",
+    "VerifyStats",
     "SealedSegment",
     "SegmentIndex",
     "SegmentStore",

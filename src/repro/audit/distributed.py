@@ -246,7 +246,12 @@ class FederationPinboard:
         by_pos = self._pins.get(domain, {})
         return [by_pos[p] for p in sorted(by_pos)]
 
-    def verify(self, spines) -> Dict[str, str]:
+    def verify(
+        self,
+        spines,
+        mode: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> Dict[str, str]:
         """Hold each domain's live spine to every pinned position.
 
         ``spines`` maps domain → spine-like (``checkpoint_position`` /
@@ -271,6 +276,16 @@ class FederationPinboard:
 
         Claims are gossiped every round, so honest domains are pinned
         close to their head and normally keep that position checkable.
+
+        ``mode`` (``None`` by default) optionally adds a *local-chain*
+        check per presented spine: ``"incremental"`` or ``"deep"`` runs
+        each spine's own ``verify(mode=..., workers=...)`` and demotes
+        an otherwise-clean verdict to ``"tampered"`` when the local
+        chain fails.  Pin comparison alone only sees the checkpoint
+        chain; the local check catches a record tampered *behind* an
+        intact checkpoint head — and with ``"incremental"`` it is cheap
+        enough to run every federation round (watermark cursors make it
+        O(new records) steady-state).
         """
         verdicts: Dict[str, str] = {}
         for domain, spine in spines.items():
@@ -300,6 +315,17 @@ class FederationPinboard:
                     break
             if verdict is None:
                 verdict = "ok" if checked else "unverifiable"
+            if mode is not None and verdict not in (
+                "tampered", "truncated"
+            ):
+                verify_fn = getattr(spine, "verify", None)
+                if callable(verify_fn):
+                    try:
+                        clean = verify_fn(mode=mode, workers=workers)
+                    except TypeError:
+                        clean = verify_fn()
+                    if not clean:
+                        verdict = "tampered"
             verdicts[domain] = verdict
         return verdicts
 
@@ -330,8 +356,20 @@ class AuditCollector:
     forensics (the end-to-end view no single domain holds).
     """
 
-    def __init__(self, key: str = "collector-key"):
+    def __init__(
+        self,
+        key: str = "collector-key",
+        verify_mode: str = "incremental",
+        verify_workers: Optional[int] = None,
+    ):
         self._key = key
+        #: How submitted chains are verified before acceptance.
+        #: ``"incremental"`` (the default) rides watermark cursors so
+        #: repeat submissions from the same domain re-verify only what
+        #: changed; ``"deep"`` recomputes everything each time.  Either
+        #: mode rejects every tamper class (``docs/audit_storage.md``).
+        self.verify_mode = verify_mode
+        self.verify_workers = verify_workers
         self._segments: Dict[str, List[AuditRecord]] = {}
         self._rejected: Set[str] = set()
         self._receipts: List[OffloadReceipt] = []
@@ -354,9 +392,19 @@ class AuditCollector:
         the same way: verification covers every segment plus the
         checkpoint chain, and the receipt is taken over the segment
         heads (via a fresh checkpoint) rather than a single linear
-        chain's head.
+        chain's head.  Verification runs in the collector's
+        :attr:`verify_mode` — watermark-aware by default, so a domain
+        re-submitting a mostly-cold spine costs O(new records), not
+        O(history).
         """
-        if not log.verify():
+        try:
+            accepted = log.verify(
+                mode=self.verify_mode, workers=self.verify_workers
+            )
+        except TypeError:
+            # A duck-typed sink predating the verification plane.
+            accepted = log.verify()
+        if not accepted:
             self._rejected.add(domain)
             return None
         segment_heads: Tuple[Tuple[str, str], ...] = ()

@@ -211,20 +211,44 @@ class AuditLog(RecorderMixin):
         pending.clear()
         return flushed
 
-    def verify(self) -> bool:
+    def verify(
+        self,
+        mode: str = "deep",
+        workers: Optional[int] = None,
+    ) -> bool:
         """Recompute the whole chain; True iff untampered.
 
         Raises nothing — audit tooling wants a boolean; use
         :meth:`verify_strict` to get the failing position.
+
+        ``mode`` and ``workers`` exist for :class:`AuditSink` signature
+        compatibility with the spine's verification plane; a flat log is
+        one unsegmented in-memory chain, so every call is a full serial
+        recompute regardless (there are no immutable cold segments to
+        watermark or fan out).
         """
+        if mode not in ("incremental", "deep"):
+            raise ValueError(
+                f"verification mode must be 'incremental' or 'deep', "
+                f"got {mode!r}"
+            )
         try:
             self.verify_strict()
             return True
         except IntegrityViolation:
             return False
 
-    def verify_strict(self) -> None:
-        """Recompute the chain, raising on the first mismatch."""
+    def verify_strict(
+        self,
+        deep: bool = True,
+        workers: Optional[int] = None,
+    ) -> None:
+        """Recompute the chain, raising on the first mismatch.
+
+        ``deep`` and ``workers`` are accepted for signature parity with
+        :meth:`~repro.audit.spine.AuditSpine.verify_strict` and ignored:
+        a flat log always recomputes everything.
+        """
         self.flush()
         digest = self._base_digest
         for i, record in enumerate(self._records):

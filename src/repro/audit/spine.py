@@ -48,6 +48,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.audit.log import GENESIS_DIGEST, RecorderMixin
@@ -57,6 +58,7 @@ from repro.audit.storage import (  # noqa: F401  (AuditSegment re-exported)
     SegmentStore,
     _segment_genesis,
 )
+from repro.audit.verify import VerifyStats
 from repro.errors import IntegrityViolation
 from repro.ifc.labels import SecurityContext
 
@@ -154,11 +156,14 @@ class SpineEmitter(RecorderMixin):
     def checkpoint(self) -> Optional[AuditRecord]:
         return self.spine.checkpoint()
 
-    def verify(self) -> bool:
-        return self.spine.verify()
+    def verify(self, mode: str = "incremental", workers=None) -> bool:
+        return self.spine.verify(mode=mode, workers=workers)
 
-    def verify_strict(self) -> None:
-        self.spine.verify_strict()
+    def verify_strict(self, deep: bool = False, workers=None):
+        return self.spine.verify_strict(deep=deep, workers=workers)
+
+    def verify_stats(self) -> Dict:
+        return self.spine.verify_stats()
 
     def export(self) -> List[Dict]:
         return self.spine.export()
@@ -171,6 +176,17 @@ class SpineEmitter(RecorderMixin):
 
     def tier_stats(self) -> Dict:
         return self.spine.tier_stats()
+
+
+def _deep_of(mode: str) -> bool:
+    """Map the consumer-facing ``mode`` string to ``deep``."""
+    if mode == "deep":
+        return True
+    if mode == "incremental":
+        return False
+    raise ValueError(
+        f"verification mode must be 'incremental' or 'deep', got {mode!r}"
+    )
 
 
 def bind_source(audit, source: str):
@@ -262,6 +278,28 @@ class AuditSpine(RecorderMixin):
         self._drains_since_checkpoint = 0
         self._chained_at_last_checkpoint = 0
         self._chained_records = 0
+        #: Checkpoint-binding watermark: ``(position, digest)`` of the
+        #: checkpoint chain's head after the last fully successful
+        #: verification.  An incremental pass that re-derives the same
+        #: digest at that position only walks the bindings of
+        #: checkpoints appended since; any prune or store watermark
+        #: invalidation drops it and forces a full binding re-walk.
+        self._ckpt_bound: Optional[Tuple[int, str]] = None
+        #: Stats of the most recent ``verify_strict`` pass (successful
+        #: or not), plus cumulative totals — ``verify_stats()``.
+        self.last_verify_stats: Optional[VerifyStats] = None
+        self.stats_verifies = 0
+        self._verify_cum = {
+            "segments_verified": 0,
+            "segments_skipped": 0,
+            "records_verified": 0,
+            "bytes_hashed": 0,
+            "watermark_hits": 0,
+            "watermark_invalidations": 0,
+            "checkpoints_verified": 0,
+            "checkpoints_skipped": 0,
+            "wall_s": 0.0,
+        }
         # Every actor ever drained — survives pruning, so distributed
         # gap detection can tell "pruned" from "never reported".
         self._actors: Set[str] = set()
@@ -701,17 +739,33 @@ class AuditSpine(RecorderMixin):
 
     # -- verification -------------------------------------------------------
 
-    def verify(self) -> bool:
+    def verify(
+        self,
+        mode: str = "incremental",
+        workers: Optional[int] = None,
+    ) -> bool:
         """True iff every segment chain, the checkpoint chain, and every
-        retained checkpoint's segment-head bindings hold."""
+        retained checkpoint's segment-head bindings hold.
+
+        ``mode="incremental"`` (the default) skips cold segments whose
+        verified watermark is intact; ``mode="deep"`` recomputes
+        everything.  Both modes detect every tamper class — see the
+        verification-modes section of ``docs/audit_storage.md``.
+        ``workers`` fans independent segment recomputations across a
+        thread pool.
+        """
         try:
-            self.verify_strict()
+            self.verify_strict(deep=_deep_of(mode), workers=workers)
             return True
         except IntegrityViolation:
             return False
 
-    def verify_strict(self) -> None:
-        """Recompute everything, raising on the first mismatch.
+    def verify_strict(
+        self,
+        deep: bool = False,
+        workers: Optional[int] = None,
+    ) -> VerifyStats:
+        """Verify the whole spine, raising on the first mismatch.
 
         Drains first (staged records must be chained to be checkable).
         Beyond per-segment chain verification, every retained checkpoint
@@ -722,38 +776,112 @@ class AuditSpine(RecorderMixin):
         concurrent drain cannot move segment heads mid-verification —
         records emitters stage *during* the verify simply aren't part of
         the history being checked yet.
+
+        ``deep=True`` recomputes every chunk and every checkpoint
+        binding unconditionally (the historical behaviour, still the
+        authoritative mode).  ``deep=False`` — incremental — always
+        recomputes the hot tier and anything whose watermark dropped,
+        but skips cold segments (and checkpoint bindings) already
+        covered by an intact watermark.  Returns the pass's
+        :class:`~repro.audit.verify.VerifyStats`.
         """
         with self._maint:
-            self._verify_locked()
+            return self._verify_locked(deep=deep, workers=workers)
 
-    def _verify_locked(self) -> None:
-        self.drain()
-        # Every source's full chain — hot tail, hot sealed, cold spilled
-        # — including the continuity joins at segment boundaries.
-        self._store.verify()
-        self._ckpt.verify()
-        for record in self._ckpt.records:
-            heads = record.detail.get("heads", {})
-            counts = record.detail.get("counts", {})
-            for source, head in heads.items():
-                if source not in self._store.tails:
-                    raise IntegrityViolation(
-                        f"segment {source!r} vanished after checkpoint "
-                        f"seq {record.seq}"
-                    )
-                position = counts.get(source, 0)
-                total = self._store.total(source)
-                if position > total:
-                    raise IntegrityViolation(
-                        f"segment {source!r} truncated below checkpointed "
-                        f"position {position} (holds {total})"
-                    )
-                expected = self._store.digest_at(source, position)
-                if expected is not None and expected != head:
-                    raise IntegrityViolation(
-                        f"segment {source!r} head at position {position} "
-                        f"does not match checkpoint seq {record.seq}"
-                    )
+    def _verify_locked(
+        self,
+        deep: bool = True,
+        workers: Optional[int] = None,
+    ) -> VerifyStats:
+        started = time.perf_counter()
+        stats = VerifyStats(
+            mode="deep" if deep else "incremental",
+            workers=max(1, workers or 1),
+        )
+        self.last_verify_stats = stats
+        try:
+            self.drain()
+            # Every source's full chain — hot tail, hot sealed, cold
+            # spilled — including the continuity joins at segment
+            # boundaries (incremental mode skips watermarked cold
+            # chunks; the joins are always checked).
+            self._store.verify(deep=deep, workers=workers, stats=stats)
+            # The checkpoint chain itself is hot in-memory state: always
+            # recomputed in full, in either mode.
+            stats.bytes_hashed += self._ckpt.verify()
+            records = self._ckpt.records
+            stats.checkpoints_total = len(records)
+            start_idx = 0
+            if not deep:
+                bound = self._ckpt_bound
+                if (
+                    bound is not None
+                    and stats.watermark_invalidations == 0
+                    and bound[0] >= self._ckpt.base_count
+                    and self._ckpt.digest_at(bound[0]) == bound[1]
+                ):
+                    # The chain up to the bound re-derives the digest we
+                    # recorded after the last successful pass, and no
+                    # cold watermark dropped underneath it — only
+                    # checkpoints appended since need their bindings
+                    # walked.  Any consistent rewrite of history moves
+                    # either a cold watermark key or this digest.
+                    start_idx = bound[0] - self._ckpt.base_count
+            stats.checkpoints_skipped = start_idx
+            stats.checkpoints_verified = len(records) - start_idx
+            for record in records[start_idx:]:
+                heads = record.detail.get("heads", {})
+                counts = record.detail.get("counts", {})
+                for source, head in heads.items():
+                    if source not in self._store.tails:
+                        raise IntegrityViolation(
+                            f"segment {source!r} vanished after checkpoint "
+                            f"seq {record.seq}"
+                        )
+                    position = counts.get(source, 0)
+                    total = self._store.total(source)
+                    if position > total:
+                        raise IntegrityViolation(
+                            f"segment {source!r} truncated below "
+                            f"checkpointed position {position} "
+                            f"(holds {total})"
+                        )
+                    expected = self._store.digest_at(source, position)
+                    if expected is not None and expected != head:
+                        raise IntegrityViolation(
+                            f"segment {source!r} head at position "
+                            f"{position} does not match checkpoint "
+                            f"seq {record.seq}"
+                        )
+            self._ckpt_bound = (self._ckpt.total, self._ckpt.head)
+        except IntegrityViolation:
+            # A failed pass proves nothing about the bindings.
+            self._ckpt_bound = None
+            raise
+        finally:
+            stats.wall_s = time.perf_counter() - started
+            self.stats_verifies += 1
+            cum = self._verify_cum
+            for key in cum:
+                cum[key] += getattr(stats, key)
+        return stats
+
+    def verify_stats(self) -> Dict:
+        """Verification rollup: last pass + cumulative totals.
+
+        The ``Deployment.stats()["verify"]`` building block — how much
+        chain the spine has recomputed versus skipped over its lifetime,
+        plus the most recent pass in full.
+        """
+        with self._maint:
+            rollup = dict(self._verify_cum)
+            rollup["verifies"] = self.stats_verifies
+            rollup["last"] = (
+                self.last_verify_stats.to_dict()
+                if self.last_verify_stats is not None
+                else None
+            )
+            return rollup
 
     # -- maintenance ---------------------------------------------------------
 
@@ -777,6 +905,10 @@ class AuditSpine(RecorderMixin):
             ):
                 keep_from += 1
             self._ckpt.prune_prefix(keep_from)
+            # Pruning moves segment bases and the checkpoint chain's
+            # base: the binding watermark no longer describes the
+            # retained history.
+            self._ckpt_bound = None
             return pruned
 
     def demote_before(self, timestamp: float) -> int:
@@ -809,6 +941,7 @@ class AuditSpine(RecorderMixin):
         """
         with self._maint:
             self.drain()
+            self._ckpt_bound = None
             return self._store.prune_source(source, before)
 
     def export(self) -> List[Dict]:

@@ -54,17 +54,30 @@ import mmap
 import os
 import re
 import struct
+import time
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.audit.log import chain_digest
 from repro.audit.records import AuditRecord, _context_tags
+from repro.audit.verify import VerifyStats
 from repro.errors import IntegrityViolation
 
 SPILL_MAGIC = b"RAUDSEG1"
 SPILL_VERSION = 1
 
 _UNSAFE = re.compile(r"[^a-zA-Z0-9_.\-]")
+
+#: A verified-watermark is only recorded when the spill file's mtime is
+#: at least this much older than the moment verification completed.
+#: Filesystem timestamps are coarse (a scheduler tick on most kernels),
+#: so a file modified in the same tick as the verification could later
+#: be rewritten without its mtime changing — the git "racily clean"
+#: problem.  Refusing to watermark inside the margin means any write
+#: that lands *after* a successful verify always perturbs the stat the
+#: watermark recorded, so incremental mode re-verifies it.
+_STAT_MARGIN_NS = 50_000_000
 
 
 def _segment_genesis(spine_name: str, source: str) -> str:
@@ -139,15 +152,23 @@ class AuditSegment:
             return None
         return self.digests[position - self.base_count - 1]
 
-    def verify(self) -> None:
-        """Recompute the whole retained chain, raising on mismatch."""
+    def verify(self) -> int:
+        """Recompute the whole retained chain, raising on mismatch.
+
+        Returns the number of digest-material bytes re-hashed (the
+        verification plane's accounting currency).
+        """
         digest = self.base_digest
+        hashed = 0
         for record, stored in zip(self.records, self.digests):
-            digest = chain_digest(digest, record.canonical())
+            canonical = record.canonical()
+            digest = chain_digest(digest, canonical)
+            hashed += len(canonical) + _DIGEST_BYTES
             if digest != stored:
                 raise IntegrityViolation(
                     f"segment {self.source!r} chain broken at seq {record.seq}"
                 )
+        return hashed
 
     def prune_prefix(self, keep_from: int) -> int:
         """Drop the first ``keep_from`` retained records, rebasing the
@@ -384,35 +405,72 @@ def read_spill(path: Path) -> Tuple[Dict, List[Tuple[str, str]]]:
     with open(path, "rb") as fh:
         mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
         try:
-            if mm[: len(SPILL_MAGIC)] != SPILL_MAGIC:
-                raise IntegrityViolation(f"{path}: not a spill segment file")
-            (header_len,) = _LEN.unpack(
-                mm[len(SPILL_MAGIC):len(SPILL_MAGIC) + _LEN.size]
-            )
-            header_end = len(SPILL_MAGIC) + _LEN.size + header_len
-            header = json.loads(mm[len(SPILL_MAGIC) + _LEN.size:header_end])
-            stride = header["stride"]
-            data_start = _align16(header_end)
-            entries: List[Tuple[str, str]] = []
-            for i in range(header["count"]):
-                slot = data_start + i * stride
-                (length,) = _LEN.unpack(mm[slot:slot + _LEN.size])
-                digest = mm[
-                    slot + _LEN.size:slot + _LEN.size + _DIGEST_BYTES
-                ].decode()
-                body = slot + _LEN.size + _DIGEST_BYTES
-                entries.append((mm[body:body + length].decode(), digest))
+            header, entries = _parse_spill(mm, path)
             return header, entries
-        except (UnicodeDecodeError, ValueError, KeyError,
-                struct.error) as exc:
-            # A doctored file can corrupt lengths, the header JSON or
-            # the canonical bytes themselves; every such failure is an
-            # integrity violation, not a crash.
-            raise IntegrityViolation(
-                f"{path}: corrupt spill segment ({exc})"
-            ) from exc
         finally:
             mm.close()
+
+
+def read_spill_full(path: Path) -> Tuple[bytes, Dict, List[Tuple[str, str]]]:
+    """One-open read of a whole spill file for verification:
+    ``(raw header bytes, parsed header, entries)``.
+
+    Deep verification needs the raw header bytes (for the committed
+    header digest) *and* every record slot; reading the file once with a
+    single ``read()`` — which releases the GIL for the duration of the
+    I/O — instead of an open per concern is what lets a thread pool
+    overlap independent segments' file work.
+    """
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    header, entries = _parse_spill(blob, path)
+    return _raw_header_of(blob, path), header, entries
+
+
+def _raw_header_of(blob, path: Path) -> bytes:
+    """The raw header bytes out of an in-memory spill image."""
+    try:
+        (header_len,) = _LEN.unpack(
+            blob[len(SPILL_MAGIC):len(SPILL_MAGIC) + _LEN.size]
+        )
+    except struct.error as exc:
+        raise IntegrityViolation(
+            f"{path}: truncated spill segment header"
+        ) from exc
+    start = len(SPILL_MAGIC) + _LEN.size
+    return bytes(blob[start:start + header_len])
+
+
+def _parse_spill(blob, path: Path) -> Tuple[Dict, List[Tuple[str, str]]]:
+    """Decode a spill image (bytes or mmap) into (header, entries)."""
+    try:
+        if blob[: len(SPILL_MAGIC)] != SPILL_MAGIC:
+            raise IntegrityViolation(f"{path}: not a spill segment file")
+        (header_len,) = _LEN.unpack(
+            blob[len(SPILL_MAGIC):len(SPILL_MAGIC) + _LEN.size]
+        )
+        header_end = len(SPILL_MAGIC) + _LEN.size + header_len
+        header = json.loads(blob[len(SPILL_MAGIC) + _LEN.size:header_end])
+        stride = header["stride"]
+        data_start = _align16(header_end)
+        entries: List[Tuple[str, str]] = []
+        for i in range(header["count"]):
+            slot = data_start + i * stride
+            (length,) = _LEN.unpack(blob[slot:slot + _LEN.size])
+            digest = blob[
+                slot + _LEN.size:slot + _LEN.size + _DIGEST_BYTES
+            ].decode()
+            body = slot + _LEN.size + _DIGEST_BYTES
+            entries.append((blob[body:body + length].decode(), digest))
+        return header, entries
+    except (UnicodeDecodeError, ValueError, KeyError,
+            struct.error) as exc:
+        # A doctored file can corrupt lengths, the header JSON or
+        # the canonical bytes themselves; every such failure is an
+        # integrity violation, not a crash.
+        raise IntegrityViolation(
+            f"{path}: corrupt spill segment ({exc})"
+        ) from exc
 
 
 class SealedSegment:
@@ -429,7 +487,8 @@ class SealedSegment:
     __slots__ = (
         "source", "base_digest", "base_count", "count", "head",
         "index", "_records", "_digests", "_canonicals", "path",
-        "header_digest",
+        "header_digest", "_verified_key", "_digest_col", "_layout",
+        "_probes",
     )
 
     def __init__(
@@ -457,6 +516,18 @@ class SealedSegment:
         #: sha256 of the spill file's header bytes, held in memory so
         #: tampering with the on-disk header/index is detectable.
         self.header_digest: Optional[str] = None
+        #: The verified watermark: set after a successful deep check of
+        #: a cold segment, keyed on the immutable anchors plus the spill
+        #: file's stat fingerprint.  ``None`` means "never verified (or
+        #: invalidated) — re-verify in every mode".
+        self._verified_key: Optional[Tuple] = None
+        #: Memoised digest column for repeated cold probes (the second
+        #: ``digest_at`` on a cold segment loads it once; single probes
+        #: seek straight to their fixed-stride slot).
+        self._digest_col: Optional[List[str]] = None
+        #: Cached (data_start, stride) of the spill file's slot region.
+        self._layout: Optional[Tuple[int, int]] = None
+        self._probes = 0
 
     def __repr__(self) -> str:
         tier = "cold" if self.is_cold else "hot"
@@ -486,6 +557,10 @@ class SealedSegment:
                 for r, d in zip(self._records, self._digests)
             ]
         __, entries = read_spill(self.path)
+        if self._digest_col is None:
+            # A full load already paid for the digest column — memoise
+            # it so later probes are list lookups, not file reads.
+            self._digest_col = [d for __, d in entries]
         return entries
 
     def records(self) -> List[AuditRecord]:
@@ -499,7 +574,13 @@ class SealedSegment:
         ]
 
     def digest_at(self, position: int) -> Optional[str]:
-        """Chain digest at absolute ``position`` (cold: one file read)."""
+        """Chain digest at absolute ``position``.
+
+        Hot: a list lookup.  Cold: the first probe seeks straight to the
+        16-aligned fixed-stride slot and reads only its 64-byte digest;
+        repeated probes load the digest column once and answer from
+        memory — never a whole-file decode either way.
+        """
         if position < self.base_count or position > self.total:
             return None
         if position == self.base_count:
@@ -507,7 +588,118 @@ class SealedSegment:
         offset = position - self.base_count - 1
         if self._digests is not None:
             return self._digests[offset]
-        return self.entries()[offset][1]
+        if self._digest_col is not None:
+            return self._digest_col[offset]
+        self._probes += 1
+        if self._probes > 1:
+            return self._load_digest_column()[offset]
+        return self._slot_digest(offset)
+
+    def _spill_layout(self) -> Tuple[int, int]:
+        """(data_start, stride) of the cold file's slot region, cached.
+
+        Probes trust the on-disk stride the way hot probes trust the
+        in-memory digest list — :meth:`verify` is what holds the file to
+        the committed header digest; a doctored layout yields digests
+        that fail their downstream comparison.
+        """
+        if self._layout is None:
+            raw = read_spill_header_bytes(self.path)
+            try:
+                stride = json.loads(raw)["stride"]
+            except (ValueError, KeyError) as exc:
+                raise IntegrityViolation(
+                    f"{self.path}: corrupt spill segment ({exc})"
+                ) from exc
+            data_start = _align16(len(SPILL_MAGIC) + _LEN.size + len(raw))
+            self._layout = (data_start, stride)
+        return self._layout
+
+    def _slot_digest(self, offset: int) -> str:
+        """Read one slot's chain digest via a direct seek."""
+        data_start, stride = self._spill_layout()
+        with open(self.path, "rb") as fh:
+            fh.seek(data_start + offset * stride + _LEN.size)
+            raw = fh.read(_DIGEST_BYTES)
+        try:
+            return raw.decode()
+        except UnicodeDecodeError as exc:
+            raise IntegrityViolation(
+                f"{self.path}: corrupt spill segment ({exc})"
+            ) from exc
+
+    def _load_digest_column(self) -> List[str]:
+        """Memoise every slot's digest (no canonical decode) via mmap."""
+        data_start, stride = self._spill_layout()
+        try:
+            with open(self.path, "rb") as fh:
+                mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+                try:
+                    col = [
+                        mm[
+                            data_start + i * stride + _LEN.size:
+                            data_start + i * stride + _LEN.size
+                            + _DIGEST_BYTES
+                        ].decode()
+                        for i in range(self.count)
+                    ]
+                finally:
+                    mm.close()
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise IntegrityViolation(
+                f"{self.path}: corrupt spill segment ({exc})"
+            ) from exc
+        self._digest_col = col
+        return col
+
+    # -- the verified watermark --------------------------------------------
+
+    def _anchor_key(self) -> Optional[Tuple]:
+        """The watermark key: immutable anchors + file fingerprint.
+
+        ``None`` when the segment cannot be watermarked right now — it
+        is hot (live record objects are mutable, so incremental mode
+        must always re-verify them), its file is unreadable, or the file
+        was modified too close to *now* for coarse filesystem timestamps
+        to distinguish a later rewrite (see ``_STAT_MARGIN_NS``).
+        """
+        if self._records is not None or self.path is None:
+            return None
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            return None
+        if st.st_mtime_ns + _STAT_MARGIN_NS >= time.time_ns():
+            return None
+        return (
+            self.base_digest, self.base_count, self.count, self.head,
+            self.header_digest, str(self.path), st.st_ino, st.st_size,
+            st.st_mtime_ns,
+        )
+
+    @property
+    def watermarked(self) -> bool:
+        return self._verified_key is not None
+
+    def watermark_valid(self) -> bool:
+        """Whether the last successful deep check still covers this
+        segment: anchors unchanged *and* the spill file's stat
+        fingerprint (inode, size, mtime) untouched."""
+        if self._verified_key is None:
+            return False
+        return self._anchor_key() == self._verified_key
+
+    def note_verified(self) -> None:
+        """Record the watermark after a successful full verification
+        (no-op when the segment is not watermarkable right now)."""
+        self._verified_key = self._anchor_key()
+
+    def clear_watermark(self) -> bool:
+        """Drop the watermark (any mutation path calls this).  Returns
+        whether one was held — the invalidation accounting signal."""
+        held = self._verified_key is not None
+        self._verified_key = None
+        return held
 
     # -- tier transitions --------------------------------------------------
 
@@ -526,30 +718,41 @@ class SealedSegment:
         self._records = None
         self._digests = None
         self._canonicals = None
+        # Fresh on-disk identity: no probe caches, no watermark — the
+        # file has never been deep-checked in its cold form.
+        self._digest_col = None
+        self._layout = None
+        self._probes = 0
+        self._verified_key = None
         return size
 
     # -- integrity ---------------------------------------------------------
 
-    def verify(self) -> None:
+    def verify(self) -> int:
         """Recompute the chunk's chain, raising on the first mismatch.
 
         Hot: from the live records (post-drain mutation is detected, as
         for an open tail).  Cold: from the spill file's canonicals,
         anchored to the base/head digests held in memory — a rewritten
-        file cannot satisfy both ends of the chain.
+        file cannot satisfy both ends of the chain.  The cold path reads
+        the file exactly once (``read_spill_full``).  Returns the number
+        of digest-material bytes re-hashed.
         """
         if self._records is not None:
             digest = self.base_digest
+            hashed = 0
             for record, stored in zip(self._records, self._digests):
-                digest = chain_digest(digest, record.canonical())
+                canonical = record.canonical()
+                digest = chain_digest(digest, canonical)
+                hashed += len(canonical) + _DIGEST_BYTES
                 if digest != stored:
                     raise IntegrityViolation(
                         f"sealed segment {self.source!r} chain broken "
                         f"at seq {record.seq}"
                     )
-            return
+            return hashed
         try:
-            raw_header = read_spill_header_bytes(self.path)
+            raw_header, header, entries = read_spill_full(self.path)
         except OSError as exc:
             raise IntegrityViolation(
                 f"spill file {self.path} unreadable for segment "
@@ -561,7 +764,7 @@ class SealedSegment:
                 f"not match the digest committed at demote time for "
                 f"segment {self.source!r}"
             )
-        header, entries = read_spill(self.path)
+        hashed = len(raw_header)
         if (
             header["count"] != self.count
             or header["base_digest"] != self.base_digest
@@ -575,6 +778,7 @@ class SealedSegment:
         digest = self.base_digest
         for i, (canonical, stored) in enumerate(entries):
             digest = chain_digest(digest, canonical)
+            hashed += len(canonical) + _DIGEST_BYTES
             if digest != stored:
                 raise IntegrityViolation(
                     f"cold segment {self.source!r} chain broken at "
@@ -584,6 +788,7 @@ class SealedSegment:
             raise IntegrityViolation(
                 f"cold segment {self.source!r} head mismatch after replay"
             )
+        return hashed
 
     # -- maintenance -------------------------------------------------------
 
@@ -597,6 +802,12 @@ class SealedSegment:
             return 0
         if keep_from >= self.count:
             raise ValueError("use drop() to discard a whole segment")
+        # Any rebase invalidates the verified watermark and the cold
+        # probe caches: anchors move, and a cold file is rewritten.
+        self._verified_key = None
+        self._digest_col = None
+        self._layout = None
+        self._probes = 0
         if self._records is not None:
             self.base_digest = self._digests[keep_from - 1]
             self.base_count += keep_from
@@ -661,6 +872,7 @@ class SegmentStore:
         self.stats_seals = 0
         self.stats_demotions = 0
         self.stats_cold_loads = 0
+        self.stats_watermark_invalidations = 0
         self.spill_bytes = 0
 
     def __repr__(self) -> str:
@@ -867,17 +1079,41 @@ class SegmentStore:
 
     # -- integrity ---------------------------------------------------------
 
-    def verify(self) -> None:
-        """Verify every source's full chain across the tier boundary.
+    def verify(
+        self,
+        deep: bool = True,
+        workers: Optional[int] = None,
+        stats: Optional[VerifyStats] = None,
+    ) -> None:
+        """Verify every source's chain across the tier boundary.
 
         Each chunk verifies internally, and consecutive chunks must
         join exactly: the next base digest is the previous head, the
         next base count the previous total.  A chunk boundary is where
-        a splice would hide, so the joins are checked explicitly.
+        a splice would hide, so the joins are checked explicitly — in
+        *every* mode, for every chunk, from the in-memory anchors.
+
+        ``deep=True`` (the default, and the historical behaviour)
+        recomputes every chunk unconditionally and re-watermarks the
+        cold ones.  ``deep=False`` is the incremental mode: hot chunks
+        (open tails and in-memory sealed segments — mutable objects)
+        are always recomputed, but a cold chunk whose verified
+        watermark is still valid (anchors and spill-file stat
+        fingerprint unchanged since its last successful full check) is
+        skipped.  ``workers`` > 1 fans the independent chunk
+        recomputations across a thread pool — cold verification is
+        dominated by spill-file reads and ``hashlib`` work, both of
+        which can overlap.  Raises on the first violation, in chunk
+        order, regardless of which worker found it.
         """
+        todo: List = []
+        skipped = 0
+        invalidated = 0
+        total_chunks = 0
         for source in list(self.tails):
             prev: Optional[SealedSegment] = None
             for chunk in self._chunks(source):
+                total_chunks += 1
                 if prev is not None and (
                     chunk.base_digest != prev.head
                     or chunk.base_count != chunk_total(prev)
@@ -886,8 +1122,51 @@ class SegmentStore:
                         f"segment {source!r} chain discontinuity at "
                         f"position {chunk.base_count}"
                     )
-                chunk.verify()
                 prev = chunk
+                if (
+                    not deep
+                    and isinstance(chunk, SealedSegment)
+                    and chunk.is_cold
+                    and chunk.watermarked
+                ):
+                    if chunk.watermark_valid():
+                        skipped += 1
+                        continue
+                    invalidated += 1
+                    self.stats_watermark_invalidations += 1
+                todo.append(chunk)
+
+        n_workers = max(1, workers or 1)
+        if n_workers > 1 and len(todo) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(n_workers, len(todo))
+            ) as pool:
+                futures = [pool.submit(chunk.verify) for chunk in todo]
+                # Results are collected in chunk order so the first
+                # violation reported is deterministic even when a later
+                # chunk failed first on the wall clock.
+                hashed = [future.result() for future in futures]
+        else:
+            hashed = [chunk.verify() for chunk in todo]
+
+        for chunk in todo:
+            if isinstance(chunk, SealedSegment) and chunk.is_cold:
+                chunk.note_verified()
+        if stats is not None:
+            stats.segments_total += total_chunks
+            stats.segments_verified += len(todo)
+            stats.segments_skipped += skipped
+            stats.watermark_hits += skipped
+            stats.watermark_invalidations += invalidated
+            stats.bytes_hashed += sum(hashed)
+            stats.cold_verified += sum(
+                1 for c in todo
+                if isinstance(c, SealedSegment) and c.is_cold
+            )
+            stats.records_verified += sum(
+                c.count if isinstance(c, SealedSegment) else len(c.records)
+                for c in todo
+            )
 
     # -- pruning -----------------------------------------------------------
 
@@ -906,6 +1185,9 @@ class SegmentStore:
             if chunks:
                 first = chunks[0]
                 if first.index.time_min < timestamp:
+                    self.stats_watermark_invalidations += (
+                        first.clear_watermark()
+                    )
                     pruned += first.prune_prefix(
                         _age_prefix(first.records(), timestamp)
                     )
@@ -938,6 +1220,9 @@ class SegmentStore:
         if chunks:
             first = chunks[0]
             if first.index.time_min < before:
+                self.stats_watermark_invalidations += (
+                    first.clear_watermark()
+                )
                 pruned += first.prune_prefix(
                     _age_prefix(first.records(), before)
                 )
@@ -997,6 +1282,11 @@ class SegmentStore:
             "seals": self.stats_seals,
             "demotions": self.stats_demotions,
             "cold_loads": self.stats_cold_loads,
+            "watermarked_segments": sum(
+                1 for chunks in self.sealed.values()
+                for c in chunks if c.watermarked
+            ),
+            "watermark_invalidations": self.stats_watermark_invalidations,
             "hot_time_min": hot_time_min,
             "hot_time_max": hot_time_max,
             "spill_dir": str(self.spill_dir) if self.spill_dir else None,

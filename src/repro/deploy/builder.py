@@ -39,7 +39,7 @@ from typing import Dict, List, Optional
 
 from repro.accesscontrol.pep import EnforcementMode
 from repro.audit.distributed import AuditCollector
-from repro.audit.spine import bind_source
+from repro.audit.spine import _deep_of, bind_source
 from repro.cloud.machine import (
     APPROVED_BOOT_CHAIN,
     BOOT_PCR,
@@ -693,7 +693,11 @@ class Deployment:
             if handle.machine is not None
         }
 
-    def verify(self) -> Dict[str, Dict[str, str]]:
+    def verify(
+        self,
+        mode: str = "incremental",
+        workers: Optional[int] = None,
+    ) -> Dict[str, Dict[str, str]]:
         """The federation-wide verdict matrix.
 
         ``matrix[observer][subject]`` is the observer's verdict on the
@@ -706,7 +710,18 @@ class Deployment:
         exists: a censored replay passes its own diagonal and fails
         every peer's row.  Bus-only domains (detached logs) appear on
         the diagonal under their domain name.
+
+        ``mode="incremental"`` (the default) rides the verification
+        plane's watermark cursors: each diagonal check re-verifies hot
+        tails and anything whose watermark dropped, skipping cold
+        segments already deep-verified — steady-state cost is O(new
+        records), which is what makes running the matrix every round
+        affordable.  ``mode="deep"`` recomputes every chain in full;
+        ``workers`` fans independent cold segments across a thread
+        pool.  Both modes flip the same verdicts on every tamper class
+        (``docs/audit_storage.md``).
         """
+        deep = _deep_of(mode)  # validate before any chain work
         self.build()
         matrix: Dict[str, Dict[str, str]] = {}
         if self._mesh is not None and self._mesh.nodes():
@@ -724,11 +739,14 @@ class Deployment:
         for handle in self._nodes.values():
             if handle.machine is None:
                 continue
-            diagonal(handle.spec.hostname, handle.spine.verify())
+            diagonal(
+                handle.spec.hostname,
+                handle.spine.verify(mode=mode, workers=workers),
+            )
         for name, domain in self.world.domains.items():
             if name in self._spine_backed_domains:
                 continue
-            diagonal(name, domain.audit.verify())
+            diagonal(name, domain.audit.verify(mode=mode, workers=workers))
         return matrix
 
     def stats(self) -> Dict[str, Dict]:
@@ -810,6 +828,21 @@ class Deployment:
                 "per_node": per_node,
             }
 
+        verify = {
+            "verifies": 0, "segments_verified": 0, "segments_skipped": 0,
+            "records_verified": 0, "bytes_hashed": 0, "watermark_hits": 0,
+            "watermark_invalidations": 0, "checkpoints_verified": 0,
+            "checkpoints_skipped": 0, "wall_s": 0.0,
+        }
+        for machine in machines:
+            stats_fn = getattr(machine.audit, "verify_stats", None)
+            if not callable(stats_fn):
+                continue
+            rollup = stats_fn()
+            for key in verify:
+                verify[key] += rollup.get(key, 0)
+        verify["wall_s"] = round(verify["wall_s"], 6)
+
         net = self.world.network.stats
         network = {
             "sent": net.sent,
@@ -831,6 +864,7 @@ class Deployment:
             "network": network,
             "transport": transport,
             "workers": workers,
+            "verify": verify,
         }
 
     def collect_audit(self, key: str = "deployment-collector") -> AuditCollector:

@@ -633,16 +633,25 @@ class GossipMesh:
     def pinboards(self) -> Dict[str, FederationPinboard]:
         return {host: node.pinboard for host, node in sorted(self._nodes.items())}
 
-    def verify_federation(self) -> Dict[str, Dict[str, str]]:
+    def verify_federation(
+        self,
+        mode: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> Dict[str, Dict[str, str]]:
         """Every pinboard's verdict over every *other* member's live spine
         — the cross-domain tamper check (see
-        :meth:`~repro.audit.distributed.FederationPinboard.verify`)."""
+        :meth:`~repro.audit.distributed.FederationPinboard.verify`).
+
+        ``mode`` (``"incremental"`` / ``"deep"``) optionally adds each
+        spine's own watermark-aware chain check to the pin comparison;
+        incremental is cheap enough to run every round.
+        """
         spines = {
             host: node.spine
             for host, node in self._nodes.items()
             if node.spine is not None
         }
         return {
-            host: node.pinboard.verify(spines)
+            host: node.pinboard.verify(spines, mode=mode, workers=workers)
             for host, node in sorted(self._nodes.items())
         }
