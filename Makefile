@@ -2,8 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: verify test lint bench bench-wire bench-audit bench-federation \
-	bench-workers bench-query bench-transport bench-verify bench-all \
-	test-concurrency
+	bench-workers bench-query bench-transport bench-verify \
+	bench-analysis bench-all test-concurrency
 
 # Tier-1 verification: the whole suite, fail-fast.  The bench smoke
 # list (decision-plane + wire-plane scale benches, with their ratio
@@ -75,6 +75,15 @@ bench-transport:
 # below 4 CPUs).
 bench-verify:
 	$(PYTHON) -m pytest benchmarks/test_scale_verify.py -q -s -p no:randomly
+
+# Analysis-plane bench: compile a 16-node federation into the flow
+# graph, sweep all-pairs reachability, catch the seeded forbidden
+# declassifier chain at the pre-deploy gate, and measure the decision-
+# cache cold-start hit-rate delta from pre-warming; regenerates
+# BENCH_analysis.json.  Scale down with ANALYSIS_BENCH_NODES=8 for a
+# smoke run (the functional gates hold at every scale).
+bench-analysis:
+	$(PYTHON) -m pytest benchmarks/test_scale_analysis.py -q -s -p no:randomly
 
 # The real-thread stress tests of the contention-proofed planes
 # (decision cache snapshot/epoch protocol, audit-spine ring drains).

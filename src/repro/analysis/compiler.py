@@ -1,0 +1,425 @@
+"""Compile declared policy into a :class:`~repro.analysis.graph.FlowGraph`.
+
+The compiler is the analysis plane's only constructor of graphs.  It
+walks whichever policy sources the caller has — a live
+:class:`~repro.deploy.builder.Deployment`, its declarative
+:class:`~repro.deploy.spec.DeploymentSpec` twin, registered
+:class:`~repro.ifc.gateways.Gateway` chains, ECA rules inside each
+domain's policy engine, and :class:`~repro.policy.legal.LegalObligation`
+packs — and emits one typed graph:
+
+* **structural** edges record topology: which member hosts which
+  domain, which domain operates which engine and adopts which
+  components, which kernel processes a member runs;
+* **flow** edges record admissibility, each annotated with what admits
+  it: the bare §6 rule (``flow-rule``), a privilege the source holds
+  (``privilege``, with the exact shed/endorse tags in ``detail``), or a
+  named gateway crossing (``gateway:<name>``).
+
+Privilege-admitted edges use the flow rule's monotonicity: the rule is
+monotone in S(A) (smaller is better) and I(A) (larger is better), so the
+single *best* context a holder can reach — ``S' = S − remove_secrecy``,
+``I' = I ∪ add_integrity`` — decides reachability for every transition
+its privileges permit; no transition enumeration is needed.
+
+Graphs from a live deployment and from its spec twin are identical for
+freshly built deployments (pinned by test): the spec names exactly the
+members, domains and engines the builder materialises, and neither side
+has components, processes or traffic yet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.graph import (
+    VIA_ADOPTS,
+    VIA_CARRIES,
+    VIA_DELEGATES,
+    VIA_FLOW_RULE,
+    VIA_HOSTS,
+    VIA_OPERATES,
+    VIA_PRIVILEGE,
+    VIA_RUNS,
+    FlowEdge,
+    FlowGraph,
+    FlowNode,
+    NodeKind,
+)
+from repro.errors import AnalysisError
+from repro.ifc.flow import can_flow
+from repro.ifc.gateways import Declassifier, Endorser, Gateway
+from repro.ifc.labels import SecurityContext
+from repro.ifc.privileges import PrivilegeAuthority, PrivilegeSet
+from repro.policy.legal import LegalObligation
+from repro.policy.rules import CommandAction, NotifyAction
+
+
+def _tags(label) -> Tuple[str, ...]:
+    """A label as the graph's canonical sorted qualified-tag tuple."""
+    return tuple(sorted(t.qualified for t in label.tags))
+
+
+def _ctx_of(entity) -> Optional[SecurityContext]:
+    """The security context of a live entity, whatever it calls it.
+
+    Kernel processes carry ``.security``; components, things and
+    gateways carry ``.context``.
+    """
+    ctx = getattr(entity, "security", None)
+    if isinstance(ctx, SecurityContext):
+        return ctx
+    ctx = getattr(entity, "context", None)
+    if isinstance(ctx, SecurityContext):
+        return ctx
+    return None
+
+
+def _privileges_of(entity) -> PrivilegeSet:
+    priv = getattr(entity, "privileges", None)
+    if isinstance(priv, PrivilegeSet):
+        return priv
+    return PrivilegeSet.none()
+
+
+def _best_context(ctx: SecurityContext, priv: PrivilegeSet) -> SecurityContext:
+    """The most flow-capable context the holder's privileges reach.
+
+    Monotonicity of the flow rule in the source's labels means this one
+    context decides privilege-admitted reachability for the whole
+    transition set.
+    """
+    return ctx.remove_secrecy(*priv.remove_secrecy).add_integrity(
+        *priv.add_integrity
+    )
+
+
+def _privilege_detail(
+    src: SecurityContext, dst: SecurityContext, priv: PrivilegeSet
+) -> Tuple[str, ...]:
+    """The exact label changes a privilege edge requires of its source:
+    secrecy tags to shed and integrity tags to endorse."""
+    shed = (src.secrecy - dst.secrecy).tags & priv.remove_secrecy
+    endorse = (dst.integrity - src.integrity).tags & priv.add_integrity
+    detail = [f"shed:{t.qualified}" for t in sorted(shed)]
+    detail += [f"endorse:{t.qualified}" for t in sorted(endorse)]
+    return tuple(detail)
+
+
+class _Builder:
+    """One compilation: accumulates nodes, then derives flow edges."""
+
+    def __init__(self) -> None:
+        self.graph = FlowGraph()
+        #: (node, live context, live privileges) for every entity that
+        #: participates in flow-edge derivation.
+        self._carriers: List[Tuple[FlowNode, SecurityContext, PrivilegeSet]] = []
+
+    # -- nodes -------------------------------------------------------------
+
+    def member(self, hostname: str) -> FlowNode:
+        return self.graph.add_node(
+            FlowNode(f"member:{hostname}", NodeKind.MEMBER)
+        )
+
+    def domain(self, name: str) -> FlowNode:
+        return self.graph.add_node(FlowNode(f"domain:{name}", NodeKind.DOMAIN))
+
+    def engine(self, name: str) -> FlowNode:
+        return self.graph.add_node(FlowNode(f"engine:{name}", NodeKind.ENGINE))
+
+    def component(self, name: str, entity) -> Optional[FlowNode]:
+        ctx = _ctx_of(entity)
+        if ctx is None:
+            return None
+        return self.component_ctx(name, ctx, _privileges_of(entity))
+
+    def component_ctx(
+        self, name: str, ctx: SecurityContext, priv: PrivilegeSet
+    ) -> FlowNode:
+        node = self.graph.add_node(
+            FlowNode(
+                f"component:{name}",
+                NodeKind.COMPONENT,
+                secrecy=_tags(ctx.secrecy),
+                integrity=_tags(ctx.integrity),
+            )
+        )
+        self._carriers.append((node, ctx, priv))
+        self._carry_tags(node, ctx)
+        return node
+
+    def gateway(self, gateway: Gateway) -> FlowNode:
+        node = self.graph.add_node(
+            FlowNode(
+                f"gateway:{gateway.name}",
+                NodeKind.GATEWAY,
+                secrecy=_tags(gateway.input_context.secrecy),
+                integrity=_tags(gateway.input_context.integrity),
+                out_secrecy=_tags(gateway.output_context.secrecy),
+                out_integrity=_tags(gateway.output_context.integrity),
+            )
+        )
+        self._carry_tags(node, gateway.input_context)
+        return node
+
+    def _carry_tags(self, node: FlowNode, ctx: SecurityContext) -> None:
+        """Tag nodes + ``carries`` edges: where each tag's data lives."""
+        for tag in _tags(ctx.secrecy):
+            tag_node = self.graph.add_node(
+                FlowNode(f"tag:{tag}", NodeKind.TAG)
+            )
+            self.graph.add_edge(
+                FlowEdge(tag_node.node_id, node.node_id, VIA_CARRIES,
+                         flow=False)
+            )
+
+    # -- policy artefacts --------------------------------------------------
+
+    def rules(self, engine_node: FlowNode, rules: Iterable) -> None:
+        """ECA rules: notifications are admissible flows out of the
+        engine (data leaves the system through the channel); commands
+        are structural edges to their targets."""
+        for rule in rules:
+            via = f"rule:{rule.name}"
+            for action in rule.actions:
+                if isinstance(action, NotifyAction):
+                    notify = self.graph.add_node(
+                        FlowNode(f"notify:{action.channel}", NodeKind.NOTIFY)
+                    )
+                    self.graph.add_edge(
+                        FlowEdge(engine_node.node_id, notify.node_id, via)
+                    )
+                elif isinstance(action, CommandAction):
+                    if action.command is None:
+                        continue  # builder commands have no static target
+                    target = f"component:{action.command.target}"
+                    if target in self.graph:
+                        self.graph.add_edge(
+                            FlowEdge(engine_node.node_id, target, via,
+                                     flow=False)
+                        )
+
+    def obligations(self, obligations: Iterable[LegalObligation]) -> None:
+        for obligation in obligations:
+            node = self.graph.add_node(
+                FlowNode(
+                    f"obligation:{obligation.obligation_id}",
+                    NodeKind.OBLIGATION,
+                )
+            )
+            for src, dst in getattr(obligation, "forbidden_flows", ()):
+                for ref in (src, dst):
+                    target = f"component:{ref}"
+                    if target in self.graph:
+                        self.graph.add_edge(
+                            FlowEdge(node.node_id, target,
+                                     f"obliges:{obligation.obligation_id}",
+                                     flow=False)
+                        )
+
+    def authority(self, authority: PrivilegeAuthority) -> None:
+        """Delegation chains as principal nodes + structural edges."""
+        for delegation in authority.delegations():
+            grantor = self.graph.add_node(
+                FlowNode(f"principal:{delegation.grantor}", NodeKind.PRINCIPAL)
+            )
+            grantee = self.graph.add_node(
+                FlowNode(f"principal:{delegation.grantee}", NodeKind.PRINCIPAL)
+            )
+            self.graph.add_edge(
+                FlowEdge(grantor.node_id, grantee.node_id, VIA_DELEGATES,
+                         flow=False)
+            )
+
+    # -- flow-edge derivation ----------------------------------------------
+
+    def derive_flows(self, gateways: Sequence[Gateway]) -> None:
+        """The O(n²) admissibility sweep over context-bearing nodes.
+
+        Component→component and component→gateway-input edges follow the
+        bare flow rule; gateway-output→anything edges are the privileged
+        crossings, annotated ``gateway:<name>``; component→component
+        pairs the bare rule denies but the source's privileges admit get
+        a ``privilege`` edge naming the exact shed/endorse tags.
+        """
+        gateway_nodes = [
+            (self.graph.resolve(f"gateway:{gw.name}"), gw) for gw in gateways
+        ]
+        readers: List[Tuple[FlowNode, SecurityContext, str, Tuple[str, ...]]] = [
+            (node, ctx, VIA_FLOW_RULE, ()) for node, ctx, _ in self._carriers
+        ]
+        readers += [
+            (node, gw.input_context, VIA_FLOW_RULE, ())
+            for node, gw in gateway_nodes
+        ]
+        writers: List[Tuple[FlowNode, SecurityContext, str, Tuple[str, ...],
+                            PrivilegeSet]] = [
+            (node, ctx, VIA_FLOW_RULE, (), priv)
+            for node, ctx, priv in self._carriers
+        ]
+        for node, gw in gateway_nodes:
+            kind = (
+                "declassifier" if isinstance(gw, Declassifier)
+                else "endorser" if isinstance(gw, Endorser)
+                else "gateway"
+            )
+            writers.append(
+                (node, gw.output_context, f"gateway:{gw.name}", (kind,),
+                 PrivilegeSet.none())
+            )
+        for w_node, w_ctx, w_via, w_detail, w_priv in writers:
+            best: Optional[SecurityContext] = None
+            if not w_priv.is_empty():
+                best = _best_context(w_ctx, w_priv)
+            for r_node, r_ctx, _, _ in readers:
+                if r_node.node_id == w_node.node_id:
+                    continue
+                if can_flow(w_ctx, r_ctx):
+                    self.graph.add_edge(
+                        FlowEdge(w_node.node_id, r_node.node_id, w_via,
+                                 detail=w_detail)
+                    )
+                elif best is not None and can_flow(best, r_ctx):
+                    self.graph.add_edge(
+                        FlowEdge(
+                            w_node.node_id, r_node.node_id, VIA_PRIVILEGE,
+                            detail=_privilege_detail(w_ctx, r_ctx, w_priv),
+                        )
+                    )
+
+
+def compile_spec(
+    spec,
+    gateways: Sequence[Gateway] = (),
+    obligations: Sequence[LegalObligation] = (),
+    authority: Optional[PrivilegeAuthority] = None,
+) -> FlowGraph:
+    """Compile a declarative :class:`~repro.deploy.spec.DeploymentSpec`.
+
+    The spec names topology only (members, domains, engines), so the
+    graph carries the structural skeleton plus whatever gateways and
+    obligations the caller supplies — exactly what compiling the freshly
+    built deployment twin yields.
+    """
+    builder = _Builder()
+    for node_spec in spec.nodes:
+        member = builder.member(node_spec.hostname) if node_spec.machine else None
+        if member is not None and node_spec.substrate:
+            # The builder's one boot-time kernel process: the substrate
+            # daemon (public context, no privileges) — modelled so the
+            # spec graph matches the freshly built deployment exactly.
+            daemon = builder.component_ctx(
+                f"substrate@{node_spec.hostname}",
+                SecurityContext.public(),
+                PrivilegeSet.none(),
+            )
+            builder.graph.add_edge(
+                FlowEdge(member.node_id, daemon.node_id, VIA_RUNS, flow=False)
+            )
+        if node_spec.domain is not None:
+            domain = builder.domain(node_spec.domain)
+            engine = builder.engine(f"{node_spec.domain}-policy-engine")
+            builder.graph.add_edge(
+                FlowEdge(domain.node_id, engine.node_id, VIA_OPERATES,
+                         flow=False)
+            )
+            if member is not None:
+                builder.graph.add_edge(
+                    FlowEdge(member.node_id, domain.node_id, VIA_HOSTS,
+                             flow=False)
+                )
+    for gateway in gateways:
+        builder.gateway(gateway)
+    builder.obligations(obligations)
+    if authority is not None:
+        builder.authority(authority)
+    builder.derive_flows(gateways)
+    return builder.graph
+
+
+def compile_deployment(
+    deployment,
+    gateways: Sequence[Gateway] = (),
+    obligations: Sequence[LegalObligation] = (),
+    authority: Optional[PrivilegeAuthority] = None,
+) -> FlowGraph:
+    """Compile a live :class:`~repro.deploy.builder.Deployment`.
+
+    Walks the built planes: members and their kernel processes, domains
+    with their bus components and installed ECA rules, plus the
+    gateways the deployment registered (``register_gateway``) and any
+    the caller adds.
+    """
+    deployment.build()
+    builder = _Builder()
+    all_gateways = list(getattr(deployment, "_gateways", ())) + [
+        gw for gw in gateways
+        if gw not in getattr(deployment, "_gateways", ())
+    ]
+    for handle in deployment.nodes():
+        member = (
+            builder.member(handle.spec.hostname)
+            if handle.machine is not None else None
+        )
+        if member is not None:
+            for process in handle.machine.kernel.processes.values():
+                proc_node = builder.component(process.name, process)
+                if proc_node is not None:
+                    builder.graph.add_edge(
+                        FlowEdge(member.node_id, proc_node.node_id, VIA_RUNS,
+                                 flow=False)
+                    )
+        if handle.spec.domain is not None and member is not None:
+            domain = builder.domain(handle.spec.domain)
+            builder.graph.add_edge(
+                FlowEdge(member.node_id, domain.node_id, VIA_HOSTS,
+                         flow=False)
+            )
+    for name, domain_obj in deployment.world.domains.items():
+        domain = builder.domain(name)
+        engine = builder.engine(domain_obj.engine.name)
+        builder.graph.add_edge(
+            FlowEdge(domain.node_id, engine.node_id, VIA_OPERATES, flow=False)
+        )
+        for comp_name, component in domain_obj.bus.components.items():
+            comp_node = builder.component(comp_name, component)
+            if comp_node is not None:
+                builder.graph.add_edge(
+                    FlowEdge(domain.node_id, comp_node.node_id, VIA_ADOPTS,
+                             flow=False)
+                )
+    for gateway in all_gateways:
+        builder.gateway(gateway)
+    # Rules second pass: command targets must already be nodes.
+    for name, domain_obj in deployment.world.domains.items():
+        engine = builder.engine(domain_obj.engine.name)
+        builder.rules(engine, domain_obj.engine.rules)
+    builder.obligations(obligations)
+    if authority is not None:
+        builder.authority(authority)
+    builder.derive_flows(all_gateways)
+    return builder.graph
+
+
+def compile(  # noqa: A001 - the plane's own namespace, repro.analysis.compile
+    source,
+    gateways: Sequence[Gateway] = (),
+    obligations: Sequence[LegalObligation] = (),
+    authority: Optional[PrivilegeAuthority] = None,
+) -> FlowGraph:
+    """Compile whatever policy source is given into a flow graph.
+
+    Dispatches on shape: objects with a ``nodes`` list of specs compile
+    declaratively; objects with a ``world`` compile live.  This is the
+    analysis plane's front door — ``Deployment.analysis_graph()`` and
+    the pre-deploy gate both come through here.
+    """
+    if hasattr(source, "world"):
+        return compile_deployment(source, gateways, obligations, authority)
+    if hasattr(source, "nodes") and not callable(source.nodes):
+        return compile_spec(source, gateways, obligations, authority)
+    raise AnalysisError(
+        f"cannot compile {type(source).__name__}: expected a Deployment "
+        "or DeploymentSpec"
+    )

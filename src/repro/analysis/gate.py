@@ -1,0 +1,210 @@
+"""The pre-deploy gate: assert over the graph before anything runs.
+
+Runtime enforcement discovers a bad flow only when a message moves —
+after the declassifier chain has already been exercised.  The gate asks
+the compiled graph first: a :class:`Forbid` assertion fails verification
+when the graph admits *any* path from source to sink (with the
+admitting declassifier chain as evidence), a :class:`Require` assertion
+fails when a flow the scenario depends on is not admitted.  Findings
+are emitted as ``RecordKind.ANALYSIS`` audit records so the gate's
+verdicts live in the same tamper-evident chain as the runtime decisions
+they predict.
+
+Fail-closed resolution: an assertion naming a node the graph does not
+contain verdicts ``unresolved`` and counts as a violation for both
+kinds — a typo in a Forbid must not silently pass the gate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.graph import FlowGraph
+from repro.analysis.queries import FlowQuery
+from repro.audit.records import RecordKind
+from repro.errors import AnalysisError
+
+#: Gate verdict vocabulary (mirrors the federation matrix's style).
+VERDICT_OK = "ok"
+VERDICT_FORBIDDEN = "forbidden-flow"
+VERDICT_MISSING = "missing-flow"
+VERDICT_UNRESOLVED = "unresolved"
+
+
+@dataclass(frozen=True)
+class FlowAssertion:
+    """Base: one ``(src, dst)`` claim about the admissible-flow graph."""
+
+    src: str
+    dst: str
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__.lower()
+
+    def label(self) -> str:
+        return f"{self.kind}:{self.src}->{self.dst}"
+
+
+class Forbid(FlowAssertion):
+    """The graph must admit **no** path ``src -> dst``."""
+
+
+class Require(FlowAssertion):
+    """The graph must admit **some** path ``src -> dst``."""
+
+
+@dataclass
+class Finding:
+    """One assertion's outcome.
+
+    Attributes:
+        assertion: the checked assertion.
+        verdict: one of the gate verdicts.
+        violation: whether the verdict fails the gate.
+        path: the admitting path as ``src -> dst via ...`` hop strings
+            (Forbid violations only).
+        chains: declassifier chains admitting the flow, when any.
+        reason: human-readable account.
+    """
+
+    assertion: FlowAssertion
+    verdict: str
+    violation: bool
+    path: List[str] = field(default_factory=list)
+    chains: List[List[str]] = field(default_factory=list)
+    reason: str = ""
+
+
+@dataclass
+class AnalysisReport:
+    """The gate's result over one graph: findings + work accounting."""
+
+    findings: List[Finding] = field(default_factory=list)
+    graph_summary: Dict[str, int] = field(default_factory=dict)
+    queries: int = 0
+    wall_s: float = 0.0
+
+    def ok(self) -> bool:
+        return not any(f.violation for f in self.findings)
+
+    def violations(self) -> List[Finding]:
+        return [f for f in self.findings if f.violation]
+
+    def rows(self) -> Dict[str, str]:
+        """Per-assertion verdicts, keyed like the verify matrix rows."""
+        return {f.assertion.label(): f.verdict for f in self.findings}
+
+    def report(self) -> str:
+        lines = [
+            f"analysis gate: {len(self.findings)} assertion(s), "
+            f"{len(self.violations())} violation(s)"
+        ]
+        for finding in self.findings:
+            lines.append(
+                f"  [{finding.verdict}] {finding.assertion.label()}"
+                + (f" — {finding.reason}" if finding.reason else "")
+            )
+            for hop in finding.path:
+                lines.append(f"      {hop}")
+        return "\n".join(lines)
+
+
+def assertions_from_obligations(obligations: Iterable) -> List[Forbid]:
+    """Derive Forbid assertions from legal obligations' structured
+    ``forbidden_flows`` (e.g. :func:`~repro.policy.legal.
+    geo_fence_obligation`'s residency pairs)."""
+    assertions: List[Forbid] = []
+    for obligation in obligations:
+        for src, dst in getattr(obligation, "forbidden_flows", ()):
+            assertions.append(Forbid(src, dst))
+    return assertions
+
+
+def run_gate(
+    graph: FlowGraph,
+    assertions: Sequence[FlowAssertion],
+    audit=None,
+    actor: str = "analysis-gate",
+) -> AnalysisReport:
+    """Check every assertion against the graph.
+
+    ``audit`` is any :class:`~repro.audit.sink.AuditSink` (a
+    ``bind_source(spine, "analysis")`` emitter in deployments): each
+    finding lands as one ``RecordKind.ANALYSIS`` record, violations
+    carrying the admitting path so the evidence survives in the chain.
+    """
+    started = time.perf_counter()
+    query = FlowQuery(graph)
+    report = AnalysisReport(graph_summary=graph.summary())
+    for assertion in assertions:
+        if not isinstance(assertion, (Forbid, Require)):
+            raise AnalysisError(
+                f"unknown assertion type: {type(assertion).__name__}"
+            )
+        finding = _check(graph, query, assertion)
+        report.findings.append(finding)
+        if audit is not None:
+            audit.append(
+                RecordKind.ANALYSIS,
+                actor=actor,
+                subject=assertion.label(),
+                detail={
+                    "verdict": finding.verdict,
+                    "violation": finding.violation,
+                    "path": finding.path,
+                    "chains": finding.chains,
+                },
+            )
+    report.queries = query.calls
+    report.wall_s = time.perf_counter() - started
+    return report
+
+
+def _check(
+    graph: FlowGraph, query: FlowQuery, assertion: FlowAssertion
+) -> Finding:
+    for ref in (assertion.src, assertion.dst):
+        if ref not in graph:
+            return Finding(
+                assertion=assertion,
+                verdict=VERDICT_UNRESOLVED,
+                violation=True,
+                reason=f"unknown node {ref!r} (fail closed)",
+            )
+    path = query.shortest_path(assertion.src, assertion.dst)
+    if isinstance(assertion, Forbid):
+        if path is None:
+            return Finding(assertion, VERDICT_OK, violation=False)
+        chains = query.declassifier_chains(
+            assertion.src, assertion.dst, max_hops=max(len(path), 4)
+        )
+        return Finding(
+            assertion=assertion,
+            verdict=VERDICT_FORBIDDEN,
+            violation=True,
+            path=[
+                f"{edge.src} -> {edge.dst} via {edge.via}" for edge in path
+            ],
+            chains=chains,
+            reason=(
+                f"admitted in {len(path)} hop(s)"
+                + (f" through gateway chain {'/'.join(chains[0])}"
+                   if chains else "")
+            ),
+        )
+    if path is not None:
+        return Finding(
+            assertion,
+            VERDICT_OK,
+            violation=False,
+            path=[f"{edge.src} -> {edge.dst} via {edge.via}" for edge in path],
+        )
+    return Finding(
+        assertion=assertion,
+        verdict=VERDICT_MISSING,
+        violation=True,
+        reason="no admissible path; the scenario's required flow is dead",
+    )

@@ -1,0 +1,323 @@
+"""The typed information-flow graph — the analysis plane's data model.
+
+SETools' ``dta.py`` compiles an SELinux policy into a digraph of domain
+transitions and answers reachability queries over it offline.  This
+module is the analogue for the paper's IFC model: a :class:`FlowGraph`
+whose nodes are principals, components, gateways, tags and policy
+artefacts, and whose edges are *admissible* flows — each annotated with
+what admits it (the bare §6 flow rule, a held privilege, or a named
+declassifier/endorser crossing).
+
+The graph is a pure value: nodes and edges are frozen dataclasses
+carrying qualified tag strings rather than live interner masks, so two
+graphs compiled from equivalent policies compare equal regardless of
+interner state, process, or construction order — the property the
+``Deployment.from_spec`` round-trip guard pins.
+
+Construction discipline: only ``repro/analysis`` builds ``FlowGraph``
+objects (the compiler walks live deployments or declarative specs); the
+rest of the tree consumes them.  A lint test greps for violations, the
+same way the deploy façade's hand-wiring grep works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import AnalysisError
+
+
+class NodeKind(str, Enum):
+    """What a flow-graph node models."""
+
+    COMPONENT = "component"    # things, bus components, kernel processes
+    GATEWAY = "gateway"        # declassifiers/endorsers (trusted crossings)
+    TAG = "tag"                # one qualified tag, as a data source
+    PRINCIPAL = "principal"    # a privilege-authority grantee
+    MEMBER = "member"          # one deployment member (by hostname)
+    DOMAIN = "domain"          # an administrative domain
+    ENGINE = "engine"          # a domain's policy engine
+    NOTIFY = "notify"          # a notification channel (ECA target)
+    OBLIGATION = "obligation"  # a legal obligation (policy pack)
+
+
+#: Edge annotations (the ``via`` vocabulary).  Gateway crossings use
+#: ``gateway:<name>`` and ECA-admitted flows ``rule:<name>``, so ``via``
+#: is a string rather than an enum; these are the fixed members.
+VIA_FLOW_RULE = "flow-rule"    # the bare §6 rule admits it
+VIA_PRIVILEGE = "privilege"    # admitted only if the source exercises
+                               # held declassification/endorsement rights
+VIA_CARRIES = "carries"        # tag -> entity whose secrecy holds it
+VIA_HOSTS = "hosts"            # member -> domain (structural)
+VIA_RUNS = "runs"              # member -> kernel process (structural)
+VIA_ADOPTS = "adopts"          # domain -> component (structural)
+VIA_OPERATES = "operates"      # domain -> engine (structural)
+VIA_DELEGATES = "delegates"    # principal -> principal (structural)
+
+
+@dataclass(frozen=True, order=True)
+class FlowNode:
+    """One graph node.
+
+    ``node_id`` is ``kind:name`` (``component:ward-sensor``,
+    ``tag:hospital:medical``); labels are sorted qualified tag strings.
+    Gateways carry both sides of their declared transition: the input
+    context in ``secrecy``/``integrity`` and the output context in
+    ``out_secrecy``/``out_integrity`` (empty tuples everywhere else).
+    """
+
+    node_id: str
+    kind: NodeKind
+    secrecy: Tuple[str, ...] = ()
+    integrity: Tuple[str, ...] = ()
+    out_secrecy: Tuple[str, ...] = ()
+    out_integrity: Tuple[str, ...] = ()
+
+    @property
+    def name(self) -> str:
+        """The bare name (``node_id`` without the kind prefix)."""
+        return self.node_id.split(":", 1)[1]
+
+
+@dataclass(frozen=True, order=True)
+class FlowEdge:
+    """One admissible flow (or structural relation).
+
+    ``flow`` distinguishes data-flow edges — what reachability queries
+    traverse — from structural ones (hosting, adoption, delegation)
+    kept for reports and diffs.  ``detail`` records what the edge costs
+    to take: the secrecy tags a privilege edge must shed
+    (``shed:<tag>``), the integrity tags it must endorse
+    (``endorse:<tag>``), or a gateway's crossing class.
+    """
+
+    src: str
+    dst: str
+    via: str
+    flow: bool = True
+    detail: Tuple[str, ...] = ()
+
+
+class FlowGraph:
+    """An immutable-by-convention digraph of admissible flows.
+
+    Built only by ``repro.analysis.compiler``; everything else queries.
+    Equality is value equality over the node and edge sets, so graphs
+    compiled from a live :class:`~repro.deploy.builder.Deployment` and
+    from its :class:`~repro.deploy.spec.DeploymentSpec` twin can be
+    asserted identical.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[FlowNode] = (),
+        edges: Iterable[FlowEdge] = (),
+    ):
+        self._nodes: Dict[str, FlowNode] = {}
+        self._edges: Set[FlowEdge] = set()
+        self._out: Dict[str, List[FlowEdge]] = {}
+        self._in: Dict[str, List[FlowEdge]] = {}
+        self._by_name: Dict[str, List[str]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for edge in edges:
+            self.add_edge(edge)
+
+    # -- construction (compiler-facing) ------------------------------------
+
+    def add_node(self, node: FlowNode) -> FlowNode:
+        """Register a node (idempotent for identical values)."""
+        existing = self._nodes.get(node.node_id)
+        if existing is not None:
+            if existing != node:
+                raise AnalysisError(
+                    f"conflicting definitions for node {node.node_id!r}"
+                )
+            return existing
+        self._nodes[node.node_id] = node
+        self._by_name.setdefault(node.name, []).append(node.node_id)
+        return node
+
+    def add_edge(self, edge: FlowEdge) -> FlowEdge:
+        """Register an edge; both endpoints must already exist."""
+        for endpoint in (edge.src, edge.dst):
+            if endpoint not in self._nodes:
+                raise AnalysisError(
+                    f"edge endpoint {endpoint!r} is not a node"
+                )
+        if edge not in self._edges:
+            self._edges.add(edge)
+            self._out.setdefault(edge.src, []).append(edge)
+            self._in.setdefault(edge.dst, []).append(edge)
+        return edge
+
+    # -- lookup ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, ref: str) -> bool:
+        try:
+            self.resolve(ref)
+        except AnalysisError:
+            return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlowGraph):
+            return NotImplemented
+        return (
+            self._nodes == other._nodes and self._edges == other._edges
+        )
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlowGraph nodes={len(self._nodes)} "
+            f"edges={len(self._edges)}>"
+        )
+
+    def resolve(self, ref: str) -> FlowNode:
+        """Resolve a node reference: a full ``kind:name`` id, or a bare
+        name unique across kinds (``"ward-sensor"``); raises
+        :class:`~repro.errors.AnalysisError` when unknown or ambiguous.
+        """
+        node = self._nodes.get(ref)
+        if node is not None:
+            return node
+        ids = self._by_name.get(ref, ())
+        if len(ids) == 1:
+            return self._nodes[ids[0]]
+        if len(ids) > 1:
+            raise AnalysisError(
+                f"ambiguous node name {ref!r}: " + ", ".join(sorted(ids))
+            )
+        raise AnalysisError(f"unknown node: {ref!r}")
+
+    def nodes(self, kind: Optional[NodeKind] = None) -> List[FlowNode]:
+        """Every node (optionally one kind), sorted by id."""
+        result = self._nodes.values()
+        if kind is not None:
+            result = (n for n in result if n.kind == kind)
+        return sorted(result)
+
+    def edges(self, flow_only: bool = False) -> List[FlowEdge]:
+        """Every edge, sorted; ``flow_only`` drops structural edges."""
+        result = self._edges
+        if flow_only:
+            result = (e for e in result if e.flow)
+        return sorted(result)
+
+    def out_edges(self, ref: str, flow_only: bool = True) -> List[FlowEdge]:
+        """Edges leaving a node (flow edges only, by default)."""
+        edges = self._out.get(self.resolve(ref).node_id, ())
+        return sorted(e for e in edges if e.flow or not flow_only)
+
+    def in_edges(self, ref: str, flow_only: bool = True) -> List[FlowEdge]:
+        """Edges entering a node (flow edges only, by default)."""
+        edges = self._in.get(self.resolve(ref).node_id, ())
+        return sorted(e for e in edges if e.flow or not flow_only)
+
+    def summary(self) -> Dict[str, int]:
+        """Node/edge counts by kind — the report header."""
+        counts: Dict[str, int] = {
+            "nodes": len(self._nodes),
+            "edges": len(self._edges),
+            "flow_edges": sum(1 for e in self._edges if e.flow),
+        }
+        for node in self._nodes.values():
+            key = f"nodes_{node.kind.value}"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # -- diff mode ---------------------------------------------------------
+
+    def diff(self, other: "FlowGraph") -> "FlowDiff":
+        """What ``other`` admits (or retires) relative to ``self``.
+
+        ``self`` is the *baseline* (the deployed policy), ``other`` the
+        proposed change; ``added_flows`` is then exactly the set of new
+        ``(src, dst, via)`` admissible flows the change introduces —
+        what a pre-deploy reviewer must sign off on.
+        """
+        added_nodes = sorted(
+            set(other._nodes) - set(self._nodes)
+        )
+        removed_nodes = sorted(
+            set(self._nodes) - set(other._nodes)
+        )
+        added = other._edges - self._edges
+        removed = self._edges - other._edges
+        return FlowDiff(
+            added_nodes=added_nodes,
+            removed_nodes=removed_nodes,
+            added_flows=sorted(e for e in added if e.flow),
+            removed_flows=sorted(e for e in removed if e.flow),
+            added_structure=sorted(e for e in added if not e.flow),
+            removed_structure=sorted(e for e in removed if not e.flow),
+        )
+
+
+@dataclass
+class FlowDiff:
+    """The delta between two compiled policies, flow-first.
+
+    Attributes:
+        added_nodes / removed_nodes: node ids only in one side.
+        added_flows / removed_flows: admissible-flow edges only in one
+            side — the security-relevant delta.
+        added_structure / removed_structure: structural edges, for
+            completeness.
+    """
+
+    added_nodes: List[str] = field(default_factory=list)
+    removed_nodes: List[str] = field(default_factory=list)
+    added_flows: List[FlowEdge] = field(default_factory=list)
+    removed_flows: List[FlowEdge] = field(default_factory=list)
+    added_structure: List[FlowEdge] = field(default_factory=list)
+    removed_structure: List[FlowEdge] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not (
+            self.added_nodes or self.removed_nodes
+            or self.added_flows or self.removed_flows
+            or self.added_structure or self.removed_structure
+        )
+
+    def admits(self) -> List[Tuple[str, str, str]]:
+        """The new ``(src, dst, via)`` flows the change introduces."""
+        return [(e.src, e.dst, e.via) for e in self.added_flows]
+
+    def report(self) -> str:
+        """Human-readable account of the delta, for review."""
+        if self.is_empty():
+            return "policy change admits no new flows (graphs identical)"
+        lines: List[str] = []
+        if self.added_flows:
+            lines.append(f"NEW FLOWS ({len(self.added_flows)}):")
+            for e in self.added_flows:
+                cost = f"  [{', '.join(e.detail)}]" if e.detail else ""
+                lines.append(f"  + {e.src} -> {e.dst} via {e.via}{cost}")
+        if self.removed_flows:
+            lines.append(f"RETIRED FLOWS ({len(self.removed_flows)}):")
+            for e in self.removed_flows:
+                lines.append(f"  - {e.src} -> {e.dst} via {e.via}")
+        if self.added_nodes:
+            lines.append(
+                "new nodes: " + ", ".join(self.added_nodes)
+            )
+        if self.removed_nodes:
+            lines.append(
+                "removed nodes: " + ", ".join(self.removed_nodes)
+            )
+        if self.added_structure or self.removed_structure:
+            lines.append(
+                f"structural: +{len(self.added_structure)} "
+                f"-{len(self.removed_structure)}"
+            )
+        return "\n".join(lines)

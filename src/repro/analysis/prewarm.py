@@ -1,0 +1,124 @@
+"""Pre-warm decision caches from the reachable pair set.
+
+Workers start cold: the first message over every distinct context pair
+pays a full :func:`~repro.ifc.flow.flow_decision` miss in the machine's
+:class:`~repro.ifc.decisions.DecisionCache`.  The compiled graph already
+knows exactly which context pairs the deployment can exercise — the
+direct admissible-flow edges between context-bearing nodes — so the
+pre-warmer replays those pairs through each machine shard's cache before
+traffic starts, turning first-contact misses into hits.
+
+Honesty note (also in ``docs/analysis_plane.md``): pre-warming installs
+decisions for the *statically admissible* direct pairs.  Runtime pairs
+outside the compiled world (dynamic context changes, entities the graph
+never saw) still miss, and denied pairs are only warmed when the graph
+was compiled with the privilege/gateway information that names them —
+the measured hit-rate delta in ``BENCH_analysis.json`` is the honest
+number, not 100%.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.graph import FlowGraph, FlowNode, NodeKind
+from repro.analysis.graph import VIA_FLOW_RULE, VIA_PRIVILEGE
+from repro.ifc.labels import SecurityContext
+
+
+@dataclass
+class PrewarmReport:
+    """What one pre-warm pass installed.
+
+    Attributes:
+        pairs: distinct context pairs derived from the graph.
+        installed: cache entries actually installed (misses the replay
+            paid so traffic will not).
+        already_warm: pairs that were cache hits during the replay.
+        shards: per-hostname installed counts.
+        wall_s: wall-clock seconds for the whole pass.
+    """
+
+    pairs: int = 0
+    installed: int = 0
+    already_warm: int = 0
+    shards: Dict[str, int] = field(default_factory=dict)
+    wall_s: float = 0.0
+
+
+def _context(secrecy: Tuple[str, ...], integrity: Tuple[str, ...]) -> SecurityContext:
+    return SecurityContext.of(secrecy=secrecy, integrity=integrity)
+
+
+def reachable_pairs(
+    graph: FlowGraph,
+) -> List[Tuple[SecurityContext, SecurityContext]]:
+    """The distinct ``(source, target)`` context pairs the deployment's
+    direct admissible flows will ask the decision plane about.
+
+    Pairs come from the graph's direct flow-rule and privilege edges
+    between context-bearing nodes (components and gateways); the
+    contexts are rebuilt from the nodes' qualified tag tuples, so the
+    pairs intern into whatever vocabulary the warming process runs in.
+    Gateway sources contribute their *output* context — that is the
+    context their emissions carry.
+    """
+    bearing = {NodeKind.COMPONENT, NodeKind.GATEWAY}
+    pairs: List[Tuple[SecurityContext, SecurityContext]] = []
+    seen = set()
+    for edge in graph.edges(flow_only=True):
+        if edge.via != VIA_FLOW_RULE and edge.via != VIA_PRIVILEGE \
+                and not edge.via.startswith("gateway:"):
+            continue
+        src = graph.resolve(edge.src)
+        dst = graph.resolve(edge.dst)
+        if src.kind not in bearing or dst.kind not in bearing:
+            continue
+        if src.kind is NodeKind.GATEWAY:
+            src_ctx = _context(src.out_secrecy, src.out_integrity)
+        else:
+            src_ctx = _context(src.secrecy, src.integrity)
+        dst_ctx = _context(dst.secrecy, dst.integrity)
+        key = (
+            src_ctx.secrecy.mask, src_ctx.integrity.mask,
+            dst_ctx.secrecy.mask, dst_ctx.integrity.mask,
+        )
+        if key not in seen:
+            seen.add(key)
+            pairs.append((src_ctx, dst_ctx))
+    return pairs
+
+
+def prewarm_shard(shard, pairs) -> Tuple[int, int]:
+    """Replay ``pairs`` through one :class:`~repro.ifc.decisions.
+    DecisionShard`'s cache; returns ``(installed, already_warm)``.
+
+    Installation goes through the cache's own :meth:`evaluate` path —
+    the epoch/snapshot protocol applies, so pre-warming a live machine
+    is exactly as safe as its first round of traffic would have been.
+    """
+    cache = shard.cache
+    misses_before = cache.misses
+    hits_before = cache.hits
+    for src_ctx, dst_ctx in pairs:
+        cache.evaluate(src_ctx, dst_ctx)
+    return cache.misses - misses_before, cache.hits - hits_before
+
+
+def prewarm_deployment(deployment, graph: FlowGraph) -> PrewarmReport:
+    """Pre-warm every machine shard in a deployment from one graph."""
+    started = time.perf_counter()
+    pairs = reachable_pairs(graph)
+    report = PrewarmReport(pairs=len(pairs))
+    for handle in deployment.nodes():
+        machine = handle.machine
+        if machine is None:
+            continue
+        installed, warm = prewarm_shard(machine.shard, pairs)
+        report.installed += installed
+        report.already_warm += warm
+        report.shards[machine.hostname] = installed
+    report.wall_s = time.perf_counter() - started
+    return report

@@ -1,0 +1,267 @@
+"""Reachability queries over a compiled :class:`FlowGraph`.
+
+The SETools analogy made concrete: ``dta.py`` answers all-paths /
+shortest-path questions over an SELinux domain-transition digraph;
+:class:`FlowQuery` answers them over this system's admissible-flow
+graph — pure-python BFS/DFS, no NetworkX.  Every query records an
+:class:`AnalysisStats` (nodes visited, edges walked, paths found, wall
+time) so benchmarks and the ``stats()["analysis"]`` rollup can account
+for analysis work the same way the verify plane accounts for hashing.
+
+Transitivity caveat (inherited from the old lattice analyser, now
+re-homed here): may-flow composes only through entities that *store and
+forward* data, so multi-hop results are the conservative upper bound on
+where data could spread — exactly what a pre-deploy gate wants, and why
+the static≡dynamic property test models store-and-forward republishers.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.graph import FlowEdge, FlowGraph, FlowNode, NodeKind
+
+#: A path is the edge sequence taken, source to destination.
+Path = Tuple[FlowEdge, ...]
+
+
+@dataclass
+class AnalysisStats:
+    """Per-query work accounting.
+
+    Attributes:
+        query: which query ran (``can_flow``, ``all_paths``, ...).
+        nodes_visited: distinct nodes the traversal expanded.
+        edges_walked: edges examined (the real cost driver).
+        paths_found: paths/targets the query returned.
+        wall_s: wall-clock seconds.
+    """
+
+    query: str = ""
+    nodes_visited: int = 0
+    edges_walked: int = 0
+    paths_found: int = 0
+    wall_s: float = 0.0
+
+
+class FlowQuery:
+    """The query engine over one graph.
+
+    Queries resolve endpoints through :meth:`FlowGraph.resolve` (bare
+    names or ``kind:name`` ids) and traverse **flow** edges only —
+    structural topology never conducts data.  The most recent query's
+    accounting is on :attr:`last_stats`; :attr:`totals` accumulates
+    across the engine's lifetime.
+    """
+
+    def __init__(self, graph: FlowGraph):
+        self.graph = graph
+        self.last_stats = AnalysisStats()
+        self.totals = AnalysisStats(query="totals")
+        #: Queries answered over this engine's lifetime.
+        self.calls = 0
+
+    def _finish(self, stats: AnalysisStats, started: float) -> AnalysisStats:
+        stats.wall_s = time.perf_counter() - started
+        self.calls += 1
+        self.last_stats = stats
+        self.totals.nodes_visited += stats.nodes_visited
+        self.totals.edges_walked += stats.edges_walked
+        self.totals.paths_found += stats.paths_found
+        self.totals.wall_s += stats.wall_s
+        return stats
+
+    # -- reachability ------------------------------------------------------
+
+    def reachable_set(self, src: str) -> Set[str]:
+        """Every node id data from ``src`` could (transitively) reach."""
+        started = time.perf_counter()
+        stats = AnalysisStats(query="reachable_set")
+        origin = self.graph.resolve(src)
+        seen: Set[str] = set()
+        frontier = deque([origin.node_id])
+        while frontier:
+            current = frontier.popleft()
+            stats.nodes_visited += 1
+            for edge in self.graph.out_edges(current):
+                stats.edges_walked += 1
+                if edge.dst not in seen and edge.dst != origin.node_id:
+                    seen.add(edge.dst)
+                    frontier.append(edge.dst)
+        stats.paths_found = len(seen)
+        self._finish(stats, started)
+        return seen
+
+    def can_flow(self, src: str, dst: str) -> bool:
+        """Whether data from ``src`` can ever reach ``dst`` (BFS)."""
+        started = time.perf_counter()
+        stats = AnalysisStats(query="can_flow")
+        origin = self.graph.resolve(src)
+        target = self.graph.resolve(dst)
+        seen = {origin.node_id}
+        frontier = deque([origin.node_id])
+        found = False
+        while frontier and not found:
+            current = frontier.popleft()
+            stats.nodes_visited += 1
+            for edge in self.graph.out_edges(current):
+                stats.edges_walked += 1
+                if edge.dst == target.node_id:
+                    found = True
+                    break
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    frontier.append(edge.dst)
+        stats.paths_found = 1 if found else 0
+        self._finish(stats, started)
+        return found
+
+    def shortest_path(self, src: str, dst: str) -> Optional[List[FlowEdge]]:
+        """A minimum-hop flow path ``src -> dst``, or ``None``."""
+        started = time.perf_counter()
+        stats = AnalysisStats(query="shortest_path")
+        origin = self.graph.resolve(src)
+        target = self.graph.resolve(dst)
+        parents: Dict[str, FlowEdge] = {}
+        seen = {origin.node_id}
+        frontier = deque([origin.node_id])
+        found = False
+        while frontier and not found:
+            current = frontier.popleft()
+            stats.nodes_visited += 1
+            for edge in self.graph.out_edges(current):
+                stats.edges_walked += 1
+                if edge.dst in seen:
+                    continue
+                seen.add(edge.dst)
+                parents[edge.dst] = edge
+                if edge.dst == target.node_id:
+                    found = True
+                    break
+                frontier.append(edge.dst)
+        if not found:
+            self._finish(stats, started)
+            return None
+        path: List[FlowEdge] = []
+        cursor = target.node_id
+        while cursor != origin.node_id:
+            edge = parents[cursor]
+            path.append(edge)
+            cursor = edge.src
+        path.reverse()
+        stats.paths_found = 1
+        self._finish(stats, started)
+        return path
+
+    def all_paths(
+        self, src: str, dst: str, max_hops: int = 6
+    ) -> List[Path]:
+        """Every simple flow path ``src -> dst`` of at most ``max_hops``
+        edges (DFS; nodes never repeat within a path)."""
+        started = time.perf_counter()
+        stats = AnalysisStats(query="all_paths")
+        origin = self.graph.resolve(src)
+        target = self.graph.resolve(dst)
+        paths: List[Path] = []
+
+        def walk(current: str, on_path: Set[str], trail: List[FlowEdge]):
+            stats.nodes_visited += 1
+            if len(trail) >= max_hops:
+                return
+            for edge in self.graph.out_edges(current):
+                stats.edges_walked += 1
+                if edge.dst == target.node_id:
+                    paths.append(tuple(trail + [edge]))
+                    continue
+                if edge.dst in on_path:
+                    continue
+                on_path.add(edge.dst)
+                trail.append(edge)
+                walk(edge.dst, on_path, trail)
+                trail.pop()
+                on_path.discard(edge.dst)
+
+        walk(origin.node_id, {origin.node_id, target.node_id}, [])
+        stats.paths_found = len(paths)
+        self._finish(stats, started)
+        return paths
+
+    def declassifier_chains(
+        self, src: str, dst: str, max_hops: int = 6
+    ) -> List[List[str]]:
+        """The gateway sequences that let ``src`` reach ``dst``.
+
+        Each result is the ordered list of gateway names a path crosses;
+        only paths crossing at least one gateway qualify — this is the
+        "through which chain of declassifiers?" question, and the gate's
+        evidence when it flags a forbidden flow reachable only via
+        privileged crossings.
+        """
+        chains: List[List[str]] = []
+        seen_chains: Set[Tuple[str, ...]] = set()
+        for path in self.all_paths(src, dst, max_hops=max_hops):
+            chain = [
+                self.graph.resolve(edge.src).name
+                for edge in path
+                if edge.via.startswith("gateway:")
+            ]
+            if chain and tuple(chain) not in seen_chains:
+                seen_chains.add(tuple(chain))
+                chains.append(chain)
+        self.last_stats.query = "declassifier_chains"
+        return chains
+
+
+# -- label-creep diagnostics (re-homed from repro.ifc.lattice) ---------------
+
+
+@dataclass
+class CreepReport:
+    """Diagnostics for label creep across a compiled graph (§6 warns
+    "building a system with increasing constraints can lead to
+    situations of label creep").
+
+    Attributes:
+        max_secrecy_size: largest component secrecy label observed.
+        mean_secrecy_size: average component secrecy label size.
+        trapped: components that are pure flow sinks with non-empty
+            secrecy (data can get in but never out without privilege).
+        suggestion: human-readable advice.
+    """
+
+    max_secrecy_size: int
+    mean_secrecy_size: float
+    trapped: List[str] = field(default_factory=list)
+    suggestion: str = ""
+
+
+def analyse_creep(graph: FlowGraph) -> CreepReport:
+    """Spot contexts drifted so high nothing can read from them.
+
+    The heuristic (unchanged from the old lattice analyser): secrecy
+    labels growing monotonically along chains plus a rising population
+    of sink contexts indicates declassifiers should be provisioned.
+    """
+    components = graph.nodes(NodeKind.COMPONENT)
+    sizes = [len(node.secrecy) for node in components]
+    if not sizes:
+        return CreepReport(0, 0.0, [], "no contexts registered")
+    trapped = sorted(
+        node.name
+        for node in components
+        if node.secrecy and not graph.out_edges(node.node_id)
+    )
+    mean = sum(sizes) / len(sizes)
+    if trapped and mean > 2:
+        suggestion = (
+            "label creep detected: provision declassifiers for trapped "
+            "contexts " + ", ".join(trapped)
+        )
+    elif trapped:
+        suggestion = "some contexts are sinks; verify declassifiers exist"
+    else:
+        suggestion = "no creep detected"
+    return CreepReport(max(sizes), mean, trapped, suggestion)

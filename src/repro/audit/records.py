@@ -44,6 +44,7 @@ class RecordKind(str, Enum):
     CHECKPOINT = "checkpoint"
     DISCOVERY = "discovery"
     FEDERATION_PIN = "federation-pin"
+    ANALYSIS = "analysis"
     CUSTOM = "custom"
 
 

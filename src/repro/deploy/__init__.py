@@ -13,13 +13,14 @@ cross-wired from a fluent builder or a declarative spec
     verdicts = deploy.verify()
 """
 
-from repro.deploy.builder import Deployment, DeploymentNode
+from repro.deploy.builder import Deployment, DeploymentNode, VerdictMatrix
 from repro.deploy.spec import DeploymentSpec, NodeSpec, SpillSpec, TransportSpec
 from repro.deploy.workers import BusWorker, WorkerPool
 
 __all__ = [
     "Deployment",
     "DeploymentNode",
+    "VerdictMatrix",
     "DeploymentSpec",
     "NodeSpec",
     "SpillSpec",

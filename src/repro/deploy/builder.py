@@ -384,6 +384,33 @@ class DeploymentNode:
         return process
 
 
+class VerdictMatrix(dict):
+    """The :meth:`Deployment.verify` result: the federation verdict
+    matrix, dict-compatible, with the analysis gate's findings attached.
+
+    ``matrix[observer][subject]`` behaves exactly as before; when the
+    pre-deploy analysis gate ran, ``matrix["analysis"]`` is its
+    per-assertion verdict row and :attr:`analysis` holds the full
+    :class:`~repro.analysis.gate.AnalysisReport` (``None`` otherwise).
+    :meth:`ok` folds both planes into one go/no-go answer.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.analysis = None
+
+    def ok(self) -> bool:
+        """Every federation verdict is ``"ok"``/``"unpinned"`` and the
+        analysis gate (when it ran) found no violations."""
+        for observer, row in self.items():
+            if observer == "analysis":
+                continue
+            for verdict in row.values():
+                if verdict not in ("ok", "unpinned"):
+                    return False
+        return self.analysis is None or self.analysis.ok()
+
+
 class Deployment:
     """A federated IFC deployment behind one declarative façade.
 
@@ -426,6 +453,13 @@ class Deployment:
         self._directory_node: Optional[DeploymentNode] = None
         self._spine_backed_domains: set = set()
         self._machines: List[Machine] = []
+        self._gateways: List = []
+        self._flow_assertions: List = []
+        self._analysis_counters: Dict[str, float] = {
+            "compiles": 0, "gates": 0, "assertions_checked": 0,
+            "violations": 0, "queries": 0, "prewarmed_pairs": 0,
+            "wall_s": 0.0,
+        }
 
     def __repr__(self) -> str:
         return f"<Deployment {self.name} nodes={len(self._nodes)}>"
@@ -693,11 +727,99 @@ class Deployment:
             if handle.machine is not None
         }
 
+    # -- the analysis plane (repro.analysis; docs/analysis_plane.md) -------
+
+    def register_gateway(self, gateway) -> "Deployment":
+        """Declare a :class:`~repro.ifc.gateways.Gateway` (declassifier
+        or endorser) as part of this deployment's policy, so the
+        analysis plane models its privileged crossing.  Gateways are
+        policy artefacts, not built planes — registration is valid
+        before or after :meth:`build`."""
+        if gateway not in self._gateways:
+            self._gateways.append(gateway)
+        return self
+
+    def with_gateways(self, *gateways) -> "Deployment":
+        """Fluent plural of :meth:`register_gateway`."""
+        for gateway in gateways:
+            self.register_gateway(gateway)
+        return self
+
+    def with_flow_assertions(self, assertions) -> "Deployment":
+        """Register pre-deploy flow assertions (:class:`~repro.analysis.
+        gate.Forbid` / :class:`~repro.analysis.gate.Require`).  Once any
+        are registered, :meth:`verify` runs the analysis gate and the
+        verdict matrix grows an ``"analysis"`` row."""
+        self._flow_assertions.extend(assertions)
+        return self
+
+    def flow_assertions(self) -> List:
+        """The registered pre-deploy assertions, in registration order."""
+        return list(self._flow_assertions)
+
+    def analysis_graph(self, obligations=()):
+        """Compile this deployment (with its registered gateways) into
+        the analysis plane's :class:`~repro.analysis.graph.FlowGraph`."""
+        from repro.analysis import compile_deployment
+
+        graph = compile_deployment(self, obligations=obligations)
+        self._analysis_counters["compiles"] += 1
+        return graph
+
+    def _analysis_audit(self):
+        """Where gate findings are recorded: an ``"analysis"`` segment
+        of the first machine's spine (machineless deployments skip
+        audit emission — there is no chain to write)."""
+        for handle in self._nodes.values():
+            if handle.machine is not None:
+                return bind_source(handle.machine.audit, "analysis")
+        return None
+
+    def run_analysis_gate(self, assertions=None, obligations=()):
+        """Run the pre-deploy gate and return its
+        :class:`~repro.analysis.gate.AnalysisReport`.
+
+        ``assertions`` defaults to the registered
+        :meth:`with_flow_assertions` set plus any derived from
+        ``obligations``' structured ``forbidden_flows``.  Findings are
+        emitted as ``RecordKind.ANALYSIS`` audit records.
+        """
+        from repro.analysis import assertions_from_obligations, run_gate
+
+        checks = list(
+            self._flow_assertions if assertions is None else assertions
+        )
+        checks += assertions_from_obligations(obligations)
+        graph = self.analysis_graph(obligations=obligations)
+        report = run_gate(graph, checks, audit=self._analysis_audit())
+        counters = self._analysis_counters
+        counters["gates"] += 1
+        counters["assertions_checked"] += len(report.findings)
+        counters["violations"] += len(report.violations())
+        counters["queries"] += report.queries
+        counters["wall_s"] += report.wall_s
+        return report
+
+    def prewarm_decisions(self, graph=None):
+        """Pre-warm every machine's decision cache from the reachable
+        pair set (:mod:`repro.analysis.prewarm`); returns the
+        :class:`~repro.analysis.prewarm.PrewarmReport`."""
+        from repro.analysis import prewarm_deployment
+
+        self.build()
+        if graph is None:
+            graph = self.analysis_graph()
+        report = prewarm_deployment(self, graph)
+        self._analysis_counters["prewarmed_pairs"] += report.pairs
+        self._analysis_counters["wall_s"] += report.wall_s
+        return report
+
     def verify(
         self,
         mode: str = "incremental",
         workers: Optional[int] = None,
-    ) -> Dict[str, Dict[str, str]]:
+        analysis: Optional[bool] = None,
+    ) -> "VerdictMatrix":
         """The federation-wide verdict matrix.
 
         ``matrix[observer][subject]`` is the observer's verdict on the
@@ -720,12 +842,21 @@ class Deployment:
         ``workers`` fans independent cold segments across a thread
         pool.  Both modes flip the same verdicts on every tamper class
         (``docs/audit_storage.md``).
+
+        ``analysis`` controls the pre-deploy gate (``repro.analysis``):
+        ``None`` (default) runs it iff flow assertions were registered
+        via :meth:`with_flow_assertions`; ``True`` forces a run (also
+        with zero assertions, for the graph compile); ``False`` skips
+        it.  When it runs, the result grows an ``"analysis"`` row of
+        per-assertion verdicts and carries the full report on
+        ``matrix.analysis`` — static findings exposed uniformly with
+        the federation verdicts.
         """
         deep = _deep_of(mode)  # validate before any chain work
         self.build()
-        matrix: Dict[str, Dict[str, str]] = {}
+        matrix = VerdictMatrix()
         if self._mesh is not None and self._mesh.nodes():
-            matrix = self._mesh.verify_federation()
+            matrix.update(self._mesh.verify_federation())
         def diagonal(key: str, ok: bool) -> None:
             # A key may carry two chains (a machine spine plus a
             # detached domain log under the same name): the diagonal is
@@ -747,6 +878,13 @@ class Deployment:
             if name in self._spine_backed_domains:
                 continue
             diagonal(name, domain.audit.verify(mode=mode, workers=workers))
+        run_gate = analysis if analysis is not None else bool(
+            self._flow_assertions
+        )
+        if run_gate:
+            report = self.run_analysis_gate()
+            matrix.analysis = report
+            matrix["analysis"] = report.rows()
         return matrix
 
     def stats(self) -> Dict[str, Dict]:
@@ -854,6 +992,9 @@ class Deployment:
             "bytes_by_kind": dict(net.bytes_by_kind),
             "bytes_delivered_by_kind": dict(net.bytes_delivered_by_kind),
         }
+        analysis = dict(self._analysis_counters)
+        analysis["wall_s"] = round(analysis["wall_s"], 6)
+
         transport = self.world.network.transport_stats.snapshot()
         return {
             "flows": flows,
@@ -865,6 +1006,7 @@ class Deployment:
             "transport": transport,
             "workers": workers,
             "verify": verify,
+            "analysis": analysis,
         }
 
     def collect_audit(self, key: str = "deployment-collector") -> AuditCollector:

@@ -91,3 +91,7 @@ class SchemaError(ReproError):
 
 class DiscoveryError(ReproError):
     """Resource discovery failed (unknown component, no match)."""
+
+
+class AnalysisError(ReproError):
+    """Static flow analysis failed (unknown node, unresolvable query)."""

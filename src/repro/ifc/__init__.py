@@ -9,8 +9,13 @@ Public API::
         PrivilegeSet, PrivilegeAuthority,
         Entity, ActiveEntity, PassiveEntity,
         Gateway, Endorser, Declassifier, plan_gateway_chain,
-        dominates, join, meet, FlowGraph, analyse_creep,
+        dominates, join, meet,
     )
+
+Reachability analysis and label-creep diagnostics (the old ``FlowGraph``
+/ ``analyse_creep``) live in the analysis plane now: ``repro.analysis``
+compiles whole deployments into a typed flow graph and answers
+reachability, diff and gate queries over it.
 """
 
 from repro.ifc.tags import (
@@ -83,9 +88,6 @@ from repro.ifc.translation import (
     UnmappedPolicy,
 )
 from repro.ifc.lattice import (
-    CreepReport,
-    FlowGraph,
-    analyse_creep,
     dominates,
     is_comparable,
     join,
@@ -139,9 +141,6 @@ __all__ = [
     "GatewayResult",
     "plan_gateway_chain",
     "embargo_guard",
-    "CreepReport",
-    "FlowGraph",
-    "analyse_creep",
     "CachingResolver",
     "SignedRecord",
     "TagAuthority",

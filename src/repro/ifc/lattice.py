@@ -1,22 +1,20 @@
-"""Lattice analysis over security contexts.
+"""Lattice operations over security contexts.
 
 IFC labels form a lattice (Denning 1976, cited as [28]): contexts are
 partially ordered by "more constrained than", with join/meet given by
-tag-set union/intersection.  This module provides the ordering,
-reachability analysis over a population of contexts, and *label-creep*
-diagnostics — §6 warns that "building a system with increasing
-constraints can lead to situations of label creep", and deployments need
-tooling to spot contexts that have drifted so high that nothing can read
-from them without declassification.
+tag-set union/intersection.  This module provides the pure ordering
+algebra.  Reachability analysis over a population of contexts and the
+label-creep diagnostics that used to live here moved to the analysis
+plane (``repro.analysis``), which compiles whole deployments into a
+typed flow graph instead of a bag of named contexts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Iterable
 
 from repro.ifc.flow import can_flow
-from repro.ifc.labels import Label, SecurityContext
+from repro.ifc.labels import SecurityContext
 
 
 def dominates(a: SecurityContext, b: SecurityContext) -> bool:
@@ -56,121 +54,3 @@ def join_all(contexts: Iterable[SecurityContext]) -> SecurityContext:
 def is_comparable(a: SecurityContext, b: SecurityContext) -> bool:
     """Whether a and b are ordered either way in the flow lattice."""
     return can_flow(a, b) or can_flow(b, a)
-
-
-@dataclass
-class FlowGraph:
-    """The directed may-flow relation over a set of named contexts.
-
-    Used by audit tooling to answer "from this sensor, where can data
-    possibly end up?" *before* any data moves — static analysis of a
-    deployment's label assignment, complementing the dynamic audit log.
-    """
-
-    contexts: Dict[str, SecurityContext] = field(default_factory=dict)
-
-    def add(self, name: str, context: SecurityContext) -> None:
-        """Register a named context (e.g. one per component)."""
-        self.contexts[name] = context
-
-    def edges(self) -> List[Tuple[str, str]]:
-        """Every ordered pair (a, b), a != b, where a may flow to b."""
-        names = list(self.contexts)
-        result = []
-        for a in names:
-            for b in names:
-                if a != b and can_flow(self.contexts[a], self.contexts[b]):
-                    result.append((a, b))
-        return result
-
-    def reachable_from(self, name: str) -> Set[str]:
-        """Transitive closure of may-flow starting at ``name``.
-
-        Note that may-flow is transitive only through entities that
-        *store and forward* data; this is therefore the conservative
-        upper bound on where data could spread.
-        """
-        if name not in self.contexts:
-            return set()
-        frontier = [name]
-        seen: Set[str] = set()
-        while frontier:
-            current = frontier.pop()
-            for other, ctx in self.contexts.items():
-                if other in seen or other == current:
-                    continue
-                if can_flow(self.contexts[current], ctx):
-                    seen.add(other)
-                    frontier.append(other)
-        seen.discard(name)
-        return seen
-
-    def sources_of(self, name: str) -> Set[str]:
-        """All contexts whose data could (transitively) reach ``name``."""
-        return {
-            other
-            for other in self.contexts
-            if other != name and name in self.reachable_from(other)
-        }
-
-    def sinks(self) -> List[str]:
-        """Contexts nothing further can be reached from (data traps).
-
-        A non-empty set of sinks holding most of the deployment's data is
-        the operational signature of label creep.
-        """
-        return [n for n in self.contexts if not self.reachable_from(n)]
-
-    def isolated(self) -> List[str]:
-        """Contexts with no may-flow edges in either direction."""
-        result = []
-        for name in self.contexts:
-            if not self.reachable_from(name) and not self.sources_of(name):
-                result.append(name)
-        return result
-
-
-@dataclass
-class CreepReport:
-    """Diagnostics for label creep across a context population.
-
-    Attributes:
-        max_secrecy_size: largest secrecy label observed.
-        mean_secrecy_size: average secrecy label size.
-        trapped: names of contexts that are pure sinks with non-empty
-            secrecy (data can get in but never out without privilege).
-        suggestion: human-readable advice.
-    """
-
-    max_secrecy_size: int
-    mean_secrecy_size: float
-    trapped: List[str]
-    suggestion: str
-
-
-def analyse_creep(graph: FlowGraph) -> CreepReport:
-    """Analyse a deployment's contexts for label creep (§6).
-
-    The heuristic: secrecy labels growing monotonically along chains,
-    with a rising population of sink contexts, indicates that
-    declassifiers should be provisioned.
-    """
-    sizes = [len(ctx.secrecy) for ctx in graph.contexts.values()]
-    if not sizes:
-        return CreepReport(0, 0.0, [], "no contexts registered")
-    trapped = [
-        n
-        for n in graph.sinks()
-        if not graph.contexts[n].secrecy.is_empty()
-    ]
-    mean = sum(sizes) / len(sizes)
-    if trapped and mean > 2:
-        suggestion = (
-            "label creep detected: provision declassifiers for trapped "
-            "contexts " + ", ".join(sorted(trapped))
-        )
-    elif trapped:
-        suggestion = "some contexts are sinks; verify declassifiers exist"
-    else:
-        suggestion = "no creep detected"
-    return CreepReport(max(sizes), mean, sorted(trapped), suggestion)

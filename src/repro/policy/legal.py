@@ -22,7 +22,7 @@ concrete for the obligations the paper repeatedly invokes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.audit.compliance import (
     Finding,
@@ -88,6 +88,11 @@ class LegalObligation:
         remedies: remedial actions (``remedy(sink, now) -> count``) the
             obligation can apply to bring a sink back into compliance —
             e.g. retention's demote-to-cold.
+        forbidden_flows: structured ``(source, sink)`` pairs the
+            obligation forbids — what the checkers verify after the
+            fact, exposed as data so the static analysis gate
+            (``repro.analysis``) can derive Forbid assertions and catch
+            the flow *before* deployment.
     """
 
     obligation_id: str
@@ -98,6 +103,7 @@ class LegalObligation:
     rules: List[Rule] = field(default_factory=list)
     checkers: List[ObligationChecker] = field(default_factory=list)
     remedies: List[ObligationRemedy] = field(default_factory=list)
+    forbidden_flows: List[Tuple[str, str]] = field(default_factory=list)
 
 
 class ObligationRegister:
@@ -203,6 +209,11 @@ def geo_fence_obligation(
             no_flows_to(
                 forbidden_sinks, data_sources, f"{region} residency"
             )
+        ],
+        forbidden_flows=[
+            (src, sink)
+            for src in sorted(data_sources)
+            for sink in sorted(forbidden_sinks)
         ],
     )
 

@@ -1,0 +1,39 @@
+"""Construction discipline: only ``repro/analysis`` builds FlowGraphs.
+
+Same technique as the deploy façade's hand-wiring grep
+(``tests/test_examples.py`` pattern): scan the source tree for direct
+``FlowGraph(...)`` construction outside the analysis plane.  Everything
+else must come through :func:`repro.analysis.compile` or
+``Deployment.analysis_graph()`` so graphs always reflect compiled
+policy, never hand-assembled approximations of it.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent.parent / "src"
+ANALYSIS = SRC / "repro" / "analysis"
+
+CONSTRUCTION = re.compile(r"\bFlowGraph\s*\(")
+
+
+def test_flowgraph_is_only_constructed_inside_the_analysis_plane():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if ANALYSIS in path.parents:
+            continue
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            if CONSTRUCTION.search(line):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "FlowGraph constructed outside repro/analysis "
+        "(use repro.analysis.compile):\n" + "\n".join(offenders)
+    )
+
+
+def test_the_lint_actually_bites():
+    matched = CONSTRUCTION.search("graph = FlowGraph(nodes, edges)")
+    assert matched
+    assert not CONSTRUCTION.search("isinstance(g, FlowGraph)")

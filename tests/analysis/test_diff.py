@@ -1,0 +1,92 @@
+"""Diff-mode regression: a policy change admits exactly what diff says.
+
+The review workflow the plane is built for: compile the deployed
+policy, compile the proposed one, and ``baseline.diff(proposed)``
+must name *every* new ``(src, dst, via)`` admissible flow — no more,
+no fewer.
+"""
+
+from repro.deploy import Deployment
+from repro.ifc import Declassifier, PrivilegeSet, SecurityContext
+from repro.middleware.component import Component
+
+
+def world(name: str) -> Deployment:
+    deploy = Deployment(seed=11, name=name)
+    domain = deploy.node("ward").with_domain().domain
+    domain.bus.register(
+        Component("ward-sensor", context=SecurityContext.of(["medical"], []))
+    )
+    domain.bus.register(
+        Component("public-dashboard", context=SecurityContext.public())
+    )
+    return deploy
+
+
+def anonymiser() -> Declassifier:
+    return Declassifier(
+        "anonymiser",
+        input_context=SecurityContext.of(["medical"], []),
+        output_context=SecurityContext.public(),
+        privileges=PrivilegeSet.of(remove_secrecy=["medical"]),
+    )
+
+
+class TestGatewayGrant:
+    def test_adding_a_declassifier_admits_exactly_the_predicted_flows(self):
+        baseline = world("deployed").analysis_graph()
+        proposed_deploy = world("proposed").with_gateways(anonymiser())
+        diff = baseline.diff(proposed_deploy.analysis_graph())
+        assert diff.added_nodes == ["gateway:anonymiser"]
+        # Every public writer may also ascend INTO the medical input
+        # context, and the public output reaches every reader — the
+        # full predicted set, not just the headline chain:
+        assert sorted(diff.admits()) == [
+            ("component:public-dashboard", "gateway:anonymiser", "flow-rule"),
+            ("component:substrate@ward", "gateway:anonymiser", "flow-rule"),
+            ("component:ward-sensor", "gateway:anonymiser", "flow-rule"),
+            ("gateway:anonymiser", "component:public-dashboard",
+             "gateway:anonymiser"),
+            ("gateway:anonymiser", "component:substrate@ward",
+             "gateway:anonymiser"),
+            ("gateway:anonymiser", "component:ward-sensor",
+             "gateway:anonymiser"),
+        ]
+        assert not diff.removed_flows
+
+    def test_diff_report_names_the_new_crossing(self):
+        baseline = world("deployed").analysis_graph()
+        proposed = world("proposed").with_gateways(anonymiser()).analysis_graph()
+        report = baseline.diff(proposed).report()
+        assert "gateway:anonymiser -> component:public-dashboard" in report
+        assert "[declassifier]" in report
+
+
+class TestPrivilegeGrant:
+    def test_granting_remove_secrecy_admits_exactly_one_privilege_flow(self):
+        baseline = world("deployed").analysis_graph()
+        changed = world("proposed")
+        domain = changed.nodes()[0].domain
+        sensor = domain.bus.components["ward-sensor"]
+        sensor.privileges = PrivilegeSet.of(remove_secrecy=["medical"])
+        diff = baseline.diff(changed.analysis_graph())
+        assert diff.added_nodes == []
+        assert sorted(diff.admits()) == [
+            ("component:ward-sensor", "component:public-dashboard",
+             "privilege"),
+            ("component:ward-sensor", "component:substrate@ward",
+             "privilege"),
+        ]
+
+    def test_revoking_the_grant_retires_the_same_flows(self):
+        granted = world("deployed")
+        domain = granted.nodes()[0].domain
+        domain.bus.components["ward-sensor"].privileges = PrivilegeSet.of(
+            remove_secrecy=["medical"]
+        )
+        diff = granted.analysis_graph().diff(world("proposed").analysis_graph())
+        assert not diff.added_flows
+        assert {(e.src, e.dst) for e in diff.removed_flows} == {
+            ("component:ward-sensor", "component:public-dashboard"),
+            ("component:ward-sensor", "component:substrate@ward"),
+        }

@@ -1,0 +1,171 @@
+"""FlowGraph mechanics: nodes, edges, resolution, equality, diff.
+
+Direct ``FlowGraph(...)`` construction is allowed here (and only here):
+the lint in ``test_construction_lint.py`` polices ``src/``, not the
+analysis plane's own tests.
+"""
+
+import pytest
+
+from repro.analysis import (
+    VIA_FLOW_RULE,
+    VIA_HOSTS,
+    FlowEdge,
+    FlowGraph,
+    FlowNode,
+    NodeKind,
+)
+from repro.errors import AnalysisError
+
+
+def node(name, kind=NodeKind.COMPONENT, **kw):
+    return FlowNode(f"{kind.value}:{name}", kind, **kw)
+
+
+def small_graph():
+    a = node("a", secrecy=("ns:s",))
+    b = node("b", secrecy=("ns:s",))
+    member = node("host-1", NodeKind.MEMBER)
+    domain = node("a", NodeKind.DOMAIN)  # bare name collides with component a
+    graph = FlowGraph(
+        nodes=[a, b, member, domain],
+        edges=[
+            FlowEdge(a.node_id, b.node_id, VIA_FLOW_RULE),
+            FlowEdge(member.node_id, domain.node_id, VIA_HOSTS, flow=False),
+        ],
+    )
+    return graph, a, b, member, domain
+
+
+class TestConstruction:
+    def test_add_node_is_idempotent_for_identical_values(self):
+        graph = FlowGraph()
+        graph.add_node(node("a"))
+        graph.add_node(node("a"))
+        assert len(graph) == 1
+
+    def test_add_node_rejects_conflicting_definitions(self):
+        graph = FlowGraph()
+        graph.add_node(node("a", secrecy=("ns:s",)))
+        with pytest.raises(AnalysisError, match="conflicting"):
+            graph.add_node(node("a", secrecy=("ns:t",)))
+
+    def test_add_edge_requires_both_endpoints(self):
+        graph = FlowGraph(nodes=[node("a")])
+        with pytest.raises(AnalysisError, match="not a node"):
+            graph.add_edge(
+                FlowEdge("component:a", "component:ghost", VIA_FLOW_RULE)
+            )
+
+    def test_duplicate_edges_collapse(self):
+        graph, a, b, *_ = small_graph()
+        before = len(graph.edges())
+        graph.add_edge(FlowEdge(a.node_id, b.node_id, VIA_FLOW_RULE))
+        assert len(graph.edges()) == before
+
+
+class TestResolution:
+    def test_resolve_full_id_and_unique_bare_name(self):
+        graph, a, b, member, _ = small_graph()
+        assert graph.resolve("component:b") is b
+        assert graph.resolve("host-1") is member
+
+    def test_resolve_ambiguous_bare_name_raises(self):
+        graph, *_ = small_graph()
+        with pytest.raises(AnalysisError, match="ambiguous"):
+            graph.resolve("a")
+
+    def test_resolve_unknown_raises_and_contains_is_safe(self):
+        graph, *_ = small_graph()
+        with pytest.raises(AnalysisError, match="unknown"):
+            graph.resolve("ghost")
+        assert "ghost" not in graph
+        assert "component:b" in graph
+
+    def test_node_name_strips_kind_prefix(self):
+        assert node("substrate@ward-1").name == "substrate@ward-1"
+
+
+class TestViews:
+    def test_nodes_filter_by_kind(self):
+        graph, *_ = small_graph()
+        assert [n.kind for n in graph.nodes(NodeKind.MEMBER)] == [
+            NodeKind.MEMBER
+        ]
+        assert len(graph.nodes()) == 4
+
+    def test_edges_flow_only_drops_structural(self):
+        graph, *_ = small_graph()
+        assert len(graph.edges()) == 2
+        assert [e.via for e in graph.edges(flow_only=True)] == [VIA_FLOW_RULE]
+
+    def test_out_edges_default_to_flow_edges(self):
+        graph, a, b, member, _ = small_graph()
+        assert graph.out_edges(a.node_id)[0].dst == b.node_id
+        assert graph.out_edges(member.node_id) == []
+        assert len(graph.out_edges(member.node_id, flow_only=False)) == 1
+
+    def test_summary_counts_by_kind(self):
+        graph, *_ = small_graph()
+        summary = graph.summary()
+        assert summary["nodes"] == 4
+        assert summary["flow_edges"] == 1
+        assert summary["nodes_component"] == 2
+
+
+class TestEquality:
+    def test_construction_order_is_irrelevant(self):
+        a, b = node("a"), node("b")
+        edge = FlowEdge(a.node_id, b.node_id, VIA_FLOW_RULE)
+        one = FlowGraph(nodes=[a, b], edges=[edge])
+        two = FlowGraph(nodes=[b, a], edges=[edge])
+        assert one == two
+
+    def test_extra_edge_breaks_equality(self):
+        a, b = node("a"), node("b")
+        one = FlowGraph(nodes=[a, b])
+        two = FlowGraph(
+            nodes=[a, b], edges=[FlowEdge(a.node_id, b.node_id, VIA_FLOW_RULE)]
+        )
+        assert one != two
+
+
+class TestDiff:
+    def test_identical_graphs_diff_empty(self):
+        one, *_ = small_graph()
+        two, *_ = small_graph()
+        diff = one.diff(two)
+        assert diff.is_empty()
+        assert "no new flows" in diff.report()
+
+    def test_added_flow_is_reported_exactly(self):
+        base, a, b, *_ = small_graph()
+        changed, a2, b2, *_ = small_graph()
+        c = changed.add_node(node("c"))
+        new_edge = FlowEdge(b2.node_id, c.node_id, VIA_FLOW_RULE)
+        changed.add_edge(new_edge)
+        diff = base.diff(changed)
+        assert diff.added_nodes == [c.node_id]
+        assert diff.admits() == [(b2.node_id, c.node_id, VIA_FLOW_RULE)]
+        assert not diff.removed_flows
+        report = diff.report()
+        assert "NEW FLOWS (1)" in report
+        assert f"+ {b2.node_id} -> {c.node_id} via {VIA_FLOW_RULE}" in report
+
+    def test_diff_direction_baseline_vs_proposed(self):
+        base, a, b, *_ = small_graph()
+        changed, a2, b2, *_ = small_graph()
+        changed.add_edge(FlowEdge(b2.node_id, a2.node_id, VIA_FLOW_RULE))
+        assert base.diff(changed).added_flows
+        assert changed.diff(base).removed_flows
+
+    def test_structural_changes_tracked_separately(self):
+        base, *_ = small_graph()
+        changed, a2, b2, *_ = small_graph()
+        changed.add_edge(
+            FlowEdge(b2.node_id, a2.node_id, VIA_HOSTS, flow=False)
+        )
+        diff = base.diff(changed)
+        assert not diff.added_flows
+        assert len(diff.added_structure) == 1
+        assert "structural: +1 -0" in diff.report()

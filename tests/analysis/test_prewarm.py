@@ -1,0 +1,95 @@
+"""Cache pre-warming: the graph's reachable pairs become cache hits.
+
+The honest claim (docs/analysis_plane.md): pre-warming converts the
+first-contact miss of every *statically admissible direct* pair into a
+hit; pairs outside the compiled world still miss.  Both sides are
+pinned here, and the measured delta goes to ``BENCH_analysis.json``.
+"""
+
+from repro.analysis import reachable_pairs
+from repro.ifc import SecurityContext, can_flow
+
+
+def pair_masks(pairs):
+    return {
+        (s.secrecy.mask, s.integrity.mask, d.secrecy.mask, d.integrity.mask)
+        for s, d in pairs
+    }
+
+
+class TestReachablePairs:
+    def test_pairs_cover_the_hospital_flows(self, hospital):
+        pairs = reachable_pairs(hospital.analysis_graph())
+        medical = SecurityContext.of(["medical"], [])
+        public = SecurityContext.public()
+        masks = pair_masks(pairs)
+        assert (
+            medical.secrecy.mask, medical.integrity.mask,
+            public.secrecy.mask, public.integrity.mask,
+        ) not in masks  # medical -> public is NOT directly admissible
+        assert (
+            public.secrecy.mask, public.integrity.mask,
+            medical.secrecy.mask, medical.integrity.mask,
+        ) in masks  # public writers reach the medical input context
+
+    def test_gateway_sources_contribute_their_output_context(self, hospital):
+        pairs = reachable_pairs(hospital.analysis_graph())
+        # Every pair the graph emits is admissible under the flow rule
+        # from the *emitting* side: gateway pairs use the output
+        # context, which is what their emissions actually carry.
+        assert pairs
+        for src, dst in pairs:
+            assert can_flow(src, dst)
+
+    def test_pairs_are_deduplicated(self, hospital):
+        pairs = reachable_pairs(hospital.analysis_graph())
+        assert len(pair_masks(pairs)) == len(pairs)
+
+
+class TestDeploymentPrewarm:
+    def test_prewarm_installs_and_reports(self, hospital):
+        report = hospital.prewarm_decisions()
+        assert report.pairs > 0
+        assert report.installed == report.pairs  # cold cache: all new
+        assert report.already_warm == 0
+        assert report.shards == {"ward-1": report.installed}
+        assert report.wall_s >= 0.0
+        assert hospital.stats()["analysis"]["prewarmed_pairs"] == report.pairs
+
+    def test_prewarm_is_idempotent(self, hospital):
+        first = hospital.prewarm_decisions()
+        second = hospital.prewarm_decisions()
+        assert second.installed == 0
+        assert second.already_warm == first.pairs
+
+    def test_prewarmed_pairs_hit_where_cold_pairs_miss(self, hospital_factory):
+        cold = hospital_factory(seed=3)
+        warm = hospital_factory(seed=3)
+        warm_graph = warm.analysis_graph()
+        warm.prewarm_decisions(graph=warm_graph)
+        workload = reachable_pairs(warm_graph)
+        assert workload
+
+        def drive(deploy):
+            shard = deploy.nodes()[0].machine.shard
+            hits, misses = shard.cache.hits, shard.cache.misses
+            for src, dst in workload:
+                shard.cache.evaluate(src, dst)
+            return shard.cache.hits - hits, shard.cache.misses - misses
+
+        warm_hits, warm_misses = drive(warm)
+        cold_hits, cold_misses = drive(cold)
+        assert warm_misses == 0
+        assert warm_hits == len(workload)
+        assert cold_misses == len(workload)
+        assert cold_hits == 0
+
+    def test_unforeseen_pairs_still_miss_after_prewarm(self, hospital):
+        hospital.prewarm_decisions()
+        shard = hospital.nodes()[0].machine.shard
+        misses = shard.cache.misses
+        shard.cache.evaluate(
+            SecurityContext.of(["never-compiled"], []),
+            SecurityContext.public(),
+        )
+        assert shard.cache.misses == misses + 1

@@ -1,0 +1,125 @@
+"""FlowQuery: BFS/DFS reachability, paths, chains, and work accounting."""
+
+from repro.analysis import (
+    VIA_FLOW_RULE,
+    FlowEdge,
+    FlowGraph,
+    FlowNode,
+    FlowQuery,
+    NodeKind,
+    analyse_creep,
+)
+
+
+def chain_graph():
+    """a -> b -> c with a detour a -> d (d is a dead end)."""
+    nodes = [
+        FlowNode(f"component:{n}", NodeKind.COMPONENT) for n in "abcd"
+    ]
+    edges = [
+        FlowEdge("component:a", "component:b", VIA_FLOW_RULE),
+        FlowEdge("component:b", "component:c", VIA_FLOW_RULE),
+        FlowEdge("component:a", "component:d", VIA_FLOW_RULE),
+    ]
+    return FlowGraph(nodes=nodes, edges=edges)
+
+
+class TestReachability:
+    def test_can_flow_transitive_and_directional(self):
+        query = FlowQuery(chain_graph())
+        assert query.can_flow("a", "c")
+        assert not query.can_flow("c", "a")
+        assert not query.can_flow("d", "b")
+
+    def test_reachable_set(self):
+        query = FlowQuery(chain_graph())
+        assert query.reachable_set("a") == {
+            "component:b", "component:c", "component:d"
+        }
+        assert query.reachable_set("c") == set()
+
+    def test_queries_ignore_structural_edges(self):
+        graph = chain_graph()
+        graph.add_node(FlowNode("member:m", NodeKind.MEMBER))
+        graph.add_edge(
+            FlowEdge("member:m", "component:a", "runs", flow=False)
+        )
+        assert not FlowQuery(graph).can_flow("member:m", "component:c")
+
+
+class TestPaths:
+    def test_shortest_path_returns_edge_sequence(self):
+        query = FlowQuery(chain_graph())
+        path = query.shortest_path("a", "c")
+        assert [(e.src, e.dst) for e in path] == [
+            ("component:a", "component:b"),
+            ("component:b", "component:c"),
+        ]
+        assert query.shortest_path("c", "a") is None
+
+    def test_all_paths_enumerates_simple_paths(self):
+        graph = chain_graph()
+        graph.add_edge(FlowEdge("component:d", "component:c", VIA_FLOW_RULE))
+        query = FlowQuery(graph)
+        paths = query.all_paths("a", "c")
+        assert len(paths) == 2
+        assert {len(p) for p in paths} == {2}
+
+    def test_all_paths_respects_max_hops(self):
+        query = FlowQuery(chain_graph())
+        assert query.all_paths("a", "c", max_hops=1) == []
+        assert len(query.all_paths("a", "c", max_hops=2)) == 1
+
+
+class TestDeclassifierChains(object):
+    def test_chains_name_the_gateways_crossed(self, hospital):
+        graph = hospital.analysis_graph()
+        query = FlowQuery(graph)
+        chains = query.declassifier_chains("ward-sensor", "public-dashboard")
+        assert chains == [["anonymiser"]]
+
+    def test_pure_flow_rule_paths_yield_no_chains(self):
+        query = FlowQuery(chain_graph())
+        assert query.declassifier_chains("a", "c") == []
+
+
+class TestAccounting:
+    def test_last_stats_reflects_the_query(self):
+        query = FlowQuery(chain_graph())
+        query.can_flow("a", "c")
+        stats = query.last_stats
+        assert stats.query == "can_flow"
+        assert stats.nodes_visited > 0
+        assert stats.edges_walked > 0
+        assert stats.paths_found == 1
+        assert stats.wall_s >= 0.0
+
+    def test_totals_and_calls_accumulate(self):
+        query = FlowQuery(chain_graph())
+        query.can_flow("a", "b")
+        query.reachable_set("a")
+        query.shortest_path("a", "c")
+        assert query.calls == 3
+        assert query.totals.edges_walked >= query.last_stats.edges_walked
+
+
+class TestCreep:
+    def test_trapped_secret_sinks_are_flagged(self):
+        graph = FlowGraph(nodes=[
+            FlowNode("component:vault", NodeKind.COMPONENT,
+                     secrecy=("ns:a", "ns:b", "ns:c")),
+            FlowNode("component:open", NodeKind.COMPONENT),
+        ])
+        report = analyse_creep(graph)
+        assert report.trapped == ["vault"]
+        assert report.max_secrecy_size == 3
+        assert "declassifier" in report.suggestion
+
+    def test_healthy_graph_reports_no_creep(self, hospital):
+        report = analyse_creep(hospital.analysis_graph())
+        assert report.trapped == []
+        assert report.suggestion == "no creep detected"
+
+    def test_empty_graph(self):
+        report = analyse_creep(FlowGraph())
+        assert report.suggestion == "no contexts registered"

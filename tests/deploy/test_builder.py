@@ -233,7 +233,7 @@ class TestFederatedDeployment:
         )
         assert set(rollup) == {
             "flows", "substrate", "decisions", "audit", "federation",
-            "network", "transport", "workers", "verify",
+            "network", "transport", "workers", "verify", "analysis",
         }
         # No with_workers() in this deployment: the rollup says so.
         assert rollup["workers"] == {"count": 0, "ops": 0, "throughput": 0.0}
